@@ -1,0 +1,127 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (printed as data), runs the extra ablations, and then
+   times one representative kernel per artifact with Bechamel.
+
+   Set VC_BENCH_QUICK=1 for a fast smoke run on scaled-down inputs. *)
+
+open Bechamel
+open Toolkit
+
+let say fmt = Format.printf fmt
+
+let section title = say "@.=== %s ===@.@." title
+
+let regenerate ctx =
+  let fmt = Format.std_formatter in
+  section "Tables";
+  Vc_exp.Tables.table1 ctx fmt;
+  Vc_exp.Tables.table2 ctx fmt;
+  Vc_exp.Tables.table3 ctx fmt;
+  section "Figures";
+  Vc_exp.Figures.figure9 ctx fmt;
+  Vc_exp.Figures.figure10 ctx fmt;
+  Vc_exp.Figures.figure11 ctx fmt;
+  Vc_exp.Figures.figure12 ctx fmt;
+  Vc_exp.Figures.figure13 ctx fmt;
+  Vc_exp.Figures.figure14 ctx fmt;
+  Vc_exp.Figures.figure15 ctx fmt;
+  Vc_exp.Figures.figure16 ctx fmt;
+  section "Ablations";
+  Vc_exp.Ablations.strawman ctx fmt;
+  Vc_exp.Ablations.compaction_cost ctx fmt;
+  Vc_exp.Ablations.dsl_vs_native ctx fmt;
+  Vc_exp.Ablations.aos_soa_overhead ctx fmt;
+  Vc_exp.Ablations.multicore ctx fmt;
+  Vc_exp.Ablations.width_scaling ctx fmt;
+  Vc_exp.Ablations.task_cutoff ctx fmt;
+  Vc_exp.Ablations.warm_cache ctx fmt;
+  section "Claims verification";
+  (* reuses this run's cached sweeps, so this is nearly free *)
+  Vc_exp.Claims.pp fmt (Vc_exp.Claims.all ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: wall-clock of one representative computation per table /
+   figure.  The regeneration above computes full (cached) sweeps; these
+   time the underlying kernels that produce each artifact's data points,
+   on quick-scale inputs so iteration counts stay sane. *)
+
+let e5 = Vc_mem.Machine.xeon_e5
+let phi = Vc_mem.Machine.xeon_phi
+
+let quick_spec =
+  let ctx = Vc_exp.Sweep.create ~quick:true () in
+  fun name -> Vc_exp.Sweep.spec_of ctx (Vc_bench.Registry.find name)
+
+let run_engine spec machine block =
+  Staged.stage @@ fun () ->
+  ignore
+    (Vc_core.Engine.run ~spec ~machine
+       ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
+       ()
+      : Vc_core.Report.t)
+
+let run_seq spec machine =
+  Staged.stage @@ fun () ->
+  ignore (Vc_core.Seq_exec.run ~spec ~machine () : Vc_core.Report.t)
+
+let bechamel_tests () =
+  let fib = quick_spec "fib" in
+  let nqueens = quick_spec "nqueens" in
+  let knapsack = quick_spec "knapsack" in
+  let parentheses = quick_spec "parentheses" in
+  let graphcol = quick_spec "graphcol" in
+  [
+    Test.make ~name:"table1:seq-baseline(fib,e5)" (run_seq fib e5);
+    Test.make ~name:"table2:reexp(fib,e5,2^8)" (run_engine fib e5 256);
+    Test.make ~name:"table3:opportunity(nqueens,e5)" (run_engine nqueens e5 256);
+    Test.make ~name:"figure9:levels(parentheses)" (run_seq parentheses e5);
+    Test.make ~name:"figure10:utilization(fib,2^4)" (run_engine fib e5 16);
+    Test.make ~name:"figure11:e5-cache(knapsack,2^12)" (run_engine knapsack e5 4096);
+    Test.make ~name:"figure12:e5-speedup(graphcol,2^8)" (run_engine graphcol e5 256);
+    Test.make ~name:"figure13:phi-cpi(knapsack,2^12)" (run_engine knapsack phi 4096);
+    Test.make ~name:"figure14:phi-speedup(fib,2^8)" (run_engine fib phi 256);
+    Test.make ~name:"figure15:reexpansion(nqueens,2^6)" (run_engine nqueens e5 64);
+    Test.make ~name:"figure16:compaction(fib,seq-engine)"
+      (Staged.stage @@ fun () ->
+       ignore
+         (Vc_core.Engine.run ~compact:Vc_simd.Compact.Sequential ~spec:fib
+            ~machine:e5
+            ~strategy:(Vc_core.Policy.Hybrid { max_block = 256; reexpand = true })
+            ()
+           : Vc_core.Report.t));
+  ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+  let tests = Test.make_grouped ~name:"regen" (bechamel_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  say "@.=== Bechamel: wall-clock per regeneration kernel ===@.@.";
+  match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+  | None -> say "(no results)@."
+  | Some per_test ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> say "%-45s %12.0f ns/run@." name est
+          | _ -> say "%-45s (no estimate)@." name)
+        rows
+
+let () =
+  let ctx = Vc_exp.Sweep.create () in
+  say "vectorcilk benchmark harness (quick mode: %b)@." (Vc_exp.Sweep.quick ctx);
+  let t0 = Unix.gettimeofday () in
+  regenerate ctx;
+  say "@.(regeneration took %.1fs)@." (Unix.gettimeofday () -. t0);
+  run_bechamel ()

@@ -1,0 +1,367 @@
+(* vcilk: command-line driver for the vectorcilk reproduction.
+
+   Subcommands:
+     list                        - benchmarks and machines
+     run BENCH                   - run one benchmark under one strategy
+     transform FILE.rtp          - validate a DSL program, report its
+                                   termination certificate, and print its
+                                   Fig. 7 transformation
+     optimize FILE.rtp           - the scalar optimizer's output
+     distribute FILE.rtp         - the loop-distributed, if-converted form
+     interp FILE.rtp ARGS...     - run a DSL program sequentially
+     table  {1|2|3}              - regenerate one paper table
+     figure {9..16}              - regenerate one paper figure
+     trace BENCH                 - per-level scheduler timeline
+     plot BENCH                  - ASCII block-size sweep curves
+     export DIR                  - all artifacts as CSV
+     verify                      - the paper's claims as checks
+     all                         - every table, figure, and ablation
+
+   VCILK_LOG=debug|info enables engine logging on stderr. *)
+
+open Cmdliner
+
+let machine_conv =
+  let parse s =
+    match Vc_mem.Machine.find s with
+    | m -> Ok m
+    | exception Not_found -> Error (`Msg (Printf.sprintf "unknown machine %S (e5|phi)" s))
+  in
+  let print fmt (m : Vc_mem.Machine.t) = Format.pp_print_string fmt m.Vc_mem.Machine.name in
+  Arg.conv (parse, print)
+
+let bench_conv =
+  let parse s =
+    match Vc_bench.Registry.find s with
+    | e -> Ok e
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %S (%s)" s
+               (String.concat "|" Vc_bench.Registry.names)))
+  in
+  let print fmt (e : Vc_bench.Registry.entry) =
+    Format.pp_print_string fmt e.Vc_bench.Registry.name
+  in
+  Arg.conv (parse, print)
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use scaled-down workloads.")
+
+let ctx_of quick = Vc_exp.Sweep.create ~quick ()
+
+let list_cmd =
+  let run () =
+    Format.printf "@[<v>Benchmarks:@,";
+    List.iter
+      (fun (e : Vc_bench.Registry.entry) ->
+        Format.printf "  %-12s %s@," e.Vc_bench.Registry.name
+          e.Vc_bench.Registry.description)
+      Vc_bench.Registry.all;
+    Format.printf "@,Machines:@,";
+    List.iter (fun m -> Format.printf "  %a@," Vc_mem.Machine.pp m) Vc_mem.Machine.all;
+    Format.printf "@]@."
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and machines.") Term.(const run $ const ())
+
+let run_cmd =
+  let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
+  let machine =
+    Arg.(value
+         & opt machine_conv Vc_mem.Machine.xeon_e5
+         & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
+  in
+  let strategy =
+    Arg.(value & opt string "reexp"
+         & info [ "s"; "strategy" ] ~doc:"seq|strawman|bfs|noreexp|reexp.")
+  in
+  let block =
+    Arg.(value & opt int 4096
+         & info [ "b"; "block" ] ~doc:"Hybrid max block size / re-expansion threshold.")
+  in
+  let run quick (entry : Vc_bench.Registry.entry) machine strategy block =
+    let ctx = ctx_of quick in
+    let spec = Vc_exp.Sweep.spec_of ctx entry in
+    let report =
+      match strategy with
+      | "seq" -> Vc_core.Seq_exec.run ~spec ~machine ()
+      | "strawman" -> Vc_core.Strawman.run ~spec ~machine ()
+      | "bfs" -> Vc_core.Engine.run ~spec ~machine ~strategy:Vc_core.Policy.Bfs_only ()
+      | "noreexp" ->
+          Vc_core.Engine.run ~spec ~machine
+            ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = false })
+            ()
+      | "reexp" ->
+          Vc_core.Engine.run ~spec ~machine
+            ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
+            ()
+      | other -> failwith (Printf.sprintf "unknown strategy %S" other)
+    in
+    Format.printf "%a@." Vc_core.Report.pp_summary report;
+    if strategy <> "seq" && not report.Vc_core.Report.oom then
+      Format.printf "modeled speedup over sequential: %.2f@."
+        (Vc_exp.Sweep.speedup ctx entry machine report)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one benchmark under one execution strategy.")
+    Term.(const run $ quick_flag $ bench $ machine $ strategy $ block)
+
+let transform_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let program = Vc_lang.Parser.parse_file file in
+    match Vc_lang.Validate.check program with
+    | Error errors ->
+        Format.eprintf "@[<v>validation failed:@,%a@]@."
+          (Format.pp_print_list Format.pp_print_string)
+          errors;
+        exit 1
+    | Ok info ->
+        Format.printf "// source (%d spawn sites; %a)@.%a@.@."
+          info.Vc_lang.Validate.num_spawns Vc_lang.Termination.pp_verdict
+          (Vc_lang.Termination.check program) Vc_lang.Pp.pp_program program;
+        Format.printf "// Fig. 7 transformation@.%a@." Vc_core.Blocked_ast.pp
+          (Vc_core.Transform.transform program)
+  in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Print a DSL program's Fig. 7 transformation.")
+    Term.(const run $ file)
+
+let optimize_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let program = Vc_lang.Parser.parse_file file in
+    ignore (Vc_lang.Validate.check_exn program : Vc_lang.Validate.info);
+    let optimized = Vc_lang.Optim.program program in
+    Format.printf "// after constant folding, branch folding, and dead-local elimination@.%a@."
+      Vc_lang.Pp.pp_program optimized
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run the scalar optimizer on a DSL program and print the result.")
+    Term.(const run $ file)
+
+let distribute_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let program = Vc_lang.Parser.parse_file file in
+    let t = Vc_core.Transform.transform program in
+    Format.printf "%a@.@.%a@."
+      Vc_core.Distribute.pp
+      (Vc_core.Distribute.distribute t.Vc_core.Blocked_ast.bfs_method)
+      Vc_core.Distribute.pp
+      (Vc_core.Distribute.distribute t.Vc_core.Blocked_ast.blocked_method)
+  in
+  Cmd.v
+    (Cmd.info "distribute"
+       ~doc:"Print a DSL program's loop-distributed, if-converted dense-step form.")
+    Term.(const run $ file)
+
+let interp_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let args = Arg.(value & pos_right 0 int [] & info [] ~docv:"ARGS") in
+  let run file args =
+    let program = Vc_lang.Parser.parse_file file in
+    let out = Vc_lang.Interp.run_validated program args in
+    List.iter (fun (name, v) -> Format.printf "%s = %d@." name v) out.Vc_lang.Interp.reducers;
+    Format.printf "(%a)@." Vc_lang.Profile.pp out.Vc_lang.Interp.profile
+  in
+  Cmd.v
+    (Cmd.info "interp" ~doc:"Run a DSL program sequentially and print its reducers.")
+    Term.(const run $ file $ args)
+
+let table_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let run quick n =
+    let ctx = ctx_of quick in
+    let fmt = Format.std_formatter in
+    match n with
+    | 1 -> Vc_exp.Tables.table1 ctx fmt
+    | 2 -> Vc_exp.Tables.table2 ctx fmt
+    | 3 -> Vc_exp.Tables.table3 ctx fmt
+    | _ ->
+        Format.eprintf "no such table: %d (1..3)@." n;
+        exit 1
+  in
+  Cmd.v (Cmd.info "table" ~doc:"Regenerate one paper table (1-3).")
+    Term.(const run $ quick_flag $ n)
+
+let figure_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let run quick n =
+    let ctx = ctx_of quick in
+    let fmt = Format.std_formatter in
+    match n with
+    | 9 -> Vc_exp.Figures.figure9 ctx fmt
+    | 10 -> Vc_exp.Figures.figure10 ctx fmt
+    | 11 -> Vc_exp.Figures.figure11 ctx fmt
+    | 12 -> Vc_exp.Figures.figure12 ctx fmt
+    | 13 -> Vc_exp.Figures.figure13 ctx fmt
+    | 14 -> Vc_exp.Figures.figure14 ctx fmt
+    | 15 -> Vc_exp.Figures.figure15 ctx fmt
+    | 16 -> Vc_exp.Figures.figure16 ctx fmt
+    | _ ->
+        Format.eprintf "no such figure: %d (9..16)@." n;
+        exit 1
+  in
+  Cmd.v (Cmd.info "figure" ~doc:"Regenerate one paper figure (9-16).")
+    Term.(const run $ quick_flag $ n)
+
+let trace_cmd =
+  let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
+  let machine =
+    Arg.(value
+         & opt machine_conv Vc_mem.Machine.xeon_e5
+         & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
+  in
+  let block =
+    Arg.(value & opt int 256
+         & info [ "b"; "block" ] ~doc:"Hybrid max block size / re-expansion threshold.")
+  in
+  let limit =
+    Arg.(value & opt int 40 & info [ "n"; "limit" ] ~doc:"Events to print.")
+  in
+  let run quick (entry : Vc_bench.Registry.entry) machine block limit =
+    let ctx = ctx_of quick in
+    let spec = Vc_exp.Sweep.spec_of ctx entry in
+    let trace = Vc_core.Trace.create () in
+    let r =
+      Vc_core.Engine.run ~trace ~spec ~machine
+        ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
+        ()
+    in
+    Format.printf "%a@.%a@." Vc_core.Report.pp_summary r
+      (Vc_core.Trace.pp ~limit) trace
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the scheduler's per-level timeline (bfs / blocked / re-expansion toggling).")
+    Term.(const run $ quick_flag $ bench $ machine $ block $ limit)
+
+let plot_cmd =
+  let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
+  let machine =
+    Arg.(value
+         & opt machine_conv Vc_mem.Machine.xeon_e5
+         & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
+  in
+  let what =
+    Arg.(value & opt string "speedup"
+         & info [ "w"; "what" ] ~doc:"speedup|utilization|miss.")
+  in
+  let run quick (entry : Vc_bench.Registry.entry) machine what =
+    let ctx = ctx_of quick in
+    let log2 b = log (float_of_int b) /. log 2.0 in
+    let value (r : Vc_core.Report.t) =
+      match what with
+      | "speedup" -> Some (Vc_exp.Sweep.speedup ctx entry machine r)
+      | "utilization" -> Some r.Vc_core.Report.utilization
+      | "miss" -> List.assoc_opt "L1d" r.Vc_core.Report.miss_rates
+      | other -> failwith (Printf.sprintf "unknown metric %S" other)
+    in
+    let series reexpand marker =
+      {
+        Vc_exp.Ascii_plot.label =
+          (if reexpand then "with re-expansion" else "no re-expansion");
+        marker;
+        points =
+          List.filter_map
+            (fun block ->
+              let r = Vc_exp.Sweep.hybrid ctx entry machine ~reexpand ~block in
+              if r.Vc_core.Report.oom then None
+              else Option.map (fun v -> (log2 block, v)) (value r))
+            (Vc_exp.Sweep.blocks_of ctx entry);
+      }
+    in
+    Format.printf "%s of %s on %s vs log2(block size)@.@." what
+      entry.Vc_bench.Registry.name machine.Vc_mem.Machine.name;
+    Vc_exp.Ascii_plot.plot ~x_label:"log2(block)" [ series false '.'; series true 'o' ]
+      Format.std_formatter
+  in
+  Cmd.v
+    (Cmd.info "plot" ~doc:"ASCII plot of a block-size sweep (Figs. 10-14).")
+    Term.(const run $ quick_flag $ bench $ machine $ what)
+
+let export_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let run quick dir =
+    let ctx = ctx_of quick in
+    let files = Vc_exp.Csv.export_all ctx ~dir in
+    Format.printf "wrote %d CSV files to %s:@." (List.length files) dir;
+    List.iter (fun f -> Format.printf "  %s@." f) files
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export every table and figure as CSV files into DIR.")
+    Term.(const run $ quick_flag $ dir)
+
+let verify_cmd =
+  let run quick =
+    let ctx = ctx_of quick in
+    let verdicts = Vc_exp.Claims.all ctx in
+    Vc_exp.Claims.pp Format.std_formatter verdicts;
+    exit (if Vc_exp.Claims.failures verdicts = 0 then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check the paper's qualitative claims against fresh measurements.")
+    Term.(const run $ quick_flag)
+
+let all_cmd =
+  let run quick =
+    let ctx = ctx_of quick in
+    let fmt = Format.std_formatter in
+    Vc_exp.Tables.table1 ctx fmt;
+    Vc_exp.Tables.table2 ctx fmt;
+    Vc_exp.Tables.table3 ctx fmt;
+    List.iter
+      (fun f -> f ctx fmt)
+      Vc_exp.Figures.
+        [ figure9; figure10; figure11; figure12; figure13; figure14; figure15; figure16 ];
+    Vc_exp.Ablations.strawman ctx fmt;
+    Vc_exp.Ablations.compaction_cost ctx fmt;
+    Vc_exp.Ablations.dsl_vs_native ctx fmt;
+    Vc_exp.Ablations.aos_soa_overhead ctx fmt;
+    Vc_exp.Ablations.multicore ctx fmt;
+    Vc_exp.Ablations.width_scaling ctx fmt;
+    Vc_exp.Ablations.task_cutoff ctx fmt;
+    Vc_exp.Ablations.warm_cache ctx fmt
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every table, figure, and ablation.")
+    Term.(const run $ quick_flag)
+
+let setup_logs () =
+  (* VCILK_LOG=debug|info|warning enables engine logging on stderr *)
+  match Sys.getenv_opt "VCILK_LOG" with
+  | None -> ()
+  | Some level ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level
+        (match String.lowercase_ascii level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | _ -> Some Logs.Warning)
+
+let () =
+  setup_logs ();
+  let doc =
+    "Vectorized execution of recursive task-parallel programs (PLDI 2015 \
+     reproduction)."
+  in
+  let info = Cmd.info "vcilk" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            transform_cmd;
+            optimize_cmd;
+            distribute_cmd;
+            interp_cmd;
+            table_cmd;
+            figure_cmd;
+            trace_cmd;
+            plot_cmd;
+            export_cmd;
+            verify_cmd;
+            all_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/compaction_demo.ml: Array Format List String Vc_bench Vc_simd

@@ -1,0 +1,1 @@
+examples/custom_benchmark.ml: Format List Printf String Vc_core Vc_lang Vc_mem Vc_simd

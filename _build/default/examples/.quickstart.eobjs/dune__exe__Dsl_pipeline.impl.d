@@ -1,0 +1,1 @@
+examples/dsl_pipeline.ml: Array Filename Format List String Sys Vc_core Vc_lang Vc_mem

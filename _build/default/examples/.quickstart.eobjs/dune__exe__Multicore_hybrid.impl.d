@@ -1,0 +1,1 @@
+examples/multicore_hybrid.ml: Format List Vc_bench Vc_core Vc_mem

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Vc_core Vc_lang Vc_mem Vc_simd

@@ -1,0 +1,1 @@
+examples/scheduling_policies.ml: Format List Printf Vc_bench Vc_core Vc_mem

@@ -1,0 +1,79 @@
+(* A walkthrough of the paper's stream-compaction algorithm (§5, Fig. 8).
+
+   Reproduces the figure's example — compacting a four-element vector with
+   two-way SIMD shuffle tables — then compares the instruction cost and
+   table footprint of all engines on a realistic block partition.
+
+   Run with: dune exec examples/compaction_demo.exe *)
+
+let () =
+  (* Fig. 8: input [8; 0; 0; 9]; 0 marks a base (leaf) task.  We compact
+     the non-leaf tasks to the front using 2-wide tables. *)
+  let input = [| 8; 0; 0; 9 |] in
+  let is_inductive v = v <> 0 in
+  Format.printf "input: [%s]@.@."
+    (String.concat "; " (Array.to_list (Array.map string_of_int input)));
+
+  let table = Vc_simd.Shuffle_table.make ~width:2 in
+  Format.printf "two-way shuffle table (%d entries, %d bytes):@."
+    (Vc_simd.Shuffle_table.entry_count table)
+    (Vc_simd.Shuffle_table.memory_bytes table);
+  for mask = 0 to 3 do
+    let control = Vc_simd.Shuffle_table.shuffle_control table mask in
+    Format.printf "  mask %d%d -> [%s], advance %d@." (mask land 1)
+      ((mask lsr 1) land 1)
+      (String.concat "; "
+         (Array.to_list
+            (Array.map (fun i -> if i < 0 then "F" else string_of_int i) control)))
+      (Vc_simd.Shuffle_table.advance table mask)
+  done;
+
+  (* the multi-pass compaction: one sub-table lookup per 2-wide half, the
+     advance table telling the second pass where to land *)
+  let output = Array.make 4 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun half _ ->
+      if half mod 2 = 0 then begin
+        let mask =
+          (if is_inductive input.(half) then 1 else 0)
+          lor if is_inductive input.(half + 1) then 2 else 0
+        in
+        let before = !pos in
+        pos :=
+          Vc_simd.Shuffle_table.apply table mask
+            ~src:(Array.sub input half 2)
+            ~dst:output ~pos:!pos;
+        Format.printf "@.half %d: mask -> advance %d (output position %d -> %d)"
+          (half / 2) (!pos - before) before !pos
+      end)
+    input;
+  Format.printf "@.@.compacted: [%s]  (inductive tasks first, as in Fig. 8)@.@."
+    (String.concat "; " (Array.to_list (Array.map string_of_int output)));
+
+  (* Engine comparison on a bigger stream *)
+  let n = 1 lsl 12 in
+  let pred i = Vc_bench.Rng.mix32 i 1 land 3 <> 0 in
+  Format.printf "engines on a %d-element partition (width 16):@." n;
+  Format.printf "  %-18s %9s %9s %9s %12s@." "engine" "scalar" "vector" "lookups"
+    "table bytes";
+  List.iter
+    (fun (engine, isa) ->
+      let vm = Vc_simd.Vm.create isa in
+      let sel, rest = Vc_simd.Compact.partition ~vm ~engine ~width:16 ~n ~pred in
+      assert (Array.length sel + Array.length rest = n);
+      let s = Vc_simd.Vm.stats vm in
+      Format.printf "  %-18s %9d %9d %9d %12d@."
+        (Vc_simd.Compact.name engine)
+        s.Vc_simd.Stats.scalar_ops s.Vc_simd.Stats.vector_ops
+        s.Vc_simd.Stats.table_lookups
+        (Vc_simd.Compact.table_memory_bytes engine ~width:16))
+    [
+      (Vc_simd.Compact.Sequential, Vc_simd.Isa.sse42);
+      (Vc_simd.Compact.Full_table, Vc_simd.Isa.sse42);
+      (Vc_simd.Compact.Factorized { sub_width = 8 }, Vc_simd.Isa.sse42);
+      (Vc_simd.Compact.Prefix_scatter { sub_width = 8 }, Vc_simd.Isa.avx512);
+    ];
+  Format.printf
+    "@.The paper's trade-off: the factorized engine shrinks the table by@.\
+     2^8 while costing only a few extra lookups per register.@."

@@ -1,0 +1,38 @@
+(* The multicore x SIMD hybrid (the paper's §8 future work).
+
+   The single-core engine vectorizes one core's work; this example layers
+   simulated multicore scheduling on top: a serial breadth-first expansion
+   grows the frontier, the frontier splits into jobs, and jobs run on P
+   workers under two schedulers — idealized LPT list scheduling and a
+   discrete-event work-stealing simulation with per-steal costs.
+
+   Run with: dune exec examples/multicore_hybrid.exe *)
+
+let () =
+  let machine = Vc_mem.Machine.xeon_e5 in
+  let spec = Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 11 } in
+  let seq = Vc_core.Seq_exec.run ~spec ~machine () in
+  Format.printf "11-queens, %a: sequential = %.3e cycles, %d solutions@.@."
+    Vc_mem.Machine.pp machine seq.Vc_core.Report.cycles
+    (Vc_core.Report.reducer seq "solutions");
+  Format.printf "%8s %6s %10s %12s %12s %8s %10s %12s@." "workers" "jobs"
+    "frontier" "lpt" "stealing" "steals" "serial%" "solutions";
+  List.iter
+    (fun workers ->
+      let lpt = Vc_core.Multicore.run ~spec ~machine ~workers () in
+      let ws =
+        Vc_core.Multicore.run
+          ~schedule:(Vc_core.Multicore.Work_stealing { steal_cost = 200.0; seed = 3 })
+          ~spec ~machine ~workers ()
+      in
+      Format.printf "%8d %6d %10d %12.2f %12.2f %8d %9.1f%% %12d@." workers
+        lpt.Vc_core.Multicore.jobs lpt.Vc_core.Multicore.frontier
+        (Vc_core.Multicore.speedup ~baseline:seq lpt)
+        (Vc_core.Multicore.speedup ~baseline:seq ws)
+        ws.Vc_core.Multicore.steals
+        (100.0 *. lpt.Vc_core.Multicore.expansion_cycles /. lpt.Vc_core.Multicore.cycles)
+        (List.assoc "solutions" lpt.Vc_core.Multicore.reducers))
+    [ 1; 2; 4; 8; 16; 32 ];
+  Format.printf
+    "@.The SIMD speedup composes with core count until the serial expansion@.\
+     phase (Amdahl) and job imbalance take over.@."

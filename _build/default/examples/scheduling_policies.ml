@@ -1,0 +1,48 @@
+(* Exploring the scheduling space on an irregular workload.
+
+   n-queens is the paper's showcase for re-expansion (§4.3): placements
+   die out at every level, so blocked depth-first execution starves the
+   SIMD lanes unless shrunken blocks are re-expanded breadth-first.  This
+   example sweeps the block-size knob and prints the utilization/locality/
+   speedup trade-off of Figs. 10-12.
+
+   Run with: dune exec examples/scheduling_policies.exe *)
+
+let () =
+  let machine = Vc_mem.Machine.xeon_e5 in
+  let spec = Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 10 } in
+  let seq = Vc_core.Seq_exec.run ~spec ~machine () in
+  Format.printf
+    "10-queens on %a: %d tasks, %d solutions, sequential = %.3e cycles@.@."
+    Vc_mem.Machine.pp machine seq.Vc_core.Report.tasks
+    (Vc_core.Report.reducer seq "solutions")
+    seq.Vc_core.Report.cycles;
+  Format.printf "%8s | %9s %9s %9s | %9s %9s %9s@." "block" "util-" "L1d-"
+    "speed-" "util+" "L1d+" "speed+";
+  Format.printf "%8s | %29s | %29s@." "" "(no re-expansion)" "(with re-expansion)";
+  List.iter
+    (fun exp ->
+      let block = 1 lsl exp in
+      let run reexpand =
+        Vc_core.Engine.run ~spec ~machine
+          ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand })
+          ()
+      in
+      let off = run false and on = run true in
+      let l1 (r : Vc_core.Report.t) =
+        match List.assoc_opt "L1d" r.Vc_core.Report.miss_rates with
+        | Some rate -> rate
+        | None -> 0.0
+      in
+      Format.printf "%8s | %8.1f%% %9.4f %9.2f | %8.1f%% %9.4f %9.2f@."
+        (Printf.sprintf "2^%d" exp)
+        (100.0 *. off.Vc_core.Report.utilization)
+        (l1 off)
+        (Vc_core.Report.speedup ~baseline:seq off)
+        (100.0 *. on.Vc_core.Report.utilization)
+        (l1 on)
+        (Vc_core.Report.speedup ~baseline:seq on))
+    [ 2; 4; 6; 8; 10; 12; 14 ];
+  Format.printf
+    "@.Note the paper's headline effect: with re-expansion, near-full@.\
+     utilization arrives at much smaller blocks, before locality degrades.@."

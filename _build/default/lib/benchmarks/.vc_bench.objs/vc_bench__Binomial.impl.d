@@ -1,0 +1,1 @@
+lib/benchmarks/binomial.ml: Printf Vc_core Vc_lang Vc_simd

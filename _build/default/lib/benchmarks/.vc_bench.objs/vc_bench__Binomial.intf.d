@@ -1,0 +1,1 @@
+lib/benchmarks/binomial.mli: Vc_core Vc_lang

@@ -1,0 +1,1 @@
+lib/benchmarks/fib.mli: Vc_core Vc_lang

@@ -1,0 +1,1 @@
+lib/benchmarks/graphcol.ml: Array Hashtbl List Printf Rng Vc_core Vc_lang Vc_simd

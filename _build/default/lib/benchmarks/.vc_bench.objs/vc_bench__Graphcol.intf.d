@@ -1,0 +1,1 @@
+lib/benchmarks/graphcol.mli: Vc_core

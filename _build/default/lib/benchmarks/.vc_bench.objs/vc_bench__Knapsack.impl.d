@@ -1,0 +1,1 @@
+lib/benchmarks/knapsack.ml: Array Printf Rng Vc_core Vc_lang Vc_simd

@@ -1,0 +1,1 @@
+lib/benchmarks/knapsack.mli: Vc_core

@@ -1,0 +1,1 @@
+lib/benchmarks/minmax.ml: Array List Printf Vc_core Vc_lang Vc_simd

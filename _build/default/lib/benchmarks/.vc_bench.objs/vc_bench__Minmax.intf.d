@@ -1,0 +1,1 @@
+lib/benchmarks/minmax.mli: Vc_core

@@ -1,0 +1,1 @@
+lib/benchmarks/nqueens.mli: Vc_core

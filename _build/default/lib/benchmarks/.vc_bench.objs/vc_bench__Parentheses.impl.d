@@ -1,0 +1,1 @@
+lib/benchmarks/parentheses.ml: Array Printf Vc_core Vc_lang Vc_simd

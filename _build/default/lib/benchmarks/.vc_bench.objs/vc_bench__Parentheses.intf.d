@@ -1,0 +1,1 @@
+lib/benchmarks/parentheses.mli: Vc_core Vc_lang

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Binomial Fib Graphcol Knapsack List Minmax Nqueens Parentheses Uts Vc_core Vc_lang

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.mli: Vc_core Vc_lang

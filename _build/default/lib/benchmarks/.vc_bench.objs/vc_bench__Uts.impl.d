@@ -1,0 +1,1 @@
+lib/benchmarks/uts.ml: List Printf Rng Vc_core Vc_lang Vc_simd

@@ -1,0 +1,1 @@
+lib/benchmarks/uts.mli: Vc_core

@@ -1,0 +1,20 @@
+(** binomial: recursive computation of the binomial coefficient C(n, k) by
+    Pascal's rule (paper §6.1, benchmark 7; structurally similar to fib).
+
+    Node (n, k) spawns (n-1, k-1) and (n-1, k); leaves (k = 0 or k = n)
+    each contribute 1, so the sum reducer ends at C(n, k). *)
+
+type params = { n : int; k : int }
+
+val default : params
+(** Scaled: C(24, 10) ≈ 3.9M tasks. *)
+
+val paper : params
+(** C(36, 13), as evaluated in the paper. *)
+
+val reference : params -> int
+
+val spec : params -> Vc_core.Spec.t
+
+val dsl_source : string
+val dsl : params -> Vc_lang.Ast.program * int list

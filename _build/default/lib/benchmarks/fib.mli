@@ -1,0 +1,25 @@
+(** fib: the classic doubly-recursive Fibonacci microbenchmark (paper
+    §6.1, benchmark 2; the Cilk hello-world).
+
+    Computation tree: node [n] spawns [n-1] and [n-2]; leaves reduce their
+    [n] (0 or 1) into a sum, so the reducer ends at [fib n].  Slightly
+    unbalanced (the [n-2] subtree is shallower).  The paper computes
+    fib(45) with [char] data — 16-wide SSE lanes. *)
+
+type params = { n : int }
+
+val default : params
+(** Scaled: fib(30) ≈ 2.7M tasks. *)
+
+val paper : params
+(** fib(45), as evaluated in the paper. *)
+
+val reference : params -> int
+(** Native recursion: the expected reducer value. *)
+
+val spec : params -> Vc_core.Spec.t
+
+val dsl_source : string
+(** The program in concrete syntax (whole program fits the language). *)
+
+val dsl : params -> Vc_lang.Ast.program * int list

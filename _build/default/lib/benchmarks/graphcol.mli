@@ -1,0 +1,30 @@
+(** graphcol: counts the proper 3-colorings of a random graph (paper §6.1,
+    benchmark 5).
+
+    Vertices are colored in index order; spawn site [c] (one per color)
+    extends the partial coloring when color [c] conflicts with no
+    already-colored neighbor.  Conflicted tasks die at every level, giving
+    the uneven task distribution of Fig. 9(e) and strong re-expansion
+    benefit.  The frame carries the full color array (char per vertex), so
+    the kernel "performs lots of lookups" — the paper's explanation for
+    graphcol's cache sensitivity. *)
+
+type params = { vertices : int; edges : int; colors : int; seed : int }
+
+val default : params
+(** Scaled: 30 vertices / 54 edges / 3 colors (≈ 2.3M tasks). *)
+
+val paper : params
+(** 38 vertices / 64 edges / 3 colors. *)
+
+val graph : params -> (int * int) array
+(** Deterministic random edge list (no duplicates or self-loops). *)
+
+val reference : params -> int
+(** Independent backtracking count over the same graph. *)
+
+val spec : params -> Vc_core.Spec.t
+
+val spec_of_edges : colors:int -> vertices:int -> (int * int) array -> Vc_core.Spec.t
+(** Build the spec for an explicit graph (used by tests on known graphs:
+    triangle, path, cycle — checked against the chromatic polynomial). *)

@@ -1,0 +1,76 @@
+type params = { n : int }
+
+let default = { n = 12 }
+let paper = { n = 13 }
+
+let known_solutions =
+  [| 1; 1; 0; 0; 2; 10; 4; 40; 92; 352; 724; 2680; 14200; 73712 |]
+
+let reference { n } =
+  let count = ref 0 in
+  let full = (1 lsl n) - 1 in
+  let rec go cols d1 d2 =
+    if cols = full then incr count
+    else
+      let free = lnot (cols lor d1 lor d2) land full in
+      let rec place free =
+        if free <> 0 then begin
+          let bit = free land -free in
+          go (cols lor bit) ((d1 lor bit) lsl 1) ((d2 lor bit) lsr 1);
+          place (free lxor bit)
+        end
+      in
+      place free
+  in
+  go 0 0 0;
+  !count
+
+(* Frame: row count in field 0, then one field per board row holding the
+   column of its queen (unused rows hold -1) — the char-array layout that
+   gives the paper its 16-wide vectors and its cache-heavy lookups. *)
+let spec { n } =
+  let fields = "row" :: List.init n (fun i -> Printf.sprintf "q%d" i) in
+  let schema = Vc_core.Schema.create ~lane_kind:Vc_simd.Lane.I8 fields in
+  let root = Array.make (n + 1) (-1) in
+  root.(0) <- 0;
+  let attacks blk brow row col =
+    (* does any queen in rows 0..row-1 attack (row, col)? *)
+    let rec go r =
+      if r >= row then false
+      else
+        let qc = Vc_core.Block.get blk ~field:(r + 1) ~row:brow in
+        if qc = col || abs (qc - col) = row - r then true else go (r + 1)
+    in
+    go 0
+  in
+  {
+    Vc_core.Spec.name = "nqueens";
+    description = Printf.sprintf "%d-queens solution count" n;
+    schema;
+    num_spawns = n;
+    roots = [ root ];
+    reducers = [ ("solutions", Vc_lang.Reducer.Sum) ];
+    is_base = (fun blk row -> Vc_core.Block.get blk ~field:0 ~row = n);
+    exec_base =
+      (fun reducers _blk _row -> Vc_lang.Reducer.reduce reducers "solutions" 1);
+    spawn =
+      (fun blk brow ~site ~dst ->
+        let row = Vc_core.Block.get blk ~field:0 ~row:brow in
+        if attacks blk brow row site then false
+        else begin
+          let child = Vc_core.Block.reserve dst in
+          Vc_core.Block.set dst ~field:0 ~row:child (row + 1);
+          for r = 0 to n - 1 do
+            Vc_core.Block.set dst ~field:(r + 1) ~row:child
+              (Vc_core.Block.get blk ~field:(r + 1) ~row:brow)
+          done;
+          Vc_core.Block.set dst ~field:(row + 1) ~row:child site;
+          true
+        end);
+    insns =
+      {
+        check_insns = 2;
+        base_insns = 2;
+        inductive_insns = 2;
+        spawn_insns = 2 + (3 * (n / 2)); scalar_insns = 3 };
+  }

@@ -1,0 +1,25 @@
+(** nqueens: counts the solutions of the n-queens problem (paper §6.1,
+    benchmark 4, from BOTS).
+
+    A task holds a partial board (one char-sized field per row, as in the
+    paper's 16-wide char layout); spawn site [c] places a queen in column
+    [c] of the next row when no previously placed queen attacks it.  Tasks
+    whose placements are exhausted die without children, so blocks shrink
+    at every level (many "leaves at almost all levels", Fig. 9(d)) — the
+    benchmark where re-expansion pays most. *)
+
+type params = { n : int }
+
+val default : params
+(** Scaled: 12 queens (14200 solutions, ≈ 856k tasks). *)
+
+val paper : params
+(** 13 queens. *)
+
+val reference : params -> int
+(** Bitmask backtracking count. *)
+
+val known_solutions : int array
+(** [known_solutions.(n)] for n = 0..13 — classic values for tests. *)
+
+val spec : params -> Vc_core.Spec.t

@@ -1,0 +1,23 @@
+(** parentheses: counts the well-formed strings of [n] parenthesis pairs
+    (paper §6.1, benchmark 3) — the result is the Catalan number C_n.
+
+    State (o, c) = parentheses placed so far; spawn an open child while
+    [o < n] and a close child while [c < o].  Leaves sit only at depth 2n,
+    but interior nodes often have a single child, giving the intermittent
+    shallower branches of Fig. 9(c). *)
+
+type params = { pairs : int }
+
+val default : params
+(** Scaled: n = 14 pairs, ≈ 7.7M tasks (Catalan(14) = 2 674 440 leaves). *)
+
+val paper : params
+(** n = 19 pairs, as evaluated in the paper. *)
+
+val reference : params -> int
+(** Catalan number by dynamic programming. *)
+
+val spec : params -> Vc_core.Spec.t
+
+val dsl_source : string
+val dsl : params -> Vc_lang.Ast.program * int list

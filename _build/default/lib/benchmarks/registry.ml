@@ -1,0 +1,94 @@
+type entry = {
+  name : string;
+  description : string;
+  spec : unit -> Vc_core.Spec.t;
+  expected : unit -> (string * int) list;
+  dsl : (unit -> Vc_lang.Ast.program * int list) option;
+  sweep_blocks : int list;
+}
+
+let pows lo hi = List.init (hi - lo + 1) (fun i -> 1 lsl (lo + i))
+
+let all =
+  [
+    {
+      name = "knapsack";
+      description = "0/1 knapsack, exhaustive, perfectly balanced tree";
+      spec = (fun () -> Knapsack.spec Knapsack.default);
+      expected = (fun () -> [ ("best", Knapsack.reference Knapsack.default) ]);
+      dsl = None;
+      sweep_blocks = pows 2 20;
+    };
+    {
+      name = "fib";
+      description = "doubly-recursive Fibonacci";
+      spec = (fun () -> Fib.spec Fib.default);
+      expected = (fun () -> [ ("result", Fib.reference Fib.default) ]);
+      dsl = Some (fun () -> Fib.dsl Fib.default);
+      sweep_blocks = pows 2 18;
+    };
+    {
+      name = "parentheses";
+      description = "well-formed parenthesis strings (Catalan count)";
+      spec = (fun () -> Parentheses.spec Parentheses.default);
+      expected =
+        (fun () -> [ ("result", Parentheses.reference Parentheses.default) ]);
+      dsl = Some (fun () -> Parentheses.dsl Parentheses.default);
+      sweep_blocks = pows 2 19;
+    };
+    {
+      name = "nqueens";
+      description = "n-queens solution count";
+      spec = (fun () -> Nqueens.spec Nqueens.default);
+      expected = (fun () -> [ ("solutions", Nqueens.reference Nqueens.default) ]);
+      dsl = None;
+      sweep_blocks = pows 2 14;
+    };
+    {
+      name = "graphcol";
+      description = "proper 3-colorings of a random graph";
+      spec = (fun () -> Graphcol.spec Graphcol.default);
+      expected =
+        (fun () -> [ ("colorings", Graphcol.reference Graphcol.default) ]);
+      dsl = None;
+      sweep_blocks = pows 2 16;
+    };
+    {
+      name = "uts";
+      description = "unbalanced tree search (binomial)";
+      spec = (fun () -> Uts.spec Uts.default);
+      expected = (fun () -> [ ("leaves", Uts.reference Uts.default) ]);
+      dsl = None;
+      sweep_blocks = pows 1 12;
+    };
+    {
+      name = "binomial";
+      description = "binomial coefficient by Pascal recursion";
+      spec = (fun () -> Binomial.spec Binomial.default);
+      expected = (fun () -> [ ("result", Binomial.reference Binomial.default) ]);
+      dsl = Some (fun () -> Binomial.dsl Binomial.default);
+      sweep_blocks = pows 2 18;
+    };
+    {
+      name = "minmax";
+      description = "tic-tac-toe game-tree outcome tally";
+      spec = (fun () -> Minmax.spec Minmax.default);
+      expected =
+        (fun () ->
+          let o = Minmax.reference Minmax.default in
+          [
+            ("x_wins", o.Minmax.x_wins);
+            ("o_wins", o.Minmax.o_wins);
+            ("draws", o.Minmax.draws);
+          ]);
+      dsl = None;
+      sweep_blocks = pows 2 16;
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let names = List.map (fun e -> e.name) all

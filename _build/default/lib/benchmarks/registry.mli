@@ -1,0 +1,24 @@
+(** The benchmark registry: one entry per paper benchmark, with its scaled
+    default spec, expected reducer values, and (where the whole program
+    fits the language) its DSL form. *)
+
+type entry = {
+  name : string;
+  description : string;
+  spec : unit -> Vc_core.Spec.t;  (** scaled default parameters *)
+  expected : unit -> (string * int) list;
+      (** reducer name → expected value, from the native reference *)
+  dsl : (unit -> Vc_lang.Ast.program * int list) option;
+      (** programs whose whole source fits Fig. 2 (fib, binomial,
+          parentheses) *)
+  sweep_blocks : int list;
+      (** block sizes (powers of two) swept in the figures *)
+}
+
+val all : entry list
+(** In the paper's Table 1 order. *)
+
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val names : string list

@@ -1,0 +1,32 @@
+let mask32 = 0xFFFFFFFF
+
+(* murmur3-style 32-bit finalizer over (state, site). *)
+let mix32 state site =
+  let h = ref ((state lxor (site * 0x9E3779B9)) land mask32) in
+  h := (!h lxor (!h lsr 16)) land mask32;
+  h := !h * 0x85EBCA6B land mask32;
+  h := (!h lxor (!h lsr 13)) land mask32;
+  h := !h * 0xC2B2AE35 land mask32;
+  h := (!h lxor (!h lsr 16)) land mask32;
+  !h land 0x7FFFFFFF
+
+let to_unit h = float_of_int (h land 0x7FFFFFFF) /. 2147483648.0
+
+type t = { mutable state : int }
+
+let create ~seed = { state = seed land max_int }
+
+let next t =
+  (* splitmix-style generator over OCaml's 63-bit ints (constants truncated
+     to fit; quality is ample for workload generation) *)
+  t.state <- (t.state + 0x1E3779B97F4A7C15) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  z lxor (z lsr 31)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let bool t p = to_unit (next t land 0x7FFFFFFF) < p

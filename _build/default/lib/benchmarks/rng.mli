@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random substrate.
+
+    Two roles (DESIGN.md §2 substitutions):
+    - {!mix32}: the per-node hash UTS derives child states from.  The
+      original UTS uses SHA-1; any well-mixed deterministic hash exercises
+      the same code path, so a 32-bit finalizer (fits the I32 lane the
+      paper uses for uts) stands in.
+    - {!t}: a splitmix-style stream generator for building workloads
+      (knapsack item values, random graphs). *)
+
+val mix32 : int -> int -> int
+(** [mix32 state site]: well-mixed 32-bit hash of a node state and a child
+    index; result in [0, 2^31). *)
+
+val to_unit : int -> float
+(** Map a {!mix32} output to [0,1). *)
+
+type t
+
+val create : seed:int -> t
+val int : t -> bound:int -> int
+(** Uniform in [0, bound). Raises [Invalid_argument] if [bound <= 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)

@@ -1,0 +1,32 @@
+(** uts: the Unbalanced Tree Search benchmark, binomial variant (paper
+    §6.1, benchmark 6; Olivier et al., LCPC'06).
+
+    Every node counts itself into a sum reducer.  The root has [b0]
+    children; every other node has [m] children with probability [q] and
+    none otherwise, decided by a deterministic hash of the node's state —
+    a geometric branching process run just below criticality ([q·m] close
+    to 1), producing the deep, narrow, wildly unbalanced tree of Fig. 9(f).
+
+    Substitution note (DESIGN.md §2): the original UTS derives child
+    states with SHA-1; this implementation uses a 32-bit murmur-style
+    finalizer ({!Rng.mix32}), preserving determinism, the int-sized node
+    state (the paper's 4-wide E5 lanes), and the tree statistics. *)
+
+type params = { b0 : int; m : int; q : float; seed : int }
+
+val default : params
+
+val paper : params
+(** The paper's tree has 136K nodes and 1572 levels; this parameter set
+    targets that scale (still feasible, just slow under the simulator). *)
+
+val reference : params -> int
+(** Sequential {e leaf} count with the same hash — the expected reducer
+    value.  (The language of Fig. 2 reduces only in base cases, so the
+    reducer counts leaves; the {e total} node count the paper reports is
+    the engine's task count, checked against {!reference_nodes}.) *)
+
+val reference_nodes : params -> int
+(** Total node count of the same tree. *)
+
+val spec : params -> Vc_core.Spec.t

@@ -1,0 +1,1 @@
+lib/core/block.ml: Addr Array Printf Schema

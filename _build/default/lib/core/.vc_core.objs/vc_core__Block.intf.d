@@ -1,0 +1,1 @@
+lib/core/block.mli: Addr Schema Vc_simd

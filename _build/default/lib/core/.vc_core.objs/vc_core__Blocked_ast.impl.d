@@ -1,0 +1,1 @@
+lib/core/blocked_ast.ml: Format List String Vc_lang

@@ -1,0 +1,1 @@
+lib/core/blocked_ast.mli: Format Vc_lang

@@ -1,0 +1,1 @@
+lib/core/blocked_interp.ml: Array Ast Blocked_ast Codegen List Policy Printf Reducer Vc_lang

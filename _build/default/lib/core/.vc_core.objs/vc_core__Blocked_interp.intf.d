@@ -1,0 +1,1 @@
+lib/core/blocked_interp.mli: Blocked_ast Policy

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Ast Builtins List Printf Validate Vc_lang

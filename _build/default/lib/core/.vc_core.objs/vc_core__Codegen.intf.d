@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Vc_lang

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array Ast Block Codegen List Printf Reducer Schema Spec Vc_lang Vc_simd

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Spec Vc_lang Vc_simd

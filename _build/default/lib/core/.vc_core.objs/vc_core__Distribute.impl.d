@@ -1,0 +1,1 @@
+lib/core/distribute.ml: Array Ast Blocked_ast Builtins Codegen Format Hashtbl List Pp Printf Set String Vc_lang

@@ -1,0 +1,1 @@
+lib/core/distribute.mli: Blocked_ast Format Vc_lang

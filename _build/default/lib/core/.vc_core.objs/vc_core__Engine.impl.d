@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Block Hashtbl List Logs Measure Metrics Policy Printf Report Schema Spec Trace Unix Vc_lang Vc_mem Vc_simd

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Policy Report Spec Trace Vc_mem Vc_simd

@@ -1,0 +1,1 @@
+lib/core/measure.ml: Addr List Metrics Report Vc_mem Vc_simd

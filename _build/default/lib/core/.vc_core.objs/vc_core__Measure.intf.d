@@ -1,0 +1,1 @@
+lib/core/measure.mli: Addr Metrics Report Vc_mem Vc_simd

@@ -1,0 +1,1 @@
+lib/core/multicore.ml: Array Block Engine List Measure Policy Report Schema Spec Vc_lang Vc_mem Vc_simd Ws_sim

@@ -1,0 +1,1 @@
+lib/core/multicore.mli: Report Spec Vc_mem

@@ -1,0 +1,1 @@
+lib/core/opportunity.ml: Format Report

@@ -1,0 +1,1 @@
+lib/core/opportunity.mli: Format Report

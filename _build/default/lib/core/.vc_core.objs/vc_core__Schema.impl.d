@@ -1,0 +1,1 @@
+lib/core/schema.ml: Array Format List Printf String Vc_simd

@@ -1,0 +1,1 @@
+lib/core/schema.mli: Format Vc_simd

@@ -1,0 +1,1 @@
+lib/core/seq_exec.ml: Array Block List Measure Metrics Schema Spec Unix Vc_lang Vc_mem Vc_simd

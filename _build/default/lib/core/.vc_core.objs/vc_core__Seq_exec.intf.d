@@ -1,0 +1,1 @@
+lib/core/seq_exec.mli: Report Spec Vc_mem

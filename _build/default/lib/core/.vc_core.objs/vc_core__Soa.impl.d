@@ -1,0 +1,1 @@
+lib/core/soa.ml: Array Block Schema Vc_simd

@@ -1,0 +1,1 @@
+lib/core/soa.mli: Addr Block Schema Vc_simd

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Array Block List Printf Schema Vc_lang

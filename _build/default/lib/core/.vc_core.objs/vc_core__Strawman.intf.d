@@ -1,0 +1,1 @@
+lib/core/strawman.mli: Report Spec Vc_mem

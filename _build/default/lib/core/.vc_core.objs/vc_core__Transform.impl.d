@@ -1,0 +1,1 @@
+lib/core/transform.ml: Ast Blocked_ast Validate Vc_lang

@@ -1,0 +1,1 @@
+lib/core/ws_sim.ml: Array List

@@ -1,0 +1,17 @@
+type t = { mutable next : int; mutable total : int }
+
+(* Leave low addresses to the compaction tables (Vc_simd.Compact). *)
+let base = 0x4000_0000
+
+let create () = { next = base; total = 0 }
+
+let align_up n a = (n + a - 1) / a * a
+
+let alloc t ~bytes =
+  let bytes = max bytes 1 in
+  let addr = t.next in
+  t.next <- align_up (t.next + bytes) 64;
+  t.total <- t.total + bytes;
+  addr
+
+let allocated_bytes t = t.total

@@ -1,0 +1,14 @@
+(** Bump allocator for the modeled address space.
+
+    Blocks and stacks receive disjoint, cache-line-aligned address ranges
+    so the cache simulator sees a realistic layout.  Addresses are purely
+    virtual: nothing is stored there. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> bytes:int -> int
+(** A fresh 64-byte-aligned region of [bytes] bytes; returns its base. *)
+
+val allocated_bytes : t -> int

@@ -1,0 +1,55 @@
+(** ThreadBlocks: the merged stack frames of many threads, SoA layout.
+
+    One block holds the frames of every thread at one level of the
+    computation tree (§4.1).  All instances of each frame field are stored
+    contiguously (structure-of-arrays, §5), so the executors replace
+    per-thread scalar loads/stores with packed vector accesses and allocate
+    or free all frames with a constant number of instructions. *)
+
+type t
+
+val create : ?label:string -> Addr.t -> schema:Schema.t -> isa:Vc_simd.Isa.t -> capacity:int -> t
+(** Allocate a block (and its modeled address range) for up to [capacity]
+    frames. *)
+
+val schema : t -> Schema.t
+val size : t -> int
+val capacity : t -> int
+val label : t -> string
+
+val clear : t -> unit
+(** Reset to empty; keeps storage and addresses (the paper's block-reuse
+    optimization). *)
+
+val elem_bytes : t -> int
+
+val field : t -> int -> int array
+(** Direct access to a field's column (valid rows are [0..size-1]). *)
+
+val get : t -> field:int -> row:int -> int
+val set : t -> field:int -> row:int -> int -> unit
+
+val push : t -> int array -> unit
+(** Append a frame (length = #fields).  Raises [Invalid_argument] when
+    full — callers grow via {!ensure_room} first. *)
+
+val reserve : t -> int
+(** Append an uninitialized frame, returning its row. *)
+
+val truncate : t -> int -> unit
+(** Drop rows beyond the given size. *)
+
+val field_addr : t -> field:int -> row:int -> int
+(** Modeled address of one element (SoA: column-major). *)
+
+val ensure_room : t -> Addr.t -> extra:int -> t
+(** A block with room for [size + extra] frames: the same block when it
+    already fits, otherwise a fresh, larger one (geometric growth) with the
+    contents copied and a new address range.  The old range is abandoned —
+    reallocations are visible to the cache model, as on real hardware. *)
+
+val footprint_bytes : t -> int
+(** Modeled bytes of the whole allocation. *)
+
+val copy_row : src:t -> src_row:int -> dst:t -> unit
+(** Append row [src_row] of [src] to [dst] (same schema). *)

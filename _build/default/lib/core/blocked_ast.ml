@@ -1,0 +1,92 @@
+type bstmt =
+  | BSkip
+  | Continue
+  | BSeq of bstmt * bstmt
+  | BAssign of string * Vc_lang.Ast.expr
+  | BIf of Vc_lang.Ast.expr * bstmt * bstmt
+  | BWhile of Vc_lang.Ast.expr * bstmt
+  | BReduce of string * Vc_lang.Ast.expr
+  | NextAdd of Vc_lang.Ast.expr list
+  | NextsAdd of int * Vc_lang.Ast.expr list
+
+type flavor = Bfs | Blocked
+
+type bmethod = {
+  flavor : flavor;
+  bname : string;
+  fields : string list;
+  is_base : Vc_lang.Ast.expr;
+  base : bstmt;
+  inductive : bstmt;
+}
+
+type t = {
+  source : Vc_lang.Ast.program;
+  thread_fields : string list;
+  num_spawns : int;
+  bfs_method : bmethod;
+  blocked_method : bmethod;
+}
+
+let pp_expr = Vc_lang.Pp.pp_expr
+
+let pp_args fmt args =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_expr fmt args
+
+let rec pp_bstmt fmt = function
+  | BSkip -> Format.fprintf fmt "skip;"
+  | Continue -> Format.fprintf fmt "continue;"
+  | BSeq (a, b) -> Format.fprintf fmt "%a@,%a" pp_bstmt a pp_bstmt b
+  | BAssign (name, e) -> Format.fprintf fmt "%s := %a;" name pp_expr e
+  | BIf (c, a, b) ->
+      Format.fprintf fmt "@[<v 2>if %a then {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        pp_expr c pp_bstmt a pp_bstmt b
+  | BWhile (c, s) -> Format.fprintf fmt "@[<v 2>while %a {@,%a@]@,}" pp_expr c pp_bstmt s
+  | BReduce (name, e) -> Format.fprintf fmt "reduce(%s, %a);" name pp_expr e
+  | NextAdd args -> Format.fprintf fmt "next.add(new Thread(%a));" pp_args args
+  | NextsAdd (id, args) ->
+      Format.fprintf fmt "nexts[%d].add(new Thread(%a));" id pp_args args
+
+let pp_bmethod fmt m =
+  let name_root =
+    match String.rindex_opt m.bname '_' with
+    | Some i -> String.sub m.bname 0 i
+    | None -> m.bname
+  in
+  Format.fprintf fmt "@[<v 2>void %s(ThreadBlock tb) {@," m.bname;
+  (match m.flavor with
+  | Bfs -> Format.fprintf fmt "ThreadBlock next;@,"
+  | Blocked -> Format.fprintf fmt "ThreadBlock nexts[#spawn];@,");
+  Format.fprintf fmt "@[<v 2>foreach (Thread t : tb) {@,";
+  List.iter (fun f -> Format.fprintf fmt "%s := t.%s;@," f f) m.fields;
+  Format.fprintf fmt "@[<v 2>if %a then {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr
+    m.is_base pp_bstmt m.base pp_bstmt m.inductive;
+  Format.fprintf fmt "@]@,}@,";
+  (match m.flavor with
+  | Bfs ->
+      Format.fprintf fmt
+        "if (next.size() < max_block_size) %s_bfs(next);@,else %s_blocked(next);"
+        name_root name_root
+  | Blocked ->
+      Format.fprintf fmt
+        "@[<v 2>foreach (ThreadBlock next : nexts) {@,\
+         if (next.size() > reexpansion_threshold) %s_blocked(next);@,\
+         else %s_bfs(next);@]@,}"
+        name_root name_root);
+  Format.fprintf fmt "@]@,}"
+
+let pp fmt t =
+  let fields = t.thread_fields in
+  Format.fprintf fmt "@[<v>struct Thread { %s };@,@,"
+    (String.concat "; " (List.map (fun f -> "int " ^ f) fields));
+  Format.fprintf fmt "%a@,@,%a@,@," pp_bmethod t.bfs_method pp_bmethod t.blocked_method;
+  let name = t.source.Vc_lang.Ast.mth.Vc_lang.Ast.name in
+  Format.fprintf fmt
+    "@[<v 2>void %s(%s) {@,ThreadBlock init;@,init.add(new Thread(%s));@,%s_bfs(init);@]@,}@]"
+    name
+    (String.concat ", " (List.map (fun f -> "int " ^ f) fields))
+    (String.concat ", " fields) name
+
+let to_string t = Format.asprintf "%a" pp t

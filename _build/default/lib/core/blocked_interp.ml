@@ -1,0 +1,139 @@
+open Vc_lang
+
+exception Task_limit_exceeded of int
+
+type result = {
+  reducers : (string * int) list;
+  tasks : int;
+  base_tasks : int;
+  max_depth : int;
+  switches : int;
+  reexpansions : int;
+}
+
+exception Continue_thread
+
+let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
+    ?(max_tasks = 20_000_000) (t : Blocked_ast.t) args =
+  let program = t.Blocked_ast.source in
+  let layout = Codegen.layout_of program in
+  let nparams = Array.length (Codegen.params layout) in
+  if List.length args <> nparams then
+    invalid_arg
+      (Printf.sprintf "Blocked_interp.run: %d arguments expected" nparams);
+  let reducer_set =
+    Reducer.make_set
+      (List.map (fun r -> (r.Ast.red_name, r.Ast.red_op)) program.Ast.reducers)
+  in
+  let e = t.Blocked_ast.num_spawns in
+  let max_block, reexpand =
+    match strategy with
+    | Policy.Bfs_only -> (max_int, false)
+    | Policy.Hybrid { max_block; reexpand } -> (max_block, reexpand)
+  in
+  (* Enqueue sinks write through these cells, set per level. *)
+  let next : int array list ref = ref [] in
+  let nexts : int array list array = Array.make (max e 1) [] in
+  let reduce name v = Reducer.reduce reducer_set name v in
+  let compile_b (flavor : Blocked_ast.flavor) (bs : Blocked_ast.bstmt) :
+      Codegen.rt -> unit =
+    let rec go (bs : Blocked_ast.bstmt) : Codegen.rt -> unit =
+      match bs with
+      | Blocked_ast.BSkip -> fun _ -> ()
+      | Blocked_ast.Continue -> fun _ -> raise Continue_thread
+      | Blocked_ast.BSeq (a, b) ->
+          let fa = go a and fb = go b in
+          fun rt ->
+            fa rt;
+            fb rt
+      | Blocked_ast.BAssign (name, expr) ->
+          (* reuse the statement compiler for the assignment slot logic *)
+          Codegen.compile_stmt layout
+            ~reduce:(fun _ _ -> ())
+            ~spawn:(fun ~site:_ _ -> ())
+            (Ast.Assign (name, expr))
+      | Blocked_ast.BIf (c, a, b) ->
+          let fc = Codegen.compile_expr layout c in
+          let fa = go a and fb = go b in
+          fun rt -> if fc rt <> 0 then fa rt else fb rt
+      | Blocked_ast.BWhile (c, body) ->
+          let fc = Codegen.compile_expr layout c in
+          let fbody = go body in
+          fun rt ->
+            while fc rt <> 0 do
+              fbody rt
+            done
+      | Blocked_ast.BReduce (name, expr) ->
+          let f = Codegen.compile_expr layout expr in
+          fun rt -> reduce name (f rt)
+      | Blocked_ast.NextAdd exprs ->
+          let fs = Array.of_list (List.map (Codegen.compile_expr layout) exprs) in
+          fun rt -> next := Array.map (fun f -> f rt) fs :: !next
+      | Blocked_ast.NextsAdd (site, exprs) ->
+          let fs = Array.of_list (List.map (Codegen.compile_expr layout) exprs) in
+          fun rt -> nexts.(site) <- Array.map (fun f -> f rt) fs :: nexts.(site)
+    in
+    ignore flavor;
+    let f = go bs in
+    fun rt -> try f rt with Continue_thread -> ()
+  in
+  let is_base = Codegen.compile_expr layout t.Blocked_ast.bfs_method.Blocked_ast.is_base in
+  let bfs_base = compile_b Blocked_ast.Bfs t.Blocked_ast.bfs_method.Blocked_ast.base in
+  let bfs_ind = compile_b Blocked_ast.Bfs t.Blocked_ast.bfs_method.Blocked_ast.inductive in
+  let blk_base = compile_b Blocked_ast.Blocked t.Blocked_ast.blocked_method.Blocked_ast.base in
+  let blk_ind = compile_b Blocked_ast.Blocked t.Blocked_ast.blocked_method.Blocked_ast.inductive in
+  let rt = Codegen.make_rt layout in
+  let tasks = ref 0 in
+  let base_tasks = ref 0 in
+  let max_depth = ref 0 in
+  let switches = ref 0 in
+  let reexpansions = ref 0 in
+  let run_thread ~fbase ~find frame =
+    incr tasks;
+    if !tasks > max_tasks then raise (Task_limit_exceeded max_tasks);
+    Array.blit frame 0 rt.Codegen.frame 0 nparams;
+    Codegen.reset_locals rt;
+    if is_base rt <> 0 then begin
+      incr base_tasks;
+      fbase rt
+    end
+    else find rt
+  in
+  (* f_bfs of Fig. 7. *)
+  let rec bfs tb depth =
+    if depth > !max_depth then max_depth := depth;
+    next := [];
+    List.iter (run_thread ~fbase:bfs_base ~find:bfs_ind) tb;
+    let level = List.rev !next in
+    if level <> [] then
+      if List.length level < max_block then bfs level (depth + 1)
+      else begin
+        incr switches;
+        blocked level (depth + 1)
+      end
+  (* f_blocked of Fig. 7. *)
+  and blocked tb depth =
+    if depth > !max_depth then max_depth := depth;
+    Array.fill nexts 0 (Array.length nexts) [];
+    List.iter (run_thread ~fbase:blk_base ~find:blk_ind) tb;
+    let site_blocks = Array.map List.rev nexts in
+    (* [nexts] is reused by deeper recursion; copy out first. *)
+    Array.iter
+      (fun blk ->
+        if blk <> [] then
+          if List.length blk >= max_block || not reexpand then blocked blk (depth + 1)
+          else begin
+            incr reexpansions;
+            bfs blk (depth + 1)
+          end)
+      site_blocks
+  in
+  bfs [ Array.of_list args ] 0;
+  {
+    reducers = Reducer.values reducer_set;
+    tasks = !tasks;
+    base_tasks = !base_tasks;
+    max_depth = !max_depth;
+    switches = !switches;
+    reexpansions = !reexpansions;
+  }

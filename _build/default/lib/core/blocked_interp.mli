@@ -1,0 +1,32 @@
+(** Direct interpreter for the {e transformed} program.
+
+    Executes a {!Blocked_ast.t} — the output of the Fig. 7 rewrite — with
+    the Fig. 6 scheduling: the bfs flavor runs level by level and switches
+    to the blocked flavor at [max_block]; the blocked flavor keeps one
+    ThreadBlock per spawn site and hands shrunken blocks back to bfs when
+    re-expansion is on.
+
+    This interpreter is the semantic half of the reproduction: the test
+    suite checks that for every program and strategy it produces exactly
+    the reducer values of the sequential {!Vc_lang.Interp}.  (Cost modeling
+    lives in {!Engine}, which runs compiled {!Spec.t}s instead.) *)
+
+exception Task_limit_exceeded of int
+
+type result = {
+  reducers : (string * int) list;
+  tasks : int;
+  base_tasks : int;
+  max_depth : int;
+  switches : int;  (** bfs→blocked transitions taken *)
+  reexpansions : int;  (** blocked→bfs transitions taken *)
+}
+
+val run :
+  ?strategy:Policy.strategy ->
+  ?max_tasks:int ->
+  Blocked_ast.t ->
+  int list ->
+  result
+(** Default strategy: [Hybrid { max_block = 256; reexpand = true }].
+    Default [max_tasks]: 20M. *)

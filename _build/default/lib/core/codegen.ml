@@ -1,0 +1,142 @@
+open Vc_lang
+
+exception Runtime_error of string
+
+type layout = { params : string array; locals : string array }
+
+let layout_of (program : Ast.program) =
+  let info = Validate.check_exn program in
+  {
+    params = Array.of_list program.Ast.mth.Ast.params;
+    locals = Array.of_list info.Validate.locals;
+  }
+
+let params l = l.params
+let locals l = l.locals
+
+type rt = { frame : int array; locals : int array }
+
+let make_rt l =
+  { frame = Array.make (Array.length l.params) 0; locals = Array.make (max 1 (Array.length l.locals)) 0 }
+
+let reset_locals rt = Array.fill rt.locals 0 (Array.length rt.locals) 0
+
+type slot = Param of int | Local of int
+
+let find_slot l name =
+  let rec scan arr i mk =
+    if i >= Array.length arr then None
+    else if arr.(i) = name then Some (mk i)
+    else scan arr (i + 1) mk
+  in
+  match scan l.params 0 (fun i -> Param i) with
+  | Some s -> Some s
+  | None -> scan l.locals 0 (fun i -> Local i)
+
+let slot_exn l name =
+  match find_slot l name with
+  | Some s -> s
+  | None -> raise (Runtime_error (Printf.sprintf "unbound variable %s" name))
+
+let bool_of i = i <> 0
+let of_bool b = if b then 1 else 0
+
+let rec compile_expr l (e : Ast.expr) : rt -> int =
+  match e with
+  | Ast.Int n -> fun _ -> n
+  | Ast.Bool b ->
+      let v = of_bool b in
+      fun _ -> v
+  | Ast.Var name -> (
+      match slot_exn l name with
+      | Param i -> fun rt -> rt.frame.(i)
+      | Local i -> fun rt -> rt.locals.(i))
+  | Ast.Unop (Ast.Neg, e) ->
+      let f = compile_expr l e in
+      fun rt -> -f rt
+  | Ast.Unop (Ast.Not, e) ->
+      let f = compile_expr l e in
+      fun rt -> of_bool (not (bool_of (f rt)))
+  | Ast.Binop (op, a, b) -> compile_binop l op a b
+  | Ast.Call (name, args) -> (
+      match Builtins.find name with
+      | None -> raise (Runtime_error (Printf.sprintf "unknown builtin %s" name))
+      | Some fn ->
+          let compiled = Array.of_list (List.map (compile_expr l) args) in
+          if Array.length compiled <> fn.Builtins.arity then
+            raise (Runtime_error (Printf.sprintf "bad arity for builtin %s" name));
+          let buf = Array.make (Array.length compiled) 0 in
+          fun rt ->
+            Array.iteri (fun i f -> buf.(i) <- f rt) compiled;
+            fn.Builtins.apply buf)
+
+and compile_binop l op a b =
+  let fa = compile_expr l a in
+  let fb = compile_expr l b in
+  match (op : Ast.binop) with
+  | Ast.Add -> fun rt -> fa rt + fb rt
+  | Ast.Sub -> fun rt -> fa rt - fb rt
+  | Ast.Mul -> fun rt -> fa rt * fb rt
+  | Ast.Div ->
+      fun rt ->
+        let d = fb rt in
+        if d = 0 then raise (Runtime_error "division by zero");
+        fa rt / d
+  | Ast.Mod ->
+      fun rt ->
+        let d = fb rt in
+        if d = 0 then raise (Runtime_error "modulo by zero");
+        fa rt mod d
+  | Ast.Lt -> fun rt -> of_bool (fa rt < fb rt)
+  | Ast.Le -> fun rt -> of_bool (fa rt <= fb rt)
+  | Ast.Gt -> fun rt -> of_bool (fa rt > fb rt)
+  | Ast.Ge -> fun rt -> of_bool (fa rt >= fb rt)
+  | Ast.Eq -> fun rt -> of_bool (fa rt = fb rt)
+  | Ast.Ne -> fun rt -> of_bool (fa rt <> fb rt)
+  | Ast.And -> fun rt -> if bool_of (fa rt) then fb rt else 0
+  | Ast.Or -> fun rt -> if bool_of (fa rt) then 1 else fb rt
+  | Ast.Band -> fun rt -> fa rt land fb rt
+  | Ast.Bor -> fun rt -> fa rt lor fb rt
+  | Ast.Bxor -> fun rt -> fa rt lxor fb rt
+  | Ast.Shl -> fun rt -> fa rt lsl (fb rt land 62)
+  | Ast.Shr -> fun rt -> fa rt asr (fb rt land 62)
+
+exception Returned
+
+let compile_stmt l ~reduce ~spawn stmt =
+  let rec compile (stmt : Ast.stmt) : rt -> unit =
+    match stmt with
+    | Ast.Skip -> fun _ -> ()
+    | Ast.Return -> fun _ -> raise Returned
+    | Ast.Seq (a, b) ->
+        let fa = compile a in
+        let fb = compile b in
+        fun rt ->
+          fa rt;
+          fb rt
+    | Ast.Assign (name, e) -> (
+        let f = compile_expr l e in
+        match slot_exn l name with
+        | Local i -> fun rt -> rt.locals.(i) <- f rt
+        | Param i -> fun rt -> rt.frame.(i) <- f rt)
+    | Ast.If (cond, a, b) ->
+        let fc = compile_expr l cond in
+        let fa = compile a in
+        let fb = compile b in
+        fun rt -> if bool_of (fc rt) then fa rt else fb rt
+    | Ast.While (cond, body) ->
+        let fc = compile_expr l cond in
+        let fbody = compile body in
+        fun rt ->
+          while bool_of (fc rt) do
+            fbody rt
+          done
+    | Ast.Reduce (name, e) ->
+        let f = compile_expr l e in
+        fun rt -> reduce name (f rt)
+    | Ast.Spawn { spawn_id; spawn_args } ->
+        let compiled = Array.of_list (List.map (compile_expr l) spawn_args) in
+        fun rt -> spawn ~site:spawn_id (Array.map (fun f -> f rt) compiled)
+  in
+  let f = compile stmt in
+  fun rt -> try f rt with Returned -> ()

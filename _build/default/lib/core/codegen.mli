@@ -1,0 +1,43 @@
+(** Closure compiler for the DSL: resolves variables to slots once, then
+    evaluates with no name lookups.
+
+    Both the blocked interpreter and the DSL→Spec compiler need to run
+    method bodies once per thread per level; compiling to closures keeps
+    that cheap.  Booleans are represented as 0/1 ints at run time (the
+    validator has already type-checked the program). *)
+
+exception Runtime_error of string
+
+type layout
+(** Slot assignment: parameters map to frame slots, locals to a scratch
+    array. *)
+
+val layout_of : Vc_lang.Ast.program -> layout
+(** Validates the program ({!Vc_lang.Validate.check_exn}) and assigns
+    slots. *)
+
+val params : layout -> string array
+val locals : layout -> string array
+
+type rt = { frame : int array; locals : int array }
+(** Runtime state of one thread: [frame] holds the parameters (length =
+    number of params), [locals] is scratch (length = number of locals). *)
+
+val make_rt : layout -> rt
+(** Fresh runtime state with zeroed slots (reusable across threads by
+    overwriting [frame] contents and calling {!reset_locals}). *)
+
+val reset_locals : rt -> unit
+
+val compile_expr : layout -> Vc_lang.Ast.expr -> rt -> int
+(** Booleans evaluate to 0/1.  Short-circuits [&&] and [||]. *)
+
+val compile_stmt :
+  layout ->
+  reduce:(string -> int -> unit) ->
+  spawn:(site:int -> int array -> unit) ->
+  Vc_lang.Ast.stmt ->
+  rt ->
+  unit
+(** [spawn] receives the site id and the evaluated child arguments.
+    [return] statements abort the rest of the compiled statement. *)

@@ -1,0 +1,98 @@
+open Vc_lang
+
+let spec_of_program ?(lane_kind = Vc_simd.Lane.I32) ?name (program : Ast.program)
+    ~args =
+  let layout = Codegen.layout_of program in
+  let m = program.Ast.mth in
+  let params = Codegen.params layout in
+  let nparams = Array.length params in
+  if List.length args <> nparams then
+    invalid_arg
+      (Printf.sprintf "Compile.spec_of_program: %s expects %d arguments" m.Ast.name
+         nparams);
+  let schema = Schema.create ~lane_kind (Array.to_list params) in
+  let is_base_fn = Codegen.compile_expr layout m.Ast.is_base in
+  (* Sinks are routed through cells because the spec callbacks receive the
+     reducer set / destination block per call. *)
+  let current_reducers : Reducer.set ref = ref (Reducer.make_set []) in
+  let base_fn =
+    Codegen.compile_stmt layout
+      ~reduce:(fun name v -> Reducer.reduce !current_reducers name v)
+      ~spawn:(fun ~site:_ _ -> ())
+      m.Ast.base
+  in
+  let want_site = ref 0 in
+  let spawn_dst : Block.t option ref = ref None in
+  let spawned = ref false in
+  let inductive_fn =
+    Codegen.compile_stmt layout
+      ~reduce:(fun _ _ -> ())
+      ~spawn:(fun ~site child_args ->
+        if site = !want_site then begin
+          match !spawn_dst with
+          | Some dst ->
+              Block.push dst child_args;
+              spawned := true
+          | None -> ()
+        end)
+      m.Ast.inductive
+  in
+  let rt = Codegen.make_rt layout in
+  let load_frame blk row =
+    for f = 0 to nparams - 1 do
+      rt.Codegen.frame.(f) <- Block.get blk ~field:f ~row
+    done;
+    Codegen.reset_locals rt
+  in
+  let sites = Ast.spawn_sites m.Ast.inductive in
+  let num_spawns = max 1 (List.length sites) in
+  let spawn_site_size =
+    if sites = [] then 1
+    else
+      let total =
+        List.fold_left
+          (fun acc sp ->
+            acc
+            + 1
+            + List.fold_left (fun a e -> a + Ast.expr_size e) 0 sp.Ast.spawn_args)
+          0 sites
+      in
+      (total + num_spawns - 1) / num_spawns
+  in
+  let spawn_sizes_total =
+    List.fold_left (fun acc sp -> acc + Ast.stmt_size (Ast.Spawn sp)) 0 sites
+  in
+  {
+    Spec.name = (match name with Some n -> n | None -> m.Ast.name);
+    description = Printf.sprintf "DSL program %s compiled to a spec" m.Ast.name;
+    schema;
+    num_spawns;
+    roots = [ Array.of_list args ];
+    reducers = List.map (fun r -> (r.Ast.red_name, r.Ast.red_op)) program.Ast.reducers;
+    is_base =
+      (fun blk row ->
+        load_frame blk row;
+        is_base_fn rt <> 0);
+    exec_base =
+      (fun reducers blk row ->
+        current_reducers := reducers;
+        load_frame blk row;
+        base_fn rt);
+    spawn =
+      (fun blk row ~site ~dst ->
+        load_frame blk row;
+        want_site := site;
+        spawn_dst := Some dst;
+        spawned := false;
+        inductive_fn rt;
+        spawn_dst := None;
+        !spawned);
+    insns =
+      {
+        Spec.check_insns = Ast.expr_size m.Ast.is_base;
+        base_insns = Ast.stmt_size m.Ast.base;
+        inductive_insns = max 1 (Ast.stmt_size m.Ast.inductive - spawn_sizes_total);
+        spawn_insns = spawn_site_size;
+        scalar_insns = 1;
+      };
+  }

@@ -1,0 +1,20 @@
+(** Compile a validated DSL program into an executable {!Spec.t}.
+
+    This is the bridge from the language front-end to the measured engine:
+    the method's parameters become the Thread schema, the compiled
+    [isBase] / base / inductive closures become the spec callbacks, and the
+    static AST sizes become the kernel instruction weights.  The engine
+    then runs the DSL program under any strategy with full cost modeling —
+    the fully-automatic path the paper applies to benchmarks whose whole
+    program fits the language (fib, knapsack, ..., §5 "AoS to SoA"). *)
+
+val spec_of_program :
+  ?lane_kind:Vc_simd.Lane.kind ->
+  ?name:string ->
+  Vc_lang.Ast.program ->
+  args:int list ->
+  Spec.t
+(** [lane_kind] defaults to [I32]; pass [I8] etc. to model the paper's
+    narrow-data-type benchmarks (Table 1).  [name] defaults to the method
+    name.  Raises [Vc_lang.Validate.Invalid] on an invalid program and
+    [Invalid_argument] on an arity mismatch. *)

@@ -1,0 +1,79 @@
+(** Loop distribution and if-conversion of blocked methods (paper §4.1).
+
+    The Fig. 7 rewrite produces a [foreach (Thread t : tb)] whose body is
+    an arbitrary statement tree.  The paper notes that "through a
+    combination of loop distribution, inlining, if-conversion, and other
+    standard compiler transformations, this loop can be transformed into a
+    series of dense loops over individual instructions, which then can be
+    readily vectorized" — and that the resulting reordering (all threads
+    execute step 1, then all execute step 2, ...) is still compatible with
+    the parallel semantics of the language.
+
+    This pass performs that transformation:
+    - every [if] is {e if-converted}: its condition is evaluated once into
+      a fresh per-thread predicate, and the branch bodies execute under
+      masks over that predicate;
+    - [continue] (the rewritten [return]) becomes a masked kill of the
+      thread's implicit {!live} predicate, which every subsequent step's
+      mask includes;
+    - the statement tree flattens into a sequence of {!step}s — each a
+      single masked instruction whose dense loop over the block is
+      directly vectorizable;
+    - [while] loops cannot be distributed and remain {e residual} (masked,
+      per-thread) steps, the part the paper's compiler leaves scalar.
+
+    {!exec_block} executes a distributed method {e step-major} — the
+    dense-loop execution order — and the test suite checks it produces
+    exactly the thread-major semantics of {!Blocked_interp} on random
+    programs, which is the §4.1 reordering-soundness claim. *)
+
+type mask = (string * bool) list
+(** Conjunction of predicate-variable tests; the implicit [live] predicate
+    is always included.  Empty = always (for live threads). *)
+
+type target = Next | Nexts of int
+
+type step =
+  | Pred of { mask : mask; var : string; cond : Vc_lang.Ast.expr }
+      (** evaluate [cond] into predicate [var] (if-conversion temp) *)
+  | Kill of { mask : mask }  (** rewritten [continue]: clear [live] *)
+  | Assign of { mask : mask; var : string; rhs : Vc_lang.Ast.expr }
+  | Reduce of { mask : mask; reducer : string; value : Vc_lang.Ast.expr }
+  | Enqueue of { mask : mask; target : target; args : Vc_lang.Ast.expr list }
+  | Residual of { mask : mask; stmt : Blocked_ast.bstmt }
+      (** a [while] loop: stays a per-thread masked statement *)
+
+type t = {
+  source : Blocked_ast.bmethod;
+  fields : string list;
+  steps : step list;  (** includes the initial [isBase] predicate step *)
+  base_pred : string;  (** the predicate holding the [isBase] outcome *)
+}
+
+val distribute : Blocked_ast.bmethod -> t
+
+val simplify : t -> t
+(** Dead-predicate elimination: drop [Pred] steps whose variable no later
+    mask reads (branch folding upstream leaves such husks), unless their
+    condition can trap.  Semantics-preserving — property-tested against
+    {!exec_block}. *)
+
+val vectorizable_steps : t -> int
+val residual_steps : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the step sequence as dense vector pseudo-code, e.g.
+    [p0[:] <- n < 2], [reduce(result, n[:]) where p0]. *)
+
+(** {1 Step-major execution} *)
+
+type sinks = {
+  reduce : string -> int -> unit;
+  enqueue : target -> int array -> unit;
+}
+
+val exec_block : t -> frames:int array list -> sinks -> unit
+(** Execute the distributed method over a block of frames in dense-loop
+    order: for each step in sequence, apply it to every thread.  Frames
+    are parameter vectors in field order.  Raises
+    [Vc_core.Codegen.Runtime_error] on evaluation errors. *)

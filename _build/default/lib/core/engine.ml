@@ -1,0 +1,382 @@
+exception Oom of { live : int; limit : int }
+
+exception Task_limit of int
+
+let log_src = Logs.Src.create "vc.engine" ~doc:"Blocked execution engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type ctx = {
+  m : Measure.t;
+  spec : Spec.t;
+  reducers : Vc_lang.Reducer.set;
+  width : int;
+  elem : int;
+  nfields : int;
+  compact : Vc_simd.Compact.engine;
+  max_block : int;  (** breadth-first switches to blocked at this size *)
+  reexp_threshold : int;  (** blocked hands blocks <= this back to bfs *)
+  reexpand : bool;
+  max_live : int;
+  max_tasks : int;
+  cutoff : int;  (** blocks at most this size run their subtrees scalar *)
+  trace : Trace.t option;
+  mutable live : int;  (** current live threads, for space accounting *)
+  mutable executed : int;
+  (* Reusable blocks: ping-pong pair per breadth-first run depth parity is
+     not enough because re-expansion nests; instead one reusable block per
+     (tree depth, slot).  Slot [0..e-1] holds blocked execution's per-site
+     children; breadth-first "next" blocks use slot [e]. *)
+  pool : (int * int, Block.t ref) Hashtbl.t;
+}
+
+let isa ctx = ctx.m.Measure.machine.Vc_mem.Machine.isa
+
+let pool_block ctx ~depth ~slot ~room =
+  let key = (depth, slot) in
+  let cell =
+    match Hashtbl.find_opt ctx.pool key with
+    | Some cell -> cell
+    | None ->
+        let blk =
+          Block.create
+            ~label:(Printf.sprintf "blk-d%d-s%d" depth slot)
+            ctx.m.Measure.addr ~schema:ctx.spec.Spec.schema ~isa:(isa ctx)
+            ~capacity:(max room 16)
+        in
+        let cell = ref blk in
+        Hashtbl.add ctx.pool key cell;
+        cell
+  in
+  !cell |> Block.clear;
+  cell := Block.ensure_room !cell ctx.m.Measure.addr ~extra:room;
+  !cell
+
+(* Charge the packed vector loads that bring a block's frames into
+   registers: per field, one vector load per width-chunk. *)
+let charge_block_read ctx blk =
+  let n = Block.size blk in
+  let vm = ctx.m.Measure.vm in
+  for f = 0 to ctx.nfields - 1 do
+    let chunk = ref 0 in
+    while !chunk < n do
+      let lanes = min ctx.width (n - !chunk) in
+      Vc_simd.Vm.vector_load vm
+        ~addr:(Block.field_addr blk ~field:f ~row:!chunk)
+        ~lanes ~lane_bytes:ctx.elem;
+      chunk := !chunk + ctx.width
+    done
+  done
+
+(* Charge the packed stores of [count] frames appended to [blk] starting at
+   row [from]. *)
+let charge_block_append ctx blk ~from ~count =
+  let vm = ctx.m.Measure.vm in
+  if count > 0 then
+    for f = 0 to ctx.nfields - 1 do
+      let chunk = ref 0 in
+      while !chunk < count do
+        let lanes = min ctx.width (count - !chunk) in
+        Vc_simd.Vm.vector_store vm
+          ~addr:(Block.field_addr blk ~field:f ~row:(from + !chunk))
+          ~lanes ~lane_bytes:ctx.elem;
+        chunk := !chunk + ctx.width
+      done
+    done
+
+let count_tasks ctx n =
+  ctx.executed <- ctx.executed + n;
+  if ctx.executed > ctx.max_tasks then raise (Task_limit ctx.max_tasks)
+
+(* Process the tasks of one block at one tree level: vectorized isBase
+   check, stream compaction into base/recursive groups, vectorized base
+   execution.  Returns the recursive rows.  Common to both execution
+   strategies (the foreach bodies of Figs. 3 and 4(b)). *)
+(* Fixed scalar cost of entering one transformed method on one block:
+   call, block allocation/reset, loop setup - independent of block size,
+   so it is what amortizes away as blocks grow (paper §5 "stack management
+   overhead reduces with increasing block size"). *)
+let level_overhead = 24
+
+(* Per spawn-site bookkeeping: next-block pointer setup and the size
+   check. *)
+let site_overhead = 8
+
+let process_level ctx blk ~depth ~phase =
+  let n = Block.size blk in
+  let vm = ctx.m.Measure.vm in
+  let insns = ctx.spec.Spec.insns in
+  count_tasks ctx n;
+  Vc_simd.Vm.scalar_ops vm level_overhead;
+  Metrics.tasks_at_level ctx.m.Measure.metrics ~depth ~n;
+  Metrics.live_threads ctx.m.Measure.metrics ctx.live;
+  charge_block_read ctx blk;
+  Vc_simd.Vm.batch vm ~width:ctx.width ~n ~insns_per_task:insns.Spec.check_insns ();
+  Metrics.kernel_ops ctx.m.Measure.metrics (n * insns.Spec.check_insns);
+  (* data-dependent work the compiler cannot vectorize stays scalar *)
+  Vc_simd.Vm.scalar_ops vm (n * insns.Spec.scalar_insns);
+  let base_rows, rec_rows =
+    Vc_simd.Compact.partition ~vm ~engine:ctx.compact ~width:ctx.width ~n
+      ~pred:(fun row -> ctx.spec.Spec.is_base blk row)
+  in
+  let nb = Array.length base_rows in
+  (match ctx.trace with
+  | Some trace -> Trace.record trace ~phase ~depth ~size:n ~base:nb
+  | None -> ());
+  Metrics.base_at_level ctx.m.Measure.metrics ~depth ~n:nb;
+  (* base group: unmasked vector execution after compaction *)
+  Vc_simd.Vm.batch vm ~classify:true ~width:ctx.width ~n:nb
+    ~insns_per_task:insns.Spec.base_insns ();
+  Metrics.kernel_ops ctx.m.Measure.metrics (nb * insns.Spec.base_insns);
+  Array.iter (fun row -> ctx.spec.Spec.exec_base ctx.reducers blk row) base_rows;
+  (* recursive group: shared inductive work *)
+  let nr = Array.length rec_rows in
+  Vc_simd.Vm.batch vm ~classify:true ~width:ctx.width ~n:nr
+    ~insns_per_task:insns.Spec.inductive_insns ();
+  Metrics.kernel_ops ctx.m.Measure.metrics (nr * insns.Spec.inductive_insns);
+  rec_rows
+
+(* Spawn site [site]'s children of [rec_rows] into [dst]; returns how many
+   spawned.  Site-major order groups similar children (§4.2). *)
+let spawn_site ctx blk rec_rows ~site ~dst =
+  let vm = ctx.m.Measure.vm in
+  let insns = ctx.spec.Spec.insns in
+  let nr = Array.length rec_rows in
+  Vc_simd.Vm.scalar_ops vm site_overhead;
+  Vc_simd.Vm.batch vm ~width:ctx.width ~n:nr ~insns_per_task:insns.Spec.spawn_insns ();
+  Metrics.kernel_ops ctx.m.Measure.metrics (nr * insns.Spec.spawn_insns);
+  let before = Block.size dst in
+  Array.iter
+    (fun row -> ignore (ctx.spec.Spec.spawn blk row ~site ~dst : bool))
+    rec_rows;
+  let pushed = Block.size dst - before in
+  charge_block_append ctx dst ~from:before ~count:pushed;
+  pushed
+
+(* Task cut-off path: every thread of [blk] executes its whole subtree
+   sequentially with scalar instructions — what a conventional runtime
+   does below the cut-off.  Tasks count as epilog (never vectorized). *)
+let sequential_subtree ctx blk ~depth =
+  (match ctx.trace with
+  | Some trace ->
+      Trace.record trace ~phase:Trace.Cutoff ~depth ~size:(Block.size blk) ~base:0
+  | None -> ());
+  let vm = ctx.m.Measure.vm in
+  let insns = ctx.spec.Spec.insns in
+  let stats = Vc_simd.Vm.stats vm in
+  let scratch_parent =
+    Block.create ~label:"cutoff-parent" ctx.m.Measure.addr
+      ~schema:ctx.spec.Spec.schema ~isa:(isa ctx) ~capacity:1
+  in
+  let scratch_child =
+    Block.create ~label:"cutoff-child" ctx.m.Measure.addr
+      ~schema:ctx.spec.Spec.schema ~isa:(isa ctx)
+      ~capacity:(max 1 ctx.spec.Spec.num_spawns)
+  in
+  let frame_of b row = Array.init ctx.nfields (fun f -> Block.get b ~field:f ~row) in
+  let rec go frame d =
+    count_tasks ctx 1;
+    Metrics.tasks_at_level ctx.m.Measure.metrics ~depth:d ~n:1;
+    stats.Vc_simd.Stats.epilog_tasks <- stats.Vc_simd.Stats.epilog_tasks + 1;
+    Vc_simd.Vm.scalar_ops vm
+      (insns.Spec.check_insns + insns.Spec.scalar_insns + (2 * ctx.nfields) + 2);
+    Block.clear scratch_parent;
+    Block.push scratch_parent frame;
+    if ctx.spec.Spec.is_base scratch_parent 0 then begin
+      Metrics.base_at_level ctx.m.Measure.metrics ~depth:d ~n:1;
+      Vc_simd.Vm.scalar_ops vm insns.Spec.base_insns;
+      ctx.spec.Spec.exec_base ctx.reducers scratch_parent 0
+    end
+    else begin
+      Vc_simd.Vm.scalar_ops vm insns.Spec.inductive_insns;
+      Block.clear scratch_child;
+      for site = 0 to ctx.spec.Spec.num_spawns - 1 do
+        Vc_simd.Vm.scalar_ops vm insns.Spec.spawn_insns;
+        ignore (ctx.spec.Spec.spawn scratch_parent 0 ~site ~dst:scratch_child : bool)
+      done;
+      let children =
+        List.init (Block.size scratch_child) (fun row -> frame_of scratch_child row)
+      in
+      List.iter (fun child -> go child (d + 1)) children
+    end
+  in
+  for row = 0 to Block.size blk - 1 do
+    go (frame_of blk row) depth
+  done;
+  ctx.live <- ctx.live - Block.size blk
+
+let check_live ctx =
+  if ctx.live > ctx.max_live then raise (Oom { live = ctx.live; limit = ctx.max_live })
+
+(* Live-thread accounting rule: whoever fills a block adds its size to
+   [ctx.live]; the function that receives the block as input subtracts it
+   exactly once, as soon as its threads are done (after their children are
+   spawned).  BFS space then peaks at the widest level; blocked DFS space
+   is the O(T*D) sum of the blocks along the active path plus their
+   sibling site blocks (§4.2). *)
+
+(* Breadth-first execution (Fig. 3 / Fig. 6 bfs_foo).  [blk] is consumed.
+   When the next level reaches [max_block], switch to blocked depth-first.
+   [reexp_from] carries the depth of the re-expansion trigger so the first
+   expanded level can report its growth factor (Fig. 15). *)
+let rec bfs ctx blk ~depth ~reexp_from =
+  if Block.size blk = 0 then ()
+  else
+    let rec_rows = process_level ctx blk ~depth ~phase:Trace.Bfs in
+    if Array.length rec_rows = 0 then ctx.live <- ctx.live - Block.size blk
+    else begin
+      let e = ctx.spec.Spec.num_spawns in
+      let next =
+        pool_block ctx ~depth:(depth + 1) ~slot:e ~room:(Array.length rec_rows * e)
+      in
+      (* Site-major enqueueing: all site-i children before any site-(i+1)
+         children, preserving spawn-id grouping (§5). *)
+      for site = 0 to e - 1 do
+        ignore (spawn_site ctx blk rec_rows ~site ~dst:next : int)
+      done;
+      ctx.live <- ctx.live + Block.size next;
+      Metrics.live_threads ctx.m.Measure.metrics ctx.live;
+      check_live ctx;
+      (match reexp_from with
+      | Some trigger_depth ->
+          let factor =
+            float_of_int (Block.size next) /. float_of_int (max 1 (Block.size blk))
+          in
+          Metrics.reexpansion_growth ctx.m.Measure.metrics ~depth:trigger_depth ~factor
+      | None -> ());
+      ctx.live <- ctx.live - Block.size blk;
+      if Block.size next >= ctx.max_block then blocked ctx next ~depth:(depth + 1)
+      else bfs ctx next ~depth:(depth + 1) ~reexp_from:None
+    end
+
+(* Blocked depth-first execution (Fig. 4(b) / Fig. 6 blocked_foo).  One
+   child block per spawn site; each is executed to completion before the
+   next, re-expanding when it has shrunk below the threshold. *)
+and blocked ctx blk ~depth =
+  if Block.size blk = 0 then ()
+  else if Block.size blk <= ctx.cutoff then sequential_subtree ctx blk ~depth
+  else
+    let rec_rows = process_level ctx blk ~depth ~phase:Trace.Blocked in
+    if Array.length rec_rows = 0 then ctx.live <- ctx.live - Block.size blk
+    else begin
+      let e = ctx.spec.Spec.num_spawns in
+      let children =
+        Array.init e (fun site ->
+            let dst =
+              pool_block ctx ~depth:(depth + 1) ~slot:site
+                ~room:(Array.length rec_rows)
+            in
+            ignore (spawn_site ctx blk rec_rows ~site ~dst : int);
+            ctx.live <- ctx.live + Block.size dst;
+            dst)
+      in
+      Metrics.live_threads ctx.m.Measure.metrics ctx.live;
+      check_live ctx;
+      ctx.live <- ctx.live - Block.size blk;
+      Array.iter
+        (fun child ->
+          if Block.size child > 0 then
+            if Block.size child <= ctx.cutoff then
+              (* conventional task cut-off: sequentialize small subtrees
+                 instead of re-expanding them *)
+              sequential_subtree ctx child ~depth:(depth + 1)
+            else if ctx.reexpand && Block.size child < ctx.reexp_threshold then begin
+              (* strictly below the threshold: Fig. 6 writes [size >
+                 threshold] for the blocked branch, but with both
+                 thresholds T_max/e and power-of-two block sizes a block
+                 can sit exactly on the boundary and bounce between the
+                 strategies forever doing no useful re-expansion (the
+                 paper's knapsack observation requires equality to stay
+                 blocked) *)
+              Metrics.reexpansion ctx.m.Measure.metrics ~depth:(depth + 1)
+                ~before:(Block.size child);
+              bfs ctx child ~depth:(depth + 1) ~reexp_from:(Some (depth + 1))
+            end
+            else blocked ctx child ~depth:(depth + 1))
+        children
+    end
+
+let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
+    ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t) ~(strategy : Policy.strategy) () =
+  let m = Measure.create machine in
+  let width =
+    Vc_simd.Isa.lanes machine.Vc_mem.Machine.isa (Schema.lane_kind spec.Spec.schema)
+  in
+  let compact =
+    match compact with
+    | Some c -> c
+    | None -> Vc_simd.Compact.default_for machine.Vc_mem.Machine.isa ~width
+  in
+  let max_block =
+    match strategy with
+    | Policy.Bfs_only -> max_int
+    | Policy.Hybrid { max_block; _ } -> max_block
+  in
+  let reexpand =
+    match strategy with
+    | Policy.Bfs_only -> false
+    | Policy.Hybrid { reexpand; _ } -> reexpand
+  in
+  let ctx =
+    {
+      m;
+      spec;
+      reducers = Spec.make_reducers spec;
+      width;
+      elem = Schema.elem_bytes spec.Spec.schema ~isa:machine.Vc_mem.Machine.isa;
+      nfields = Schema.num_fields spec.Spec.schema;
+      compact;
+      max_block;
+      reexp_threshold = max_block;
+      reexpand;
+      max_live = machine.Vc_mem.Machine.max_live_threads;
+      max_tasks;
+      cutoff;
+      trace;
+      live = 0;
+      executed = 0;
+      pool = Hashtbl.create 64;
+    }
+  in
+  let strategy_name = Policy.name strategy ^ if warm then "+warm" else "" in
+  Log.debug (fun m ->
+      m "run %s on %s: %s, width %d, compaction %s" spec.Spec.name
+        machine.Vc_mem.Machine.name (Policy.describe strategy) width
+        (Vc_simd.Compact.name ctx.compact));
+  let wall_start = Unix.gettimeofday () in
+  let execute () =
+    let root =
+      pool_block ctx ~depth:0 ~slot:ctx.spec.Spec.num_spawns
+        ~room:(List.length spec.Spec.roots)
+    in
+    List.iter (fun frame -> Block.push root frame) spec.Spec.roots;
+    charge_block_append ctx root ~from:0 ~count:(Block.size root);
+    ctx.live <- Block.size root;
+    if Block.size root >= ctx.max_block then blocked ctx root ~depth:0
+    else bfs ctx root ~depth:0 ~reexp_from:None
+  in
+  match
+    if warm then begin
+      (* warm-up pass: same blocks (the pool reuses addresses), costs and
+         reductions discarded *)
+      execute ();
+      Vc_simd.Stats.reset (Vc_simd.Vm.stats ctx.m.Measure.vm);
+      Vc_mem.Hierarchy.reset_counters ctx.m.Measure.hier;
+      Vc_lang.Reducer.reset_set ctx.reducers;
+      Metrics.reset ctx.m.Measure.metrics;
+      (match ctx.trace with Some t -> Trace.clear t | None -> ());
+      ctx.live <- 0;
+      ctx.executed <- 0
+    end;
+    execute ()
+  with
+  | () ->
+      let wall = Unix.gettimeofday () -. wall_start in
+      Measure.report m ~benchmark:spec.Spec.name ~strategy:strategy_name
+        ~reducers:(Vc_lang.Reducer.values ctx.reducers) ~wall_seconds:wall
+  | exception Oom { live; limit } ->
+      Log.info (fun m ->
+          m "%s/%s/%s ran out of memory (%d live threads > %d limit)"
+            spec.Spec.name machine.Vc_mem.Machine.name strategy_name live limit);
+      Report.oom_placeholder ~benchmark:spec.Spec.name
+        ~machine:machine.Vc_mem.Machine.name ~strategy:strategy_name

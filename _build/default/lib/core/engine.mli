@@ -1,0 +1,44 @@
+(** The blocked execution engine: breadth-first expansion, blocked
+    depth-first execution, and re-expansion (paper §4), with the §5 SIMD
+    implementation — SoA blocks, block reuse, stream compaction — charged
+    to the cost model.
+
+    The engine executes the real benchmark semantics (reducer values are
+    exact and equal to {!Seq_exec}'s) while accounting every modeled
+    instruction and memory access. *)
+
+exception Oom of { live : int; limit : int }
+(** Raised internally when breadth-first expansion exceeds the machine's
+    live-thread limit; {!run} converts it to an OOM report (Table 2's OOM
+    entries). *)
+
+val run :
+  ?compact:Vc_simd.Compact.engine ->
+  ?max_tasks:int ->
+  ?cutoff:int ->
+  ?warm:bool ->
+  ?trace:Trace.t ->
+  spec:Spec.t ->
+  machine:Vc_mem.Machine.t ->
+  strategy:Policy.strategy ->
+  unit ->
+  Report.t
+(** Execute [spec] under [strategy].  [compact] defaults to
+    [Compact.default_for] the machine's ISA (Fig. 16 ablates this).
+    [max_tasks] (default 200M) guards runaway specs.  On OOM the returned
+    report has [oom = true].
+
+    [cutoff] enables the {e task cut-off} conventional task-parallel
+    runtimes use: blocks of at most [cutoff] threads execute their subtrees
+    sequentially (scalar) instead of continuing blocked execution.  The
+    paper deliberately runs without a cut-off "to maximize vectorization
+    opportunities" (§6.1); the ablation harness quantifies that choice.
+
+    [trace] records one {!Trace} event per processed block level.
+
+    [warm:true] measures a {e warm-cache} run: the whole execution runs
+    once to populate the caches (its costs are discarded), then runs again
+    over the same reused blocks and reports only the second pass — the
+    paper's Table 2 footnote for minmax ("if the cache is warmed up for
+    the kernel computation...").  Reducer values are from the measured
+    pass only. *)

@@ -1,0 +1,21 @@
+(** Shared measurement context for one run: VM wired to a fresh cache
+    hierarchy of the target machine, an address-space allocator, and a
+    metrics collector; plus report assembly. *)
+
+type t = {
+  vm : Vc_simd.Vm.t;
+  hier : Vc_mem.Hierarchy.t;
+  addr : Addr.t;
+  metrics : Metrics.t;
+  machine : Vc_mem.Machine.t;
+}
+
+val create : Vc_mem.Machine.t -> t
+
+val report :
+  t ->
+  benchmark:string ->
+  strategy:string ->
+  reducers:(string * int) list ->
+  wall_seconds:float ->
+  Report.t

@@ -1,0 +1,110 @@
+type t = {
+  mutable level_tasks : int array;
+  mutable level_base : int array;
+  mutable reexp_count : int array;
+  mutable reexp_factor_sum : float array;
+  mutable reexp_factor_n : int array;
+  mutable max_depth : int;
+  mutable total_tasks : int;
+  mutable total_base : int;
+  mutable space_peak : int;
+  mutable kernel : int;
+  mutable overhead : int;
+}
+
+let create () =
+  {
+    level_tasks = Array.make 16 0;
+    level_base = Array.make 16 0;
+    reexp_count = Array.make 16 0;
+    reexp_factor_sum = Array.make 16 0.0;
+    reexp_factor_n = Array.make 16 0;
+    max_depth = 0;
+    total_tasks = 0;
+    total_base = 0;
+    space_peak = 0;
+    kernel = 0;
+    overhead = 0;
+  }
+
+let reset t =
+  t.level_tasks <- Array.make 16 0;
+  t.level_base <- Array.make 16 0;
+  t.reexp_count <- Array.make 16 0;
+  t.reexp_factor_sum <- Array.make 16 0.0;
+  t.reexp_factor_n <- Array.make 16 0;
+  t.max_depth <- 0;
+  t.total_tasks <- 0;
+  t.total_base <- 0;
+  t.space_peak <- 0;
+  t.kernel <- 0;
+  t.overhead <- 0
+
+let ensure t depth =
+  let n = Array.length t.level_tasks in
+  if depth >= n then begin
+    let n' = max (depth + 1) (2 * n) in
+    let grow a =
+      let b = Array.make n' 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    let growf a =
+      let b = Array.make n' 0.0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.level_tasks <- grow t.level_tasks;
+    t.level_base <- grow t.level_base;
+    t.reexp_count <- grow t.reexp_count;
+    t.reexp_factor_n <- grow t.reexp_factor_n;
+    t.reexp_factor_sum <- growf t.reexp_factor_sum
+  end;
+  if depth > t.max_depth then t.max_depth <- depth
+
+let tasks_at_level t ~depth ~n =
+  ensure t depth;
+  t.level_tasks.(depth) <- t.level_tasks.(depth) + n;
+  t.total_tasks <- t.total_tasks + n
+
+let base_at_level t ~depth ~n =
+  ensure t depth;
+  t.level_base.(depth) <- t.level_base.(depth) + n;
+  t.total_base <- t.total_base + n
+
+let reexpansion t ~depth ~before:_ =
+  ensure t depth;
+  t.reexp_count.(depth) <- t.reexp_count.(depth) + 1
+
+let reexpansion_growth t ~depth ~factor =
+  ensure t depth;
+  t.reexp_factor_sum.(depth) <- t.reexp_factor_sum.(depth) +. factor;
+  t.reexp_factor_n.(depth) <- t.reexp_factor_n.(depth) + 1
+
+let live_threads t n = if n > t.space_peak then t.space_peak <- n
+
+let kernel_ops t n = t.kernel <- t.kernel + n
+let overhead_ops t n = t.overhead <- t.overhead + n
+
+let total_tasks t = t.total_tasks
+let total_base t = t.total_base
+let max_depth t = t.max_depth
+
+let levels t = Array.init (t.max_depth + 1) (fun d -> (t.level_tasks.(d), t.level_base.(d)))
+
+let reexpansions t =
+  let out = ref [] in
+  for d = t.max_depth downto 0 do
+    if t.reexp_count.(d) > 0 then begin
+      let mean =
+        if t.reexp_factor_n.(d) = 0 then 1.0
+        else t.reexp_factor_sum.(d) /. float_of_int t.reexp_factor_n.(d)
+      in
+      out := (d, t.reexp_count.(d), mean) :: !out
+    end
+  done;
+  Array.of_list !out
+
+let space_peak t = t.space_peak
+let kernel_op_count t = t.kernel
+let overhead_op_count t = t.overhead

@@ -1,0 +1,50 @@
+(** Per-run measurement collection.
+
+    Gathers everything the evaluation section plots that is not already in
+    [Vc_simd.Stats] or the cache counters: the per-level task distribution
+    (Fig. 9), re-expansion events and their block-growth factors (Fig. 15),
+    live-thread space high-water, and the kernel/overhead instruction split
+    behind Table 3. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero all counters (used between a warm-up pass and the measured
+    pass). *)
+
+(** {1 Recording} *)
+
+val tasks_at_level : t -> depth:int -> n:int -> unit
+val base_at_level : t -> depth:int -> n:int -> unit
+
+val reexpansion : t -> depth:int -> before:int -> unit
+(** A block of size [before] at [depth] was handed back to breadth-first
+    expansion. *)
+
+val reexpansion_growth : t -> depth:int -> factor:float -> unit
+(** Block-size growth factor observed for the first expanded level after a
+    re-expansion at [depth]. *)
+
+val live_threads : t -> int -> unit
+(** Report the current live-thread count; the high-water mark is kept. *)
+
+val kernel_ops : t -> int -> unit
+val overhead_ops : t -> int -> unit
+
+(** {1 Reading} *)
+
+val total_tasks : t -> int
+val total_base : t -> int
+val max_depth : t -> int
+
+val levels : t -> (int * int) array
+(** Index = depth; (all tasks, base tasks). *)
+
+val reexpansions : t -> (int * int * float) array
+(** (depth, #re-expansions, mean growth factor) for depths with events. *)
+
+val space_peak : t -> int
+val kernel_op_count : t -> int
+val overhead_op_count : t -> int

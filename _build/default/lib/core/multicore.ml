@@ -1,0 +1,180 @@
+type schedule = Lpt | Work_stealing of { steal_cost : float; seed : int }
+
+type result = {
+  workers : int;
+  jobs : int;
+  frontier : int;
+  expansion_cycles : float;
+  makespan_cycles : float;
+  total_work_cycles : float;
+  cycles : float;
+  balance : float;
+  steals : int;
+  reducers : (string * int) list;
+}
+
+(* The measured serial expansion phase: the same per-level work the engine
+   charges (packed reads, vectorized isBase, compaction, vectorized base
+   cases, site-major spawning), run until the frontier can feed the
+   workers. *)
+let expand ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t) ~target =
+  let m = Measure.create machine in
+  let vm = m.Measure.vm in
+  let isa = machine.Vc_mem.Machine.isa in
+  let width = Vc_simd.Isa.lanes isa (Schema.lane_kind spec.Spec.schema) in
+  let elem = Schema.elem_bytes spec.Spec.schema ~isa in
+  let nfields = Schema.num_fields spec.Spec.schema in
+  let compact = Vc_simd.Compact.default_for isa ~width in
+  let insns = spec.Spec.insns in
+  let reducers = Spec.make_reducers spec in
+  let make_block capacity =
+    Block.create m.Measure.addr ~schema:spec.Spec.schema ~isa ~capacity
+  in
+  let charge_chunks ~n ~f =
+    let chunk = ref 0 in
+    while !chunk < n do
+      let lanes = min width (n - !chunk) in
+      f ~row:!chunk ~lanes;
+      chunk := !chunk + width
+    done
+  in
+  let charge_read blk =
+    for fld = 0 to nfields - 1 do
+      charge_chunks ~n:(Block.size blk) ~f:(fun ~row ~lanes ->
+          Vc_simd.Vm.vector_load vm
+            ~addr:(Block.field_addr blk ~field:fld ~row)
+            ~lanes ~lane_bytes:elem)
+    done
+  in
+  let charge_append blk ~from ~count =
+    for fld = 0 to nfields - 1 do
+      charge_chunks ~n:count ~f:(fun ~row ~lanes ->
+          Vc_simd.Vm.vector_store vm
+            ~addr:(Block.field_addr blk ~field:fld ~row:(from + row))
+            ~lanes ~lane_bytes:elem)
+    done
+  in
+  let cur = ref (make_block (max 16 (List.length spec.Spec.roots))) in
+  List.iter (fun frame -> Block.push !cur frame) spec.Spec.roots;
+  charge_append !cur ~from:0 ~count:(Block.size !cur);
+  let next = ref (make_block 16) in
+  let expanded_tasks = ref 0 in
+  while Block.size !cur > 0 && Block.size !cur < target do
+    let blk = !cur in
+    let n = Block.size blk in
+    expanded_tasks := !expanded_tasks + n;
+    charge_read blk;
+    Vc_simd.Vm.batch vm ~width ~n ~insns_per_task:insns.Spec.check_insns ();
+    Vc_simd.Vm.scalar_ops vm (n * insns.Spec.scalar_insns);
+    let base_rows, rec_rows =
+      Vc_simd.Compact.partition ~vm ~engine:compact ~width ~n
+        ~pred:(fun row -> spec.Spec.is_base blk row)
+    in
+    Vc_simd.Vm.batch vm ~classify:true ~width ~n:(Array.length base_rows)
+      ~insns_per_task:insns.Spec.base_insns ();
+    Array.iter (fun row -> spec.Spec.exec_base reducers blk row) base_rows;
+    Vc_simd.Vm.batch vm ~classify:true ~width ~n:(Array.length rec_rows)
+      ~insns_per_task:insns.Spec.inductive_insns ();
+    let dst = !next in
+    Block.clear dst;
+    let dst = Block.ensure_room dst m.Measure.addr ~extra:(Array.length rec_rows * spec.Spec.num_spawns) in
+    for site = 0 to spec.Spec.num_spawns - 1 do
+      Vc_simd.Vm.batch vm ~width ~n:(Array.length rec_rows)
+        ~insns_per_task:insns.Spec.spawn_insns ();
+      let before = Block.size dst in
+      Array.iter (fun row -> ignore (spec.Spec.spawn blk row ~site ~dst : bool)) rec_rows;
+      charge_append dst ~from:before ~count:(Block.size dst - before)
+    done;
+    next := !cur;
+    cur := dst
+  done;
+  let frontier =
+    List.init (Block.size !cur) (fun row ->
+        Array.init nfields (fun fld -> Block.get !cur ~field:fld ~row))
+  in
+  (frontier, Vc_mem.Cost.cycles vm m.Measure.hier, reducers, !expanded_tasks)
+
+(* Round-robin dealing spreads adjacent (correlated-size) subtrees across
+   jobs, like random stealing would. *)
+let deal frames njobs =
+  let jobs = Array.make njobs [] in
+  List.iteri (fun i frame -> jobs.(i mod njobs) <- frame :: jobs.(i mod njobs)) frames;
+  Array.to_list (Array.map List.rev jobs) |> List.filter (fun j -> j <> [])
+
+(* Longest-processing-time list scheduling: the work-stealing makespan
+   model. *)
+let makespan ~workers costs =
+  let loads = Array.make workers 0.0 in
+  List.iter
+    (fun cost ->
+      let least = ref 0 in
+      Array.iteri (fun i load -> if load < loads.(!least) then least := i) loads;
+      loads.(!least) <- loads.(!least) +. cost)
+    (List.sort (fun a b -> compare b a) costs);
+  Array.fold_left max 0.0 loads
+
+let run ?(jobs_per_worker = 4) ?(max_block = 4096) ?(schedule = Lpt)
+    ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t) ~workers () =
+  if workers < 1 then invalid_arg "Multicore.run: workers must be positive";
+  let target_jobs = workers * jobs_per_worker in
+  let frontier, expansion_cycles, expansion_reducers, _expanded =
+    expand ~spec ~machine ~target:(target_jobs * 4)
+  in
+  let jobs = deal frontier (max 1 (min target_jobs (List.length frontier))) in
+  let reports =
+    List.map
+      (fun roots ->
+        let r =
+          Engine.run
+            ~spec:{ spec with Spec.roots }
+            ~machine
+            ~strategy:(Policy.Hybrid { max_block; reexpand = true })
+            ()
+        in
+        if r.Report.oom then failwith "Multicore.run: job ran out of memory";
+        r)
+      jobs
+  in
+  let costs = List.map (fun (r : Report.t) -> r.Report.cycles) reports in
+  let total_work = List.fold_left ( +. ) 0.0 costs in
+  let makespan_cycles, steals =
+    match schedule with
+    | Lpt -> (makespan ~workers costs, 0)
+    | Work_stealing { steal_cost; seed } ->
+        let jobs = List.mapi (fun id cost -> { Ws_sim.id; cost }) costs in
+        let stats = Ws_sim.simulate ~steal_cost ~seed ~workers jobs in
+        (stats.Ws_sim.makespan, stats.Ws_sim.steals)
+  in
+  (* merge the expansion phase's and every job's reductions *)
+  let ops = spec.Spec.reducers in
+  let merged =
+    List.map
+      (fun (name, op) ->
+        let from_jobs =
+          List.fold_left
+            (fun acc (r : Report.t) ->
+              Vc_lang.Reducer.apply op acc (Report.reducer r name))
+            (Vc_lang.Reducer.identity op) reports
+        in
+        (name, Vc_lang.Reducer.apply op from_jobs
+                 (List.assoc name (Vc_lang.Reducer.values expansion_reducers))))
+      ops
+  in
+  let cycles = expansion_cycles +. makespan_cycles in
+  {
+    workers;
+    jobs = List.length jobs;
+    frontier = List.length frontier;
+    expansion_cycles;
+    makespan_cycles;
+    total_work_cycles = total_work;
+    cycles;
+    balance =
+      (if total_work <= 0.0 then 1.0
+       else makespan_cycles /. (total_work /. float_of_int workers));
+    steals;
+    reducers = merged;
+  }
+
+let speedup ~(baseline : Report.t) result =
+  if result.cycles <= 0.0 then 0.0 else baseline.Report.cycles /. result.cycles

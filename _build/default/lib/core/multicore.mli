@@ -1,0 +1,56 @@
+(** Multicore × SIMD hybrid execution (the paper's §8 future work).
+
+    "It is feasible to integrate multicore parallelism with traditional
+    work stealing and our SIMDization technology.  We plan to investigate
+    this hybrid further in future work."  This module implements that
+    hybrid as a scheduling simulation on top of the single-core engine:
+
+    1. a serial breadth-first {e expansion phase} grows the frontier until
+       there is enough parallelism to feed every core (as a help-first
+       work-stealing runtime would);
+    2. the frontier splits into [jobs_per_worker × workers] jobs — each a
+       sub-block of frames whose subtrees are independent (the language
+       guarantees spawned tasks are independent);
+    3. each job runs to completion under the single-core blocked
+       re-expansion engine with its own cache hierarchy (one per core);
+    4. work stealing is modeled as longest-processing-time list
+       scheduling of the measured job costs onto the workers; the hybrid's
+       cycles are the expansion cost plus the makespan.
+
+    Reducer values remain exact: the expansion phase's base cases and all
+    job reductions combine into the same totals as a sequential run
+    (checked by the test suite). *)
+
+type schedule =
+  | Lpt  (** longest-processing-time list scheduling (balance upper bound) *)
+  | Work_stealing of { steal_cost : float; seed : int }
+      (** the {!Ws_sim} discrete-event simulation *)
+
+type result = {
+  workers : int;
+  jobs : int;
+  frontier : int;  (** frames after the expansion phase *)
+  expansion_cycles : float;  (** serial fraction (Amdahl) *)
+  makespan_cycles : float;
+  total_work_cycles : float;  (** sum over jobs *)
+  cycles : float;  (** expansion + makespan *)
+  balance : float;  (** makespan / (total work / workers); 1.0 = perfect *)
+  steals : int;  (** successful steals (0 under {!Lpt}) *)
+  reducers : (string * int) list;
+}
+
+val run :
+  ?jobs_per_worker:int ->
+  ?max_block:int ->
+  ?schedule:schedule ->
+  spec:Spec.t ->
+  machine:Vc_mem.Machine.t ->
+  workers:int ->
+  unit ->
+  result
+(** [jobs_per_worker] defaults to 4; [max_block] is the per-core engine's
+    re-expansion threshold (default 4096); [schedule] defaults to {!Lpt}.
+    [workers = 1] degenerates to the single-core engine plus expansion
+    bookkeeping.  Raises [Invalid_argument] if [workers < 1]. *)
+
+val speedup : baseline:Report.t -> result -> float

@@ -1,0 +1,17 @@
+type strategy = Bfs_only | Hybrid of { max_block : int; reexpand : bool }
+
+let hybrid_for ~target_space ~num_spawns ~reexpand =
+  if target_space < 1 then invalid_arg "Policy.hybrid_for: target_space < 1";
+  if num_spawns < 1 then invalid_arg "Policy.hybrid_for: num_spawns < 1";
+  Hybrid { max_block = max 1 (target_space / num_spawns); reexpand }
+
+let name = function
+  | Bfs_only -> "bfs"
+  | Hybrid { reexpand = false; _ } -> "noreexp"
+  | Hybrid { reexpand = true; _ } -> "reexp"
+
+let describe = function
+  | Bfs_only -> "pure breadth-first expansion"
+  | Hybrid { max_block; reexpand } ->
+      Printf.sprintf "hybrid (max block %d, re-expansion %s)" max_block
+        (if reexpand then "on" else "off")

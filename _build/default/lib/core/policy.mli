@@ -1,0 +1,26 @@
+(** Execution strategies and the §4.3 threshold rule.
+
+    The paper evaluates three strategies (Table 2):
+    - pure breadth-first ({!Bfs_only});
+    - hybrid without re-expansion: breadth-first until the block reaches
+      [max_block], then blocked depth-first to completion;
+    - hybrid with re-expansion (Fig. 6): additionally, any child block that
+      falls to or below the re-expansion threshold is handed back to
+      breadth-first expansion.
+
+    Both thresholds are set to [T_max / e] where [T_max] is the target
+    space (max live threads) and [e] the expansion factor, so one round of
+    breadth-first expansion cannot overshoot [T_max]. *)
+
+type strategy =
+  | Bfs_only
+  | Hybrid of { max_block : int; reexpand : bool }
+      (** [max_block] doubles as the re-expansion threshold, per §4.3. *)
+
+val hybrid_for : target_space:int -> num_spawns:int -> reexpand:bool -> strategy
+(** The §4.3 rule: [max_block = target_space / num_spawns] (at least 1). *)
+
+val name : strategy -> string
+(** "bfs", "noreexp", "reexp" — the Table 2 column names. *)
+
+val describe : strategy -> string

@@ -1,0 +1,71 @@
+type t = {
+  benchmark : string;
+  machine : string;
+  strategy : string;
+  oom : bool;
+  reducers : (string * int) list;
+  tasks : int;
+  base_tasks : int;
+  max_depth : int;
+  issue_cycles : float;
+  penalty_cycles : float;
+  cycles : float;
+  cpi : float;
+  utilization : float;
+  lane_occupancy : float;
+  scalar_ops : int;
+  vector_ops : int;
+  kernel_ops : int;
+  cache : (string * int * int) list;
+  miss_rates : (string * float) list;
+  space_peak : int;
+  levels : (int * int) array;
+  reexpansions : (int * int * float) array;
+  wall_seconds : float;
+}
+
+let oom_placeholder ~benchmark ~machine ~strategy =
+  {
+    benchmark;
+    machine;
+    strategy;
+    oom = true;
+    reducers = [];
+    tasks = 0;
+    base_tasks = 0;
+    max_depth = 0;
+    issue_cycles = 0.0;
+    penalty_cycles = 0.0;
+    cycles = 0.0;
+    cpi = 0.0;
+    utilization = 0.0;
+    lane_occupancy = 0.0;
+    scalar_ops = 0;
+    vector_ops = 0;
+    kernel_ops = 0;
+    cache = [];
+    miss_rates = [];
+    space_peak = 0;
+    levels = [||];
+    reexpansions = [||];
+    wall_seconds = 0.0;
+  }
+
+let speedup ~baseline t =
+  if t.oom || t.cycles <= 0.0 then 0.0 else baseline.cycles /. t.cycles
+
+let reducer t name = List.assoc name t.reducers
+
+let pp_summary fmt t =
+  if t.oom then
+    Format.fprintf fmt "%s/%s/%s: OOM" t.benchmark t.machine t.strategy
+  else
+    Format.fprintf fmt
+      "@[<v>%s/%s/%s: %d tasks (%d base), depth %d@,\
+       cycles %.3e (issue %.3e + mem %.3e), CPI %.2f@,\
+       utilization %.1f%%, space peak %d threads@,\
+       reducers: %s@]"
+      t.benchmark t.machine t.strategy t.tasks t.base_tasks t.max_depth t.cycles
+      t.issue_cycles t.penalty_cycles t.cpi (100.0 *. t.utilization) t.space_peak
+      (String.concat ", "
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) t.reducers))

@@ -1,0 +1,38 @@
+(** The result of one measured run: reducer values plus every model
+    quantity the evaluation section reports. *)
+
+type t = {
+  benchmark : string;
+  machine : string;
+  strategy : string;
+  oom : bool;  (** breadth-first expansion exceeded the space limit *)
+  reducers : (string * int) list;
+  tasks : int;
+  base_tasks : int;
+  max_depth : int;
+  issue_cycles : float;
+  penalty_cycles : float;
+  cycles : float;
+  cpi : float;
+  utilization : float;  (** Fig. 10's metric *)
+  lane_occupancy : float;
+  scalar_ops : int;
+  vector_ops : int;
+  kernel_ops : int;  (** Table 3 vectorizable side (sequential runs) *)
+  cache : (string * int * int) list;  (** label, accesses, misses *)
+  miss_rates : (string * float) list;
+  space_peak : int;  (** live-thread high-water *)
+  levels : (int * int) array;  (** Fig. 9: (tasks, base) per depth *)
+  reexpansions : (int * int * float) array;  (** Fig. 15 *)
+  wall_seconds : float;  (** host wall-clock, for transparency *)
+}
+
+val oom_placeholder : benchmark:string -> machine:string -> strategy:string -> t
+
+val speedup : baseline:t -> t -> float
+(** Modeled speedup of [t] over [baseline] (0 when [t] is an OOM run). *)
+
+val reducer : t -> string -> int
+(** Raises [Not_found]. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type t = { fields : string array; lane_kind : Vc_simd.Lane.kind }
+
+let create ~lane_kind fields =
+  if fields = [] then invalid_arg "Schema.create: no fields";
+  let rec dup = function
+    | [] -> ()
+    | f :: rest ->
+        if List.mem f rest then
+          invalid_arg (Printf.sprintf "Schema.create: duplicate field %S" f)
+        else dup rest
+  in
+  dup fields;
+  { fields = Array.of_list fields; lane_kind }
+
+let fields t = t.fields
+let num_fields t = Array.length t.fields
+
+let field_index t name =
+  let rec go i =
+    if i >= Array.length t.fields then raise Not_found
+    else if t.fields.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let lane_kind t = t.lane_kind
+
+let elem_bytes t ~isa = Vc_simd.Lane.bytes (Vc_simd.Isa.effective_kind isa t.lane_kind)
+
+let frame_bytes t ~isa = num_fields t * elem_bytes t ~isa
+
+let pp fmt t =
+  Format.fprintf fmt "{%s : %a}"
+    (String.concat ", " (Array.to_list t.fields))
+    Vc_simd.Lane.pp t.lane_kind

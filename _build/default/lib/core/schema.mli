@@ -1,0 +1,28 @@
+(** Layout description of one Thread stack frame (paper §4.4, §5).
+
+    The rewrite rules insert a [Thread] structure holding the method's
+    parameters; a {!Block.t} stores many such frames in structure-of-arrays
+    layout.  The lane kind is the benchmark's data type (Table 1) — it
+    determines how many SIMD lanes one vector instruction covers and the
+    modeled element size in the address trace. *)
+
+type t
+
+val create : lane_kind:Vc_simd.Lane.kind -> string list -> t
+(** Field names, in frame order.  Raises [Invalid_argument] on duplicates
+    or an empty list. *)
+
+val fields : t -> string array
+val num_fields : t -> int
+val field_index : t -> string -> int
+(** Raises [Not_found]. *)
+
+val lane_kind : t -> Vc_simd.Lane.kind
+
+val elem_bytes : t -> isa:Vc_simd.Isa.t -> int
+(** Modeled bytes of one element on the given ISA ([lane_kind] widened to
+    the ISA's minimum lane width, as the Phi widens everything to int). *)
+
+val frame_bytes : t -> isa:Vc_simd.Isa.t -> int
+
+val pp : Format.formatter -> t -> unit

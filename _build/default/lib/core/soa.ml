@@ -1,0 +1,54 @@
+let width_of vm schema =
+  Vc_simd.Isa.lanes (Vc_simd.Vm.isa vm) (Schema.lane_kind schema)
+
+let aos_to_soa ~vm ~addr ~schema ~isa ~aos_base ~frames =
+  let n = Array.length frames in
+  let nfields = Schema.num_fields schema in
+  let elem = Schema.elem_bytes schema ~isa in
+  let blk = Block.create ~label:"soa" addr ~schema ~isa ~capacity:(max n 1) in
+  Array.iter (fun frame -> Block.push blk frame) frames;
+  let width = width_of vm schema in
+  let frame_bytes = nfields * elem in
+  for f = 0 to nfields - 1 do
+    let chunk = ref 0 in
+    while !chunk < n do
+      let lanes = min width (n - !chunk) in
+      (* strided read of field [f] from AoS *)
+      let addrs =
+        Array.init lanes (fun i -> aos_base + ((!chunk + i) * frame_bytes) + (f * elem))
+      in
+      Vc_simd.Vm.gather vm ~addrs ~lane_bytes:elem;
+      (* packed store into the SoA column *)
+      Vc_simd.Vm.vector_store vm
+        ~addr:(Block.field_addr blk ~field:f ~row:!chunk)
+        ~lanes ~lane_bytes:elem;
+      chunk := !chunk + width
+    done
+  done;
+  blk
+
+let soa_to_aos ~vm ~aos_base blk =
+  let n = Block.size blk in
+  let nfields = Schema.num_fields (Block.schema blk) in
+  let elem = Block.elem_bytes blk in
+  let width = width_of vm (Block.schema blk) in
+  let frame_bytes = nfields * elem in
+  let out =
+    Array.init n (fun row ->
+        Array.init nfields (fun f -> Block.get blk ~field:f ~row))
+  in
+  for f = 0 to nfields - 1 do
+    let chunk = ref 0 in
+    while !chunk < n do
+      let lanes = min width (n - !chunk) in
+      Vc_simd.Vm.vector_load vm
+        ~addr:(Block.field_addr blk ~field:f ~row:!chunk)
+        ~lanes ~lane_bytes:elem;
+      let addrs =
+        Array.init lanes (fun i -> aos_base + ((!chunk + i) * frame_bytes) + (f * elem))
+      in
+      Vc_simd.Vm.scatter vm ~addrs ~lane_bytes:elem;
+      chunk := !chunk + width
+    done
+  done;
+  out

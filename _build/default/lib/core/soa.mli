@@ -1,0 +1,23 @@
+(** Dynamic AoS ↔ SoA conversion (paper §5).
+
+    When only the kernel of an application conforms to the language (uts,
+    minmax), the paper inserts two conversion functions around the kernel
+    instead of transforming the whole program: array-of-structures to
+    structure-of-arrays on entry, and back on exit.  The conversions are
+    strided, so they cost gathers/scatters rather than packed accesses —
+    that cost is charged here and ablated in the benchmark harness. *)
+
+val aos_to_soa :
+  vm:Vc_simd.Vm.t ->
+  addr:Addr.t ->
+  schema:Schema.t ->
+  isa:Vc_simd.Isa.t ->
+  aos_base:int ->
+  frames:int array array ->
+  Block.t
+(** Build a block from frames laid out AoS at modeled address [aos_base].
+    Charges one gather per field per width-chunk (reading strided AoS) and
+    packed stores into the new block. *)
+
+val soa_to_aos : vm:Vc_simd.Vm.t -> aos_base:int -> Block.t -> int array array
+(** The inverse: packed loads from the block, scattered stores to AoS. *)

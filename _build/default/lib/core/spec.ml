@@ -1,0 +1,45 @@
+type insns = {
+  check_insns : int;
+  base_insns : int;
+  inductive_insns : int;
+  spawn_insns : int;
+  scalar_insns : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  schema : Schema.t;
+  num_spawns : int;
+  roots : int array list;
+  reducers : (string * Vc_lang.Reducer.op) list;
+  is_base : Block.t -> int -> bool;
+  exec_base : Vc_lang.Reducer.set -> Block.t -> int -> unit;
+  spawn : Block.t -> int -> site:int -> dst:Block.t -> bool;
+  insns : insns;
+}
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if t.num_spawns < 1 then err "num_spawns must be at least 1";
+  if t.roots = [] then err "no root frames";
+  let nfields = Schema.num_fields t.schema in
+  List.iteri
+    (fun i frame ->
+      if Array.length frame <> nfields then
+        err "root frame %d has %d fields, schema has %d" i (Array.length frame) nfields)
+    t.roots;
+  if
+    t.insns.check_insns < 0 || t.insns.base_insns < 0 || t.insns.inductive_insns < 0
+    || t.insns.spawn_insns < 0 || t.insns.scalar_insns < 0
+  then err "negative instruction weights";
+  let names = List.map fst t.reducers in
+  let rec dup = function
+    | [] -> ()
+    | n :: rest -> if List.mem n rest then err "duplicate reducer %s" n else dup rest
+  in
+  dup names;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let make_reducers t = Vc_lang.Reducer.make_set t.reducers

@@ -1,0 +1,52 @@
+(** A task specification: the executor-facing form of a recursive,
+    task-parallel method.
+
+    A [Spec.t] is what the paper's transformed code computes over: the
+    Thread frame layout, the base-case predicate, the base-case body
+    (reductions only — the language's sole global effect), and one child
+    generator per spawn site.  Benchmarks provide specs directly ("kernel
+    conforms to the language", §5 AoS/SoA discussion); DSL programs are
+    compiled to specs by {!Compile}.
+
+    The [insns] weights are the per-task kernel instruction counts used by
+    the cost model; the executors charge them as scalar instructions in
+    sequential runs and as [ceil(n/width)]-vector batches in blocked
+    runs. *)
+
+type insns = {
+  check_insns : int;  (** evaluating the [isBase] conditional *)
+  base_insns : int;  (** executing one base case *)
+  inductive_insns : int;  (** inductive work shared by all spawn sites *)
+  spawn_insns : int;  (** computing + enqueuing one child *)
+  scalar_insns : int;
+      (** per-task instructions that stay scalar even in the blocked
+          execution (data-dependent branching the compiler cannot
+          vectorize) — the paper's Table 3 "non-vectorizable" residue *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  schema : Schema.t;
+  num_spawns : int;  (** expansion factor e — spawn sites per task *)
+  roots : int array list;  (** initial frames (normally one) *)
+  reducers : (string * Vc_lang.Reducer.op) list;
+  is_base : Block.t -> int -> bool;
+      (** [is_base blk row]: does thread [row] take the base case? Must be
+          pure. *)
+  exec_base : Vc_lang.Reducer.set -> Block.t -> int -> unit;
+      (** Execute the base case of thread [row]; may only update
+          reducers. *)
+  spawn : Block.t -> int -> site:int -> dst:Block.t -> bool;
+      (** [spawn blk row ~site ~dst]: if spawn site [site] fires for thread
+          [row], push the child frame onto [dst] and return [true].  Must
+          be pure per (row, site); called site-major by the executors so
+          that same-site children are grouped (§4.2). *)
+  insns : insns;
+}
+
+val validate : t -> (unit, string list) result
+(** Sanity checks: positive spawn count, root arity matches the schema,
+    insns non-negative, reducer names unique. *)
+
+val make_reducers : t -> Vc_lang.Reducer.set

@@ -1,0 +1,16 @@
+(** The §2 strawman: one "thread" per SIMD lane, each walking its own
+    subtree depth-first with its own divergent stack.
+
+    Implemented as a baseline to quantify the paper's argument for why it
+    fails: because the lanes' stacks grow and shrink independently, every
+    frame access is a gather or scatter, both branch paths execute under
+    masks, and utilization decays as lanes finish.  The benchmark harness
+    exposes it as an ablation. *)
+
+val run :
+  ?max_tasks:int ->
+  spec:Spec.t ->
+  machine:Vc_mem.Machine.t ->
+  unit ->
+  Report.t
+(** Strategy name in the report: ["strawman"]. *)

@@ -1,0 +1,52 @@
+type phase = Bfs | Blocked | Cutoff
+
+type event = { seq : int; phase : phase; depth : int; size : int; base : int }
+
+type t = { mutable events : event list; mutable count : int }
+
+let create () = { events = []; count = 0 }
+
+let record t ~phase ~depth ~size ~base =
+  t.events <- { seq = t.count; phase; depth; size; base } :: t.events;
+  t.count <- t.count + 1
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let events t = Array.of_list (List.rev t.events)
+
+let length t = t.count
+
+let phase_name = function Bfs -> "bfs" | Blocked -> "blocked" | Cutoff -> "cutoff"
+
+let phase_counts t =
+  let count p = List.length (List.filter (fun e -> e.phase = p) t.events) in
+  List.filter_map
+    (fun p ->
+      let n = count p in
+      if n > 0 then Some (p, n) else None)
+    [ Bfs; Blocked; Cutoff ]
+
+let log2i n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let pp ?(limit = 40) fmt t =
+  let evs = events t in
+  Format.fprintf fmt "@[<v>%6s %-8s %6s %10s %8s  %s@," "#" "phase" "depth"
+    "threads" "base" "log2(size)";
+  Array.iteri
+    (fun i e ->
+      if i < limit then
+        Format.fprintf fmt "%6d %-8s %6d %10d %8d  %s@," e.seq (phase_name e.phase)
+          e.depth e.size e.base
+          (String.make (log2i (max e.size 1)) '#'))
+    evs;
+  if Array.length evs > limit then
+    Format.fprintf fmt "  ... %d more events@," (Array.length evs - limit);
+  Format.fprintf fmt "summary:";
+  List.iter
+    (fun (p, n) -> Format.fprintf fmt " %s=%d" (phase_name p) n)
+    (phase_counts t);
+  Format.fprintf fmt "@]@."

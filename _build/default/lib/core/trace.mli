@@ -1,0 +1,43 @@
+(** Execution timelines: one event per processed block level.
+
+    Pass a trace to {!Engine.run} to record the scheduler's decisions —
+    which phase (breadth-first, blocked depth-first, or cut-off) processed
+    which block, at which tree depth, and how the block split into base
+    and recursive tasks.  Useful to see re-expansion toggling (§4.3) at
+    work; the CLI's [trace] subcommand prints it. *)
+
+type phase =
+  | Bfs  (** breadth-first level (including re-expansion) *)
+  | Blocked  (** blocked depth-first level *)
+  | Cutoff  (** sequentialized subtree (task cut-off) *)
+
+type event = {
+  seq : int;  (** event order *)
+  phase : phase;
+  depth : int;  (** tree depth of the block *)
+  size : int;  (** threads in the block *)
+  base : int;  (** of which took the base case *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> phase:phase -> depth:int -> size:int -> base:int -> unit
+(** Called by the engine; appends one event. *)
+
+val clear : t -> unit
+(** Drop all events (the engine clears between a warm-up pass and the
+    measured pass). *)
+
+val events : t -> event array
+val length : t -> int
+
+val phase_counts : t -> (phase * int) list
+(** Events per phase, in declaration order (zero-count phases omitted). *)
+
+val phase_name : phase -> string
+
+val pp : ?limit:int -> Format.formatter -> t -> unit
+(** Timeline with one row per event (first [limit], default 40, plus a
+    summary): sequence, phase, depth, and a log2-scaled size bar. *)

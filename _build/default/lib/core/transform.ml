@@ -1,0 +1,38 @@
+open Vc_lang
+
+let rec rewrite_stmt ~flavor (s : Ast.stmt) : Blocked_ast.bstmt =
+  match s with
+  | Ast.Skip -> Blocked_ast.BSkip
+  | Ast.Return -> Blocked_ast.Continue
+  | Ast.Seq (a, b) -> Blocked_ast.BSeq (rewrite_stmt ~flavor a, rewrite_stmt ~flavor b)
+  | Ast.Assign (name, e) -> Blocked_ast.BAssign (name, e)
+  | Ast.If (c, a, b) ->
+      Blocked_ast.BIf (c, rewrite_stmt ~flavor a, rewrite_stmt ~flavor b)
+  | Ast.While (c, body) -> Blocked_ast.BWhile (c, rewrite_stmt ~flavor body)
+  | Ast.Reduce (name, e) -> Blocked_ast.BReduce (name, e)
+  | Ast.Spawn { spawn_id; spawn_args } -> (
+      match flavor with
+      | Blocked_ast.Bfs -> Blocked_ast.NextAdd spawn_args
+      | Blocked_ast.Blocked -> Blocked_ast.NextsAdd (spawn_id, spawn_args))
+
+let rewrite_method ~flavor (m : Ast.mth) : Blocked_ast.bmethod =
+  let suffix = match flavor with Blocked_ast.Bfs -> "_bfs" | Blocked_ast.Blocked -> "_blocked" in
+  {
+    Blocked_ast.flavor;
+    bname = m.Ast.name ^ suffix;
+    fields = m.Ast.params;
+    is_base = m.Ast.is_base;
+    base = rewrite_stmt ~flavor m.Ast.base;
+    inductive = rewrite_stmt ~flavor m.Ast.inductive;
+  }
+
+let transform (program : Ast.program) : Blocked_ast.t =
+  let info = Validate.check_exn program in
+  let m = program.Ast.mth in
+  {
+    Blocked_ast.source = program;
+    thread_fields = m.Ast.params;
+    num_spawns = info.Validate.num_spawns;
+    bfs_method = rewrite_method ~flavor:Blocked_ast.Bfs m;
+    blocked_method = rewrite_method ~flavor:Blocked_ast.Blocked m;
+  }

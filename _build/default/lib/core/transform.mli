@@ -1,0 +1,18 @@
+(** The paper's rewrite rules (§4.4, Fig. 7).
+
+    A validated method [f] is rewritten into three artifacts:
+    - a Thread structure holding one field per parameter;
+    - [f_bfs], the breadth-first flavor, where every
+      [spawn f(e1..ek)] becomes [next.add(new Thread(e1..ek))];
+    - [f_blocked], the blocked depth-first flavor, where spawn site [id]
+      becomes [nexts[id].add(new Thread(e1..ek))];
+    plus an entry method that seeds a one-thread block and calls [f_bfs].
+
+    [return] rewrites to [continue] in both flavors; all other statements
+    are rewritten structurally. *)
+
+val transform : Vc_lang.Ast.program -> Blocked_ast.t
+(** Raises [Vc_lang.Validate.Invalid] if the program violates Fig. 2. *)
+
+val rewrite_stmt : flavor:Blocked_ast.flavor -> Vc_lang.Ast.stmt -> Blocked_ast.bstmt
+(** The X[.] rewrite on statements, exposed for testing. *)

@@ -1,0 +1,33 @@
+(** Discrete-event simulation of a work-stealing scheduler.
+
+    {!Multicore} models work stealing as LPT list scheduling — a good
+    upper bound on balance, but silent about stealing itself.  This module
+    simulates the runtime the paper's §2 describes (a Cilk-style
+    work-stealing pool) at job granularity: every worker owns a deque,
+    executes jobs from its bottom, and when empty picks a random victim,
+    steals one job from the top, and executes it immediately, paying
+    [steal_cost] cycles per attempt (successful or not).
+
+    Jobs are atomic with precomputed costs (the engine measures them);
+    the simulation is deterministic given [seed]. *)
+
+type job = { id : int; cost : float }
+
+type stats = {
+  makespan : float;  (** completion time of the last job *)
+  total_work : float;  (** sum of job costs *)
+  busy : float array;  (** per-worker executing time *)
+  steals : int;  (** successful steals *)
+  failed_steals : int;  (** attempts on empty or busy-less victims *)
+  jobs_run : int array;  (** per-worker job counts *)
+}
+
+val simulate : ?steal_cost:float -> ?seed:int -> workers:int -> job list -> stats
+(** All jobs start on worker 0's deque (the paper's single-core expansion
+    phase feeds the pool).  [steal_cost] defaults to 200 cycles — a
+    cache-line ping-pong plus deque CAS.  Raises [Invalid_argument] when
+    [workers < 1].  An empty job list yields a zero makespan. *)
+
+val utilization : stats -> float
+(** Mean busy fraction over the makespan (1.0 = perfectly balanced, no
+    idling). *)

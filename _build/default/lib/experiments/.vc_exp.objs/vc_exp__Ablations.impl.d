@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Fib Format List Registry Sweep Vc_bench Vc_core Vc_mem Vc_simd

@@ -1,0 +1,1 @@
+lib/experiments/ascii_plot.ml: Array Format List String

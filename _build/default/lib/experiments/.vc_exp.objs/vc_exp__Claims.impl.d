@@ -1,0 +1,1 @@
+lib/experiments/claims.ml: Array Format Fun List Printf Registry String Sweep Vc_bench Vc_core Vc_mem Vc_simd

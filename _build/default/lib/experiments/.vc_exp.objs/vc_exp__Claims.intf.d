@@ -1,0 +1,1 @@
+lib/experiments/claims.mli: Format Sweep

@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Array Buffer Filename Fun List Printf Registry String Sweep Sys Unix Vc_bench Vc_core Vc_mem Vc_simd

@@ -1,0 +1,1 @@
+lib/experiments/csv.mli: Sweep

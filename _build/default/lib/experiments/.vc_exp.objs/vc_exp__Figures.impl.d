@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Format List Printf Registry Sweep Vc_bench Vc_core Vc_mem Vc_simd

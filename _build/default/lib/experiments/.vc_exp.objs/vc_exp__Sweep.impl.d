@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Binomial Fib Graphcol Hashtbl Knapsack List Minmax Nqueens Parentheses Registry Sys Uts Vc_bench Vc_core Vc_mem Vc_simd

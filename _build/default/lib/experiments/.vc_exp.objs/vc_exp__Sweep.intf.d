@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Vc_bench Vc_core Vc_mem Vc_simd

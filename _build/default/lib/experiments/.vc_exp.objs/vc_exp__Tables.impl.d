@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Format List Printf Registry Sweep Vc_bench Vc_core Vc_mem

@@ -1,0 +1,40 @@
+type series = { label : string; marker : char; points : (float * float) list }
+
+let plot ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") series fmt =
+  let series = List.filter (fun s -> s.points <> []) series in
+  if series = [] then Format.fprintf fmt "(no data to plot)@."
+  else begin
+    let all = List.concat_map (fun s -> s.points) series in
+    let xs = List.map fst all and ys = List.map snd all in
+    let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+    let x0 = fmin xs and x1 = fmax xs in
+    let y0 = min 0.0 (fmin ys) and y1 = fmax ys in
+    let x1 = if x1 = x0 then x0 +. 1.0 else x1 in
+    let y1 = if y1 = y0 then y0 +. 1.0 else y1 in
+    let grid = Array.make_matrix height width ' ' in
+    let place x y marker =
+      let col =
+        int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1) +. 0.5)
+      in
+      let row =
+        height - 1
+        - int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1) +. 0.5)
+      in
+      if row >= 0 && row < height && col >= 0 && col < width then
+        grid.(row).(col) <- marker
+    in
+    List.iter (fun s -> List.iter (fun (x, y) -> place x y s.marker) s.points) series;
+    Format.fprintf fmt "@[<v>";
+    if y_label <> "" then Format.fprintf fmt "%s@," y_label;
+    Array.iteri
+      (fun row line ->
+        let y_at_row =
+          y1 -. (float_of_int row /. float_of_int (height - 1) *. (y1 -. y0))
+        in
+        Format.fprintf fmt "%8.2f |%s@," y_at_row (String.init width (Array.get line)))
+      grid;
+    Format.fprintf fmt "%8s +%s@," "" (String.make width '-');
+    Format.fprintf fmt "%8s  %-8.2f%*.2f  %s@," "" x0 (width - 8) x1 x_label;
+    List.iter (fun s -> Format.fprintf fmt "%8s  %c = %s@," "" s.marker s.label) series;
+    Format.fprintf fmt "@]"
+  end

@@ -1,0 +1,20 @@
+(** Minimal ASCII line plots for the figure curves.
+
+    Renders one or more (x, y) series on a character grid with a marker
+    per series — enough to eyeball the shapes the paper plots (utilization
+    ramps, cache cliffs, speedup humps) straight from the terminal. *)
+
+type series = { label : string; marker : char; points : (float * float) list }
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  Format.formatter ->
+  unit
+(** Default 64×16 grid.  The x axis is linear in the given coordinates —
+    pass log2 of the block size for the paper's log-scale sweeps.  Series
+    with no points are skipped; an all-empty plot prints a notice.
+    Overlapping markers show the later series. *)

@@ -1,0 +1,25 @@
+(** The paper's qualitative claims as executable checks.
+
+    EXPERIMENTS.md argues the reproduction preserves the paper's *shape*
+    claims; this module turns each claim into an assertion over a sweep
+    context so `vcilk verify` (and CI) can re-check them mechanically.
+    Each check returns a human-readable verdict; a claim that fails does
+    not stop the others. *)
+
+type verdict = { claim : string; holds : bool; evidence : string }
+
+val all : Sweep.ctx -> verdict list
+(** Runs every check (quick context recommended: a few minutes).  Claims
+    covered: breadth-first-only is never the best strategy; re-expansion
+    never loses to no-re-expansion at the respective best blocks and wins
+    clearly on nqueens and graphcol; re-expansion reaches peak speedup at
+    a block no larger than no-re-expansion's; knapsack triggers no
+    re-expansions (balanced tree) and uts none either; utilization grows
+    monotonically with block size (no re-expansion); vectorized stream
+    compaction beats the sequential fallback, by more on fib than on
+    nqueens; the strawman never beats the blocked transformation; every
+    strategy returns the sequential run's exact reducer values. *)
+
+val pp : Format.formatter -> verdict list -> unit
+
+val failures : verdict list -> int

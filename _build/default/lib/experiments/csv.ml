@@ -1,0 +1,203 @@
+open Vc_bench
+
+let buf_csv f =
+  let buf = Buffer.create 1024 in
+  f buf;
+  Buffer.contents buf
+
+let row buf cells = Buffer.add_string buf (String.concat "," cells ^ "\n")
+
+let e5 = Vc_mem.Machine.xeon_e5
+let phi = Vc_mem.Machine.xeon_phi
+
+let table1 ctx =
+  buf_csv @@ fun buf ->
+  row buf
+    [ "benchmark"; "width_e5"; "width_phi"; "tasks"; "levels"; "seq_cycles"; "seq_wall_s" ];
+  List.iter
+    (fun (entry : Registry.entry) ->
+      let r = Sweep.seq ctx entry e5 in
+      row buf
+        [
+          entry.Registry.name;
+          string_of_int (Sweep.width_on ctx entry e5);
+          string_of_int (Sweep.width_on ctx entry phi);
+          string_of_int r.Vc_core.Report.tasks;
+          string_of_int (r.Vc_core.Report.max_depth + 1);
+          Printf.sprintf "%.6e" r.Vc_core.Report.cycles;
+          Printf.sprintf "%.3f" r.Vc_core.Report.wall_seconds;
+        ])
+    Registry.all
+
+let table2 ctx =
+  buf_csv @@ fun buf ->
+  row buf
+    [
+      "benchmark"; "machine"; "bfs_speedup"; "bfs_oom"; "noreexp_block";
+      "noreexp_speedup"; "reexp_block"; "reexp_speedup";
+    ];
+  List.iter
+    (fun (entry : Registry.entry) ->
+      List.iter
+        (fun (machine : Vc_mem.Machine.t) ->
+          let bfs = Sweep.bfs_only ctx entry machine in
+          let blk_n, no = Sweep.best ctx entry machine ~reexpand:false in
+          let blk_r, re = Sweep.best ctx entry machine ~reexpand:true in
+          row buf
+            [
+              entry.Registry.name;
+              machine.Vc_mem.Machine.name;
+              Printf.sprintf "%.4f" (Sweep.speedup ctx entry machine bfs);
+              string_of_bool bfs.Vc_core.Report.oom;
+              string_of_int blk_n;
+              Printf.sprintf "%.4f" (Sweep.speedup ctx entry machine no);
+              string_of_int blk_r;
+              Printf.sprintf "%.4f" (Sweep.speedup ctx entry machine re);
+            ])
+        Sweep.machines)
+    Registry.all
+
+let table3 ctx =
+  buf_csv @@ fun buf ->
+  row buf
+    [ "benchmark"; "seq_vect"; "seq_nonvect"; "vec_vect"; "vec_nonvect"; "max_speedup" ];
+  List.iter
+    (fun name ->
+      let entry = Registry.find name in
+      let seq = Sweep.seq ctx entry e5 in
+      let _, vec = Sweep.best ctx entry e5 ~reexpand:true in
+      let r =
+        Vc_core.Opportunity.analyze ~seq ~vec ~width:(Sweep.width_on ctx entry e5)
+      in
+      row buf
+        [
+          name;
+          Printf.sprintf "%.4f" r.Vc_core.Opportunity.seq_vect;
+          Printf.sprintf "%.4f" r.Vc_core.Opportunity.seq_nonvect;
+          Printf.sprintf "%.4f" r.Vc_core.Opportunity.vec_vect;
+          Printf.sprintf "%.4f" r.Vc_core.Opportunity.vec_nonvect;
+          Printf.sprintf "%.4f" r.Vc_core.Opportunity.max_speedup;
+        ])
+    [ "nqueens"; "graphcol"; "uts"; "minmax" ]
+
+let levels ctx ~benchmark =
+  let entry = Registry.find benchmark in
+  let r = Sweep.seq ctx entry e5 in
+  buf_csv @@ fun buf ->
+  row buf [ "level"; "tasks"; "base_tasks" ];
+  Array.iteri
+    (fun level (tasks, base) ->
+      row buf [ string_of_int level; string_of_int tasks; string_of_int base ])
+    r.Vc_core.Report.levels
+
+let miss (r : Vc_core.Report.t) label =
+  match List.assoc_opt label r.Vc_core.Report.miss_rates with
+  | Some rate -> Printf.sprintf "%.6f" rate
+  | None -> ""
+
+let sweep ctx ~benchmark =
+  let entry = Registry.find benchmark in
+  buf_csv @@ fun buf ->
+  row buf
+    [
+      "block"; "machine"; "strategy"; "oom"; "utilization"; "l1_miss"; "llc_miss";
+      "cpi"; "speedup";
+    ];
+  List.iter
+    (fun block ->
+      List.iter
+        (fun (machine : Vc_mem.Machine.t) ->
+          List.iter
+            (fun reexpand ->
+              let r = Sweep.hybrid ctx entry machine ~reexpand ~block in
+              row buf
+                [
+                  string_of_int block;
+                  machine.Vc_mem.Machine.name;
+                  (if reexpand then "reexp" else "noreexp");
+                  string_of_bool r.Vc_core.Report.oom;
+                  Printf.sprintf "%.4f" r.Vc_core.Report.utilization;
+                  miss r "L1d";
+                  (match miss r "LLC" with "" -> miss r "L2" | m -> m);
+                  Printf.sprintf "%.4f" r.Vc_core.Report.cpi;
+                  Printf.sprintf "%.4f" (Sweep.speedup ctx entry machine r);
+                ])
+            [ false; true ])
+        Sweep.machines)
+    (Sweep.blocks_of ctx entry)
+
+let reexpansions ctx ~benchmark =
+  let entry = Registry.find benchmark in
+  let _, r = Sweep.best ctx entry e5 ~reexpand:true in
+  buf_csv @@ fun buf ->
+  row buf [ "level"; "reexpansions"; "mean_growth_factor" ];
+  Array.iter
+    (fun (level, count, factor) ->
+      row buf
+        [ string_of_int level; string_of_int count; Printf.sprintf "%.4f" factor ])
+    r.Vc_core.Report.reexpansions
+
+let compaction ctx =
+  buf_csv @@ fun buf ->
+  row buf [ "benchmark"; "machine"; "sc_speedup"; "nosc_speedup" ];
+  List.iter
+    (fun name ->
+      let entry = Registry.find name in
+      List.iter
+        (fun (machine : Vc_mem.Machine.t) ->
+          let block, _ = Sweep.best ctx entry machine ~reexpand:true in
+          let default =
+            Vc_simd.Compact.default_for machine.Vc_mem.Machine.isa
+              ~width:(Sweep.width_on ctx entry machine)
+          in
+          let sc = Sweep.with_compaction ctx entry machine ~compact:default ~block in
+          let nosc =
+            Sweep.with_compaction ctx entry machine
+              ~compact:Vc_simd.Compact.Sequential ~block
+          in
+          row buf
+            [
+              name;
+              machine.Vc_mem.Machine.name;
+              Printf.sprintf "%.4f" (Sweep.speedup ctx entry machine sc);
+              Printf.sprintf "%.4f" (Sweep.speedup ctx entry machine nosc);
+            ])
+        Sweep.machines)
+    [ "fib"; "nqueens" ]
+
+let export_all ctx ~dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc contents);
+    name
+  in
+  let files =
+    [
+      write "table1.csv" (table1 ctx);
+      write "table2.csv" (table2 ctx);
+      write "table3.csv" (table3 ctx);
+      write "figure16_compaction.csv" (compaction ctx);
+    ]
+    @ List.map
+        (fun (entry : Registry.entry) ->
+          write
+            (Printf.sprintf "figure9_levels_%s.csv" entry.Registry.name)
+            (levels ctx ~benchmark:entry.Registry.name))
+        Registry.all
+    @ List.map
+        (fun (entry : Registry.entry) ->
+          write
+            (Printf.sprintf "sweep_%s.csv" entry.Registry.name)
+            (sweep ctx ~benchmark:entry.Registry.name))
+        Registry.all
+    @ List.map
+        (fun name ->
+          write
+            (Printf.sprintf "figure15_reexpansion_%s.csv" name)
+            (reexpansions ctx ~benchmark:name))
+        [ "fib"; "parentheses"; "nqueens"; "graphcol" ]
+  in
+  files

@@ -1,0 +1,28 @@
+(** CSV export of every reproduced artifact, for external plotting.
+
+    Each function renders one artifact as CSV text (header row first);
+    {!export_all} writes the full set into a directory.  All data comes
+    from the shared {!Sweep} cache. *)
+
+val table1 : Sweep.ctx -> string
+val table2 : Sweep.ctx -> string
+val table3 : Sweep.ctx -> string
+
+val levels : Sweep.ctx -> benchmark:string -> string
+(** Fig. 9 series: level, tasks, base. *)
+
+val sweep : Sweep.ctx -> benchmark:string -> string
+(** The block-size sweep behind Figs. 10–14: one row per block size with
+    utilization, L1/LLC (or L2) miss rates, CPI, and speedup for both
+    strategies on both machines. *)
+
+val reexpansions : Sweep.ctx -> benchmark:string -> string
+(** Fig. 15 series: level, count, mean growth factor. *)
+
+val compaction : Sweep.ctx -> string
+(** Fig. 16: benchmark, machine, speedup with/without vectorized stream
+    compaction. *)
+
+val export_all : Sweep.ctx -> dir:string -> string list
+(** Write every artifact into [dir] (created if missing); returns the file
+    names written. *)

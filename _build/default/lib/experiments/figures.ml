@@ -1,0 +1,157 @@
+open Vc_bench
+
+let log2i n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let fig9_benchmarks =
+  [ "knapsack"; "fib"; "parentheses"; "nqueens"; "graphcol"; "uts" ]
+
+(* The paper omits binomial and minmax from the per-benchmark studies as
+   structurally similar to fib and nqueens. *)
+let study_benchmarks = fig9_benchmarks
+
+let figure9 ctx fmt =
+  Format.fprintf fmt
+    "@[<v>Figure 9: task distribution per level (all tasks / base-case tasks)@,";
+  List.iter
+    (fun name ->
+      let entry = Registry.find name in
+      let r = Sweep.seq ctx entry Vc_mem.Machine.xeon_e5 in
+      Format.fprintf fmt "@,[%s]@,%6s %12s %12s@," name "level" "tasks" "base";
+      Array.iteri
+        (fun depth (tasks, base) ->
+          Format.fprintf fmt "%6d %12d %12d@," depth tasks base)
+        r.Vc_core.Report.levels)
+    fig9_benchmarks;
+  Format.fprintf fmt "@]@."
+
+let sweep_figure ctx fmt ~title ~header ~cell =
+  Format.fprintf fmt "@[<v>%s@," title;
+  List.iter
+    (fun name ->
+      let entry = Registry.find name in
+      Format.fprintf fmt "@,[%s]@,%8s %s@," name "block" header;
+      List.iter
+        (fun block -> Format.fprintf fmt "%8s %s@," (Printf.sprintf "2^%d" (log2i block)) (cell entry block))
+        (Sweep.blocks_of ctx entry))
+    study_benchmarks;
+  Format.fprintf fmt "@]@."
+
+let figure10 ctx fmt =
+  sweep_figure ctx fmt
+    ~title:
+      "Figure 10: SIMD utilization vs block size (fraction of tasks executed \
+       in full-width groups)"
+    ~header:(Printf.sprintf "%10s %10s %10s %10s" "e5:noreexp" "e5:reexp" "phi:norex" "phi:reexp")
+    ~cell:(fun entry block ->
+      let cell machine reexpand =
+        let r = Sweep.hybrid ctx entry machine ~reexpand ~block in
+        if r.Vc_core.Report.oom then "     OOM" else Printf.sprintf "%10.3f" r.Vc_core.Report.utilization
+      in
+      Printf.sprintf "%s %s %s %s"
+        (cell Vc_mem.Machine.xeon_e5 false)
+        (cell Vc_mem.Machine.xeon_e5 true)
+        (cell Vc_mem.Machine.xeon_phi false)
+        (cell Vc_mem.Machine.xeon_phi true))
+
+let miss_rate (r : Vc_core.Report.t) label =
+  match List.assoc_opt label r.Vc_core.Report.miss_rates with
+  | Some rate -> rate
+  | None -> 0.0
+
+let figure11 ctx fmt =
+  sweep_figure ctx fmt
+    ~title:"Figure 11: Xeon E5 cache miss rates vs block size"
+    ~header:
+      (Printf.sprintf "%10s %10s %10s %10s" "norex:L1d" "norex:LLC" "reexp:L1d" "reexp:LLC")
+    ~cell:(fun entry block ->
+      let cell reexpand label =
+        let r = Sweep.hybrid ctx entry Vc_mem.Machine.xeon_e5 ~reexpand ~block in
+        Printf.sprintf "%10.4f" (miss_rate r label)
+      in
+      Printf.sprintf "%s %s %s %s" (cell false "L1d") (cell false "LLC")
+        (cell true "L1d") (cell true "LLC"))
+
+let speedup_figure ctx fmt ~title machine =
+  sweep_figure ctx fmt ~title
+    ~header:(Printf.sprintf "%10s %10s" "noreexp" "reexp")
+    ~cell:(fun entry block ->
+      let cell reexpand =
+        let r = Sweep.hybrid ctx entry machine ~reexpand ~block in
+        if r.Vc_core.Report.oom then "       OOM"
+        else Printf.sprintf "%10.2f" (Sweep.speedup ctx entry machine r)
+      in
+      Printf.sprintf "%s %s" (cell false) (cell true))
+
+let figure12 ctx fmt =
+  speedup_figure ctx fmt
+    ~title:"Figure 12: Xeon E5 modeled speedup vs block size"
+    Vc_mem.Machine.xeon_e5
+
+let figure13 ctx fmt =
+  sweep_figure ctx fmt
+    ~title:"Figure 13: Xeon Phi L1 miss rate and CPI vs block size"
+    ~header:
+      (Printf.sprintf "%10s %10s %10s %10s" "norex:L1" "norex:CPI" "reexp:L1" "reexp:CPI")
+    ~cell:(fun entry block ->
+      let cell reexpand =
+        let r = Sweep.hybrid ctx entry Vc_mem.Machine.xeon_phi ~reexpand ~block in
+        Printf.sprintf "%10.4f %10.2f" (miss_rate r "L1d") r.Vc_core.Report.cpi
+      in
+      Printf.sprintf "%s %s" (cell false) (cell true))
+
+let figure14 ctx fmt =
+  speedup_figure ctx fmt
+    ~title:"Figure 14: Xeon Phi modeled speedup vs block size"
+    Vc_mem.Machine.xeon_phi
+
+let figure15 ctx fmt =
+  Format.fprintf fmt
+    "@[<v>Figure 15: re-expansions per level and mean growth factor (at the \
+     best re-expansion block size, Xeon E5)@,";
+  List.iter
+    (fun name ->
+      let entry = Registry.find name in
+      let machine = Vc_mem.Machine.xeon_e5 in
+      let block, r = Sweep.best ctx entry machine ~reexpand:true in
+      Format.fprintf fmt "@,[%s] best block 2^%d@," name (log2i block);
+      if Array.length r.Vc_core.Report.reexpansions = 0 then
+        Format.fprintf fmt "  (no re-expansions triggered)@,"
+      else begin
+        Format.fprintf fmt "%6s %12s %10s@," "level" "reexpansions" "factor";
+        Array.iter
+          (fun (depth, count, factor) ->
+            Format.fprintf fmt "%6d %12d %10.2f@," depth count factor)
+          r.Vc_core.Report.reexpansions
+      end)
+    [ "fib"; "parentheses"; "nqueens"; "graphcol"; "knapsack"; "uts" ];
+  Format.fprintf fmt "@]@."
+
+let figure16 ctx fmt =
+  Format.fprintf fmt
+    "@[<v>Figure 16: speedup with vectorized (sc) vs sequential (no sc) \
+     stream compaction@,@,";
+  Format.fprintf fmt "%-10s %-8s %10s %10s@," "benchmark" "machine" "sc" "no sc";
+  List.iter
+    (fun name ->
+      let entry = Registry.find name in
+      List.iter
+        (fun (machine : Vc_mem.Machine.t) ->
+          let block, _ = Sweep.best ctx entry machine ~reexpand:true in
+          let default =
+            Vc_simd.Compact.default_for machine.Vc_mem.Machine.isa
+              ~width:(Sweep.width_on ctx entry machine)
+          in
+          let sc = Sweep.with_compaction ctx entry machine ~compact:default ~block in
+          let nosc =
+            Sweep.with_compaction ctx entry machine ~compact:Vc_simd.Compact.Sequential
+              ~block
+          in
+          Format.fprintf fmt "%-10s %-8s %10.2f %10.2f@," name
+            machine.Vc_mem.Machine.name
+            (Sweep.speedup ctx entry machine sc)
+            (Sweep.speedup ctx entry machine nosc))
+        Sweep.machines)
+    [ "fib"; "nqueens" ];
+  Format.fprintf fmt "@]@."

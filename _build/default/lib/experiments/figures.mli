@@ -1,0 +1,32 @@
+(** Regeneration of the paper's figures (§6) as data series.
+
+    Each function prints the numbers behind one figure — one row per
+    x-axis point, one column per plotted series — so the curves can be
+    eyeballed or re-plotted.  Shared {!Sweep} context as for the tables. *)
+
+val figure9 : Sweep.ctx -> Format.formatter -> unit
+(** Task distribution per tree level: all tasks and base-case tasks. *)
+
+val figure10 : Sweep.ctx -> Format.formatter -> unit
+(** SIMD utilization vs. block size, with and without re-expansion, on
+    both machines. *)
+
+val figure11 : Sweep.ctx -> Format.formatter -> unit
+(** Xeon E5 cache miss rates (L1d, LLC) vs. block size. *)
+
+val figure12 : Sweep.ctx -> Format.formatter -> unit
+(** Xeon E5 modeled speedup vs. block size. *)
+
+val figure13 : Sweep.ctx -> Format.formatter -> unit
+(** Xeon Phi L1 miss rate and CPI vs. block size. *)
+
+val figure14 : Sweep.ctx -> Format.formatter -> unit
+(** Xeon Phi modeled speedup vs. block size. *)
+
+val figure15 : Sweep.ctx -> Format.formatter -> unit
+(** Re-expansions per tree level and mean block-growth factor, at the best
+    re-expansion block size. *)
+
+val figure16 : Sweep.ctx -> Format.formatter -> unit
+(** Speedup with vectorized vs. sequential stream compaction (fib and
+    nqueens, both machines). *)

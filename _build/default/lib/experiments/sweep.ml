@@ -1,0 +1,162 @@
+open Vc_bench
+
+type key = {
+  bench : string;
+  machine : string;
+  strategy : string;
+  block : int;
+  compact : string;
+}
+
+type ctx = {
+  quick : bool;
+  specs : (string, Vc_core.Spec.t) Hashtbl.t;
+  runs : (key, Vc_core.Report.t) Hashtbl.t;
+}
+
+let create ?quick () =
+  let quick =
+    match quick with
+    | Some q -> q
+    | None -> (
+        match Sys.getenv_opt "VC_BENCH_QUICK" with
+        | Some ("1" | "true" | "yes") -> true
+        | _ -> false)
+  in
+  { quick; specs = Hashtbl.create 16; runs = Hashtbl.create 256 }
+
+let quick ctx = ctx.quick
+
+let machines = [ Vc_mem.Machine.xeon_e5; Vc_mem.Machine.xeon_phi ]
+
+(* Small workloads for smoke runs and the bechamel harness. *)
+let quick_spec name =
+  match name with
+  | "knapsack" -> Knapsack.spec { Knapsack.n = 13; capacity_ratio = 0.5; seed = 1 }
+  | "fib" -> Fib.spec { Fib.n = 20 }
+  | "parentheses" -> Parentheses.spec { Parentheses.pairs = 9 }
+  | "nqueens" -> Nqueens.spec { Nqueens.n = 9 }
+  | "graphcol" ->
+      Graphcol.spec { Graphcol.vertices = 16; edges = 28; colors = 3; seed = 7 }
+  | "uts" -> Uts.spec { Uts.b0 = 64; m = 4; q = 0.24; seed = 5 }
+  | "binomial" -> Binomial.spec { Binomial.n = 16; k = 7 }
+  | "minmax" -> Minmax.spec { Minmax.size = 3 }
+  | _ -> invalid_arg ("Sweep.quick_spec: unknown benchmark " ^ name)
+
+let spec_of ctx (entry : Registry.entry) =
+  match Hashtbl.find_opt ctx.specs entry.Registry.name with
+  | Some spec -> spec
+  | None ->
+      let spec =
+        if ctx.quick then quick_spec entry.Registry.name else entry.Registry.spec ()
+      in
+      Hashtbl.add ctx.specs entry.Registry.name spec;
+      spec
+
+let width_on ctx entry (machine : Vc_mem.Machine.t) =
+  let spec = spec_of ctx entry in
+  Vc_simd.Isa.lanes machine.Vc_mem.Machine.isa
+    (Vc_core.Schema.lane_kind spec.Vc_core.Spec.schema)
+
+let blocks_of ctx (entry : Registry.entry) =
+  if ctx.quick then
+    List.filter (fun b -> b <= 4096) entry.Registry.sweep_blocks
+  else entry.Registry.sweep_blocks
+
+let cached ctx key f =
+  match Hashtbl.find_opt ctx.runs key with
+  | Some r -> r
+  | None ->
+      let r = f () in
+      Hashtbl.add ctx.runs key r;
+      r
+
+let seq ctx entry (machine : Vc_mem.Machine.t) =
+  let key =
+    {
+      bench = entry.Registry.name;
+      machine = machine.Vc_mem.Machine.name;
+      strategy = "seq";
+      block = 0;
+      compact = "";
+    }
+  in
+  cached ctx key (fun () -> Vc_core.Seq_exec.run ~spec:(spec_of ctx entry) ~machine ())
+
+let bfs_only ctx entry (machine : Vc_mem.Machine.t) =
+  let key =
+    {
+      bench = entry.Registry.name;
+      machine = machine.Vc_mem.Machine.name;
+      strategy = "bfs";
+      block = 0;
+      compact = "";
+    }
+  in
+  cached ctx key (fun () ->
+      Vc_core.Engine.run ~spec:(spec_of ctx entry) ~machine
+        ~strategy:Vc_core.Policy.Bfs_only ())
+
+let hybrid ctx entry (machine : Vc_mem.Machine.t) ~reexpand ~block =
+  let key =
+    {
+      bench = entry.Registry.name;
+      machine = machine.Vc_mem.Machine.name;
+      strategy = (if reexpand then "reexp" else "noreexp");
+      block;
+      compact = "";
+    }
+  in
+  cached ctx key (fun () ->
+      Vc_core.Engine.run ~spec:(spec_of ctx entry) ~machine
+        ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand })
+        ())
+
+let with_compaction ctx entry (machine : Vc_mem.Machine.t) ~compact ~block =
+  let key =
+    {
+      bench = entry.Registry.name;
+      machine = machine.Vc_mem.Machine.name;
+      strategy = "reexp";
+      block;
+      compact = Vc_simd.Compact.name compact;
+    }
+  in
+  cached ctx key (fun () ->
+      Vc_core.Engine.run ~compact ~spec:(spec_of ctx entry) ~machine
+        ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
+        ())
+
+let strawman ctx entry (machine : Vc_mem.Machine.t) =
+  let key =
+    {
+      bench = entry.Registry.name;
+      machine = machine.Vc_mem.Machine.name;
+      strategy = "strawman";
+      block = 0;
+      compact = "";
+    }
+  in
+  cached ctx key (fun () -> Vc_core.Strawman.run ~spec:(spec_of ctx entry) ~machine ())
+
+let speedup ctx entry machine report =
+  Vc_core.Report.speedup ~baseline:(seq ctx entry machine) report
+
+let best ctx entry machine ~reexpand =
+  let candidates =
+    List.map
+      (fun block ->
+        let r = hybrid ctx entry machine ~reexpand ~block in
+        (block, r, speedup ctx entry machine r))
+      (blocks_of ctx entry)
+  in
+  match candidates with
+  | [] -> invalid_arg "Sweep.best: empty block grid"
+  | first :: rest ->
+      let block, report, _ =
+        List.fold_left
+          (fun (bb, br, bs) (block, r, s) ->
+            if s > bs then (block, r, s) else (bb, br, bs))
+          first rest
+      in
+      (block, report)

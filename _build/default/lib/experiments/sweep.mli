@@ -1,0 +1,62 @@
+(** Memoized execution of benchmark × machine × strategy × block-size
+    points.
+
+    Every table and figure of the evaluation reads from the same sweep
+    space, so one context computes each point once and the harness reuses
+    it across Tables 1–3 and Figures 9–16.  [quick] mode substitutes
+    small workloads (for smoke runs and the bechamel timing harness). *)
+
+type ctx
+
+val create : ?quick:bool -> unit -> ctx
+(** [quick] defaults to the [VC_BENCH_QUICK] environment variable. *)
+
+val quick : ctx -> bool
+
+val machines : Vc_mem.Machine.t list
+(** E5 and Phi, in that order. *)
+
+val spec_of : ctx -> Vc_bench.Registry.entry -> Vc_core.Spec.t
+(** The entry's spec at this context's scale (cached). *)
+
+val width_on : ctx -> Vc_bench.Registry.entry -> Vc_mem.Machine.t -> int
+(** SIMD lanes the benchmark's lane kind yields on the machine (Table 1's
+    vector widths). *)
+
+val blocks_of : ctx -> Vc_bench.Registry.entry -> int list
+(** The block-size grid swept for this benchmark. *)
+
+val seq : ctx -> Vc_bench.Registry.entry -> Vc_mem.Machine.t -> Vc_core.Report.t
+
+val bfs_only : ctx -> Vc_bench.Registry.entry -> Vc_mem.Machine.t -> Vc_core.Report.t
+
+val hybrid :
+  ctx ->
+  Vc_bench.Registry.entry ->
+  Vc_mem.Machine.t ->
+  reexpand:bool ->
+  block:int ->
+  Vc_core.Report.t
+
+val with_compaction :
+  ctx ->
+  Vc_bench.Registry.entry ->
+  Vc_mem.Machine.t ->
+  compact:Vc_simd.Compact.engine ->
+  block:int ->
+  Vc_core.Report.t
+(** Re-expansion strategy with an explicit compaction engine (Fig. 16). *)
+
+val strawman : ctx -> Vc_bench.Registry.entry -> Vc_mem.Machine.t -> Vc_core.Report.t
+
+val speedup : ctx -> Vc_bench.Registry.entry -> Vc_mem.Machine.t -> Vc_core.Report.t -> float
+(** Modeled speedup over the same benchmark's sequential run on the same
+    machine. *)
+
+val best :
+  ctx ->
+  Vc_bench.Registry.entry ->
+  Vc_mem.Machine.t ->
+  reexpand:bool ->
+  int * Vc_core.Report.t
+(** (block size, report) maximizing modeled speedup over the grid. *)

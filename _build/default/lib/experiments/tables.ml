@@ -1,0 +1,101 @@
+open Vc_bench
+
+let log2i n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let pow_str block = Printf.sprintf "2^%d" (log2i block)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      exp (List.fold_left (fun acc x -> acc +. log (max x 1e-9)) 0.0 xs
+           /. float_of_int (List.length xs))
+
+let table1 ctx fmt =
+  Format.fprintf fmt
+    "@[<v>Table 1: benchmark characterization (scaled inputs; see DESIGN.md)@,@,";
+  Format.fprintf fmt "%-12s %-38s %6s %6s %10s %6s %12s %10s@," "benchmark"
+    "problem" "wE5" "wPhi" "#task" "#lev" "seq cycles" "seq wall";
+  List.iter
+    (fun (entry : Registry.entry) ->
+      let spec = Sweep.spec_of ctx entry in
+      let r = Sweep.seq ctx entry Vc_mem.Machine.xeon_e5 in
+      Format.fprintf fmt "%-12s %-38s %6d %6d %10d %6d %12.3e %9.2fs@,"
+        entry.Registry.name spec.Vc_core.Spec.description
+        (Sweep.width_on ctx entry Vc_mem.Machine.xeon_e5)
+        (Sweep.width_on ctx entry Vc_mem.Machine.xeon_phi)
+        r.Vc_core.Report.tasks
+        (r.Vc_core.Report.max_depth + 1)
+        r.Vc_core.Report.cycles r.Vc_core.Report.wall_seconds)
+    Registry.all;
+  Format.fprintf fmt "@]@."
+
+let table2 ctx fmt =
+  Format.fprintf fmt
+    "@[<v>Table 2: best block size and modeled speedup per strategy@,\
+     (speedup = sequential cycles / strategy cycles; OOM = breadth-first \
+     expansion@,exceeded the machine's live-thread limit)@,@,";
+  Format.fprintf fmt "%-12s | %9s %7s %9s %7s %9s | %9s %7s %9s %7s %9s@,"
+    "benchmark" "E5:bfs" "blk" "noreexp" "blk" "reexp" "Phi:bfs" "blk" "noreexp"
+    "blk" "reexp";
+  let per_machine machine entry =
+    let bfs = Sweep.bfs_only ctx entry machine in
+    let bfs_str =
+      if bfs.Vc_core.Report.oom then "OOM"
+      else Printf.sprintf "%.2f" (Sweep.speedup ctx entry machine bfs)
+    in
+    let blk_n, no = Sweep.best ctx entry machine ~reexpand:false in
+    let blk_r, re = Sweep.best ctx entry machine ~reexpand:true in
+    ( bfs_str,
+      pow_str blk_n,
+      Sweep.speedup ctx entry machine no,
+      pow_str blk_r,
+      Sweep.speedup ctx entry machine re )
+  in
+  let rows =
+    List.map
+      (fun entry ->
+        (entry.Registry.name,
+         per_machine Vc_mem.Machine.xeon_e5 entry,
+         per_machine Vc_mem.Machine.xeon_phi entry))
+      Registry.all
+  in
+  List.iter
+    (fun (name, (b1, n1, s1, r1, t1), (b2, n2, s2, r2, t2)) ->
+      Format.fprintf fmt "%-12s | %9s %7s %9.2f %7s %9.2f | %9s %7s %9.2f %7s %9.2f@,"
+        name b1 n1 s1 r1 t1 b2 n2 s2 r2 t2)
+    rows;
+  let gm f = geomean (List.map f rows) in
+  Format.fprintf fmt "%-12s | %9s %7s %9.2f %7s %9.2f | %9s %7s %9.2f %7s %9.2f@,"
+    "geomean" "" ""
+    (gm (fun (_, (_, _, s, _, _), _) -> s))
+    ""
+    (gm (fun (_, (_, _, _, _, t), _) -> t))
+    "" ""
+    (gm (fun (_, _, (_, _, s, _, _)) -> s))
+    ""
+    (gm (fun (_, _, (_, _, _, _, t)) -> t));
+  Format.fprintf fmt "@]@."
+
+let table3 ctx fmt =
+  Format.fprintf fmt
+    "@[<v>Table 3: opportunity analysis (instruction fractions normalized to@,\
+     the sequential run; modeled max speedup assumes perfect kernel@,\
+     vectorization)@,@,";
+  Format.fprintf fmt "%-12s %10s %10s %12s %10s %12s@," "benchmark" "seq:vect"
+    "non-vect" "vec:vect" "non-vect" "max speedup";
+  List.iter
+    (fun name ->
+      let entry = Registry.find name in
+      let machine = Vc_mem.Machine.xeon_e5 in
+      let seq = Sweep.seq ctx entry machine in
+      let _, vec = Sweep.best ctx entry machine ~reexpand:true in
+      let width = Sweep.width_on ctx entry machine in
+      let row = Vc_core.Opportunity.analyze ~seq ~vec ~width in
+      Format.fprintf fmt "%-12s %10.2f %10.2f %12.2f %10.2f %12.2f@," name
+        row.Vc_core.Opportunity.seq_vect row.Vc_core.Opportunity.seq_nonvect
+        row.Vc_core.Opportunity.vec_vect row.Vc_core.Opportunity.vec_nonvect
+        row.Vc_core.Opportunity.max_speedup)
+    [ "nqueens"; "graphcol"; "uts"; "minmax" ];
+  Format.fprintf fmt "@]@."

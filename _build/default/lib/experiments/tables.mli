@@ -1,0 +1,17 @@
+(** Regeneration of the paper's tables (§6).
+
+    Each function prints one table's reproduction to the formatter; numbers
+    come from the shared {!Sweep} context, so repeated calls are cheap. *)
+
+val table1 : Sweep.ctx -> Format.formatter -> unit
+(** Benchmark characterization: problem, vector widths, #levels, #tasks,
+    sequential baseline (modeled cycles + host wall time). *)
+
+val table2 : Sweep.ctx -> Format.formatter -> unit
+(** Best block size and modeled speedup for breadth-first only, hybrid
+    without re-expansion, and re-expansion, on both machines, plus the
+    geometric means. *)
+
+val table3 : Sweep.ctx -> Format.formatter -> unit
+(** Opportunity analysis for the large-kernel benchmarks (nqueens,
+    graphcol, uts, minmax). *)

@@ -1,0 +1,1 @@
+lib/lang/builtins.ml: Array List

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Builtins Hashtbl List Printf Profile Reducer Validate

@@ -1,0 +1,1 @@
+lib/lang/optim.ml: Array Ast Builtins List Set String

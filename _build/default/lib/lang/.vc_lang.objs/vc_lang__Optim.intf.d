@@ -1,0 +1,1 @@
+lib/lang/optim.mli: Ast

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Fun Lexer List Printf Reducer Token

@@ -1,0 +1,1 @@
+lib/lang/pp.ml: Ast Format List Reducer

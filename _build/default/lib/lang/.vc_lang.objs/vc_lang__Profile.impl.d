@@ -1,0 +1,1 @@
+lib/lang/profile.ml: Array Format

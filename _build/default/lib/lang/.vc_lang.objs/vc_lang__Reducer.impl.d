@@ -1,0 +1,1 @@
+lib/lang/reducer.ml: List Printf

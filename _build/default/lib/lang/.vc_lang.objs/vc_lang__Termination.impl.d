@@ -1,0 +1,1 @@
+lib/lang/termination.ml: Ast Format List Optim Option String Validate

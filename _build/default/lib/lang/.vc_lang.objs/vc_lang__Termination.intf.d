@@ -1,0 +1,1 @@
+lib/lang/termination.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/lang/validate.ml: Ast Builtins List Printf Set String

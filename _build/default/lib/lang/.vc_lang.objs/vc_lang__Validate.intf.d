@@ -1,0 +1,1 @@
+lib/lang/validate.mli: Ast

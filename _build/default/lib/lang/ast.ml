@@ -1,0 +1,70 @@
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+  | Band | Bor | Bxor | Shl | Shr
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Skip
+  | Return
+  | Seq of stmt * stmt
+  | Assign of string * expr
+  | If of expr * stmt * stmt
+  | While of expr * stmt
+  | Reduce of string * expr
+  | Spawn of spawn
+
+and spawn = { spawn_id : int; spawn_args : expr list }
+
+type mth = {
+  name : string;
+  params : string list;
+  is_base : expr;
+  base : stmt;
+  inductive : stmt;
+}
+
+type reducer_decl = { red_name : string; red_op : Reducer.op }
+
+type program = { reducers : reducer_decl list; mth : mth }
+
+let seq stmts = List.fold_right (fun s acc -> if acc = Skip then s else Seq (s, acc)) stmts Skip
+
+let rec spawn_sites = function
+  | Skip | Return | Assign _ | Reduce _ -> []
+  | Seq (a, b) -> spawn_sites a @ spawn_sites b
+  | If (_, a, b) -> spawn_sites a @ spawn_sites b
+  | While (_, s) -> spawn_sites s
+  | Spawn sp -> [ sp ]
+
+let num_spawns p = List.length (spawn_sites p.mth.inductive)
+
+let equal_expr (a : expr) (b : expr) = a = b
+let equal_stmt (a : stmt) (b : stmt) = a = b
+
+let rec expr_size = function
+  | Int _ | Bool _ | Var _ -> 1
+  | Unop (_, e) -> 1 + expr_size e
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Call (_, args) -> 1 + List.fold_left (fun acc a -> acc + expr_size a) 0 args
+
+let rec stmt_size = function
+  | Skip -> 0
+  | Return -> 1
+  | Seq (a, b) -> stmt_size a + stmt_size b
+  | Assign (_, e) -> 1 + expr_size e
+  | If (c, a, b) -> 1 + expr_size c + stmt_size a + stmt_size b
+  | While (c, s) -> 1 + expr_size c + stmt_size s
+  | Reduce (_, e) -> 1 + expr_size e
+  | Spawn { spawn_args; _ } ->
+      1 + List.fold_left (fun acc a -> acc + expr_size a) 0 spawn_args

@@ -1,0 +1,79 @@
+(** Abstract syntax of the recursive task-parallel language (paper Fig. 2).
+
+    The language is a Cilk variant: a single self-recursive method whose
+    body is an [if] choosing between a {e base case} (may [reduce] into
+    global reducer objects, in lieu of return values) and an {e inductive
+    case} (may [spawn] recursive tasks).  Spawned tasks are independent of
+    all subsequent work in the spawning method; there is an implicit sync
+    at method end and no work after it.
+
+    One statement type serves both cases; {!Validate} enforces the Fig. 2
+    phase discipline ([reduce] only in base statements, [spawn] only in
+    inductive statements) plus scoping, typing, and the static bound on
+    spawn count. *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+  | Band | Bor | Bxor | Shl | Shr
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Var of string  (** parameter or local *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list  (** stateless builtin function *)
+
+type stmt =
+  | Skip  (** no-op (an empty block / missing else branch) *)
+  | Return
+  | Seq of stmt * stmt
+  | Assign of string * expr
+  | If of expr * stmt * stmt
+  | While of expr * stmt
+  | Reduce of string * expr  (** base case only *)
+  | Spawn of spawn  (** inductive case only *)
+
+and spawn = {
+  spawn_id : int;  (** consecutive per method, in syntactic order (§4.4) *)
+  spawn_args : expr list;
+}
+
+type mth = {
+  name : string;
+  params : string list;
+  is_base : expr;  (** the [e_b] conditional of Fig. 2 *)
+  base : stmt;
+  inductive : stmt;
+}
+
+type reducer_decl = { red_name : string; red_op : Reducer.op }
+
+type program = { reducers : reducer_decl list; mth : mth }
+
+(** {1 Convenience constructors} *)
+
+val seq : stmt list -> stmt
+(** Right-fold a statement list with {!Seq}; [seq [] = Skip]. *)
+
+val num_spawns : program -> int
+(** Number of spawn sites in the method body — the expansion factor [e] of
+    §4.3.  Purely syntactic. *)
+
+val spawn_sites : stmt -> spawn list
+(** All spawn sites in syntactic order. *)
+
+val equal_expr : expr -> expr -> bool
+val equal_stmt : stmt -> stmt -> bool
+
+val expr_size : expr -> int
+(** Number of AST nodes — the static instruction-weight estimate used by
+    the cost model for DSL-compiled specs. *)
+
+val stmt_size : stmt -> int
+(** Like {!expr_size}; spawn sites count their argument expressions plus
+    one enqueue operation. *)

@@ -1,0 +1,22 @@
+type fn = { arity : int; apply : int array -> int }
+
+let table =
+  [
+    ("abs", { arity = 1; apply = (fun a -> abs a.(0)) });
+    ("min2", { arity = 2; apply = (fun a -> min a.(0) a.(1)) });
+    ("max2", { arity = 2; apply = (fun a -> max a.(0) a.(1)) });
+    ("popcount",
+     {
+       arity = 1;
+       apply =
+         (fun a ->
+           let rec go acc b = if b = 0 then acc else go (acc + (b land 1)) (b lsr 1) in
+           go 0 a.(0));
+     });
+    ("bit", { arity = 2; apply = (fun a -> (a.(0) lsr a.(1)) land 1) });
+    ("sq", { arity = 1; apply = (fun a -> a.(0) * a.(0)) });
+  ]
+
+let find name = List.assoc_opt name table
+
+let names = List.map fst table

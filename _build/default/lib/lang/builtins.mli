@@ -1,0 +1,12 @@
+(** Stateless, non-recursive functions callable from expressions.
+
+    Fig. 2 allows expressions to call "arbitrary, stateless, non-recursive
+    functions" ([f_p]).  This registry provides a fixed library of such
+    functions over integers. *)
+
+type fn = { arity : int; apply : int array -> int }
+
+val find : string -> fn option
+
+val names : string list
+(** All registered builtin names. *)

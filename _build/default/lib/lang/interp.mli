@@ -1,0 +1,24 @@
+(** Sequential reference interpreter: the "normal sequential execution"
+    of the paper — a depth-first walk of the computation tree (§1).
+
+    Every transformed execution strategy must produce exactly the reducer
+    values this interpreter produces; the test suite enforces that on the
+    eight benchmarks and on randomly generated programs. *)
+
+exception Runtime_error of string
+(** Division by zero, unknown variable at run time, etc. *)
+
+exception Task_limit_exceeded of int
+
+type outcome = {
+  reducers : (string * int) list;  (** final reducer values, decl order *)
+  profile : Profile.t;
+}
+
+val run : ?max_tasks:int -> Ast.program -> int list -> outcome
+(** [run p args] executes the program's method on the given arguments
+    (arity-checked).  [max_tasks] (default 50M) guards non-terminating
+    programs. *)
+
+val run_validated : ?max_tasks:int -> Ast.program -> int list -> outcome
+(** Like {!run} but [Validate.check_exn] first. *)

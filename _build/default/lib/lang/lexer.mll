@@ -1,0 +1,89 @@
+{
+open Token
+
+exception Error of string * int * int
+(** message, line, column *)
+
+let keyword = function
+  | "def" -> KW_DEF
+  | "if" -> KW_IF
+  | "then" -> KW_THEN
+  | "else" -> KW_ELSE
+  | "while" -> KW_WHILE
+  | "return" -> KW_RETURN
+  | "reduce" -> KW_REDUCE
+  | "spawn" -> KW_SPAWN
+  | "reducer" -> KW_REDUCER
+  | "true" -> KW_TRUE
+  | "false" -> KW_FALSE
+  | id -> IDENT id
+
+let pos lexbuf =
+  let p = Lexing.lexeme_start_p lexbuf in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+}
+
+let digit = ['0'-'9']
+let ident_start = ['a'-'z' 'A'-'Z' '_']
+let ident_char = ident_start | digit
+
+rule token = parse
+  | [' ' '\t' '\r']+    { token lexbuf }
+  | '\n'                { Lexing.new_line lexbuf; token lexbuf }
+  | "//" [^ '\n']*      { token lexbuf }
+  | "/*"                { comment (pos lexbuf) lexbuf; token lexbuf }
+  | digit+ as n         { INT (int_of_string n) }
+  | ident_start ident_char* as id { keyword id }
+  | ":="                { ASSIGN }
+  | "=="                { EQEQ }
+  | "!="                { NE }
+  | "<="                { LE }
+  | ">="                { GE }
+  | "<<"                { SHL }
+  | ">>"                { SHR }
+  | "&&"                { ANDAND }
+  | "||"                { OROR }
+  | "("                 { LPAREN }
+  | ")"                 { RPAREN }
+  | "{"                 { LBRACE }
+  | "}"                 { RBRACE }
+  | ","                 { COMMA }
+  | ";"                 { SEMI }
+  | "="                 { EQUALS }
+  | "+"                 { PLUS }
+  | "-"                 { MINUS }
+  | "*"                 { STAR }
+  | "/"                 { SLASH }
+  | "%"                 { PERCENT }
+  | "<"                 { LT }
+  | ">"                 { GT }
+  | "!"                 { BANG }
+  | "&"                 { AMP }
+  | "|"                 { PIPE }
+  | "^"                 { CARET }
+  | eof                 { EOF }
+  | _ as c              { let line, col = pos lexbuf in
+                          raise (Error (Printf.sprintf "unexpected character %C" c, line, col)) }
+
+and comment start = parse
+  | "*/"                { () }
+  | '\n'                { Lexing.new_line lexbuf; comment start lexbuf }
+  | eof                 { let line, col = start in
+                          raise (Error ("unterminated comment", line, col)) }
+  | _                   { comment start lexbuf }
+
+{
+let tokens_of_lexbuf lexbuf =
+  let rec go acc =
+    let line, col =
+      let p = lexbuf.Lexing.lex_curr_p in
+      (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+    in
+    match token lexbuf with
+    | EOF -> List.rev ({ Token.token = EOF; line; col } :: acc)
+    | t -> go ({ Token.token = t; line; col } :: acc)
+  in
+  go []
+
+let tokens_of_string s = tokens_of_lexbuf (Lexing.from_string s)
+}

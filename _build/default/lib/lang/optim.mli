@@ -1,0 +1,34 @@
+(** Standard scalar optimizations over the Fig. 2 language.
+
+    The paper's pipeline hands the blocked code to an optimizing compiler
+    (icc) and relies on "loop distribution, inlining, if-conversion, and
+    other standard compiler transformations" (§4.1).  This module supplies
+    the scalar end of that pipeline for the DSL: constant folding,
+    algebraic simplification, branch folding, and dead-code elimination.
+    All passes preserve semantics — checked by property tests running
+    optimized and original programs side by side — including the language's
+    short-circuit evaluation and division-by-zero behaviour. *)
+
+val can_trap : Ast.expr -> bool
+(** Whether evaluating the expression can raise at run time (it contains a
+    division or modulo; builtins are total).  Trap-free expressions are
+    pure and may be deleted or absorbed by identities. *)
+
+val fold_expr : Ast.expr -> Ast.expr
+(** Constant folding and algebraic identities ([e+0], [e*1], [e*0] when
+    [e] is pure, [!!e], double negation, constant comparisons and
+    short-circuits).  Division and modulo by a constant zero are left in
+    place (they must still trap at run time). *)
+
+val fold_stmt : Ast.stmt -> Ast.stmt
+(** {!fold_expr} everywhere, plus branch folding ([if true/false]),
+    [while false] elimination, and [Seq]/[Skip] normalization. *)
+
+val dead_locals : Ast.mth -> Ast.mth
+(** Remove assignments to locals that are never read afterwards.
+    Conservative: an assignment whose right-hand side can trap (division
+    or modulo) is kept. *)
+
+val program : Ast.program -> Ast.program
+(** The full pipeline: fold, branch-fold, eliminate dead locals, iterated
+    to a fixed point. *)

@@ -1,0 +1,291 @@
+open Ast
+
+exception Error of string * int * int
+
+type state = { mutable toks : Token.located list; mutable spawn_count : int }
+
+let fail (st : state) msg =
+  match st.toks with
+  | { Token.token = _; line; col } :: _ -> raise (Error (msg, line, col))
+  | [] -> raise (Error (msg, 0, 0))
+
+let peek st =
+  match st.toks with
+  | { Token.token; _ } :: _ -> token
+  | [] -> Token.EOF
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let eat st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let ident st =
+  match peek st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+(* Expression parsing by precedence climbing.  Levels, loosest first:
+   or, and, comparisons, additive [+ - "|" "^"], multiplicative
+   [* / mod "&" shifts], unary, atom. *)
+
+let rec expr st = expr_or st
+
+and expr_or st =
+  let lhs = expr_and st in
+  let rec loop lhs =
+    match peek st with
+    | Token.OROR ->
+        advance st;
+        loop (Binop (Or, lhs, expr_and st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and expr_and st =
+  let lhs = expr_cmp st in
+  let rec loop lhs =
+    match peek st with
+    | Token.ANDAND ->
+        advance st;
+        loop (Binop (And, lhs, expr_cmp st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and expr_cmp st =
+  let lhs = expr_add st in
+  match peek st with
+  | Token.LT -> advance st; Binop (Lt, lhs, expr_add st)
+  | Token.LE -> advance st; Binop (Le, lhs, expr_add st)
+  | Token.GT -> advance st; Binop (Gt, lhs, expr_add st)
+  | Token.GE -> advance st; Binop (Ge, lhs, expr_add st)
+  | Token.EQEQ -> advance st; Binop (Eq, lhs, expr_add st)
+  | Token.NE -> advance st; Binop (Ne, lhs, expr_add st)
+  | _ -> lhs
+
+and expr_add st =
+  let lhs = expr_mul st in
+  let rec loop lhs =
+    match peek st with
+    | Token.PLUS -> advance st; loop (Binop (Add, lhs, expr_mul st))
+    | Token.MINUS -> advance st; loop (Binop (Sub, lhs, expr_mul st))
+    | Token.PIPE -> advance st; loop (Binop (Bor, lhs, expr_mul st))
+    | Token.CARET -> advance st; loop (Binop (Bxor, lhs, expr_mul st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and expr_mul st =
+  let lhs = expr_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Token.STAR -> advance st; loop (Binop (Mul, lhs, expr_unary st))
+    | Token.SLASH -> advance st; loop (Binop (Div, lhs, expr_unary st))
+    | Token.PERCENT -> advance st; loop (Binop (Mod, lhs, expr_unary st))
+    | Token.AMP -> advance st; loop (Binop (Band, lhs, expr_unary st))
+    | Token.SHL -> advance st; loop (Binop (Shl, lhs, expr_unary st))
+    | Token.SHR -> advance st; loop (Binop (Shr, lhs, expr_unary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and expr_unary st =
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      Unop (Neg, expr_unary st)
+  | Token.BANG ->
+      advance st;
+      Unop (Not, expr_unary st)
+  | _ -> expr_atom st
+
+and expr_atom st =
+  match peek st with
+  | Token.INT n ->
+      advance st;
+      Int n
+  | Token.KW_TRUE ->
+      advance st;
+      Bool true
+  | Token.KW_FALSE ->
+      advance st;
+      Bool false
+  | Token.LPAREN ->
+      advance st;
+      let e = expr st in
+      eat st Token.RPAREN;
+      e
+  | Token.IDENT name ->
+      advance st;
+      if peek st = Token.LPAREN then begin
+        advance st;
+        let args = expr_args st in
+        eat st Token.RPAREN;
+        Call (name, args)
+      end
+      else Var name
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (Token.to_string t))
+
+and expr_args st =
+  if peek st = Token.RPAREN then []
+  else
+    let rec loop acc =
+      let e = expr st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    loop []
+
+let rec block st ~method_name =
+  eat st Token.LBRACE;
+  let rec stmts acc =
+    if peek st = Token.RBRACE then begin
+      advance st;
+      Ast.seq (List.rev acc)
+    end
+    else stmts (stmt st ~method_name :: acc)
+  in
+  stmts []
+
+and stmt st ~method_name =
+  match peek st with
+  | Token.KW_RETURN ->
+      advance st;
+      eat st Token.SEMI;
+      Return
+  | Token.IDENT "skip" ->
+      advance st;
+      eat st Token.SEMI;
+      Skip
+  | Token.KW_IF ->
+      advance st;
+      let cond = expr st in
+      eat st Token.KW_THEN;
+      let then_branch = block st ~method_name in
+      let else_branch =
+        if peek st = Token.KW_ELSE then begin
+          advance st;
+          block st ~method_name
+        end
+        else Skip
+      in
+      If (cond, then_branch, else_branch)
+  | Token.KW_WHILE ->
+      advance st;
+      let cond = expr st in
+      let body = block st ~method_name in
+      While (cond, body)
+  | Token.KW_REDUCE ->
+      advance st;
+      eat st Token.LPAREN;
+      let name = ident st in
+      eat st Token.COMMA;
+      let e = expr st in
+      eat st Token.RPAREN;
+      eat st Token.SEMI;
+      Reduce (name, e)
+  | Token.KW_SPAWN ->
+      advance st;
+      let callee = ident st in
+      if callee <> method_name then
+        fail st
+          (Printf.sprintf "spawn target %s is not the enclosing method %s \
+                           (only self-recursion is supported)" callee method_name);
+      eat st Token.LPAREN;
+      let args = expr_args st in
+      eat st Token.RPAREN;
+      eat st Token.SEMI;
+      let id = st.spawn_count in
+      st.spawn_count <- st.spawn_count + 1;
+      Spawn { spawn_id = id; spawn_args = args }
+  | Token.IDENT name ->
+      advance st;
+      eat st Token.ASSIGN;
+      let e = expr st in
+      eat st Token.SEMI;
+      Assign (name, e)
+  | t -> fail st (Printf.sprintf "expected statement, found %s" (Token.to_string t))
+
+let reducer_decl st =
+  eat st Token.KW_REDUCER;
+  let op_name = ident st in
+  let op =
+    match Reducer.op_of_name op_name with
+    | Some op -> op
+    | None -> fail st (Printf.sprintf "unknown reducer operation %s" op_name)
+  in
+  let name = ident st in
+  eat st Token.SEMI;
+  { red_name = name; red_op = op }
+
+let params st =
+  eat st Token.LPAREN;
+  if peek st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let p = ident st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        loop (p :: acc)
+      end
+      else begin
+        eat st Token.RPAREN;
+        List.rev (p :: acc)
+      end
+    in
+    loop []
+
+let mth st =
+  eat st Token.KW_DEF;
+  let name = ident st in
+  let params = params st in
+  eat st Token.EQUALS;
+  eat st Token.KW_IF;
+  let is_base = expr st in
+  eat st Token.KW_THEN;
+  let base = block st ~method_name:name in
+  eat st Token.KW_ELSE;
+  let inductive = block st ~method_name:name in
+  { name; params; is_base; base; inductive }
+
+let program st =
+  let rec reducers acc =
+    if peek st = Token.KW_REDUCER then reducers (reducer_decl st :: acc)
+    else List.rev acc
+  in
+  let reducers = reducers [] in
+  let mth = mth st in
+  eat st Token.EOF;
+  { reducers; mth }
+
+let program_of_tokens toks =
+  program { toks; spawn_count = 0 }
+
+let parse_string s = program_of_tokens (Lexer.tokens_of_string s)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      parse_string s)
+
+let expr_of_string s =
+  let st = { toks = Lexer.tokens_of_string s; spawn_count = 0 } in
+  let e = expr st in
+  eat st Token.EOF;
+  e

@@ -1,0 +1,34 @@
+(** Recursive-descent parser for the concrete syntax.
+
+    Grammar (EBNF; see README for examples):
+    {v
+    program  ::= reducer* method
+    reducer  ::= "reducer" op ident ";"          op ::= "sum" | "min" | "max"
+    method   ::= "def" ident "(" params ")" "="
+                 "if" expr "then" block "else" block
+    block    ::= "{" stmt* "}"
+    stmt     ::= "return" ";"
+               | ident ":=" expr ";"
+               | "if" expr "then" block "else" block
+               | "while" expr block
+               | "reduce" "(" ident "," expr ")" ";"
+               | "spawn" ident "(" args ")" ";"
+    expr     ::= precedence climbing, loosest to tightest:
+                 or, and, comparisons, additive, multiplicative, unary
+    v}
+
+    Spawn sites receive consecutive ids in syntactic order, as required by
+    the rewrite rules of the paper's §4.4. *)
+
+exception Error of string * int * int
+(** message, line, column *)
+
+val program_of_tokens : Token.located list -> Ast.program
+val parse_string : string -> Ast.program
+
+val parse_file : string -> Ast.program
+(** Raises [Sys_error] if unreadable, {!Error} or [Lexer.Error] on bad
+    input. *)
+
+val expr_of_string : string -> Ast.expr
+(** Parse a single expression (testing convenience). *)

@@ -1,0 +1,65 @@
+type t = {
+  mutable tasks : int;
+  mutable base_tasks : int;
+  mutable max_depth : int;
+  mutable kernel : int;
+  mutable overhead : int;
+  mutable level_tasks : int array;
+  mutable level_base : int array;
+}
+
+let create () =
+  {
+    tasks = 0;
+    base_tasks = 0;
+    max_depth = 0;
+    kernel = 0;
+    overhead = 0;
+    level_tasks = Array.make 16 0;
+    level_base = Array.make 16 0;
+  }
+
+let ensure t depth =
+  let n = Array.length t.level_tasks in
+  if depth >= n then begin
+    let n' = max (depth + 1) (2 * n) in
+    let grow a =
+      let b = Array.make n' 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.level_tasks <- grow t.level_tasks;
+    t.level_base <- grow t.level_base
+  end
+
+let enter_task t ~depth =
+  ensure t depth;
+  t.tasks <- t.tasks + 1;
+  t.level_tasks.(depth) <- t.level_tasks.(depth) + 1;
+  if depth > t.max_depth then t.max_depth <- depth
+
+let record_base t ~depth =
+  ensure t depth;
+  t.base_tasks <- t.base_tasks + 1;
+  t.level_base.(depth) <- t.level_base.(depth) + 1
+
+let kernel_ops t n = t.kernel <- t.kernel + n
+let overhead_ops t n = t.overhead <- t.overhead + n
+
+let tasks t = t.tasks
+let base_tasks t = t.base_tasks
+let max_depth t = t.max_depth
+
+let levels t =
+  Array.init (t.max_depth + 1) (fun d -> (t.level_tasks.(d), t.level_base.(d)))
+
+let kernel_op_count t = t.kernel
+let overhead_op_count t = t.overhead
+
+let vectorizable_fraction t =
+  let total = t.kernel + t.overhead in
+  if total = 0 then 1.0 else float_of_int t.kernel /. float_of_int total
+
+let pp fmt t =
+  Format.fprintf fmt "tasks %d (base %d), depth %d, kernel ops %d, overhead ops %d"
+    t.tasks t.base_tasks t.max_depth t.kernel t.overhead

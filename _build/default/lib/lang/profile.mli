@@ -1,0 +1,35 @@
+(** Execution profile of an interpreted run.
+
+    Collects the quantities the paper's evaluation reads off the sequential
+    execution: the per-level task distribution (Fig. 9), the split between
+    kernel instructions (vectorizable under the transformation) and
+    task-management overhead (Table 3), and tree shape. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val enter_task : t -> depth:int -> unit
+val record_base : t -> depth:int -> unit
+val kernel_ops : t -> int -> unit
+val overhead_ops : t -> int -> unit
+
+(** {1 Reading} *)
+
+val tasks : t -> int
+val base_tasks : t -> int
+val max_depth : t -> int
+
+val levels : t -> (int * int) array
+(** Index = depth; value = (all tasks, base-case tasks) at that depth. *)
+
+val kernel_op_count : t -> int
+val overhead_op_count : t -> int
+
+val vectorizable_fraction : t -> float
+(** kernel / (kernel + overhead) — Table 3's "Vect" column for the
+    sequential execution. *)
+
+val pp : Format.formatter -> t -> unit

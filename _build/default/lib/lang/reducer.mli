@@ -1,0 +1,41 @@
+(** Reducer objects — the language's only form of global state (paper §2).
+
+    Base cases communicate results through associative, commutative updates
+    to named reducers (Cilk++ hyperobjects in the paper's reference [11]),
+    which is what makes base-case tasks freely reorderable and hence
+    vectorizable. *)
+
+type op =
+  | Sum  (** integer addition, identity 0 *)
+  | Min  (** minimum, identity [max_int] *)
+  | Max  (** maximum, identity [min_int] *)
+
+val identity : op -> int
+val apply : op -> int -> int -> int
+val op_name : op -> string
+val op_of_name : string -> op option
+
+type t
+(** A single mutable reducer cell. *)
+
+val create : op -> t
+val op : t -> op
+val value : t -> int
+val update : t -> int -> unit
+val reset : t -> unit
+
+type set
+(** A named collection of reducers — the global reducer environment of one
+    program run. *)
+
+val make_set : (string * op) list -> set
+(** Raises [Invalid_argument] on duplicate names. *)
+
+val find : set -> string -> t
+(** Raises [Not_found]. *)
+
+val reduce : set -> string -> int -> unit
+val values : set -> (string * int) list
+(** In declaration order. *)
+
+val reset_set : set -> unit

@@ -1,0 +1,78 @@
+open Ast
+
+type certificate = { param : string; decreases_by : int; lower_bound : int }
+
+type verdict = Terminates of certificate | Unknown of string
+
+(* Minimal guaranteed decrease of parameter [p] at one spawn argument:
+   [Some c] when the argument is syntactically [p - c] with [c >= 1]. *)
+let decrease_of ~param arg =
+  match Optim.fold_expr arg with
+  | Binop (Sub, Var q, Int c) when q = param && c >= 1 -> Some c
+  | _ -> None
+
+(* A lower bound [k] such that some disjunct of the base condition is
+   [param < k] (any orientation), so the inductive case implies
+   [param >= k]. *)
+let rec lower_bound_of ~param cond =
+  match Optim.fold_expr cond with
+  | Binop (Lt, Var q, Int k) when q = param -> Some k
+  | Binop (Le, Var q, Int k) when q = param -> Some (k + 1)
+  | Binop (Gt, Int k, Var q) when q = param -> Some k
+  | Binop (Ge, Int k, Var q) when q = param -> Some (k + 1)
+  | Binop (Or, a, b) -> (
+      (* base ⊇ each disjunct, so ¬base ⊆ ¬disjunct: either side works *)
+      match lower_bound_of ~param a with
+      | Some k -> Some k
+      | None -> lower_bound_of ~param b)
+  | _ -> None
+
+let check program =
+  match Validate.check program with
+  | Error errors -> Unknown ("invalid program: " ^ String.concat "; " errors)
+  | Ok _ -> (
+      let m = program.mth in
+      let sites = Ast.spawn_sites m.inductive in
+      if sites = [] then
+        Unknown "no spawn sites (trivially terminating, but nothing to rank)"
+      else
+        let candidate index param =
+          match lower_bound_of ~param m.is_base with
+          | None -> None
+          | Some lower_bound ->
+              let decreases =
+                List.map
+                  (fun site ->
+                    match List.nth_opt site.spawn_args index with
+                    | Some arg -> decrease_of ~param arg
+                    | None -> None)
+                  sites
+              in
+              if List.for_all Option.is_some decreases then
+                let min_dec =
+                  List.fold_left
+                    (fun acc d -> min acc (Option.get d))
+                    max_int decreases
+                in
+                Some { param; decreases_by = min_dec; lower_bound }
+              else None
+        in
+        let rec scan index = function
+          | [] ->
+              Unknown
+                "no parameter both strictly decreases at every spawn site and \
+                 is bounded below by the base condition"
+          | param :: rest -> (
+              match candidate index param with
+              | Some certificate -> Terminates certificate
+              | None -> scan (index + 1) rest)
+        in
+        scan 0 m.params)
+
+let pp_verdict fmt = function
+  | Terminates { param; decreases_by; lower_bound } ->
+      Format.fprintf fmt
+        "terminates: %s decreases by >= %d per spawn and the inductive case \
+         implies %s >= %d"
+        param decreases_by param lower_bound
+  | Unknown reason -> Format.fprintf fmt "unknown: %s" reason

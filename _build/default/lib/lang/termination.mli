@@ -1,0 +1,29 @@
+(** A termination certifier for DSL programs.
+
+    The language's computation trees must be finite for any execution
+    strategy to terminate; this pass certifies the common pattern where
+    some parameter strictly decreases at every spawn site and the base
+    condition guarantees a lower bound (fib-like recursion), giving a
+    ranking function.
+
+    The analysis is deliberately syntactic and sound-but-incomplete:
+    {!Terminates} is a proof, {!Unknown} says nothing (binomial and
+    parentheses terminate for subtler reasons it does not capture). *)
+
+type certificate = {
+  param : string;  (** the ranking parameter *)
+  decreases_by : int;  (** minimal decrease across spawn sites (≥ 1) *)
+  lower_bound : int;  (** inductive case implies [param >= lower_bound] *)
+}
+
+type verdict = Terminates of certificate | Unknown of string
+
+val check : Ast.program -> verdict
+(** Looks for a parameter [p] such that (a) every spawn site passes
+    [p - c] (a syntactic subtraction of a positive constant, after
+    constant folding) in [p]'s position, and (b) some disjunct of the
+    base condition has the form [p < k] / [p <= k] (in either
+    orientation), so the inductive case implies [p >= k].  Programs are
+    validated first; invalid programs yield {!Unknown}. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,72 @@
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_DEF
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_REDUCE
+  | KW_SPAWN
+  | KW_REDUCER
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | EQUALS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQEQ | NE
+  | ANDAND | OROR | BANG
+  | AMP | PIPE | CARET | SHL | SHR
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_DEF -> "def"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | KW_REDUCE -> "reduce"
+  | KW_SPAWN -> "spawn"
+  | KW_REDUCER -> "reducer"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> ":="
+  | EQUALS -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EOF -> "<eof>"
+
+type located = { token : t; line : int; col : int }

@@ -1,0 +1,33 @@
+(** Tokens of the concrete syntax (see README "The DSL" for the grammar). *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_DEF
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_REDUCE
+  | KW_SPAWN
+  | KW_REDUCER
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | ASSIGN  (** [:=] *)
+  | EQUALS  (** [=] (definition) *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQEQ | NE
+  | ANDAND | OROR | BANG
+  | AMP | PIPE | CARET | SHL | SHR
+  | EOF
+
+val to_string : t -> string
+
+type located = { token : t; line : int; col : int }

@@ -1,0 +1,29 @@
+(** Static checks enforcing the Fig. 2 discipline.
+
+    Checks, in order:
+    - duplicate parameter / reducer names;
+    - [reduce] appears only in the base case, on a declared reducer;
+    - [spawn] appears only in the inductive case, with arity matching the
+      method's parameters, and ids consecutive in syntactic order;
+    - spawn count is statically bounded (no [spawn] under [while] — the
+      paper assumes a static bound, §2 fn. 1);
+    - assignments target locals, never parameters;
+    - every variable use is definitely assigned (params always are; locals
+      via a may-fail dataflow pass: [Seq] propagates, [If] intersects the
+      branches, [While] bodies guarantee nothing);
+    - simple type correctness: conditions are booleans, arithmetic and
+      reduce/spawn arguments are integers, builtin calls exist with the
+      right arity. *)
+
+type info = {
+  num_spawns : int;  (** the expansion factor e of §4.3 *)
+  locals : string list;  (** all assigned locals, in first-assignment order *)
+}
+
+val check : Ast.program -> (info, string list) result
+(** All violations found, not just the first. *)
+
+exception Invalid of string list
+
+val check_exn : Ast.program -> info
+(** Raises {!Invalid} with the violation list. *)

@@ -1,0 +1,1 @@
+lib/memsim/cost.ml: Hierarchy Vc_simd

@@ -1,0 +1,1 @@
+lib/memsim/cost.mli: Hierarchy Vc_simd

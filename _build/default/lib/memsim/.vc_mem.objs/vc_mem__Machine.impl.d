@@ -1,0 +1,1 @@
+lib/memsim/machine.ml: Cache Format Hierarchy List Vc_simd

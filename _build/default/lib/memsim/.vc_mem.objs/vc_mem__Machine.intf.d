@@ -1,0 +1,1 @@
+lib/memsim/machine.mli: Format Hierarchy Vc_simd

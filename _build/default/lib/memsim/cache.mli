@@ -1,0 +1,47 @@
+(** A set-associative LRU cache.
+
+    One level of the simulated memory hierarchy.  Fed with the executors'
+    actual address streams, it reproduces the paper's cache-miss figures
+    (Figs. 11 and 13): the miss-rate cliffs appear exactly when a thread
+    block's working set outgrows a level's capacity. *)
+
+type t
+
+type config = {
+  size_bytes : int;  (** total capacity *)
+  ways : int;  (** associativity *)
+  line_bytes : int;  (** cache-line size (64 on both paper platforms) *)
+}
+
+val config : t -> config
+
+val create : config -> t
+(** Raises [Invalid_argument] unless sizes are positive, the line and way
+    counts divide evenly, and the set count is a power of two. *)
+
+val access : t -> addr:int -> bool
+(** Access the line containing [addr]; returns [true] on hit.  Updates LRU
+    state and counters.  Call once per line touched (see {!access_range}). *)
+
+val access_range : t -> addr:int -> bytes:int -> int
+(** Access every line overlapped by [addr, addr+bytes); returns the number
+    of misses. *)
+
+val accesses : t -> int
+val misses : t -> int
+
+val miss_rate : t -> float
+(** [misses / accesses]; 0 when never accessed. *)
+
+val reset_counters : t -> unit
+(** Zero the counters, keeping cache contents (used to measure a region of
+    interest after warm-up). *)
+
+val clear : t -> unit
+(** Invalidate all lines and zero the counters. *)
+
+val lines : t -> int
+(** Total number of lines (capacity / line size). *)
+
+val resident_lines : t -> int
+(** Number of currently valid lines — for inspecting fill state in tests. *)

@@ -1,0 +1,9 @@
+let cycles vm hierarchy =
+  Vc_simd.Vm.issue_cycles vm +. Hierarchy.penalty_cycles hierarchy
+
+let cpi vm hierarchy =
+  let ops = Vc_simd.Stats.total_ops (Vc_simd.Vm.stats vm) in
+  if ops = 0 then 0.0 else cycles vm hierarchy /. float_of_int ops
+
+let speedup ~baseline_cycles ~cycles =
+  if cycles <= 0.0 then 0.0 else baseline_cycles /. cycles

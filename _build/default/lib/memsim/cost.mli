@@ -1,0 +1,13 @@
+(** The cycle model combining instruction issue and memory penalties.
+
+    [cycles = issue_cycles(vm) + penalty_cycles(hierarchy)].  Speedups in
+    the reproduced tables/figures are ratios of these modeled cycles; CPI
+    (Fig. 13's right axis) is cycles per instruction. *)
+
+val cycles : Vc_simd.Vm.t -> Hierarchy.t -> float
+
+val cpi : Vc_simd.Vm.t -> Hierarchy.t -> float
+(** Cycles per (scalar or vector) instruction; 0 if nothing was issued. *)
+
+val speedup : baseline_cycles:float -> cycles:float -> float
+(** [baseline / cycles]; infinity guarded to 0-safe. *)

@@ -1,0 +1,82 @@
+type level = { label : string; cache : Cache.t; miss_penalty : float }
+
+type t = { levels : level list; mutable penalty : float }
+
+let create levels =
+  if levels = [] then invalid_arg "Hierarchy.create: no levels";
+  { levels; penalty = 0.0 }
+
+let levels t = t.levels
+
+let access t ~addr ~bytes =
+  let bytes = max bytes 1 in
+  let line_bytes =
+    match t.levels with l :: _ -> (Cache.config l.cache).Cache.line_bytes | [] -> 64
+  in
+  let first = addr / line_bytes in
+  let last = (addr + bytes - 1) / line_bytes in
+  for line = first to last do
+    let line_addr = line * line_bytes in
+    let rec walk = function
+      | [] -> ()
+      | level :: outer ->
+          if not (Cache.access level.cache ~addr:line_addr) then begin
+            t.penalty <- t.penalty +. level.miss_penalty;
+            walk outer
+          end
+    in
+    walk t.levels
+  done
+
+let penalty_cycles t = t.penalty
+
+let find_level t label =
+  match List.find_opt (fun l -> l.label = label) t.levels with
+  | Some l -> l
+  | None -> raise Not_found
+
+let miss_rate t label = Cache.miss_rate (find_level t label).cache
+
+let level_stats t =
+  List.map (fun l -> (l.label, Cache.accesses l.cache, Cache.misses l.cache)) t.levels
+
+let reset_counters t =
+  t.penalty <- 0.0;
+  List.iter (fun l -> Cache.reset_counters l.cache) t.levels
+
+let clear t =
+  t.penalty <- 0.0;
+  List.iter (fun l -> Cache.clear l.cache) t.levels
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let xeon_e5 () =
+  create
+    [
+      {
+        label = "L1d";
+        cache = Cache.create { Cache.size_bytes = kib 32; ways = 8; line_bytes = 64 };
+        miss_penalty = 10.0;
+      };
+      {
+        label = "LLC";
+        cache = Cache.create { Cache.size_bytes = mib 20; ways = 20; line_bytes = 64 };
+        miss_penalty = 150.0;
+      };
+    ]
+
+let xeon_phi () =
+  create
+    [
+      {
+        label = "L1d";
+        cache = Cache.create { Cache.size_bytes = kib 32; ways = 8; line_bytes = 64 };
+        miss_penalty = 15.0;
+      };
+      {
+        label = "L2";
+        cache = Cache.create { Cache.size_bytes = kib 512; ways = 8; line_bytes = 64 };
+        miss_penalty = 300.0;
+      };
+    ]

@@ -1,0 +1,58 @@
+type t = {
+  name : string;
+  isa : Vc_simd.Isa.t;
+  hierarchy : unit -> Hierarchy.t;
+  max_live_threads : int;
+}
+
+let xeon_e5 =
+  {
+    name = "e5";
+    isa = Vc_simd.Isa.sse42;
+    hierarchy = Hierarchy.xeon_e5;
+    max_live_threads = 1 lsl 26;
+  }
+
+let xeon_phi =
+  {
+    name = "phi";
+    isa = Vc_simd.Isa.avx512;
+    hierarchy = Hierarchy.xeon_phi;
+    max_live_threads = 1 lsl 21;
+  }
+
+let knl =
+  {
+    name = "knl";
+    isa = Vc_simd.Isa.avx512bw;
+    hierarchy =
+      (fun () ->
+        Hierarchy.create
+          [
+            {
+              Hierarchy.label = "L1d";
+              cache =
+                Cache.create { Cache.size_bytes = 32 * 1024; ways = 8; line_bytes = 64 };
+              miss_penalty = 12.0;
+            };
+            {
+              Hierarchy.label = "L2";
+              cache =
+                Cache.create
+                  { Cache.size_bytes = 1024 * 1024; ways = 16; line_bytes = 64 };
+              miss_penalty = 250.0;
+            };
+          ]);
+    max_live_threads = 1 lsl 23;
+  }
+
+let all = [ xeon_e5; xeon_phi; knl ]
+
+let find name =
+  match List.find_opt (fun m -> m.name = name) all with
+  | Some m -> m
+  | None -> raise Not_found
+
+let pp fmt t =
+  Format.fprintf fmt "%s [%a, %d-thread limit]" t.name Vc_simd.Isa.pp t.isa
+    t.max_live_threads

@@ -1,0 +1,30 @@
+(** A simulated platform: vector ISA + memory hierarchy + capacity limit.
+
+    The two presets model the paper's evaluation platforms (§6.1).  The
+    [max_live_threads] limit plays the role of physical memory: a pure
+    breadth-first execution whose widest level exceeds it "runs out of
+    memory", reproducing the OOM entries of Table 2 at this reproduction's
+    scaled workload sizes (see DESIGN.md §2). *)
+
+type t = {
+  name : string;
+  isa : Vc_simd.Isa.t;
+  hierarchy : unit -> Hierarchy.t;  (** fresh hierarchy per run *)
+  max_live_threads : int;
+}
+
+val xeon_e5 : t
+val xeon_phi : t
+
+val knl : t
+(** A forward-looking platform for the §8 width-scaling study: AVX512BW
+    (char-level 512-bit vectors), a 1 MB L2, and a stronger scalar
+    pipeline than the first Phi.  Not part of the paper's evaluation;
+    used only by the ablation harness. *)
+
+val all : t list
+
+val find : string -> t
+(** Look up by [name] ("e5" / "phi").  Raises [Not_found]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/simd/compact.ml: Array Hashtbl Isa Prefix_table Printf Shuffle_table Stats Vm

@@ -1,0 +1,1 @@
+lib/simd/compact.mli: Isa Vm

@@ -1,0 +1,1 @@
+lib/simd/isa.ml: Format Lane

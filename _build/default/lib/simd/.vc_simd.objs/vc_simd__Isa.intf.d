@@ -1,0 +1,1 @@
+lib/simd/isa.mli: Format Lane

@@ -1,0 +1,1 @@
+lib/simd/lane.ml: Format List

@@ -1,0 +1,1 @@
+lib/simd/lane.mli: Format

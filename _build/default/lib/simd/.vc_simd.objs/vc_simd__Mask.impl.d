@@ -1,0 +1,1 @@
+lib/simd/mask.ml: Array Format Fun List Printf

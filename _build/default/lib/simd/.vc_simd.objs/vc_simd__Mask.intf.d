@@ -1,0 +1,1 @@
+lib/simd/mask.mli: Format

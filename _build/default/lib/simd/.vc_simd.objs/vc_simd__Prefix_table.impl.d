@@ -1,0 +1,1 @@
+lib/simd/prefix_table.ml: Array Printf

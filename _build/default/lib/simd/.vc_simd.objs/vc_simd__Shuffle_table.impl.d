@@ -1,0 +1,1 @@
+lib/simd/shuffle_table.ml: Array Printf

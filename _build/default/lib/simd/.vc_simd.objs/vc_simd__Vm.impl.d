@@ -1,0 +1,1 @@
+lib/simd/vm.ml: Array Isa Printf Stats

@@ -1,0 +1,1 @@
+lib/simd/vm.mli: Isa Stats

@@ -1,0 +1,183 @@
+type engine =
+  | Sequential
+  | Full_table
+  | Factorized of { sub_width : int }
+  | Prefix_scatter of { sub_width : int }
+
+let name = function
+  | Sequential -> "sequential"
+  | Full_table -> "full-table"
+  | Factorized { sub_width } -> Printf.sprintf "factorized-%d" sub_width
+  | Prefix_scatter { sub_width } -> Printf.sprintf "prefix-scatter-%d" sub_width
+
+let default_for (isa : Isa.t) ~width =
+  if isa.Isa.has_shuffle then
+    if width <= 8 then Full_table else Factorized { sub_width = 8 }
+  else Prefix_scatter { sub_width = min width 8 }
+
+let legal (isa : Isa.t) = function
+  | Sequential -> true
+  | Full_table | Factorized _ -> isa.Isa.has_shuffle
+  | Prefix_scatter _ -> isa.Isa.has_masked_scatter
+
+(* Tables live in a fixed, small region of the modeled address space; they
+   are hot and tiny, so they cache well — exactly the paper's argument for
+   tabulating the shuffle controls. *)
+let table_region_base = 0x1000_0000
+
+let shuffle_tables : (int, Shuffle_table.t) Hashtbl.t = Hashtbl.create 8
+let prefix_tables : (int, Prefix_table.t) Hashtbl.t = Hashtbl.create 8
+
+let shuffle_table width =
+  match Hashtbl.find_opt shuffle_tables width with
+  | Some t -> t
+  | None ->
+      let t = Shuffle_table.make ~width in
+      Hashtbl.add shuffle_tables width t;
+      t
+
+let prefix_table width =
+  match Hashtbl.find_opt prefix_tables width with
+  | Some t -> t
+  | None ->
+      let t = Prefix_table.make ~width in
+      Hashtbl.add prefix_tables width t;
+      t
+
+let table_memory_bytes engine ~width =
+  match engine with
+  | Sequential -> 0
+  | Full_table -> Shuffle_table.memory_bytes (shuffle_table width)
+  | Factorized { sub_width } -> Shuffle_table.memory_bytes (shuffle_table sub_width)
+  | Prefix_scatter { sub_width } -> Prefix_table.memory_bytes (prefix_table sub_width)
+
+let check_sub_width ~width ~sub_width =
+  if sub_width < 1 || sub_width > width || width mod sub_width <> 0 then
+    invalid_arg
+      (Printf.sprintf "Compact: sub_width %d must divide width %d" sub_width width)
+
+(* Stable partition with a plain scalar loop: one compare + one store per
+   element. *)
+let sequential ~vm ~n ~pred =
+  let sel = ref [] and rest = ref [] in
+  for i = n - 1 downto 0 do
+    Vm.scalar_ops vm 2;
+    if pred i then sel := i :: !sel else rest := i :: !rest
+  done;
+  (Array.of_list !sel, Array.of_list !rest)
+
+(* Shared chunked driver for the table-based engines.  The stream is
+   processed [width] lanes at a time; [compact_side] appends one side
+   (selected or unselected lanes) of one chunk.  Lane predicates are kept
+   as a boolean array so registers wider than the native int (e.g. the
+   64-wide char lanes of AVX512BW) work; each engine extracts the
+   sub-group masks it needs, which are at most 16 bits. *)
+let chunked ~width ~n ~pred ~compact_side =
+  let sel = Array.make n 0 and rest = Array.make n 0 in
+  let nsel = ref 0 and nrest = ref 0 in
+  let lanes = Array.make width 0 in
+  let keeps = Array.make width false in
+  let base = ref 0 in
+  while !base < n do
+    let chunk = min width (n - !base) in
+    for i = 0 to chunk - 1 do
+      lanes.(i) <- !base + i;
+      keeps.(i) <- pred (!base + i)
+    done;
+    (* Lanes beyond [chunk] (final partial register) are inactive on both
+       sides. *)
+    for i = chunk to width - 1 do
+      keeps.(i) <- false
+    done;
+    nsel := compact_side ~lanes ~keeps ~chunk ~want:true ~dst:sel ~pos:!nsel;
+    nrest := compact_side ~lanes ~keeps ~chunk ~want:false ~dst:rest ~pos:!nrest;
+    base := !base + width
+  done;
+  (Array.sub sel 0 !nsel, Array.sub rest 0 !nrest)
+
+(* Mask bits of sub-group [g] (width [sub_width]) for the lanes whose
+   predicate equals [want], restricted to the live [chunk]. *)
+let sub_group_mask ~keeps ~chunk ~sub_width ~want g =
+  let m = ref 0 in
+  for i = 0 to sub_width - 1 do
+    let lane = (g * sub_width) + i in
+    if lane < chunk && keeps.(lane) = want then m := !m lor (1 lsl i)
+  done;
+  !m
+
+(* Factorized shuffle compaction: split the register into [width/sub]
+   sub-groups; per sub-group one shuffle-table lookup, one advance-table
+   lookup and one shuffle, appending at the running position (Fig. 8).
+   Only the table reads are traced to memory; the data movement of the
+   reordered threads is charged by the block manager that consumes the
+   permutation. *)
+let shuffle_side ~vm ~width ~sub_width =
+  let table = shuffle_table sub_width in
+  let groups = width / sub_width in
+  fun ~lanes ~keeps ~chunk ~want ~dst ~pos ->
+    let p = ref pos in
+    for g = 0 to groups - 1 do
+      let m = sub_group_mask ~keeps ~chunk ~sub_width ~want g in
+      Vm.table_lookup vm
+        ~addr:(table_region_base + (m * (sub_width + 1)))
+        ~bytes:(sub_width + 1);
+      (* advance-table read is adjacent to the shuffle control *)
+      Vm.table_lookup vm ~addr:(table_region_base + (m * (sub_width + 1)) + sub_width) ~bytes:1;
+      Vm.shuffle vm ~width;
+      let control = Shuffle_table.shuffle_control table m in
+      let cnt = Shuffle_table.advance table m in
+      for i = 0 to cnt - 1 do
+        dst.(!p + i) <- lanes.((g * sub_width) + control.(i))
+      done;
+      p := !p + cnt
+    done;
+    !p
+
+(* Prefix-sum + masked-scatter compaction (Phi path). *)
+let prefix_side ~vm ~width ~sub_width =
+  let table = prefix_table sub_width in
+  let groups = width / sub_width in
+  fun ~lanes ~keeps ~chunk ~want ~dst ~pos ->
+    let p = ref pos in
+    for g = 0 to groups - 1 do
+      let m = sub_group_mask ~keeps ~chunk ~sub_width ~want g in
+      Vm.table_lookup vm
+        ~addr:(table_region_base + 0x10000 + (m * (sub_width + 1)))
+        ~bytes:(sub_width + 1);
+      let off = Prefix_table.offsets table m in
+      let cnt = Prefix_table.advance table m in
+      if cnt > 0 then begin
+        (* the masked scatter instruction itself; its stores land in the
+           compacted output block, charged by the block manager *)
+        Vm.vector_op vm ~width ~active:cnt;
+        (Vm.stats vm).Stats.scatters <- (Vm.stats vm).Stats.scatters + 1
+      end;
+      for lane = 0 to sub_width - 1 do
+        if m land (1 lsl lane) <> 0 then
+          dst.(!p + off.(lane)) <- lanes.((g * sub_width) + lane)
+      done;
+      p := !p + cnt
+    done;
+    !p
+
+let partition ~vm ~engine ~width ~n ~pred =
+  if width < 1 then invalid_arg "Compact.partition: width must be positive";
+  if not (legal (Vm.isa vm) engine) then
+    invalid_arg
+      (Printf.sprintf "Compact.partition: engine %s is illegal on ISA %s"
+         (name engine) (Vm.isa vm).Isa.name);
+  if n = 0 then ([||], [||])
+  else
+    match engine with
+    | Sequential -> sequential ~vm ~n ~pred
+    | Full_table ->
+        if width > 16 then
+          invalid_arg "Compact.partition: full table limited to width 16";
+        chunked ~width ~n ~pred
+          ~compact_side:(shuffle_side ~vm ~width ~sub_width:width)
+    | Factorized { sub_width } ->
+        check_sub_width ~width ~sub_width;
+        chunked ~width ~n ~pred ~compact_side:(shuffle_side ~vm ~width ~sub_width)
+    | Prefix_scatter { sub_width } ->
+        check_sub_width ~width ~sub_width;
+        chunked ~width ~n ~pred ~compact_side:(prefix_side ~vm ~width ~sub_width)

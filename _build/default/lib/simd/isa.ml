@@ -1,0 +1,61 @@
+type t = {
+  name : string;
+  vector_bits : int;
+  has_shuffle : bool;
+  has_masked_scatter : bool;
+  min_lane_bits : int;
+  scalar_issue : float;
+  vector_issue : float;
+  gather_cost : float;
+  scatter_cost : float;
+}
+
+let sse42 =
+  {
+    name = "sse4.2";
+    vector_bits = 128;
+    has_shuffle = true;
+    has_masked_scatter = false;
+    min_lane_bits = 8;
+    scalar_issue = 1.0;
+    vector_issue = 1.0;
+    gather_cost = 4.0;
+    scatter_cost = 4.0;
+  }
+
+let avx512 =
+  {
+    name = "avx512";
+    vector_bits = 512;
+    has_shuffle = false;
+    has_masked_scatter = true;
+    min_lane_bits = 32;
+    scalar_issue = 2.0;
+    vector_issue = 1.0;
+    gather_cost = 2.0;
+    scatter_cost = 2.0;
+  }
+
+let avx512bw =
+  {
+    name = "avx512bw";
+    vector_bits = 512;
+    has_shuffle = true;
+    has_masked_scatter = true;
+    min_lane_bits = 8;
+    scalar_issue = 1.5;
+    vector_issue = 1.0;
+    gather_cost = 2.0;
+    scatter_cost = 2.0;
+  }
+
+let effective_kind t k =
+  let widen k = if Lane.bits k < t.min_lane_bits then Lane.fitting (1 lsl (t.min_lane_bits - 2)) else k in
+  widen k
+
+let lanes t k = t.vector_bits / Lane.bits (effective_kind t k)
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%d-bit%s%s)" t.name t.vector_bits
+    (if t.has_shuffle then ", shuffle" else "")
+    (if t.has_masked_scatter then ", masked-scatter" else "")

@@ -1,0 +1,44 @@
+(** ISA profiles for the simulated vector hardware.
+
+    Two profiles mirror the paper's platforms (§6.1):
+    - {!sse42}: 128-bit vectors with an in-register shuffle instruction
+      (Xeon E5-2670), lane kinds down to 8 bits;
+    - {!avx512}: 512-bit vectors with masked scatter but {e no} shuffle
+      (Xeon Phi SE10P, IMCI), 32-bit lanes minimum.
+
+    The issue costs are the cycle model's per-instruction weights; the Phi's
+    in-order scalar pipeline is modeled with a higher scalar issue cost,
+    matching the paper's observation that Phi speedups exceed E5 speedups
+    thanks to its "more powerful VPU" relative to its scalar side. *)
+
+type t = {
+  name : string;
+  vector_bits : int;  (** register width in bits *)
+  has_shuffle : bool;  (** in-register shuffle (SSE4.2 yes, IMCI no) *)
+  has_masked_scatter : bool;  (** masked scatter store (IMCI yes) *)
+  min_lane_bits : int;  (** narrowest lane the ISA supports well *)
+  scalar_issue : float;  (** cycles per scalar instruction *)
+  vector_issue : float;  (** cycles per vector instruction *)
+  gather_cost : float;  (** extra cycles for a gather vs. packed load *)
+  scatter_cost : float;  (** extra cycles for a scatter vs. packed store *)
+}
+
+val sse42 : t
+val avx512 : t
+
+val avx512bw : t
+(** The paper's §8 future hardware: "the next version of the Xeon Phi will
+    support character-level vector operations" — 512-bit vectors {e with}
+    byte lanes (64-wide for char data) and both shuffle and masked
+    scatter.  Used by the vector-width-scaling ablation. *)
+
+val lanes : t -> Lane.kind -> int
+(** Number of lanes a register holds for the given kind, after clamping the
+    kind to [min_lane_bits].  E.g. [lanes sse42 I8 = 16], [lanes avx512 I8 =
+    16] (I8 is widened to the 32-bit minimum). *)
+
+val effective_kind : t -> Lane.kind -> Lane.kind
+(** The lane kind actually used: [k] widened to [min_lane_bits] if needed.
+    Models the Phi widening every data type to [int] (paper §6.1). *)
+
+val pp : Format.formatter -> t -> unit

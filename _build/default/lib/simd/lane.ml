@@ -1,0 +1,21 @@
+type kind = I8 | I16 | I32 | I64
+
+let bits = function I8 -> 8 | I16 -> 16 | I32 -> 32 | I64 -> 64
+
+let bytes k = bits k / 8
+
+let to_string = function I8 -> "i8" | I16 -> "i16" | I32 -> "i32" | I64 -> "i64"
+
+let pp fmt k = Format.pp_print_string fmt (to_string k)
+
+let all = [ I8; I16; I32; I64 ]
+
+let fitting v =
+  let fits k =
+    let b = bits k - 1 in
+    (* Signed range of a [bits k]-bit lane. *)
+    v >= -(1 lsl b) && v < 1 lsl b
+  in
+  match List.find_opt fits all with
+  | Some k -> k
+  | None -> I64

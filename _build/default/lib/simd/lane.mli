@@ -1,0 +1,30 @@
+(** Lane kinds for the simulated vector ISA.
+
+    A vector register holds [vector_bits / bits kind] lanes of the given
+    kind.  The paper exploits narrow lanes where the data permits (e.g.
+    [fib]'s argument fits in a [char], giving 16 lanes on 128-bit SSE4.2),
+    so lane kind is a per-benchmark choice (paper, Table 1). *)
+
+type kind =
+  | I8   (** 8-bit integer lanes ("char" in the paper) *)
+  | I16  (** 16-bit integer lanes *)
+  | I32  (** 32-bit integer lanes (the only kind IMCI supports well) *)
+  | I64  (** 64-bit integer lanes *)
+
+(** Width of one lane in bits. *)
+val bits : kind -> int
+
+(** Width of one lane in bytes. *)
+val bytes : kind -> int
+
+(** Short printable name, e.g. ["i8"]. *)
+val to_string : kind -> string
+
+val pp : Format.formatter -> kind -> unit
+
+(** All lane kinds, narrowest first. *)
+val all : kind list
+
+(** Smallest kind whose signed range contains [v], e.g. for choosing the
+    narrowest viable lane for a benchmark's data (paper §6.1). *)
+val fitting : int -> kind

@@ -1,0 +1,73 @@
+type t = { width : int; bits : int }
+
+let check_width width =
+  if width < 1 || width > 62 then
+    invalid_arg (Printf.sprintf "Mask.create: width %d not in 1..62" width)
+
+let low_bits width = (1 lsl width) - 1
+
+let create ~width bits =
+  check_width width;
+  { width; bits = bits land low_bits width }
+
+let zero ~width =
+  check_width width;
+  { width; bits = 0 }
+
+let full ~width =
+  check_width width;
+  { width; bits = low_bits width }
+
+let width m = m.width
+let bits m = m.bits
+
+let check_lane m i =
+  if i < 0 || i >= m.width then
+    invalid_arg (Printf.sprintf "Mask: lane %d out of range 0..%d" i (m.width - 1))
+
+let test m i =
+  check_lane m i;
+  m.bits land (1 lsl i) <> 0
+
+let set m i =
+  check_lane m i;
+  { m with bits = m.bits lor (1 lsl i) }
+
+let popcount m =
+  let rec count acc b = if b = 0 then acc else count (acc + (b land 1)) (b lsr 1) in
+  count 0 m.bits
+
+let lognot m = { m with bits = lnot m.bits land low_bits m.width }
+
+let binop name f a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Mask.%s: widths %d and %d differ" name a.width b.width);
+  { a with bits = f a.bits b.bits }
+
+let logand a b = binop "logand" ( land ) a b
+let logor a b = binop "logor" ( lor ) a b
+
+let of_pred ~width f =
+  check_width width;
+  let bits = ref 0 in
+  for i = 0 to width - 1 do
+    if f i then bits := !bits lor (1 lsl i)
+  done;
+  { width; bits = !bits }
+
+let of_bools bools = of_pred ~width:(Array.length bools) (Array.get bools)
+
+let to_bools m = Array.init m.width (fun i -> test m i)
+
+let active_lanes m =
+  List.filter (test m) (List.init m.width Fun.id)
+
+let is_empty m = m.bits = 0
+let is_full m = m.bits = low_bits m.width
+
+let equal a b = a.width = b.width && a.bits = b.bits
+
+let pp fmt m =
+  for i = 0 to m.width - 1 do
+    Format.pp_print_char fmt (if test m i then '1' else '0')
+  done

@@ -1,0 +1,54 @@
+(** Lane predicate masks.
+
+    A mask is a bitset over the lanes of one vector register: bit [i] set
+    means lane [i] is active.  Masks are what [isBase] produces and what the
+    stream-compaction tables are indexed by (paper §5). *)
+
+type t
+(** A mask together with its width (number of lanes it covers).  Widths up
+    to 62 lanes are supported, far beyond any ISA modeled here. *)
+
+val create : width:int -> int -> t
+(** [create ~width bits] makes a mask of [width] lanes from the low [width]
+    bits of [bits].  Raises [Invalid_argument] if [width] is not in
+    [1..62]. *)
+
+val zero : width:int -> t
+val full : width:int -> t
+
+val width : t -> int
+
+val bits : t -> int
+(** The raw bit pattern; only the low [width t] bits are meaningful. *)
+
+val test : t -> int -> bool
+(** [test m i] is whether lane [i] is active.  Raises [Invalid_argument]
+    when [i] is out of range. *)
+
+val set : t -> int -> t
+(** Functional update: activate lane [i]. *)
+
+val popcount : t -> int
+(** Number of active lanes. *)
+
+val lognot : t -> t
+(** Complement within the mask's width. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+
+val of_pred : width:int -> (int -> bool) -> t
+(** [of_pred ~width f] activates every lane [i] with [f i]. *)
+
+val of_bools : bool array -> t
+val to_bools : t -> bool array
+
+val active_lanes : t -> int list
+(** Indices of active lanes, ascending. *)
+
+val is_empty : t -> bool
+val is_full : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [1011] — lane 0 leftmost. *)

@@ -1,0 +1,49 @@
+type t = {
+  width : int;
+  offsets : int array array;
+  advances : int array;
+}
+
+let make ~width =
+  if width < 1 || width > 16 then
+    invalid_arg (Printf.sprintf "Prefix_table.make: width %d not in 1..16" width);
+  let entries = 1 lsl width in
+  let offsets =
+    Array.init entries (fun m ->
+        let off = Array.make width 0 in
+        let sum = ref 0 in
+        for lane = 0 to width - 1 do
+          off.(lane) <- !sum;
+          if m land (1 lsl lane) <> 0 then incr sum
+        done;
+        off)
+  in
+  let advances =
+    Array.init entries (fun m ->
+        let rec pop acc b = if b = 0 then acc else pop (acc + (b land 1)) (b lsr 1) in
+        pop 0 m)
+  in
+  { width; offsets; advances }
+
+let width t = t.width
+let entry_count t = Array.length t.offsets
+let memory_bytes t = entry_count t * (t.width + 1)
+
+let check_mask t m =
+  if m < 0 || m >= entry_count t then
+    invalid_arg (Printf.sprintf "Prefix_table: mask %#x out of range for width %d" m t.width)
+
+let offsets t m =
+  check_mask t m;
+  t.offsets.(m)
+
+let advance t m =
+  check_mask t m;
+  t.advances.(m)
+
+let apply t m ~src ~dst ~pos =
+  let off = offsets t m in
+  for lane = 0 to t.width - 1 do
+    if m land (1 lsl lane) <> 0 then dst.(pos + off.(lane)) <- src.(lane)
+  done;
+  pos + advance t m

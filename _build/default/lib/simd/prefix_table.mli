@@ -1,0 +1,30 @@
+(** Precomputed exclusive-prefix-sum tables for masked-scatter compaction.
+
+    The Xeon Phi path of the paper's stream compaction (§5): the ISA has no
+    in-register shuffle, but a masked scatter can store selected lanes to
+    memory.  The scatter offsets are the exclusive prefix sum of the mask —
+    lane [i] lands at offset [sum_{j<i} m_j].  Like the shuffle table, the
+    prefix-sum function is tabulated ([2^w] entries) and can be factorized
+    over a narrower table combined with the advance counts. *)
+
+type t
+
+val make : width:int -> t
+(** Tables for masks of [width] lanes (1..16). *)
+
+val width : t -> int
+val entry_count : t -> int
+
+val memory_bytes : t -> int
+
+val offsets : t -> int -> int array
+(** [offsets t m] is the exclusive prefix sum of mask [m]'s bits: the
+    in-group scatter offset of every lane (meaningful only for selected
+    lanes).  Do not mutate. *)
+
+val advance : t -> int -> int
+(** Number of selected lanes — how far the stream position advances. *)
+
+val apply : t -> int -> src:int array -> dst:int array -> pos:int -> int
+(** Masked scatter: store the selected lanes of [src] to [dst.(pos + off)]
+    per the prefix offsets, returning the advanced position. *)

@@ -1,0 +1,55 @@
+type t = {
+  width : int;
+  controls : int array array;  (* indexed by mask bit-pattern *)
+  advances : int array;
+}
+
+let no_lane = -1
+
+let make ~width =
+  if width < 1 || width > 16 then
+    invalid_arg (Printf.sprintf "Shuffle_table.make: width %d not in 1..16" width);
+  let entries = 1 lsl width in
+  let controls =
+    Array.init entries (fun m ->
+        let control = Array.make width no_lane in
+        let pos = ref 0 in
+        for lane = 0 to width - 1 do
+          if m land (1 lsl lane) <> 0 then begin
+            control.(!pos) <- lane;
+            incr pos
+          end
+        done;
+        control)
+  in
+  let advances =
+    Array.init entries (fun m ->
+        let rec pop acc b = if b = 0 then acc else pop (acc + (b land 1)) (b lsr 1) in
+        pop 0 m)
+  in
+  { width; controls; advances }
+
+let width t = t.width
+let entry_count t = Array.length t.controls
+
+let memory_bytes t = entry_count t * (t.width + 1)
+
+let check_mask t m =
+  if m < 0 || m >= entry_count t then
+    invalid_arg (Printf.sprintf "Shuffle_table: mask %#x out of range for width %d" m t.width)
+
+let shuffle_control t m =
+  check_mask t m;
+  t.controls.(m)
+
+let advance t m =
+  check_mask t m;
+  t.advances.(m)
+
+let apply t m ~src ~dst ~pos =
+  let control = shuffle_control t m in
+  let n = advance t m in
+  for i = 0 to n - 1 do
+    dst.(pos + i) <- src.(control.(i))
+  done;
+  pos + n

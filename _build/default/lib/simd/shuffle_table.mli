@@ -1,0 +1,41 @@
+(** Precomputed shuffle and advance tables for stream compaction (paper §5).
+
+    For a table width [w], the table has [2^w] entries.  Entry [m] (a lane
+    mask) is the shuffle control that gathers the lanes selected by [m] to
+    the front of a register, in order; unselected positions hold
+    {!no_lane} ("F" in the paper's Fig. 8).  The companion {e advance
+    table} stores [nnz(m)] — how far the output position advances — which
+    is what lets a [w]-wide compaction be factorized into multiple passes
+    over a [s]-wide table ([s < w], table size [2^s] instead of [2^w]). *)
+
+type t
+
+val no_lane : int
+(** Sentinel (-1) marking "no element shuffled to this position". *)
+
+val make : width:int -> t
+(** Build the tables for [width] lanes (1..16).  Cost: [2^width] entries of
+    [width] slots. *)
+
+val width : t -> int
+
+val entry_count : t -> int
+(** [2^width]. *)
+
+val memory_bytes : t -> int
+(** Modeled footprint: [2^width * width] shuffle bytes plus [2^width]
+    advance bytes.  This is the space the factorized algorithm saves. *)
+
+val shuffle_control : t -> int -> int array
+(** [shuffle_control t m] for a mask bit-pattern [m] (low [width] bits):
+    the compacting shuffle control.  The returned array must not be
+    mutated. *)
+
+val advance : t -> int -> int
+(** [advance t m] = number of selected lanes in [m] (the advance-table
+    lookup of §5). *)
+
+val apply : t -> int -> src:int array -> dst:int array -> pos:int -> int
+(** [apply t m ~src ~dst ~pos] shuffles the lanes of [src] (length [width])
+    selected by mask [m] to [dst.(pos)..], returning the new position.
+    This is the single-register compaction step of Fig. 8. *)

@@ -1,0 +1,105 @@
+type t = {
+  mutable scalar_ops : int;
+  mutable vector_ops : int;
+  mutable lane_slots : int;
+  mutable active_lanes : int;
+  mutable vector_loads : int;
+  mutable vector_stores : int;
+  mutable scalar_loads : int;
+  mutable scalar_stores : int;
+  mutable gathers : int;
+  mutable scatters : int;
+  mutable shuffles : int;
+  mutable table_lookups : int;
+  mutable full_tasks : int;
+  mutable epilog_tasks : int;
+}
+
+let create () =
+  {
+    scalar_ops = 0;
+    vector_ops = 0;
+    lane_slots = 0;
+    active_lanes = 0;
+    vector_loads = 0;
+    vector_stores = 0;
+    scalar_loads = 0;
+    scalar_stores = 0;
+    gathers = 0;
+    scatters = 0;
+    shuffles = 0;
+    table_lookups = 0;
+    full_tasks = 0;
+    epilog_tasks = 0;
+  }
+
+let reset t =
+  t.scalar_ops <- 0;
+  t.vector_ops <- 0;
+  t.lane_slots <- 0;
+  t.active_lanes <- 0;
+  t.vector_loads <- 0;
+  t.vector_stores <- 0;
+  t.scalar_loads <- 0;
+  t.scalar_stores <- 0;
+  t.gathers <- 0;
+  t.scatters <- 0;
+  t.shuffles <- 0;
+  t.table_lookups <- 0;
+  t.full_tasks <- 0;
+  t.epilog_tasks <- 0
+
+let copy t = { t with scalar_ops = t.scalar_ops }
+
+let add acc x =
+  acc.scalar_ops <- acc.scalar_ops + x.scalar_ops;
+  acc.vector_ops <- acc.vector_ops + x.vector_ops;
+  acc.lane_slots <- acc.lane_slots + x.lane_slots;
+  acc.active_lanes <- acc.active_lanes + x.active_lanes;
+  acc.vector_loads <- acc.vector_loads + x.vector_loads;
+  acc.vector_stores <- acc.vector_stores + x.vector_stores;
+  acc.scalar_loads <- acc.scalar_loads + x.scalar_loads;
+  acc.scalar_stores <- acc.scalar_stores + x.scalar_stores;
+  acc.gathers <- acc.gathers + x.gathers;
+  acc.scatters <- acc.scatters + x.scatters;
+  acc.shuffles <- acc.shuffles + x.shuffles;
+  acc.table_lookups <- acc.table_lookups + x.table_lookups;
+  acc.full_tasks <- acc.full_tasks + x.full_tasks;
+  acc.epilog_tasks <- acc.epilog_tasks + x.epilog_tasks
+
+let diff after before =
+  {
+    scalar_ops = after.scalar_ops - before.scalar_ops;
+    vector_ops = after.vector_ops - before.vector_ops;
+    lane_slots = after.lane_slots - before.lane_slots;
+    active_lanes = after.active_lanes - before.active_lanes;
+    vector_loads = after.vector_loads - before.vector_loads;
+    vector_stores = after.vector_stores - before.vector_stores;
+    scalar_loads = after.scalar_loads - before.scalar_loads;
+    scalar_stores = after.scalar_stores - before.scalar_stores;
+    gathers = after.gathers - before.gathers;
+    scatters = after.scatters - before.scatters;
+    shuffles = after.shuffles - before.shuffles;
+    table_lookups = after.table_lookups - before.table_lookups;
+    full_tasks = after.full_tasks - before.full_tasks;
+    epilog_tasks = after.epilog_tasks - before.epilog_tasks;
+  }
+
+let lane_occupancy t =
+  if t.lane_slots = 0 then 1.0
+  else float_of_int t.active_lanes /. float_of_int t.lane_slots
+
+let simd_utilization t =
+  let total = t.full_tasks + t.epilog_tasks in
+  if total = 0 then 1.0 else float_of_int t.full_tasks /. float_of_int total
+
+let total_ops t = t.scalar_ops + t.vector_ops
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>scalar ops   %d@,vector ops   %d@,lane occ.    %.3f@,simd util.   \
+     %.3f@,vloads/vstores %d/%d@,gathers/scatters %d/%d@,shuffles %d, table \
+     lookups %d@]"
+    t.scalar_ops t.vector_ops (lane_occupancy t) (simd_utilization t)
+    t.vector_loads t.vector_stores t.gathers t.scatters t.shuffles
+    t.table_lookups

@@ -1,0 +1,47 @@
+(** Instruction and lane-occupancy counters for the simulated vector machine.
+
+    These are the software equivalent of the hardware counters the paper
+    reads with VTune: they power the SIMD-utilization figures (Fig. 10), the
+    opportunity analysis (Table 3), and the cycle model behind every speedup
+    number. *)
+
+type t = {
+  mutable scalar_ops : int;  (** scalar instructions issued *)
+  mutable vector_ops : int;  (** vector instructions issued *)
+  mutable lane_slots : int;  (** total lane slots of all vector ops *)
+  mutable active_lanes : int;  (** lane slots that did useful work *)
+  mutable vector_loads : int;
+  mutable vector_stores : int;
+  mutable scalar_loads : int;
+  mutable scalar_stores : int;
+  mutable gathers : int;
+  mutable scatters : int;
+  mutable shuffles : int;
+  mutable table_lookups : int;  (** shuffle/advance/prefix table reads *)
+  mutable full_tasks : int;  (** tasks executed in full-width SIMD groups *)
+  mutable epilog_tasks : int;  (** tasks executed in partial (epilog) groups *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val copy : t -> t
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val diff : t -> t -> t
+(** [diff after before] is the counters accumulated between two snapshots. *)
+
+val lane_occupancy : t -> float
+(** [active_lanes / lane_slots] — fraction of issued lane slots that were
+    useful.  1.0 when every vector op ran full. *)
+
+val simd_utilization : t -> float
+(** The paper's Fig. 10 metric: fraction of tasks executed as part of
+    full-width SIMD groups, [full_tasks / (full_tasks + epilog_tasks)]. *)
+
+val total_ops : t -> int
+(** Scalar plus vector instructions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/gen_programs.ml: Ast List Pp Printf QCheck Reducer String Vc_lang

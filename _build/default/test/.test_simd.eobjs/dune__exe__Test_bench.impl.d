@@ -1,0 +1,1 @@
+test/test_bench.ml: Alcotest Array Binomial Fib Graphcol Knapsack List Minmax Nqueens Parentheses Printf QCheck QCheck_alcotest Registry Rng String Uts Vc_bench Vc_core Vc_lang Vc_mem

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Filename Format List String Sys Unix Vc_bench Vc_core Vc_exp Vc_mem

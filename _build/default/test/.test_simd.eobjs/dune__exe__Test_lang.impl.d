@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Builtins Gen_programs Interp Lexer List Parser Pp Printf Profile QCheck QCheck_alcotest Reducer String Token Validate Vc_lang

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Cache Cost Hierarchy Machine Vc_mem Vc_simd

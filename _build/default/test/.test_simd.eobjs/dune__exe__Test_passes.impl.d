@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Ast Format Gen_programs Interp List Optim Parser QCheck QCheck_alcotest Reducer String Termination Validate Vc_core Vc_lang

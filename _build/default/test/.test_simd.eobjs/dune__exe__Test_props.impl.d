@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Compile Engine Gen_programs List Multicore Policy Printf QCheck QCheck_alcotest Report String Trace Vc_core Vc_lang Vc_mem Vc_simd

@@ -1,0 +1,1 @@
+test/test_simd.ml: Alcotest Array Compact Gen Isa Lane List Mask Prefix_table QCheck QCheck_alcotest Shuffle_table Stats Vc_simd Vm

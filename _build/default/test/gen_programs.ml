@@ -1,0 +1,143 @@
+(* QCheck generators for random, valid, terminating DSL programs.
+
+   Shape: a two-parameter method [m(a, b)] whose base condition is
+   [a < cutoff] and whose spawns always pass [a - 1] first, so every
+   program terminates with tree depth <= root argument.  Base cases
+   reduce arbitrary integer expressions; bodies sprinkle assignments,
+   conditionals and loops that respect the validator's definite-assignment
+   and typing rules. *)
+
+open Vc_lang
+
+let params = [ "a"; "b" ]
+
+(* Integer expressions over the given in-scope variables. *)
+let rec gen_int_expr vars depth st =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ast.Int n) (int_range 0 9);
+        map (fun v -> Ast.Var v) (oneofl vars);
+      ]
+  in
+  if depth <= 0 then leaf st
+  else
+    (frequency
+       [
+         (3, leaf);
+         ( 2,
+           map2
+             (fun op (l, r) -> Ast.Binop (op, l, r))
+             (oneofl [ Ast.Add; Ast.Sub; Ast.Mul ])
+             (pair (gen_int_expr vars (depth - 1)) (gen_int_expr vars (depth - 1))) );
+         (1, map (fun e -> Ast.Unop (Ast.Neg, e)) (gen_int_expr vars (depth - 1)));
+         ( 1,
+           map2
+             (fun a b -> Ast.Call ("min2", [ a; b ]))
+             (gen_int_expr vars (depth - 1))
+             (gen_int_expr vars (depth - 1)) );
+       ])
+      st
+
+let gen_bool_expr vars depth st =
+  let open QCheck.Gen in
+  (map2
+     (fun op (l, r) -> Ast.Binop (op, l, r))
+     (oneofl [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ])
+     (pair (gen_int_expr vars depth) (gen_int_expr vars depth)))
+    st
+
+(* Base-case statements: reduces, assignments, conditionals.  [vars] only
+   grows through locals assigned in straight-line positions. *)
+let rec gen_base_stmt vars depth st =
+  let open QCheck.Gen in
+  if depth <= 0 then
+    (map (fun e -> Ast.Reduce ("acc", e)) (gen_int_expr vars 1)) st
+  else
+    (frequency
+       [
+         (3, map (fun e -> Ast.Reduce ("acc", e)) (gen_int_expr vars 2));
+         ( 2,
+           (* assign a local then use it afterwards *)
+           map2
+             (fun e body -> Ast.Seq (Ast.Assign ("t", e), body))
+             (gen_int_expr vars 2)
+             (gen_base_stmt ("t" :: vars) (depth - 1)) );
+         ( 2,
+           map3
+             (fun c a b -> Ast.If (c, a, b))
+             (gen_bool_expr vars 1)
+             (gen_base_stmt vars (depth - 1))
+             (gen_base_stmt vars (depth - 1)) );
+         (1, pure Ast.Skip);
+         ( 1,
+           map2
+             (fun a b -> Ast.Seq (a, b))
+             (gen_base_stmt vars (depth - 1))
+             (gen_base_stmt vars (depth - 1)) );
+       ])
+      st
+
+(* The inductive case: spawn sites in fixed syntactic order with
+   decreasing first argument.  Optionally a conditional guards the last
+   spawn (both branches see the same site because ids are syntactic). *)
+let gen_inductive vars n_spawns st =
+  let open QCheck.Gen in
+  let spawn id st =
+    let b = gen_int_expr vars 2 st in
+    Ast.Spawn { Ast.spawn_id = id; spawn_args = [ Ast.Binop (Ast.Sub, Ast.Var "a", Ast.Int 1); b ] }
+  in
+  let sites = List.init n_spawns (fun i -> spawn i st) in
+  let guarded =
+    match List.rev sites with
+    | last :: rest when bool st ->
+        List.rev (Ast.If (gen_bool_expr vars 1 st, last, Ast.Skip) :: rest)
+    | _ -> sites
+  in
+  Ast.seq guarded
+
+(* The parser produces right-nested [Seq] chains with no [Skip] operands,
+   so normalize generated statements to the same canonical form to make the
+   print/parse round trip exact. *)
+let rec normalize (s : Ast.stmt) : Ast.stmt =
+  let rec flatten s acc =
+    match s with
+    | Ast.Seq (a, b) -> flatten a (flatten b acc)
+    | Ast.Skip -> acc
+    | s -> normalize_leaf s :: acc
+  and normalize_leaf = function
+    | Ast.If (c, a, b) -> Ast.If (c, normalize a, normalize b)
+    | Ast.While (c, body) -> Ast.While (c, normalize body)
+    | (Ast.Skip | Ast.Return | Ast.Assign _ | Ast.Reduce _ | Ast.Spawn _ | Ast.Seq _) as s -> s
+  in
+  Ast.seq (flatten s [])
+
+let gen_program st =
+  let open QCheck.Gen in
+  let cutoff = int_range 1 2 st in
+  let n_spawns = int_range 1 3 st in
+  let base = normalize (gen_base_stmt params (int_range 0 3 st) st) in
+  let inductive = normalize (gen_inductive params n_spawns st) in
+  {
+    Ast.reducers = [ { Ast.red_name = "acc"; red_op = Reducer.Sum } ];
+    mth =
+      {
+        Ast.name = "m";
+        params;
+        is_base = Ast.Binop (Ast.Lt, Ast.Var "a", Ast.Int cutoff);
+        base;
+        inductive;
+      };
+  }
+
+let gen_args st =
+  let open QCheck.Gen in
+  [ int_range 0 6 st; int_range (-3) 5 st ]
+
+let arbitrary_program_and_args =
+  QCheck.make
+    ~print:(fun (p, args) ->
+      Printf.sprintf "%s\nargs: %s" (Pp.program_to_string p)
+        (String.concat ", " (List.map string_of_int args)))
+    QCheck.Gen.(pair gen_program gen_args)

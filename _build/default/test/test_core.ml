@@ -1,0 +1,642 @@
+(* Tests for the core library: blocks and schemas, the Fig. 7 rewrite, the
+   blocked interpreter, the DSL->Spec compiler, the measured executors
+   (sequential, strawman, breadth-first, blocked, re-expansion), and the
+   analyses built on them. *)
+
+open Vc_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let e5 = Vc_mem.Machine.xeon_e5
+let phi = Vc_mem.Machine.xeon_phi
+
+let fib_src =
+  "reducer sum result;\n\
+   def fib(n) =\n\
+  \  if n < 2 then { reduce(result, n); }\n\
+  \  else { spawn fib(n - 1); spawn fib(n - 2); }\n"
+
+let fib_program = Vc_lang.Parser.parse_string fib_src
+
+(* ------------------------------------------------------------------ *)
+(* Schema / Addr / Block                                               *)
+
+let test_schema () =
+  let s = Schema.create ~lane_kind:Vc_simd.Lane.I8 [ "a"; "b"; "c" ] in
+  check_int "fields" 3 (Schema.num_fields s);
+  check_int "index" 1 (Schema.field_index s "b");
+  Alcotest.check_raises "unknown field" Not_found (fun () ->
+      ignore (Schema.field_index s "z"));
+  check_int "elem bytes e5" 1 (Schema.elem_bytes s ~isa:Vc_simd.Isa.sse42);
+  (* the Phi widens chars to ints *)
+  check_int "elem bytes phi" 4 (Schema.elem_bytes s ~isa:Vc_simd.Isa.avx512);
+  check_int "frame bytes" 12 (Schema.frame_bytes s ~isa:Vc_simd.Isa.avx512);
+  Alcotest.check_raises "duplicate field"
+    (Invalid_argument "Schema.create: duplicate field \"a\"") (fun () ->
+      ignore (Schema.create ~lane_kind:Vc_simd.Lane.I8 [ "a"; "a" ]))
+
+let test_addr () =
+  let a = Addr.create () in
+  let r1 = Addr.alloc a ~bytes:100 in
+  let r2 = Addr.alloc a ~bytes:100 in
+  check_bool "disjoint" true (r2 >= r1 + 100);
+  check_int "aligned" 0 (r1 mod 64);
+  check_int "aligned 2" 0 (r2 mod 64);
+  check_int "total" 200 (Addr.allocated_bytes a)
+
+let test_block () =
+  let addr = Addr.create () in
+  let s = Schema.create ~lane_kind:Vc_simd.Lane.I32 [ "x"; "y" ] in
+  let b = Block.create addr ~schema:s ~isa:Vc_simd.Isa.sse42 ~capacity:4 in
+  check_int "empty" 0 (Block.size b);
+  Block.push b [| 1; 2 |];
+  Block.push b [| 3; 4 |];
+  check_int "size" 2 (Block.size b);
+  check_int "get" 3 (Block.get b ~field:0 ~row:1);
+  Block.set b ~field:1 ~row:0 9;
+  check_int "set" 9 (Block.get b ~field:1 ~row:0);
+  (* SoA addressing: field columns are contiguous *)
+  let a00 = Block.field_addr b ~field:0 ~row:0 in
+  let a01 = Block.field_addr b ~field:0 ~row:1 in
+  let a10 = Block.field_addr b ~field:1 ~row:0 in
+  check_int "row stride = elem" 4 (a01 - a00);
+  check_int "field stride = capacity*elem" 16 (a10 - a00);
+  Block.clear b;
+  check_int "cleared" 0 (Block.size b)
+
+let test_block_growth () =
+  let addr = Addr.create () in
+  let s = Schema.create ~lane_kind:Vc_simd.Lane.I32 [ "x" ] in
+  let b = Block.create addr ~schema:s ~isa:Vc_simd.Isa.sse42 ~capacity:2 in
+  Block.push b [| 1 |];
+  Block.push b [| 2 |];
+  Alcotest.check_raises "push full"
+    (Invalid_argument "Block.push: block full (capacity 2)") (fun () ->
+      Block.push b [| 3 |]);
+  let b2 = Block.ensure_room b addr ~extra:3 in
+  check_int "contents preserved" 2 (Block.get b2 ~field:0 ~row:1);
+  check_bool "capacity grew" true (Block.capacity b2 >= 5);
+  check_bool "same block when it fits" true (Block.ensure_room b2 addr ~extra:1 == b2)
+
+let test_block_copy_row () =
+  let addr = Addr.create () in
+  let s = Schema.create ~lane_kind:Vc_simd.Lane.I32 [ "x"; "y" ] in
+  let a = Block.create addr ~schema:s ~isa:Vc_simd.Isa.sse42 ~capacity:2 in
+  let b = Block.create addr ~schema:s ~isa:Vc_simd.Isa.sse42 ~capacity:2 in
+  Block.push a [| 7; 8 |];
+  Block.copy_row ~src:a ~src_row:0 ~dst:b;
+  check_int "copied" 8 (Block.get b ~field:1 ~row:0)
+
+let test_soa_roundtrip () =
+  let vm = Vc_simd.Vm.create Vc_simd.Isa.sse42 in
+  let addr = Addr.create () in
+  let s = Schema.create ~lane_kind:Vc_simd.Lane.I32 [ "x"; "y" ] in
+  let frames = Array.init 10 (fun i -> [| i; i * i |]) in
+  let blk =
+    Soa.aos_to_soa ~vm ~addr ~schema:s ~isa:Vc_simd.Isa.sse42 ~aos_base:0x100000 ~frames
+  in
+  check_int "size" 10 (Block.size blk);
+  check_int "field value" 49 (Block.get blk ~field:1 ~row:7);
+  check_bool "gathers charged" true ((Vc_simd.Vm.stats vm).Vc_simd.Stats.gathers > 0);
+  let back = Soa.soa_to_aos ~vm ~aos_base:0x100000 blk in
+  check_bool "roundtrip" true (back = frames);
+  check_bool "scatters charged" true ((Vc_simd.Vm.stats vm).Vc_simd.Stats.scatters > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+
+let test_policy () =
+  (match Policy.hybrid_for ~target_space:1024 ~num_spawns:2 ~reexpand:true with
+  | Policy.Hybrid { max_block = 512; reexpand = true } -> ()
+  | _ -> Alcotest.fail "threshold rule");
+  Alcotest.(check string) "names" "bfs" (Policy.name Policy.Bfs_only);
+  Alcotest.(check string) "noreexp" "noreexp"
+    (Policy.name (Policy.Hybrid { max_block = 4; reexpand = false }));
+  Alcotest.(check string) "reexp" "reexp"
+    (Policy.name (Policy.Hybrid { max_block = 4; reexpand = true }));
+  Alcotest.check_raises "bad target" (Invalid_argument "Policy.hybrid_for: target_space < 1")
+    (fun () -> ignore (Policy.hybrid_for ~target_space:0 ~num_spawns:2 ~reexpand:false))
+
+(* ------------------------------------------------------------------ *)
+(* Transform (Fig. 7)                                                  *)
+
+let test_rewrite_rules () =
+  let open Vc_lang.Ast in
+  check_bool "return -> continue" true
+    (Transform.rewrite_stmt ~flavor:Blocked_ast.Bfs Return = Blocked_ast.Continue);
+  let spawn = Spawn { spawn_id = 1; spawn_args = [ Int 5 ] } in
+  (match Transform.rewrite_stmt ~flavor:Blocked_ast.Bfs spawn with
+  | Blocked_ast.NextAdd [ Int 5 ] -> ()
+  | _ -> Alcotest.fail "bfs spawn -> next.add");
+  (match Transform.rewrite_stmt ~flavor:Blocked_ast.Blocked spawn with
+  | Blocked_ast.NextsAdd (1, [ Int 5 ]) -> ()
+  | _ -> Alcotest.fail "blocked spawn -> nexts[id].add");
+  (* structural rewriting threads through composite statements *)
+  match
+    Transform.rewrite_stmt ~flavor:Blocked_ast.Blocked
+      (Seq (If (Bool true, spawn, Return), While (Bool false, Skip)))
+  with
+  | Blocked_ast.BSeq
+      ( Blocked_ast.BIf (_, Blocked_ast.NextsAdd (1, _), Blocked_ast.Continue),
+        Blocked_ast.BWhile (_, Blocked_ast.BSkip) ) ->
+      ()
+  | _ -> Alcotest.fail "structural rewrite"
+
+let test_transform_fib () =
+  let t = Transform.transform fib_program in
+  Alcotest.(check (list string)) "thread struct" [ "n" ] t.Blocked_ast.thread_fields;
+  check_int "spawn count" 2 t.Blocked_ast.num_spawns;
+  Alcotest.(check string) "bfs name" "fib_bfs" t.Blocked_ast.bfs_method.Blocked_ast.bname;
+  Alcotest.(check string) "blocked name" "fib_blocked"
+    t.Blocked_ast.blocked_method.Blocked_ast.bname;
+  let printed = Blocked_ast.to_string t in
+  List.iter
+    (fun fragment ->
+      check_bool (Printf.sprintf "printed code contains %S" fragment) true
+        (let nl = String.length fragment and hl = String.length printed in
+         let rec go i = i + nl <= hl && (String.sub printed i nl = fragment || go (i + 1)) in
+         go 0))
+    [
+      "struct Thread { int n };";
+      "next.add(new Thread(n - 1));";
+      "nexts[1].add(new Thread(n - 2));";
+      "if (next.size() < max_block_size) fib_bfs(next);";
+      "if (next.size() > reexpansion_threshold) fib_blocked(next);";
+      "fib_bfs(init);";
+    ]
+
+let test_transform_rejects_invalid () =
+  let bad = Vc_lang.Parser.parse_string "def f(a) = if a < 1 then { reduce(r, 1); } else { spawn f(a - 1); }" in
+  try
+    ignore (Transform.transform bad);
+    Alcotest.fail "expected Invalid"
+  with Vc_lang.Validate.Invalid _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Blocked interpreter: executes the transformed code                  *)
+
+let interp_reducers p args =
+  (Vc_lang.Interp.run_validated p args).Vc_lang.Interp.reducers
+
+let strategies =
+  [
+    Policy.Bfs_only;
+    Policy.Hybrid { max_block = 1; reexpand = false };
+    Policy.Hybrid { max_block = 1; reexpand = true };
+    Policy.Hybrid { max_block = 8; reexpand = false };
+    Policy.Hybrid { max_block = 8; reexpand = true };
+    Policy.Hybrid { max_block = 1024; reexpand = true };
+  ]
+
+let test_blocked_interp_fib () =
+  let t = Transform.transform fib_program in
+  let expected = interp_reducers fib_program [ 15 ] in
+  List.iter
+    (fun strategy ->
+      let r = Blocked_interp.run ~strategy t [ 15 ] in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "reducers under %s" (Policy.name strategy))
+        expected r.Blocked_interp.reducers;
+      check_int "tasks" ((2 * 987) - 1) r.Blocked_interp.tasks)
+    strategies
+
+let test_blocked_interp_switches () =
+  let t = Transform.transform fib_program in
+  let r = Blocked_interp.run ~strategy:(Policy.Hybrid { max_block = 8; reexpand = true }) t [ 12 ] in
+  check_bool "switched to blocked" true (r.Blocked_interp.switches > 0);
+  check_bool "re-expanded" true (r.Blocked_interp.reexpansions > 0);
+  let r2 = Blocked_interp.run ~strategy:Policy.Bfs_only t [ 12 ] in
+  check_int "bfs never switches" 0 r2.Blocked_interp.switches
+
+let test_blocked_interp_task_limit () =
+  let t = Transform.transform fib_program in
+  Alcotest.check_raises "limit" (Blocked_interp.Task_limit_exceeded 100) (fun () ->
+      ignore (Blocked_interp.run ~max_tasks:100 t [ 20 ]))
+
+let blocked_interp_equiv_random =
+  QCheck.Test.make ~name:"transformed program = sequential semantics (random)"
+    ~count:120 Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+      let expected = interp_reducers p args in
+      let t = Transform.transform p in
+      List.for_all
+        (fun strategy ->
+          (Blocked_interp.run ~strategy t args).Blocked_interp.reducers = expected)
+        strategies)
+
+(* ------------------------------------------------------------------ *)
+(* Compile: DSL -> Spec -> Engine                                      *)
+
+let test_compile_fib_spec () =
+  let spec = Compile.spec_of_program ~lane_kind:Vc_simd.Lane.I8 fib_program ~args:[ 16 ] in
+  (match Spec.validate spec with Ok () -> () | Error es -> Alcotest.failf "%s" (String.concat "; " es));
+  let expected = interp_reducers fib_program [ 16 ] in
+  List.iter
+    (fun machine ->
+      let seq = Seq_exec.run ~spec ~machine () in
+      Alcotest.(check (list (pair string int))) "seq reducers" expected seq.Report.reducers;
+      List.iter
+        (fun strategy ->
+          let r = Engine.run ~spec ~machine ~strategy () in
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "engine reducers (%s/%s)" machine.Vc_mem.Machine.name
+               (Policy.name strategy))
+            expected r.Report.reducers;
+          check_int "same task count" seq.Report.tasks r.Report.tasks;
+          check_int "same depth" seq.Report.max_depth r.Report.max_depth)
+        strategies)
+    [ e5; phi ]
+
+let compile_equiv_random =
+  QCheck.Test.make ~name:"compiled spec = sequential semantics (random)" ~count:60
+    Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+      let expected = interp_reducers p args in
+      let spec = Compile.spec_of_program p ~args in
+      let seq = Seq_exec.run ~spec ~machine:e5 () in
+      let eng =
+        Engine.run ~spec ~machine:e5
+          ~strategy:(Policy.Hybrid { max_block = 4; reexpand = true })
+          ()
+      in
+      seq.Report.reducers = expected && eng.Report.reducers = expected
+      && seq.Report.tasks = eng.Report.tasks)
+
+(* ------------------------------------------------------------------ *)
+(* Executors on native specs                                           *)
+
+let small_specs () =
+  [
+    Vc_bench.Fib.spec { Vc_bench.Fib.n = 14 };
+    Vc_bench.Binomial.spec { Vc_bench.Binomial.n = 12; k = 5 };
+    Vc_bench.Parentheses.spec { Vc_bench.Parentheses.pairs = 6 };
+    Vc_bench.Knapsack.spec { Vc_bench.Knapsack.n = 10; capacity_ratio = 0.5; seed = 3 };
+    Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 7 };
+    Vc_bench.Graphcol.spec
+      { Vc_bench.Graphcol.vertices = 10; edges = 14; colors = 3; seed = 5 };
+    Vc_bench.Uts.spec { Vc_bench.Uts.b0 = 20; m = 3; q = 0.3; seed = 11 };
+    Vc_bench.Minmax.spec { Vc_bench.Minmax.size = 3 };
+  ]
+
+let test_engine_matches_seq_all_benchmarks () =
+  List.iter
+    (fun spec ->
+      let seq = Seq_exec.run ~spec ~machine:e5 () in
+      List.iter
+        (fun machine ->
+          List.iter
+            (fun strategy ->
+              let r = Engine.run ~spec ~machine ~strategy () in
+              let label what =
+                Printf.sprintf "%s %s/%s/%s" what spec.Spec.name
+                  machine.Vc_mem.Machine.name (Policy.name strategy)
+              in
+              Alcotest.(check (list (pair string int)))
+                (label "reducers") seq.Report.reducers r.Report.reducers;
+              check_int (label "tasks") seq.Report.tasks r.Report.tasks;
+              check_int (label "base tasks") seq.Report.base_tasks r.Report.base_tasks;
+              Alcotest.(check (array (pair int int)))
+                (label "per-level distribution") seq.Report.levels r.Report.levels)
+            strategies)
+        [ e5; phi ])
+    (small_specs ())
+
+let test_engine_compaction_engines_agree () =
+  let spec = Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 7 } in
+  let strategy = Policy.Hybrid { max_block = 64; reexpand = true } in
+  let base = Engine.run ~spec ~machine:e5 ~strategy () in
+  List.iter
+    (fun compact ->
+      let r = Engine.run ~compact ~spec ~machine:e5 ~strategy () in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "reducers with %s" (Vc_simd.Compact.name compact))
+        base.Report.reducers r.Report.reducers)
+    [
+      Vc_simd.Compact.Sequential;
+      Vc_simd.Compact.Full_table;
+      Vc_simd.Compact.Factorized { sub_width = 4 };
+    ]
+
+let test_engine_oom () =
+  (* fib(18)'s widest level exceeds 512 threads, so pure breadth-first
+     expansion overruns this limit; the hybrid keeps O(max_block * depth *
+     e) live threads and survives it. *)
+  let tiny = { e5 with Vc_mem.Machine.name = "tiny"; max_live_threads = 512 } in
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 18 } in
+  let r = Engine.run ~spec ~machine:tiny ~strategy:Policy.Bfs_only () in
+  check_bool "bfs-only OOMs" true r.Report.oom;
+  let r2 =
+    Engine.run ~spec ~machine:tiny
+      ~strategy:(Policy.Hybrid { max_block = 8; reexpand = true })
+      ()
+  in
+  check_bool "hybrid survives" false r2.Report.oom;
+  check_bool "space bounded" true (r2.Report.space_peak <= 512)
+
+let test_engine_utilization_grows_with_block () =
+  let spec = Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 8 } in
+  let util max_block =
+    let r =
+      Engine.run ~spec ~machine:e5
+        ~strategy:(Policy.Hybrid { max_block; reexpand = false })
+        ()
+    in
+    r.Report.utilization
+  in
+  let u4 = util 4 and u64 = util 64 and u1024 = util 1024 in
+  check_bool "monotone 4 -> 64" true (u4 <= u64 +. 1e-9);
+  check_bool "monotone 64 -> 1024" true (u64 <= u1024 +. 1e-9)
+
+let test_engine_reexpansion_raises_utilization () =
+  let spec = Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 8 } in
+  let run reexpand =
+    Engine.run ~spec ~machine:e5 ~strategy:(Policy.Hybrid { max_block = 64; reexpand }) ()
+  in
+  let off = run false and on = run true in
+  check_bool "reexpansion helps utilization" true
+    (on.Report.utilization > off.Report.utilization);
+  check_bool "events recorded" true (Array.length on.Report.reexpansions > 0);
+  check_int "no events when off" 0 (Array.length off.Report.reexpansions)
+
+let test_seq_exec_task_limit () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 20 } in
+  Alcotest.check_raises "limit" (Seq_exec.Task_limit_exceeded 50) (fun () ->
+      ignore (Seq_exec.run ~max_tasks:50 ~spec ~machine:e5 ()))
+
+let test_strawman () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 14 } in
+  let seq = Seq_exec.run ~spec ~machine:e5 () in
+  let straw = Strawman.run ~spec ~machine:e5 () in
+  Alcotest.(check (list (pair string int))) "reducers" seq.Report.reducers straw.Report.reducers;
+  check_int "tasks" seq.Report.tasks straw.Report.tasks;
+  let good =
+    Engine.run ~spec ~machine:e5
+      ~strategy:(Policy.Hybrid { max_block = 256; reexpand = true })
+      ()
+  in
+  (* the paper's §2 argument: divergent lane-per-thread execution loses to
+     the blocked transformation *)
+  check_bool "strawman slower than blocked" true (straw.Report.cycles > good.Report.cycles)
+
+let test_engine_trace () =
+  let spec = Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 7 } in
+  let trace = Trace.create () in
+  let r =
+    Engine.run ~trace ~spec ~machine:e5
+      ~strategy:(Policy.Hybrid { max_block = 32; reexpand = true })
+      ()
+  in
+  let evs = Trace.events trace in
+  check_bool "events recorded" true (Array.length evs > 0);
+  check_bool "starts with the root bfs level" true
+    (evs.(0).Trace.phase = Trace.Bfs && evs.(0).Trace.depth = 0 && evs.(0).Trace.size = 1);
+  (* every engine task appears in exactly one traced level *)
+  check_int "sizes sum to tasks" r.Report.tasks
+    (Array.fold_left (fun acc e -> acc + e.Trace.size) 0 evs);
+  check_int "bases sum to base tasks" r.Report.base_tasks
+    (Array.fold_left (fun acc e -> acc + e.Trace.base) 0 evs);
+  (* re-expansion means both phases appear *)
+  let phases = Trace.phase_counts trace in
+  check_bool "both phases present" true
+    (List.mem_assoc Trace.Bfs phases && List.mem_assoc Trace.Blocked phases);
+  let printed = Format.asprintf "%a" (Trace.pp ~limit:5) trace in
+  check_bool "pp summarizes" true (String.length printed > 0)
+
+let test_engine_warm_cache () =
+  let spec = Vc_bench.Minmax.spec { Vc_bench.Minmax.size = 3 } in
+  let strategy = Policy.Hybrid { max_block = 256; reexpand = true } in
+  let seq = Seq_exec.run ~spec ~machine:phi () in
+  let cold = Engine.run ~spec ~machine:phi ~strategy () in
+  let warm = Engine.run ~warm:true ~spec ~machine:phi ~strategy () in
+  Alcotest.(check (list (pair string int))) "warm results exact"
+    seq.Report.reducers warm.Report.reducers;
+  check_int "warm counts tasks once" cold.Report.tasks warm.Report.tasks;
+  check_bool "warm is faster" true (warm.Report.cycles < cold.Report.cycles);
+  Alcotest.(check string) "strategy tagged" "reexp+warm" warm.Report.strategy
+
+let test_engine_cutoff () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 20 } in
+  let seq = Seq_exec.run ~spec ~machine:e5 () in
+  let strategy = Policy.Hybrid { max_block = 256; reexpand = true } in
+  let vec = Engine.run ~spec ~machine:e5 ~strategy () in
+  let cut = Engine.run ~cutoff:64 ~spec ~machine:e5 ~strategy () in
+  Alcotest.(check (list (pair string int))) "results unchanged"
+    seq.Report.reducers cut.Report.reducers;
+  check_int "all tasks executed" seq.Report.tasks cut.Report.tasks;
+  check_bool "cut-off starves lanes" true
+    (cut.Report.utilization < vec.Report.utilization);
+  check_bool "cut-off costs cycles" true (cut.Report.cycles > vec.Report.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Multicore hybrid (paper Sec. 8 future work)                         *)
+
+let test_multicore_exact_results () =
+  List.iter
+    (fun spec ->
+      let seq = Seq_exec.run ~spec ~machine:e5 () in
+      List.iter
+        (fun workers ->
+          let r = Multicore.run ~max_block:64 ~spec ~machine:e5 ~workers () in
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "%s reducers @ %d workers" spec.Spec.name workers)
+            seq.Report.reducers r.Multicore.reducers)
+        [ 1; 3; 8 ])
+    [
+      Vc_bench.Fib.spec { Vc_bench.Fib.n = 15 };
+      Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 7 };
+      Vc_bench.Knapsack.spec { Vc_bench.Knapsack.n = 10; capacity_ratio = 0.5; seed = 3 };
+    ]
+
+let test_multicore_scales () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 18 } in
+  let seq = Seq_exec.run ~spec ~machine:e5 () in
+  let speedup workers =
+    Multicore.speedup ~baseline:seq (Multicore.run ~spec ~machine:e5 ~workers ())
+  in
+  let s1 = speedup 1 and s4 = speedup 4 in
+  check_bool "more workers help" true (s4 > s1 *. 1.5);
+  let r = Multicore.run ~spec ~machine:e5 ~workers:4 () in
+  check_bool "balance sane" true (r.Multicore.balance >= 0.99);
+  check_bool "serial fraction positive" true (r.Multicore.expansion_cycles > 0.0);
+  check_int "all jobs placed" r.Multicore.jobs
+    (min (4 * 4) r.Multicore.frontier)
+
+let test_ws_sim_single_worker () =
+  let jobs = List.init 5 (fun id -> { Ws_sim.id; cost = float_of_int (id + 1) }) in
+  let s = Ws_sim.simulate ~workers:1 jobs in
+  Alcotest.(check (float 1e-9)) "makespan = total" 15.0 s.Ws_sim.makespan;
+  check_int "no steals" 0 s.Ws_sim.steals;
+  check_int "all jobs on worker 0" 5 s.Ws_sim.jobs_run.(0)
+
+let test_ws_sim_balances () =
+  let jobs = List.init 64 (fun id -> { Ws_sim.id; cost = 1000.0 }) in
+  let s = Ws_sim.simulate ~steal_cost:10.0 ~seed:7 ~workers:4 jobs in
+  check_bool "steals happened" true (s.Ws_sim.steals > 0);
+  check_bool "parallel speedup" true (s.Ws_sim.makespan < 0.5 *. s.Ws_sim.total_work);
+  check_bool "lower bound" true
+    (s.Ws_sim.makespan >= s.Ws_sim.total_work /. 4.0 -. 1e-9);
+  Alcotest.(check (float 1e-9)) "work conserved" s.Ws_sim.total_work
+    (Array.fold_left ( +. ) 0.0 s.Ws_sim.busy);
+  check_int "jobs conserved" 64 (Array.fold_left ( + ) 0 s.Ws_sim.jobs_run);
+  check_bool "utilization in (0,1]" true
+    (Ws_sim.utilization s > 0.0 && Ws_sim.utilization s <= 1.0 +. 1e-9)
+
+let test_ws_sim_deterministic () =
+  let jobs = List.init 20 (fun id -> { Ws_sim.id; cost = float_of_int (100 + (id * 37 mod 53)) }) in
+  let a = Ws_sim.simulate ~seed:5 ~workers:3 jobs in
+  let b = Ws_sim.simulate ~seed:5 ~workers:3 jobs in
+  check_bool "same seed same result" true (a = b);
+  Alcotest.check_raises "workers >= 1"
+    (Invalid_argument "Ws_sim.simulate: workers must be positive") (fun () ->
+      ignore (Ws_sim.simulate ~workers:0 jobs))
+
+let ws_sim_bounds =
+  QCheck.Test.make ~name:"work-stealing makespan respects scheduling bounds"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 0 40) (int_range 1 1000)))
+    (fun (workers, costs) ->
+      let jobs = List.mapi (fun id c -> { Ws_sim.id; cost = float_of_int c }) costs in
+      let s = Ws_sim.simulate ~seed:3 ~workers jobs in
+      let total = s.Ws_sim.total_work in
+      let longest = List.fold_left (fun acc j -> max acc j.Ws_sim.cost) 0.0 jobs in
+      s.Ws_sim.makespan >= total /. float_of_int workers -. 1e-6
+      && s.Ws_sim.makespan >= longest -. 1e-6
+      && Array.fold_left ( +. ) 0.0 s.Ws_sim.busy = total)
+
+let test_multicore_work_stealing_schedule () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 16 } in
+  let seq = Seq_exec.run ~spec ~machine:e5 () in
+  let r =
+    Multicore.run
+      ~schedule:(Multicore.Work_stealing { steal_cost = 200.0; seed = 11 })
+      ~spec ~machine:e5 ~workers:4 ()
+  in
+  Alcotest.(check (list (pair string int))) "exact results" seq.Report.reducers
+    r.Multicore.reducers;
+  check_bool "steals counted" true (r.Multicore.steals > 0);
+  check_bool "still parallel" true
+    (Multicore.speedup ~baseline:seq r > 1.0)
+
+let test_multicore_errors () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 10 } in
+  Alcotest.check_raises "workers >= 1"
+    (Invalid_argument "Multicore.run: workers must be positive") (fun () ->
+      ignore (Multicore.run ~spec ~machine:e5 ~workers:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Opportunity analysis                                                *)
+
+let test_opportunity () =
+  let spec = Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 8 } in
+  let seq = Seq_exec.run ~spec ~machine:e5 () in
+  let vec =
+    Engine.run ~spec ~machine:e5 ~strategy:(Policy.Hybrid { max_block = 256; reexpand = true }) ()
+  in
+  let row = Opportunity.analyze ~seq ~vec ~width:16 in
+  check_bool "fractions sum to 1" true
+    (abs_float (row.Opportunity.seq_vect +. row.Opportunity.seq_nonvect -. 1.0) < 1e-9);
+  check_bool "kernel dominates nqueens" true (row.Opportunity.seq_vect > 0.5);
+  (* can slightly exceed the vector width: the transformation also trims
+     non-kernel instructions (paper, Table 3 discussion) *)
+  check_bool "max speedup sensible" true
+    (row.Opportunity.max_speedup > 1.0 && row.Opportunity.max_speedup <= 32.0)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics / Measure / Report                                          *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.tasks_at_level m ~depth:0 ~n:1;
+  Metrics.tasks_at_level m ~depth:5 ~n:10;
+  Metrics.base_at_level m ~depth:5 ~n:4;
+  Metrics.live_threads m 7;
+  Metrics.live_threads m 3;
+  Metrics.reexpansion m ~depth:5 ~before:2;
+  Metrics.reexpansion_growth m ~depth:5 ~factor:3.0;
+  Metrics.reexpansion_growth m ~depth:5 ~factor:5.0;
+  check_int "total" 11 (Metrics.total_tasks m);
+  check_int "base" 4 (Metrics.total_base m);
+  check_int "depth" 5 (Metrics.max_depth m);
+  check_int "space peak" 7 (Metrics.space_peak m);
+  (match Metrics.reexpansions m with
+  | [| (5, 1, f) |] -> Alcotest.(check (float 1e-9)) "mean factor" 4.0 f
+  | _ -> Alcotest.fail "reexpansions");
+  let levels = Metrics.levels m in
+  check_int "levels len" 6 (Array.length levels);
+  check_bool "level 5" true (levels.(5) = (10, 4))
+
+let test_report_speedup () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 10 } in
+  let seq = Seq_exec.run ~spec ~machine:e5 () in
+  Alcotest.(check (float 1e-9)) "self speedup" 1.0 (Report.speedup ~baseline:seq seq);
+  let oom = Report.oom_placeholder ~benchmark:"x" ~machine:"e5" ~strategy:"bfs" in
+  Alcotest.(check (float 1e-9)) "oom speedup" 0.0 (Report.speedup ~baseline:seq oom);
+  check_int "reducer lookup" (Vc_bench.Fib.reference { Vc_bench.Fib.n = 10 })
+    (Report.reducer seq "result")
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vc_core"
+    [
+      ( "data",
+        [
+          Alcotest.test_case "schema" `Quick test_schema;
+          Alcotest.test_case "addr" `Quick test_addr;
+          Alcotest.test_case "block" `Quick test_block;
+          Alcotest.test_case "block growth" `Quick test_block_growth;
+          Alcotest.test_case "copy row" `Quick test_block_copy_row;
+          Alcotest.test_case "soa roundtrip" `Quick test_soa_roundtrip;
+        ] );
+      ("policy", [ Alcotest.test_case "thresholds" `Quick test_policy ]);
+      ( "transform",
+        [
+          Alcotest.test_case "rewrite rules" `Quick test_rewrite_rules;
+          Alcotest.test_case "fib transform" `Quick test_transform_fib;
+          Alcotest.test_case "rejects invalid" `Quick test_transform_rejects_invalid;
+        ] );
+      ( "blocked-interp",
+        [
+          Alcotest.test_case "fib equivalence" `Quick test_blocked_interp_fib;
+          Alcotest.test_case "strategy switches" `Quick test_blocked_interp_switches;
+          Alcotest.test_case "task limit" `Quick test_blocked_interp_task_limit;
+        ]
+        @ qsuite [ blocked_interp_equiv_random ] );
+      ( "compile",
+        [ Alcotest.test_case "fib spec equivalence" `Quick test_compile_fib_spec ]
+        @ qsuite [ compile_equiv_random ] );
+      ( "engine",
+        [
+          Alcotest.test_case "matches sequential on all benchmarks" `Quick
+            test_engine_matches_seq_all_benchmarks;
+          Alcotest.test_case "compaction engines agree" `Quick
+            test_engine_compaction_engines_agree;
+          Alcotest.test_case "OOM on bfs-only" `Quick test_engine_oom;
+          Alcotest.test_case "utilization grows with block" `Quick
+            test_engine_utilization_grows_with_block;
+          Alcotest.test_case "re-expansion raises utilization" `Quick
+            test_engine_reexpansion_raises_utilization;
+          Alcotest.test_case "seq task limit" `Quick test_seq_exec_task_limit;
+          Alcotest.test_case "task cut-off" `Quick test_engine_cutoff;
+          Alcotest.test_case "warm cache" `Quick test_engine_warm_cache;
+          Alcotest.test_case "trace timeline" `Quick test_engine_trace;
+          Alcotest.test_case "strawman" `Quick test_strawman;
+        ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "exact results" `Quick test_multicore_exact_results;
+          Alcotest.test_case "scaling" `Quick test_multicore_scales;
+          Alcotest.test_case "errors" `Quick test_multicore_errors;
+          Alcotest.test_case "ws-sim single worker" `Quick test_ws_sim_single_worker;
+          Alcotest.test_case "ws-sim balances" `Quick test_ws_sim_balances;
+          Alcotest.test_case "ws-sim deterministic" `Quick test_ws_sim_deterministic;
+          Alcotest.test_case "multicore + work stealing" `Quick
+            test_multicore_work_stealing_schedule;
+        ]
+        @ qsuite [ ws_sim_bounds ] );
+      ("opportunity", [ Alcotest.test_case "table 3 row" `Quick test_opportunity ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "collection" `Quick test_metrics;
+          Alcotest.test_case "report speedup" `Quick test_report_speedup;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* Tests for the experiment harness: sweep caching and CSV export. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fib = Vc_bench.Registry.find "fib"
+let e5 = Vc_mem.Machine.xeon_e5
+
+let test_sweep_caching () =
+  let ctx = Vc_exp.Sweep.create ~quick:true () in
+  let a = Vc_exp.Sweep.seq ctx fib e5 in
+  let b = Vc_exp.Sweep.seq ctx fib e5 in
+  check_bool "memoized (same report)" true (a == b);
+  let h1 = Vc_exp.Sweep.hybrid ctx fib e5 ~reexpand:true ~block:64 in
+  let h2 = Vc_exp.Sweep.hybrid ctx fib e5 ~reexpand:true ~block:64 in
+  check_bool "hybrid memoized" true (h1 == h2);
+  let h3 = Vc_exp.Sweep.hybrid ctx fib e5 ~reexpand:false ~block:64 in
+  check_bool "strategy distinguishes" true (not (h1 == h3));
+  check_bool "speedup positive" true (Vc_exp.Sweep.speedup ctx fib e5 h1 > 0.0)
+
+let test_sweep_quick_mode () =
+  let quick = Vc_exp.Sweep.create ~quick:true () in
+  let full = Vc_exp.Sweep.create ~quick:false () in
+  let qspec = Vc_exp.Sweep.spec_of quick fib in
+  let fspec = Vc_exp.Sweep.spec_of full fib in
+  check_bool "quick uses smaller roots" true (qspec.Vc_core.Spec.roots <> fspec.Vc_core.Spec.roots);
+  check_bool "quick grid is a subset" true
+    (List.for_all
+       (fun b -> List.mem b (Vc_exp.Sweep.blocks_of full fib))
+       (Vc_exp.Sweep.blocks_of quick fib));
+  check_int "widths agree" (Vc_exp.Sweep.width_on quick fib e5)
+    (Vc_exp.Sweep.width_on full fib e5)
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let test_csv_table1 () =
+  let ctx = Vc_exp.Sweep.create ~quick:true () in
+  let csv = Vc_exp.Csv.table1 ctx in
+  match lines csv with
+  | header :: rows ->
+      check_bool "header" true
+        (String.length header > 0 && String.sub header 0 9 = "benchmark");
+      check_int "8 benchmark rows" 8 (List.length rows);
+      List.iter
+        (fun row ->
+          check_int "7 columns" 7 (List.length (String.split_on_char ',' row)))
+        rows
+  | [] -> Alcotest.fail "empty csv"
+
+let test_csv_levels () =
+  let ctx = Vc_exp.Sweep.create ~quick:true () in
+  let csv = Vc_exp.Csv.levels ctx ~benchmark:"fib" in
+  match lines csv with
+  | _header :: rows ->
+      (* fib(20): 20 levels, root row is "0,1,0" *)
+      check_int "level rows" 20 (List.length rows);
+      Alcotest.(check string) "root row" "0,1,0" (List.hd rows)
+  | [] -> Alcotest.fail "empty csv"
+
+let test_csv_export_writes_files () =
+  let ctx = Vc_exp.Sweep.create ~quick:true () in
+  let dir = Filename.temp_file "vcilk" "" in
+  Sys.remove dir;
+  (* export only the cheap artifacts by calling the text generators *)
+  ignore (Vc_exp.Csv.table1 ctx : string);
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "table1.csv" in
+  let oc = open_out path in
+  output_string oc (Vc_exp.Csv.table1 ctx);
+  close_out oc;
+  check_bool "file written" true (Sys.file_exists path);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_ascii_plot () =
+  let out =
+    Format.asprintf "%t"
+      (Vc_exp.Ascii_plot.plot ~width:20 ~height:5
+         [
+           {
+             Vc_exp.Ascii_plot.label = "ramp";
+             marker = '*';
+             points = [ (0.0, 0.0); (1.0, 0.5); (2.0, 1.0) ];
+           };
+         ])
+  in
+  let lines = String.split_on_char '\n' out in
+  (* 5 grid rows + axis + x labels + legend *)
+  check_bool "has grid rows" true (List.length lines >= 8);
+  check_bool "marker present" true (String.contains out '*');
+  check_bool "legend present" true
+    (List.exists (fun l -> String.length l > 0 && String.contains l '=') lines)
+
+let test_ascii_plot_empty () =
+  let out = Format.asprintf "%t" (Vc_exp.Ascii_plot.plot []) in
+  check_bool "notice" true (String.length out > 0)
+
+let () =
+  Alcotest.run "vc_exp"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "caching" `Quick test_sweep_caching;
+          Alcotest.test_case "quick mode" `Quick test_sweep_quick_mode;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "table1" `Quick test_csv_table1;
+          Alcotest.test_case "levels" `Quick test_csv_levels;
+          Alcotest.test_case "export writes files" `Quick test_csv_export_writes_files;
+        ] );
+      ( "ascii-plot",
+        [
+          Alcotest.test_case "renders" `Quick test_ascii_plot;
+          Alcotest.test_case "empty" `Quick test_ascii_plot_empty;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* Tests for the cache simulator, hierarchy, machines, and cost model. *)
+
+open Vc_mem
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_cache () =
+  (* 4 sets x 2 ways x 64B lines = 512 B *)
+  Cache.create { Cache.size_bytes = 512; ways = 2; line_bytes = 64 }
+
+let test_cache_config_errors () =
+  Alcotest.check_raises "zero size" (Invalid_argument "Cache.create: sizes must be positive")
+    (fun () -> ignore (Cache.create { Cache.size_bytes = 0; ways = 1; line_bytes = 64 }));
+  Alcotest.check_raises "non-pow2 sets"
+    (Invalid_argument "Cache.create: set count 3 not a power of two") (fun () ->
+      ignore (Cache.create { Cache.size_bytes = 3 * 64; ways = 1; line_bytes = 64 }))
+
+let test_cache_hits_and_misses () =
+  let c = small_cache () in
+  check_bool "cold miss" false (Cache.access c ~addr:0);
+  check_bool "warm hit" true (Cache.access c ~addr:0);
+  check_bool "same line hit" true (Cache.access c ~addr:63);
+  check_bool "next line miss" false (Cache.access c ~addr:64);
+  check_int "accesses" 4 (Cache.accesses c);
+  check_int "misses" 2 (Cache.misses c);
+  Alcotest.(check (float 1e-9)) "miss rate" 0.5 (Cache.miss_rate c)
+
+let test_cache_lru_eviction () =
+  let c = small_cache () in
+  (* set stride = 4 sets * 64 = 256B; these three lines map to set 0 *)
+  ignore (Cache.access c ~addr:0);
+  ignore (Cache.access c ~addr:256);
+  ignore (Cache.access c ~addr:0);
+  (* touch 0 again: 256 is now LRU *)
+  ignore (Cache.access c ~addr:512);
+  (* evicts 256 *)
+  check_bool "0 still resident" true (Cache.access c ~addr:0);
+  check_bool "256 evicted" false (Cache.access c ~addr:256)
+
+let test_cache_working_set_cliff () =
+  (* a working set that fits is all hits on the second pass; one that
+     doesn't fit (streaming LRU) keeps missing - the Fig. 11 cliff *)
+  let run lines =
+    let c = small_cache () in
+    for pass = 1 to 2 do
+      ignore pass;
+      for i = 0 to lines - 1 do
+        ignore (Cache.access c ~addr:(i * 64))
+      done
+    done;
+    Cache.miss_rate c
+  in
+  Alcotest.(check (float 1e-9)) "fits: second pass all hits" 0.5 (run 4);
+  check_bool "thrash: high miss rate" true (run 16 > 0.9)
+
+let test_cache_access_range () =
+  let c = small_cache () in
+  check_int "spans two lines" 2 (Cache.access_range c ~addr:60 ~bytes:8);
+  check_int "now hits" 0 (Cache.access_range c ~addr:60 ~bytes:8);
+  check_int "zero bytes still touches" 0 (Cache.access_range c ~addr:60 ~bytes:0)
+
+let test_cache_reset_clear () =
+  let c = small_cache () in
+  ignore (Cache.access c ~addr:0);
+  Cache.reset_counters c;
+  check_int "counters zero" 0 (Cache.accesses c);
+  check_bool "contents kept" true (Cache.access c ~addr:0);
+  Cache.clear c;
+  check_bool "contents gone" false (Cache.access c ~addr:0);
+  check_int "resident after one" 1 (Cache.resident_lines c)
+
+let test_hierarchy_routing () =
+  let h =
+    Hierarchy.create
+      [
+        { Hierarchy.label = "L1"; cache = small_cache (); miss_penalty = 10.0 };
+        {
+          Hierarchy.label = "L2";
+          cache = Cache.create { Cache.size_bytes = 4096; ways = 4; line_bytes = 64 };
+          miss_penalty = 100.0;
+        };
+      ]
+  in
+  Hierarchy.access h ~addr:0 ~bytes:4;
+  (* cold: misses both levels *)
+  Alcotest.(check (float 1e-9)) "cold penalty" 110.0 (Hierarchy.penalty_cycles h);
+  Hierarchy.access h ~addr:0 ~bytes:4;
+  Alcotest.(check (float 1e-9)) "hit adds nothing" 110.0 (Hierarchy.penalty_cycles h);
+  (match Hierarchy.level_stats h with
+  | [ ("L1", 2, 1); ("L2", 1, 1) ] -> ()
+  | _ -> Alcotest.fail "unexpected level stats");
+  (* evict line 0 from L1 (it stays in the larger L2) *)
+  for i = 1 to 8 do
+    Hierarchy.access h ~addr:(i * 256) ~bytes:4
+  done;
+  let before = Hierarchy.penalty_cycles h in
+  Hierarchy.access h ~addr:0 ~bytes:4;
+  Alcotest.(check (float 1e-9)) "L1 miss, L2 hit" (before +. 10.0)
+    (Hierarchy.penalty_cycles h)
+
+let test_hierarchy_miss_rate_lookup () =
+  let h = Hierarchy.xeon_e5 () in
+  Hierarchy.access h ~addr:0 ~bytes:4;
+  Alcotest.(check (float 1e-9)) "L1d rate" 1.0 (Hierarchy.miss_rate h "L1d");
+  Alcotest.check_raises "unknown label" Not_found (fun () ->
+      ignore (Hierarchy.miss_rate h "L7"))
+
+let test_presets () =
+  let e5 = Hierarchy.xeon_e5 () in
+  (match Hierarchy.levels e5 with
+  | [ l1; llc ] ->
+      check_int "E5 L1 32KB" (32 * 1024) (Cache.config l1.Hierarchy.cache).Cache.size_bytes;
+      check_int "E5 LLC 20MB" (20 * 1024 * 1024)
+        (Cache.config llc.Hierarchy.cache).Cache.size_bytes
+  | _ -> Alcotest.fail "E5 has two levels");
+  let phi = Hierarchy.xeon_phi () in
+  match Hierarchy.levels phi with
+  | [ _; l2 ] ->
+      check_int "Phi L2 512KB" (512 * 1024) (Cache.config l2.Hierarchy.cache).Cache.size_bytes
+  | _ -> Alcotest.fail "Phi has two levels"
+
+let test_machines () =
+  Alcotest.(check string) "find e5" "e5" (Machine.find "e5").Machine.name;
+  Alcotest.(check string) "find phi" "phi" (Machine.find "phi").Machine.name;
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Machine.find "m1"));
+  check_bool "phi limit below e5" true
+    (Machine.xeon_phi.Machine.max_live_threads < Machine.xeon_e5.Machine.max_live_threads)
+
+let test_cost () =
+  let vm = Vc_simd.Vm.create Vc_simd.Isa.sse42 in
+  let h = Hierarchy.xeon_e5 () in
+  Vc_simd.Vm.scalar_ops vm 100;
+  Hierarchy.access h ~addr:0 ~bytes:4;
+  (* cold: 10 + 150 penalty *)
+  Alcotest.(check (float 1e-9)) "cycles" 260.0 (Cost.cycles vm h);
+  Alcotest.(check (float 1e-9)) "cpi" 2.6 (Cost.cpi vm h);
+  Alcotest.(check (float 1e-9)) "speedup" 2.0
+    (Cost.speedup ~baseline_cycles:520.0 ~cycles:260.0);
+  Alcotest.(check (float 1e-9)) "guarded" 0.0 (Cost.speedup ~baseline_cycles:1.0 ~cycles:0.0)
+
+let () =
+  Alcotest.run "vc_mem"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "config errors" `Quick test_cache_config_errors;
+          Alcotest.test_case "hits and misses" `Quick test_cache_hits_and_misses;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "working-set cliff" `Quick test_cache_working_set_cliff;
+          Alcotest.test_case "access range" `Quick test_cache_access_range;
+          Alcotest.test_case "reset/clear" `Quick test_cache_reset_clear;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "routing" `Quick test_hierarchy_routing;
+          Alcotest.test_case "miss-rate lookup" `Quick test_hierarchy_miss_rate_lookup;
+          Alcotest.test_case "presets" `Quick test_presets;
+        ] );
+      ("machine", [ Alcotest.test_case "lookup and limits" `Quick test_machines ]);
+      ("cost", [ Alcotest.test_case "cycle model" `Quick test_cost ]);
+    ]

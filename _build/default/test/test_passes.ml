@@ -1,0 +1,359 @@
+(* Tests for the compiler passes: the scalar optimizer (Vc_lang.Optim) and
+   loop distribution / if-conversion over the blocked AST
+   (Vc_core.Distribute). *)
+
+open Vc_lang
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let e = Parser.expr_of_string
+
+(* ------------------------------------------------------------------ *)
+(* Optim: constant folding and identities                              *)
+
+let test_fold_constants () =
+  check_bool "1+2*3" true (Optim.fold_expr (e "1 + 2 * 3") = Ast.Int 7);
+  check_bool "cmp" true (Optim.fold_expr (e "3 < 4") = Ast.Bool true);
+  check_bool "shift" true (Optim.fold_expr (e "1 << 4") = Ast.Int 16);
+  check_bool "builtin" true (Optim.fold_expr (e "min2(3, 9)") = Ast.Int 3);
+  check_bool "nested" true (Optim.fold_expr (e "(2 + 3) * (10 - 6)") = Ast.Int 20)
+
+let test_fold_identities () =
+  check_bool "x+0" true (Optim.fold_expr (e "x + 0") = Ast.Var "x");
+  check_bool "0+x" true (Optim.fold_expr (e "0 + x") = Ast.Var "x");
+  check_bool "x*1" true (Optim.fold_expr (e "x * 1") = Ast.Var "x");
+  check_bool "x*0" true (Optim.fold_expr (e "x * 0") = Ast.Int 0);
+  check_bool "x/1" true (Optim.fold_expr (e "x / 1") = Ast.Var "x");
+  check_bool "double neg" true (Optim.fold_expr (e "--x") = Ast.Var "x");
+  check_bool "double not" true
+    (Optim.fold_expr (Ast.Unop (Ast.Not, Ast.Unop (Ast.Not, e "x < 1"))) = e "x < 1")
+
+let test_fold_short_circuit () =
+  check_bool "true && p" true (Optim.fold_expr (e "true && x < 1") = e "x < 1");
+  check_bool "false && p" true (Optim.fold_expr (e "false && x < 1") = Ast.Bool false);
+  check_bool "p || false" true (Optim.fold_expr (e "x < 1 || false") = e "x < 1");
+  check_bool "true || p" true (Optim.fold_expr (e "true || x < 1") = Ast.Bool true)
+
+let test_fold_preserves_traps () =
+  (* division by a constant zero must not be folded away or absorbed *)
+  check_bool "1/0 kept" true (Optim.fold_expr (e "1 / 0") = e "1 / 0");
+  check_bool "x%0 kept" true (Optim.fold_expr (e "x % 0") = e "x % 0");
+  check_bool "(x/0)*0 kept" true
+    (match Optim.fold_expr (e "(x / 0) * 0") with
+    | Ast.Binop (Ast.Mul, Ast.Binop (Ast.Div, _, _), Ast.Int 0) -> true
+    | _ -> false);
+  (* p && false keeps a trapping left operand *)
+  check_bool "trapping && false kept" true
+    (match Optim.fold_expr (e "x / 0 < 1 && false") with
+    | Ast.Bool false -> false
+    | _ -> true)
+
+let test_fold_stmt () =
+  let s src =
+    (Parser.parse_string ("def f(x) = if x < 1 then { " ^ src ^ " } else { spawn f(x - 1); }"))
+      .Ast.mth.Ast.base
+  in
+  check_bool "if true" true
+    (Optim.fold_stmt (s "if 1 < 2 then { t := 1; } else { t := 2; }") = Ast.Assign ("t", Ast.Int 1));
+  check_bool "if false" true
+    (Optim.fold_stmt (s "if 1 > 2 then { t := 1; } else { t := 2; }") = Ast.Assign ("t", Ast.Int 2));
+  check_bool "while false" true (Optim.fold_stmt (s "while 1 > 2 { t := 1; }") = Ast.Skip);
+  check_bool "skip collapse" true (Optim.fold_stmt (s "skip; t := 1; skip;") = Ast.Assign ("t", Ast.Int 1));
+  check_bool "code after return dropped" true
+    (Optim.fold_stmt (s "return; t := 1;") = Ast.Return);
+  check_bool "empty if with pure cond" true
+    (Optim.fold_stmt (s "if x < 1 then { skip; } else { skip; }") = Ast.Skip)
+
+let test_dead_locals () =
+  let p =
+    Parser.parse_string
+      "reducer sum r;\n\
+       def f(x) =\n\
+       if x < 1 then { dead := x * 2; live := x + 1; reduce(r, live); }\n\
+       else { spawn f(x - 1); }"
+  in
+  let m = Optim.dead_locals p.Ast.mth in
+  let rec has_assign name = function
+    | Ast.Assign (x, _) -> x = name
+    | Ast.Seq (a, b) -> has_assign name a || has_assign name b
+    | Ast.If (_, a, b) -> has_assign name a || has_assign name b
+    | Ast.While (_, s) -> has_assign name s
+    | _ -> false
+  in
+  check_bool "dead removed" false (has_assign "dead" m.Ast.base);
+  check_bool "live kept" true (has_assign "live" m.Ast.base)
+
+let test_dead_local_trap_kept () =
+  let p =
+    Parser.parse_string
+      "reducer sum r;\n\
+       def f(x) =\n\
+       if x < 1 then { dead := 1 / x; reduce(r, 1); } else { spawn f(x - 1); }"
+  in
+  let m = Optim.dead_locals p.Ast.mth in
+  check_bool "trapping assignment kept" true (m.Ast.base = p.Ast.mth.Ast.base)
+
+let optim_preserves_semantics =
+  QCheck.Test.make ~name:"optimized program = original semantics" ~count:200
+    Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+      let optimized = Optim.program p in
+      (match Validate.check optimized with Ok _ -> true | Error _ -> false)
+      &&
+      let run prog =
+        match Interp.run ~max_tasks:100_000 prog args with
+        | out -> Ok out.Interp.reducers
+        | exception Interp.Runtime_error msg -> Error msg
+      in
+      match (run p, run optimized) with
+      | Ok a, Ok b -> a = b
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let optim_never_grows =
+  QCheck.Test.make ~name:"optimizer never grows the program" ~count:200
+    Gen_programs.arbitrary_program_and_args (fun (p, _) ->
+      let size prog =
+        Ast.expr_size prog.Ast.mth.Ast.is_base
+        + Ast.stmt_size prog.Ast.mth.Ast.base
+        + Ast.stmt_size prog.Ast.mth.Ast.inductive
+      in
+      size (Optim.program p) <= size p)
+
+let optim_idempotent =
+  QCheck.Test.make ~name:"optimizer is idempotent" ~count:200
+    Gen_programs.arbitrary_program_and_args (fun (p, _) ->
+      let once = Optim.program p in
+      Optim.program once = once)
+
+(* ------------------------------------------------------------------ *)
+(* Distribute: loop distribution + if-conversion                       *)
+
+let fib_program =
+  Parser.parse_string
+    "reducer sum result;\n\
+     def fib(n) =\n\
+     if n < 2 then { reduce(result, n); }\n\
+     else { spawn fib(n - 1); spawn fib(n - 2); }"
+
+let test_distribute_fib_structure () =
+  let t = Vc_core.Transform.transform fib_program in
+  let d = Vc_core.Distribute.distribute t.Vc_core.Blocked_ast.bfs_method in
+  (match d.Vc_core.Distribute.steps with
+  | [
+   Vc_core.Distribute.Pred { mask = []; var; _ };
+   Vc_core.Distribute.Reduce { mask = [ (v1, true) ]; reducer = "result"; _ };
+   Vc_core.Distribute.Enqueue { mask = [ (v2, false) ]; target = Vc_core.Distribute.Next; _ };
+   Vc_core.Distribute.Enqueue { mask = [ (v3, false) ]; target = Vc_core.Distribute.Next; _ };
+  ] ->
+      check_bool "same predicate" true (var = v1 && v1 = v2 && v2 = v3)
+  | steps -> Alcotest.failf "unexpected steps (%d)" (List.length steps));
+  check_int "vectorizable" 4 (Vc_core.Distribute.vectorizable_steps d);
+  check_int "residual" 0 (Vc_core.Distribute.residual_steps d);
+  let blocked = Vc_core.Distribute.distribute t.Vc_core.Blocked_ast.blocked_method in
+  match List.rev blocked.Vc_core.Distribute.steps with
+  | Vc_core.Distribute.Enqueue { target = Vc_core.Distribute.Nexts 1; _ } :: _ -> ()
+  | _ -> Alcotest.fail "blocked flavor targets nexts[id]"
+
+let test_distribute_while_residual () =
+  let p =
+    Parser.parse_string
+      "reducer sum r;\n\
+       def f(x) =\n\
+       if x < 1 then { i := 3; while i > 0 { reduce(r, i); i := i - 1; } }\n\
+       else { spawn f(x - 1); }"
+  in
+  let t = Vc_core.Transform.transform p in
+  let d = Vc_core.Distribute.distribute t.Vc_core.Blocked_ast.bfs_method in
+  check_int "one residual loop" 1 (Vc_core.Distribute.residual_steps d);
+  let printed = Format.asprintf "%a" Vc_core.Distribute.pp d in
+  check_bool "pp mentions residual" true
+    (let needle = "residual scalar loop" in
+     let nl = String.length needle and hl = String.length printed in
+     let rec go i = i + nl <= hl && (String.sub printed i nl = needle || go (i + 1)) in
+     go 0)
+
+let test_simplify_drops_dead_preds () =
+  let p =
+    Parser.parse_string
+      "reducer sum r;\n\
+       def f(a) =\n\
+       if a < 1 then { if a < 0 then { skip; } else { skip; } reduce(r, 1); }\n\
+       else { spawn f(a - 1); }"
+  in
+  let t = Vc_core.Transform.transform p in
+  let d = Vc_core.Distribute.distribute t.Vc_core.Blocked_ast.bfs_method in
+  let s = Vc_core.Distribute.simplify d in
+  check_bool "a step was dropped" true
+    (Vc_core.Distribute.vectorizable_steps s < Vc_core.Distribute.vectorizable_steps d);
+  (* the isBase predicate and live steps survive *)
+  check_bool "still has steps" true (Vc_core.Distribute.vectorizable_steps s >= 3)
+
+let test_simplify_keeps_trapping_preds () =
+  let p =
+    Parser.parse_string
+      "reducer sum r;\n\
+       def f(a) =\n\
+       if a < 1 then { if 1 / (a + 9) < 1 then { skip; } reduce(r, 1); }\n\
+       else { spawn f(a - 1); }"
+  in
+  let t = Vc_core.Transform.transform p in
+  let d = Vc_core.Distribute.distribute t.Vc_core.Blocked_ast.bfs_method in
+  let s = Vc_core.Distribute.simplify d in
+  check_int "trapping predicate kept"
+    (Vc_core.Distribute.vectorizable_steps d)
+    (Vc_core.Distribute.vectorizable_steps s)
+
+(* A miniature scheduler running distributed methods step-major, used to
+   check the §4.1 reordering-soundness claim end to end. *)
+let run_distributed ?(max_block = 8) ?(simplify = false) (t : Vc_core.Blocked_ast.t) args =
+  let prep m =
+    let d = Vc_core.Distribute.distribute m in
+    if simplify then Vc_core.Distribute.simplify d else d
+  in
+  let dbfs = prep t.Vc_core.Blocked_ast.bfs_method in
+  let dblk = prep t.Vc_core.Blocked_ast.blocked_method in
+  let program = t.Vc_core.Blocked_ast.source in
+  let reducers =
+    Reducer.make_set
+      (List.map (fun r -> (r.Ast.red_name, r.Ast.red_op)) program.Ast.reducers)
+  in
+  let reduce name v = Reducer.reduce reducers name v in
+  let e = max t.Vc_core.Blocked_ast.num_spawns 1 in
+  let rec bfs frames =
+    if frames <> [] then begin
+      let next = ref [] in
+      Vc_core.Distribute.exec_block dbfs ~frames
+        {
+          Vc_core.Distribute.reduce;
+          enqueue = (fun _ args -> next := args :: !next);
+        };
+      let level = List.rev !next in
+      if List.length level < max_block then bfs level else blocked level
+    end
+  and blocked frames =
+    if frames <> [] then begin
+      let nexts = Array.make e [] in
+      Vc_core.Distribute.exec_block dblk ~frames
+        {
+          Vc_core.Distribute.reduce;
+          enqueue =
+            (fun target args ->
+              match target with
+              | Vc_core.Distribute.Nexts i -> nexts.(i) <- args :: nexts.(i)
+              | Vc_core.Distribute.Next -> ());
+        };
+      Array.iter
+        (fun site ->
+          let blk = List.rev site in
+          if List.length blk > max_block then blocked blk else bfs blk)
+        nexts
+    end
+  in
+  bfs [ Array.of_list args ];
+  Reducer.values reducers
+
+let test_distributed_fib () =
+  let t = Vc_core.Transform.transform fib_program in
+  Alcotest.(check (list (pair string int)))
+    "fib(15) step-major" [ ("result", 610) ] (run_distributed t [ 15 ])
+
+let distributed_equiv_random =
+  QCheck.Test.make
+    ~name:"step-major (distributed) execution = sequential semantics" ~count:120
+    Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+      let expected = (Interp.run ~max_tasks:100_000 p args).Interp.reducers in
+      let t = Vc_core.Transform.transform p in
+      run_distributed t args = expected)
+
+let simplified_equiv_random =
+  QCheck.Test.make ~name:"simplified distributed form = sequential semantics"
+    ~count:120 Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+      let expected = (Interp.run ~max_tasks:100_000 p args).Interp.reducers in
+      let t = Vc_core.Transform.transform p in
+      run_distributed ~simplify:true t args = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Termination certifier                                               *)
+
+let verdict_of src = Termination.check (Parser.parse_string src)
+
+let test_termination_fib () =
+  match Termination.check fib_program with
+  | Termination.Terminates { param = "n"; decreases_by = 1; lower_bound = 2 } -> ()
+  | v -> Alcotest.failf "unexpected verdict: %s" (Format.asprintf "%a" Termination.pp_verdict v)
+
+let test_termination_patterns () =
+  (match verdict_of
+     "def f(a) = if a <= 0 then { } else { spawn f(a - 2); spawn f(a - 1); }"
+   with
+  | Termination.Terminates { param = "a"; decreases_by = 1; lower_bound = 1 } -> ()
+  | _ -> Alcotest.fail "le pattern");
+  (match verdict_of
+     "def f(a, b) = if 3 > b then { } else { spawn f(a + 1, b - 1); }"
+   with
+  | Termination.Terminates { param = "b"; decreases_by = 1; lower_bound = 3 } -> ()
+  | _ -> Alcotest.fail "second parameter + reversed comparison");
+  (* disjunct suffices *)
+  match verdict_of
+    "def f(a, b) = if a < 1 || b == 7 then { } else { spawn f(a - 1, b); }"
+  with
+  | Termination.Terminates { param = "a"; _ } -> ()
+  | _ -> Alcotest.fail "disjunct pattern"
+
+let test_termination_unknown () =
+  let is_unknown src =
+    match verdict_of src with Termination.Unknown _ -> true | _ -> false
+  in
+  check_bool "increasing argument" true
+    (is_unknown "def f(a) = if a < 1 then { } else { spawn f(a + 1); }");
+  check_bool "no bound" true
+    (is_unknown "def f(a, b) = if b == 0 then { } else { spawn f(a - 1, b); }");
+  check_bool "non-constant step" true
+    (is_unknown "def f(a) = if a < 1 then { } else { spawn f(a - a); }");
+  check_bool "conjunction guard rejected" true
+    (is_unknown "def f(a, b) = if a < 1 && b < 1 then { } else { spawn f(a - 1, b - 1); }")
+
+let termination_certifies_generated =
+  QCheck.Test.make ~name:"generated programs are certified terminating" ~count:200
+    Gen_programs.arbitrary_program_and_args (fun (p, _) ->
+      match Termination.check p with
+      | Termination.Terminates { param = "a"; _ } -> true
+      | _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vc_passes"
+    [
+      ( "optim",
+        [
+          Alcotest.test_case "constant folding" `Quick test_fold_constants;
+          Alcotest.test_case "identities" `Quick test_fold_identities;
+          Alcotest.test_case "short-circuit" `Quick test_fold_short_circuit;
+          Alcotest.test_case "trap preservation" `Quick test_fold_preserves_traps;
+          Alcotest.test_case "statement folding" `Quick test_fold_stmt;
+          Alcotest.test_case "dead locals" `Quick test_dead_locals;
+          Alcotest.test_case "trapping dead local kept" `Quick test_dead_local_trap_kept;
+        ]
+        @ qsuite [ optim_preserves_semantics; optim_never_grows; optim_idempotent ]
+      );
+      ( "distribute",
+        [
+          Alcotest.test_case "fib step structure" `Quick test_distribute_fib_structure;
+          Alcotest.test_case "while stays residual" `Quick test_distribute_while_residual;
+          Alcotest.test_case "fib step-major run" `Quick test_distributed_fib;
+          Alcotest.test_case "simplify drops dead preds" `Quick
+            test_simplify_drops_dead_preds;
+          Alcotest.test_case "simplify keeps trapping preds" `Quick
+            test_simplify_keeps_trapping_preds;
+        ]
+        @ qsuite [ distributed_equiv_random; simplified_equiv_random ] );
+      ( "termination",
+        [
+          Alcotest.test_case "fib certificate" `Quick test_termination_fib;
+          Alcotest.test_case "patterns" `Quick test_termination_patterns;
+          Alcotest.test_case "unknowns" `Quick test_termination_unknown;
+        ]
+        @ qsuite [ termination_certifies_generated ] );
+    ]
