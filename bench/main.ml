@@ -2,10 +2,16 @@
    evaluation section (printed as data), runs the extra ablations, and then
    times one representative kernel per artifact with Bechamel.
 
-   Set VC_BENCH_QUICK=1 for a fast smoke run on scaled-down inputs. *)
+   Set VC_BENCH_QUICK=1 (or pass --quick) for a fast smoke run on
+   scaled-down inputs.  --jobs N sets the sweep's worker-domain count
+   (default: the recommended domain count); --no-cache skips the
+   persistent .vc-cache run cache.  A machine-readable summary —
+   regeneration wall-clock, jobs used, per-artifact kernel times — is
+   written to BENCH_sweep.json. *)
 
 open Bechamel
 open Toolkit
+module Jsonx = Vc_exp.Jsonx
 
 let say fmt = Format.printf fmt
 
@@ -105,23 +111,84 @@ let run_bechamel () =
   let merged = Analyze.merge ols instances results in
   say "@.=== Bechamel: wall-clock per regeneration kernel ===@.@.";
   match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
-  | None -> say "(no results)@."
+  | None ->
+      say "(no results)@.";
+      []
   | Some per_test ->
       let rows =
         Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
         |> List.sort compare
       in
-      List.iter
+      List.filter_map
         (fun (name, ols) ->
           match Analyze.OLS.estimates ols with
-          | Some (est :: _) -> say "%-45s %12.0f ns/run@." name est
-          | _ -> say "%-45s (no estimate)@." name)
+          | Some (est :: _) ->
+              say "%-45s %12.0f ns/run@." name est;
+              Some (name, est)
+          | _ ->
+              say "%-45s (no estimate)@." name;
+              None)
         rows
 
+(* The perf-trajectory artifact: enough to compare sweeps across commits
+   (total regeneration seconds, jobs used, per-artifact kernel times). *)
+let write_sweep_json ~jobs ~quick ~regen_seconds ~simulated ~cache_hits ~kernels =
+  let doc =
+    Jsonx.Obj
+      [
+        ("version", Int 1);
+        ("jobs", Int jobs);
+        ("quick", Bool quick);
+        ("total_regen_seconds", Float regen_seconds);
+        ("simulated", Int simulated);
+        ("disk_cache_hits", Int cache_hits);
+        ( "kernels",
+          List
+            (List.map
+               (fun (name, ns) ->
+                 Jsonx.Obj [ ("name", String name); ("ns_per_run", Float ns) ])
+               kernels) );
+      ]
+  in
+  let oc = open_out_bin "BENCH_sweep.json" in
+  output_string oc (Jsonx.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  say "(wrote BENCH_sweep.json)@."
+
 let () =
-  let ctx = Vc_exp.Sweep.create () in
-  say "vectorcilk benchmark harness (quick mode: %b)@." (Vc_exp.Sweep.quick ctx);
+  let jobs = ref (Vc_exp.Pool.default_jobs ()) in
+  let no_cache = ref false in
+  let quick = ref false in
+  Arg.parse
+    [
+      ("--jobs", Arg.Set_int jobs, "N  worker domains for the sweep");
+      ("--no-cache", Arg.Set no_cache, " skip the persistent .vc-cache run cache");
+      ("--quick", Arg.Set quick, " scaled-down workloads (same as VC_BENCH_QUICK=1)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--jobs N] [--no-cache] [--quick]";
+  let ctx =
+    Vc_exp.Sweep.create
+      ?quick:(if !quick then Some true else None)
+      ~jobs:!jobs
+      ~cache_dir:(if !no_cache then None else Some ".vc-cache")
+      ()
+  in
+  say "vectorcilk benchmark harness (quick mode: %b, jobs: %d)@."
+    (Vc_exp.Sweep.quick ctx) (Vc_exp.Sweep.jobs ctx);
   let t0 = Unix.gettimeofday () in
+  Vc_exp.Sweep.prewarm ctx;
   regenerate ctx;
-  say "@.(regeneration took %.1fs)@." (Unix.gettimeofday () -. t0);
-  run_bechamel ()
+  Vc_exp.Sweep.persist ctx;
+  let regen_seconds = Unix.gettimeofday () -. t0 in
+  say "@.(regeneration took %.1fs; %d simulated, %d disk-cache hits)@."
+    regen_seconds
+    (Vc_exp.Sweep.simulations ctx)
+    (Vc_exp.Sweep.cache_hits ctx);
+  let kernels = run_bechamel () in
+  write_sweep_json ~jobs:(Vc_exp.Sweep.jobs ctx) ~quick:(Vc_exp.Sweep.quick ctx)
+    ~regen_seconds
+    ~simulated:(Vc_exp.Sweep.simulations ctx)
+    ~cache_hits:(Vc_exp.Sweep.cache_hits ctx)
+    ~kernels

@@ -17,7 +17,10 @@
      verify                      - the paper's claims as checks
      all                         - every table, figure, and ablation
 
-   VCILK_LOG=debug|info enables engine logging on stderr. *)
+   Sweep-driven subcommands (table, figure, plot, export, verify, all)
+   take --jobs N (parallel worker domains, default: the recommended
+   domain count) and --no-cache (skip the persistent .vc-cache run
+   cache).  VCILK_LOG=debug|info enables engine logging on stderr. *)
 
 open Cmdliner
 
@@ -48,7 +51,31 @@ let bench_conv =
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use scaled-down workloads.")
 
-let ctx_of quick = Vc_exp.Sweep.create ~quick ()
+let jobs_flag =
+  Arg.(value
+       & opt int (Vc_exp.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:
+             "Worker domains for the experiment sweep (default: the \
+              recommended domain count). 1 disables parallelism.")
+
+let no_cache_flag =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Do not read or write the persistent $(b,.vc-cache) run cache.")
+
+let ctx_of quick jobs no_cache =
+  Vc_exp.Sweep.create ~quick ~jobs
+    ~cache_dir:(if no_cache then None else Some ".vc-cache")
+    ()
+
+(* Flush the run cache and report what the sweep actually did; artifact
+   text goes to stdout, so the stats line stays on stderr. *)
+let finish ctx =
+  Vc_exp.Sweep.persist ctx;
+  Format.eprintf "[sweep] %d simulated, %d disk-cache hits, jobs %d@."
+    (Vc_exp.Sweep.simulations ctx)
+    (Vc_exp.Sweep.cache_hits ctx) (Vc_exp.Sweep.jobs ctx)
 
 let list_cmd =
   let run () =
@@ -79,8 +106,8 @@ let run_cmd =
     Arg.(value & opt int 4096
          & info [ "b"; "block" ] ~doc:"Hybrid max block size / re-expansion threshold.")
   in
-  let run quick (entry : Vc_bench.Registry.entry) machine strategy block =
-    let ctx = ctx_of quick in
+  let run quick jobs no_cache (entry : Vc_bench.Registry.entry) machine strategy block =
+    let ctx = ctx_of quick jobs no_cache in
     let spec = Vc_exp.Sweep.spec_of ctx entry in
     let report =
       match strategy with
@@ -100,11 +127,12 @@ let run_cmd =
     Format.printf "%a@." Vc_core.Report.pp_summary report;
     if strategy <> "seq" && not report.Vc_core.Report.oom then
       Format.printf "modeled speedup over sequential: %.2f@."
-        (Vc_exp.Sweep.speedup ctx entry machine report)
+        (Vc_exp.Sweep.speedup ctx entry machine report);
+    finish ctx
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under one execution strategy.")
-    Term.(const run $ quick_flag $ bench $ machine $ strategy $ block)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ bench $ machine $ strategy $ block)
 
 let transform_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -171,26 +199,35 @@ let interp_cmd =
 
 let table_cmd =
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
-  let run quick n =
-    let ctx = ctx_of quick in
+  let run quick jobs no_cache n =
+    let ctx = ctx_of quick jobs no_cache in
     let fmt = Format.std_formatter in
-    match n with
+    (match n with
+    | 1 -> Vc_exp.Sweep.prewarm ~scope:`Seq_only ctx
+    | 2 | 3 -> Vc_exp.Sweep.prewarm ctx
+    | _ -> ());
+    (match n with
     | 1 -> Vc_exp.Tables.table1 ctx fmt
     | 2 -> Vc_exp.Tables.table2 ctx fmt
     | 3 -> Vc_exp.Tables.table3 ctx fmt
     | _ ->
         Format.eprintf "no such table: %d (1..3)@." n;
-        exit 1
+        exit 1);
+    finish ctx
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate one paper table (1-3).")
-    Term.(const run $ quick_flag $ n)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ n)
 
 let figure_cmd =
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
-  let run quick n =
-    let ctx = ctx_of quick in
+  let run quick jobs no_cache n =
+    let ctx = ctx_of quick jobs no_cache in
     let fmt = Format.std_formatter in
-    match n with
+    (match n with
+    | 9 -> Vc_exp.Sweep.prewarm ~scope:`Seq_only ctx
+    | 10 | 11 | 12 | 13 | 14 | 15 | 16 -> Vc_exp.Sweep.prewarm ctx
+    | _ -> ());
+    (match n with
     | 9 -> Vc_exp.Figures.figure9 ctx fmt
     | 10 -> Vc_exp.Figures.figure10 ctx fmt
     | 11 -> Vc_exp.Figures.figure11 ctx fmt
@@ -201,10 +238,11 @@ let figure_cmd =
     | 16 -> Vc_exp.Figures.figure16 ctx fmt
     | _ ->
         Format.eprintf "no such figure: %d (9..16)@." n;
-        exit 1
+        exit 1);
+    finish ctx
   in
   Cmd.v (Cmd.info "figure" ~doc:"Regenerate one paper figure (9-16).")
-    Term.(const run $ quick_flag $ n)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ n)
 
 let trace_cmd =
   let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
@@ -221,7 +259,9 @@ let trace_cmd =
     Arg.(value & opt int 40 & info [ "n"; "limit" ] ~doc:"Events to print.")
   in
   let run quick (entry : Vc_bench.Registry.entry) machine block limit =
-    let ctx = ctx_of quick in
+    (* traced runs are never cached: the trace is a side effect of the
+       simulation, so this command always simulates fresh *)
+    let ctx = Vc_exp.Sweep.create ~quick ~cache_dir:None () in
     let spec = Vc_exp.Sweep.spec_of ctx entry in
     let trace = Vc_core.Trace.create () in
     let r =
@@ -248,8 +288,8 @@ let plot_cmd =
     Arg.(value & opt string "speedup"
          & info [ "w"; "what" ] ~doc:"speedup|utilization|miss.")
   in
-  let run quick (entry : Vc_bench.Registry.entry) machine what =
-    let ctx = ctx_of quick in
+  let run quick jobs no_cache (entry : Vc_bench.Registry.entry) machine what =
+    let ctx = ctx_of quick jobs no_cache in
     let log2 b = log (float_of_int b) /. log 2.0 in
     let value (r : Vc_core.Report.t) =
       match what with
@@ -275,39 +315,45 @@ let plot_cmd =
     Format.printf "%s of %s on %s vs log2(block size)@.@." what
       entry.Vc_bench.Registry.name machine.Vc_mem.Machine.name;
     Vc_exp.Ascii_plot.plot ~x_label:"log2(block)" [ series false '.'; series true 'o' ]
-      Format.std_formatter
+      Format.std_formatter;
+    finish ctx
   in
   Cmd.v
     (Cmd.info "plot" ~doc:"ASCII plot of a block-size sweep (Figs. 10-14).")
-    Term.(const run $ quick_flag $ bench $ machine $ what)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ bench $ machine $ what)
 
 let export_cmd =
   let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
-  let run quick dir =
-    let ctx = ctx_of quick in
+  let run quick jobs no_cache dir =
+    let ctx = ctx_of quick jobs no_cache in
+    Vc_exp.Sweep.prewarm ctx;
     let files = Vc_exp.Csv.export_all ctx ~dir in
     Format.printf "wrote %d CSV files to %s:@." (List.length files) dir;
-    List.iter (fun f -> Format.printf "  %s@." f) files
+    List.iter (fun f -> Format.printf "  %s@." f) files;
+    finish ctx
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export every table and figure as CSV files into DIR.")
-    Term.(const run $ quick_flag $ dir)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ dir)
 
 let verify_cmd =
-  let run quick =
-    let ctx = ctx_of quick in
+  let run quick jobs no_cache =
+    let ctx = ctx_of quick jobs no_cache in
+    Vc_exp.Sweep.prewarm ctx;
     let verdicts = Vc_exp.Claims.all ctx in
     Vc_exp.Claims.pp Format.std_formatter verdicts;
+    finish ctx;
     exit (if Vc_exp.Claims.failures verdicts = 0 then 0 else 1)
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check the paper's qualitative claims against fresh measurements.")
-    Term.(const run $ quick_flag)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag)
 
 let all_cmd =
-  let run quick =
-    let ctx = ctx_of quick in
+  let run quick jobs no_cache =
+    let ctx = ctx_of quick jobs no_cache in
+    Vc_exp.Sweep.prewarm ctx;
     let fmt = Format.std_formatter in
     Vc_exp.Tables.table1 ctx fmt;
     Vc_exp.Tables.table2 ctx fmt;
@@ -323,10 +369,11 @@ let all_cmd =
     Vc_exp.Ablations.multicore ctx fmt;
     Vc_exp.Ablations.width_scaling ctx fmt;
     Vc_exp.Ablations.task_cutoff ctx fmt;
-    Vc_exp.Ablations.warm_cache ctx fmt
+    Vc_exp.Ablations.warm_cache ctx fmt;
+    finish ctx
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table, figure, and ablation.")
-    Term.(const run $ quick_flag)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag)
 
 let setup_logs () =
   (* VCILK_LOG=debug|info|warning enables engine logging on stderr *)

@@ -51,6 +51,11 @@ let oom_placeholder ~benchmark ~machine ~strategy =
     wall_seconds = 0.0;
   }
 
+let equal ?(ignore_wall = true) a b =
+  if ignore_wall then
+    { a with wall_seconds = 0.0 } = { b with wall_seconds = 0.0 }
+  else a = b
+
 let speedup ~baseline t =
   if t.oom || t.cycles <= 0.0 then 0.0 else baseline.cycles /. t.cycles
 

@@ -29,6 +29,12 @@ type t = {
 
 val oom_placeholder : benchmark:string -> machine:string -> strategy:string -> t
 
+val equal : ?ignore_wall:bool -> t -> t -> bool
+(** Structural equality of two reports.  [ignore_wall] (default [true])
+    excludes the host wall-clock field, which is the only nondeterministic
+    field of a report — model quantities are bit-identical across reruns,
+    parallel schedules, and run-cache round-trips. *)
+
 val speedup : baseline:t -> t -> float
 (** Modeled speedup of [t] over [baseline] (0 when [t] is an OOM run). *)
 

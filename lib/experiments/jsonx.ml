@@ -1,0 +1,243 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Writer *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  (* 17 significant digits round-trip any IEEE double exactly; force a
+     marker so the parser can tell floats from ints *)
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+  else s ^ ".0"
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  write buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over a string cursor. *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error c fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" c.pos m))) fmt
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> error c "expected %C, found %C" ch x
+  | None -> error c "expected %C, found end of input" ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c "bad literal (expected %s)" word
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some ('"' | '\\' | '/') ->
+            Buffer.add_char buf (Option.get (peek c));
+            advance c;
+            go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then error c "truncated \\u escape";
+            let code = int_of_string ("0x" ^ String.sub c.src c.pos 4) in
+            c.pos <- c.pos + 4;
+            (* cache keys/reports are ASCII; keep the low byte *)
+            Buffer.add_char buf (Char.chr (code land 0xff));
+            go ()
+        | _ -> error c "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' | 'i' | 'n' | 'f' | 'a' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error c "bad number %S" s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some 'n' ->
+      (* [nan] is a float literal, [null] the JSON null *)
+      if c.pos + 3 <= String.length c.src && String.sub c.src c.pos 3 = "nan" then
+        parse_number c
+      else literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_body c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin advance c; List [] end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect c ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin advance c; Obj [] end
+      else begin
+        let field () =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          fields := field () :: !fields;
+          skip_ws c
+        done;
+        expect c '}';
+        Obj (List.rev !fields)
+      end
+  | Some ch -> (
+      match ch with
+      | '0' .. '9' | '-' | 'i' -> parse_number c
+      | _ -> error c "unexpected character %C" ch)
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then Error (Printf.sprintf "trailing garbage at %d" c.pos)
+      else Ok v
+  | exception Parse_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member name = function
+  | Obj fields -> ( match List.assoc_opt name fields with Some v -> v | None -> Null)
+  | _ -> Null
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+  | Obj _ -> "object"
+
+let fail_on what v = failwith (Printf.sprintf "Jsonx: expected %s, got %s" what (type_name v))
+
+let to_int = function Int i -> i | v -> fail_on "int" v
+let to_float = function Float f -> f | Int i -> float_of_int i | v -> fail_on "float" v
+let to_bool = function Bool b -> b | v -> fail_on "bool" v
+let to_str = function String s -> s | v -> fail_on "string" v
+let to_list = function List l -> l | v -> fail_on "list" v
+let obj_fields = function Obj f -> f | v -> fail_on "object" v

@@ -1,0 +1,36 @@
+(** A minimal JSON reader/writer for the run cache and the bench harness's
+    machine-readable output.
+
+    Deliberately tiny: only what [Run_cache] and [BENCH_sweep.json] need.
+    Floats are printed with 17 significant digits so IEEE doubles
+    round-trip exactly (cached reports must compare equal to fresh ones),
+    which also means non-finite floats are emitted as bare [inf]/[nan]
+    tokens — valid for this parser, not for strict JSON consumers. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (trailing whitespace allowed). *)
+
+val member : string -> t -> t
+(** Field lookup on an [Obj]; [Null] when absent or not an object. *)
+
+val to_int : t -> int
+val to_float : t -> float
+(** [to_float] accepts [Int] too (a float that prints without a dot). *)
+
+val to_bool : t -> bool
+val to_str : t -> string
+val to_list : t -> t list
+val obj_fields : t -> (string * t) list
+(** All raise [Failure] on a type mismatch. *)

@@ -1,0 +1,31 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_serial tasks = List.iter (fun f -> f ()) tasks
+
+let run ~jobs tasks =
+  let n = List.length tasks in
+  if jobs <= 1 || n < 2 then run_serial tasks
+  else begin
+    let tasks = Array.of_list tasks in
+    let next = Atomic.make 0 in
+    let failure : exn option Atomic.t = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          try tasks.(i) ()
+          with e ->
+            (* keep the first failure; losing later ones is fine — the
+               sweep aborts on any *)
+            ignore (Atomic.compare_and_set failure None (Some e))
+      done
+    in
+    let domains =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    match Atomic.get failure with Some e -> raise e | None -> ()
+  end

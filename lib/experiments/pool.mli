@@ -1,0 +1,18 @@
+(** A work-queue executor over OCaml 5 domains.
+
+    The experiment sweep is embarrassingly parallel — every
+    (benchmark × machine × strategy × block × compaction) point is an
+    independent simulation — so the pool is deliberately simple: one
+    shared atomic cursor over the task array, [jobs] domains racing to
+    claim the next index.  Tasks must do their own synchronization around
+    shared state (the sweep memo table is mutex-guarded). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
+
+val run : jobs:int -> (unit -> unit) list -> unit
+(** Execute every task.  With [jobs <= 1] (or fewer than two tasks) the
+    tasks run in the calling domain, in order, spawning nothing — the
+    [--jobs 1] reference schedule.  Otherwise [min jobs (length tasks)]
+    domains drain the queue.  The first exception raised by any task is
+    re-raised in the caller after all domains have joined. *)

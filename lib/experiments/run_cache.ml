@@ -1,0 +1,149 @@
+let version = 1
+
+type t = {
+  dir : string;
+  lock : Mutex.t;
+  table : (string, Vc_core.Report.t) Hashtbl.t;
+  mutable dirty : bool;
+}
+
+let file t = Filename.concat t.dir "runs.json"
+
+(* ------------------------------------------------------------------ *)
+(* Report <-> Jsonx.  Field order and assoc-list order are preserved so a
+   round-tripped report is structurally equal to the original (modulo
+   [wall_seconds], deliberately dropped). *)
+
+open Vc_core.Report
+
+let json_of_report (r : Vc_core.Report.t) : Jsonx.t =
+  Jsonx.Obj
+    [
+      ("benchmark", String r.benchmark);
+      ("machine", String r.machine);
+      ("strategy", String r.strategy);
+      ("oom", Bool r.oom);
+      ("reducers", List (List.map (fun (n, v) -> Jsonx.List [ String n; Int v ]) r.reducers));
+      ("tasks", Int r.tasks);
+      ("base_tasks", Int r.base_tasks);
+      ("max_depth", Int r.max_depth);
+      ("issue_cycles", Float r.issue_cycles);
+      ("penalty_cycles", Float r.penalty_cycles);
+      ("cycles", Float r.cycles);
+      ("cpi", Float r.cpi);
+      ("utilization", Float r.utilization);
+      ("lane_occupancy", Float r.lane_occupancy);
+      ("scalar_ops", Int r.scalar_ops);
+      ("vector_ops", Int r.vector_ops);
+      ("kernel_ops", Int r.kernel_ops);
+      ( "cache",
+        List
+          (List.map
+             (fun (l, a, m) -> Jsonx.List [ String l; Int a; Int m ])
+             r.cache) );
+      ( "miss_rates",
+        List (List.map (fun (l, f) -> Jsonx.List [ String l; Float f ]) r.miss_rates) );
+      ("space_peak", Int r.space_peak);
+      ( "levels",
+        List
+          (Array.to_list r.levels
+          |> List.map (fun (t, b) -> Jsonx.List [ Int t; Int b ])) );
+      ( "reexpansions",
+        List
+          (Array.to_list r.reexpansions
+          |> List.map (fun (d, c, f) -> Jsonx.List [ Int d; Int c; Float f ])) );
+    ]
+
+let report_of_json (j : Jsonx.t) : Vc_core.Report.t =
+  let open Jsonx in
+  let m name = member name j in
+  let pair2 conv_a conv_b v =
+    match to_list v with
+    | [ a; b ] -> (conv_a a, conv_b b)
+    | _ -> failwith "Run_cache: bad pair"
+  in
+  let triple conv_a conv_b conv_c v =
+    match to_list v with
+    | [ a; b; c ] -> (conv_a a, conv_b b, conv_c c)
+    | _ -> failwith "Run_cache: bad triple"
+  in
+  {
+    benchmark = to_str (m "benchmark");
+    machine = to_str (m "machine");
+    strategy = to_str (m "strategy");
+    oom = to_bool (m "oom");
+    reducers = List.map (pair2 to_str to_int) (to_list (m "reducers"));
+    tasks = to_int (m "tasks");
+    base_tasks = to_int (m "base_tasks");
+    max_depth = to_int (m "max_depth");
+    issue_cycles = to_float (m "issue_cycles");
+    penalty_cycles = to_float (m "penalty_cycles");
+    cycles = to_float (m "cycles");
+    cpi = to_float (m "cpi");
+    utilization = to_float (m "utilization");
+    lane_occupancy = to_float (m "lane_occupancy");
+    scalar_ops = to_int (m "scalar_ops");
+    vector_ops = to_int (m "vector_ops");
+    kernel_ops = to_int (m "kernel_ops");
+    cache = List.map (triple to_str to_int to_int) (to_list (m "cache"));
+    miss_rates = List.map (pair2 to_str to_float) (to_list (m "miss_rates"));
+    space_peak = to_int (m "space_peak");
+    levels = Array.of_list (List.map (pair2 to_int to_int) (to_list (m "levels")));
+    reexpansions =
+      Array.of_list (List.map (triple to_int to_int to_float) (to_list (m "reexpansions")));
+    wall_seconds = 0.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir =
+  let t = { dir; lock = Mutex.create (); table = Hashtbl.create 256; dirty = false } in
+  let path = file t in
+  (if Sys.file_exists path then
+     match Jsonx.parse (read_file path) with
+     | Ok j when Jsonx.(member "version" j = Int version) -> (
+         match Jsonx.member "runs" j with
+         | Jsonx.Obj runs ->
+             List.iter
+               (fun (key, rj) ->
+                 match report_of_json rj with
+                 | r -> Hashtbl.replace t.table key r
+                 | exception _ -> () (* skip corrupt entries, keep the rest *))
+               runs
+         | _ -> ())
+     | Ok _ | Error _ -> () (* stale version or corrupt file: start empty *)
+     | exception _ -> ());
+  t
+
+let find t key = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key)
+
+let add t key report =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.replace t.table key report;
+      t.dirty <- true)
+
+let entries t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+let persist t =
+  Mutex.protect t.lock @@ fun () ->
+  if t.dirty then begin
+    if not (Sys.file_exists t.dir) then Unix.mkdir t.dir 0o755;
+    let runs =
+      Hashtbl.fold (fun k r acc -> (k, json_of_report r) :: acc) t.table []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let doc = Jsonx.Obj [ ("version", Int version); ("runs", Obj runs) ] in
+    let tmp = file t ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Jsonx.to_string doc));
+    Sys.rename tmp (file t);
+    t.dirty <- false
+  end

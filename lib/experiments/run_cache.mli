@@ -1,0 +1,38 @@
+(** The persistent on-disk run cache ([.vc-cache/runs.json]).
+
+    Every sweep point is a deterministic simulation, so its report can be
+    reused across process invocations: [vcilk table 2] after [vcilk all]
+    does zero engine simulations.  Entries are keyed by the string
+    encoding of {!Sweep.key} plus the workload scale (see
+    [Sweep.key_string]); the file carries a schema version and is
+    discarded wholesale on mismatch (the invalidation rule — bump
+    {!version} whenever the report layout or key schema changes).
+
+    Wall-clock fields are excluded from the cached payload: a report
+    loaded from the cache has [wall_seconds = 0.0], so cached and fresh
+    reports compare equal under {!Vc_core.Report.equal}.
+
+    A handle is domain-safe: [find]/[add] may be called concurrently from
+    pool workers. *)
+
+type t
+
+val version : int
+(** Current schema version of the cache file. *)
+
+val load : dir:string -> t
+(** Open (or initialize) the cache rooted at [dir].  A missing, unreadable,
+    corrupt, or version-mismatched [runs.json] yields an empty cache; the
+    directory is created lazily by {!persist}. *)
+
+val find : t -> string -> Vc_core.Report.t option
+
+val add : t -> string -> Vc_core.Report.t -> unit
+(** Record a freshly simulated report under [key] and mark the handle
+    dirty.  Last write wins on duplicate keys. *)
+
+val entries : t -> int
+
+val persist : t -> unit
+(** Write [dir/runs.json] atomically (temp file + rename) if any entry was
+    added since [load].  No-op on a clean handle. *)

@@ -4,14 +4,55 @@
     Every table and figure of the evaluation reads from the same sweep
     space, so one context computes each point once and the harness reuses
     it across Tables 1–3 and Figures 9–16.  [quick] mode substitutes
-    small workloads (for smoke runs and the bechamel timing harness). *)
+    small workloads (for smoke runs and the bechamel timing harness).
+
+    The context is domain-safe: the memo tables are mutex-guarded, and
+    {!prewarm} fans the independent simulations out over a
+    {!Pool}-managed set of OCaml domains, after which the (serial)
+    artifact generators run entirely against warm entries.  With a
+    [cache_dir], points additionally persist across processes via
+    {!Run_cache} — call {!persist} before exiting. *)
+
+type key = {
+  bench : string;
+  machine : string;
+  strategy : string;
+  block : int;
+  compact : string;
+      (** the {e resolved} compaction engine name for engine runs (bfs /
+          noreexp / reexp), so an explicit request for the machine's
+          default engine shares the plain hybrid run's key; [""] for
+          seq / strawman runs, which do not compact *)
+}
 
 type ctx
 
-val create : ?quick:bool -> unit -> ctx
-(** [quick] defaults to the [VC_BENCH_QUICK] environment variable. *)
+val create : ?quick:bool -> ?jobs:int -> ?cache_dir:string option -> unit -> ctx
+(** [quick] defaults to the [VC_BENCH_QUICK] environment variable.
+    [jobs] (default 1) is the domain count used by {!prewarm}.
+    [cache_dir] (default [None] = no persistence; the CLI passes
+    [Some ".vc-cache"]) roots the on-disk run cache. *)
 
 val quick : ctx -> bool
+val jobs : ctx -> int
+
+val simulations : ctx -> int
+(** Fresh engine/sequential/strawman simulations executed by this context
+    (excludes memo and disk-cache hits) — a warm rerun reports 0. *)
+
+val cache_hits : ctx -> int
+(** Points served from the persistent disk cache. *)
+
+val key_string : ctx -> key -> string
+(** The disk-cache encoding of [key]: the workload scale (quick/full)
+    followed by the key fields. *)
+
+val persist : ctx -> unit
+(** Flush newly simulated points to the disk cache (no-op without one). *)
+
+val runs : ctx -> (key * Vc_core.Report.t) list
+(** Every memoized point, sorted by key — deterministic regardless of the
+    schedule that produced it. *)
 
 val machines : Vc_mem.Machine.t list
 (** E5 and Phi, in that order. *)
@@ -45,7 +86,9 @@ val with_compaction :
   compact:Vc_simd.Compact.engine ->
   block:int ->
   Vc_core.Report.t
-(** Re-expansion strategy with an explicit compaction engine (Fig. 16). *)
+(** Re-expansion strategy with an explicit compaction engine (Fig. 16).
+    Requesting the machine's default engine is a cache hit on the plain
+    {!hybrid} run at the same block. *)
 
 val strawman : ctx -> Vc_bench.Registry.entry -> Vc_mem.Machine.t -> Vc_core.Report.t
 
@@ -60,3 +103,15 @@ val best :
   reexpand:bool ->
   int * Vc_core.Report.t
 (** (block size, report) maximizing modeled speedup over the grid. *)
+
+type scope = [ `Seq_only | `Full ]
+
+val prewarm : ?scope:scope -> ctx -> unit
+(** Simulate every point the artifact generators will demand, in parallel
+    over [jobs ctx] domains (serially, spawning nothing, when [jobs = 1]).
+    [`Seq_only] covers Table 1 / Figure 9 (sequential baselines only);
+    [`Full] (default) covers Tables 1–3, Figures 9–16, Ablation A1, and
+    the claims checker.  Points already memoized or in the disk cache are
+    skipped.  The resulting reports are identical to what a serial
+    demand-driven run computes ({!runs} compares equal under
+    {!Vc_core.Report.equal}). *)

@@ -25,10 +25,18 @@ let legal (isa : Isa.t) = function
    tabulating the shuffle controls. *)
 let table_region_base = 0x1000_0000
 
+(* The memo tables are shared across every engine instance and, with the
+   domain-parallel sweep executor, across domains.  All access goes through
+   [tables_lock]: lookups are rare (once per [partition] call, not per
+   chunk) and the tables themselves are immutable after construction, so a
+   single mutex both prevents racing [Hashtbl.add]s and publishes the
+   freshly built table to other domains. *)
+let tables_lock = Mutex.create ()
 let shuffle_tables : (int, Shuffle_table.t) Hashtbl.t = Hashtbl.create 8
 let prefix_tables : (int, Prefix_table.t) Hashtbl.t = Hashtbl.create 8
 
 let shuffle_table width =
+  Mutex.protect tables_lock @@ fun () ->
   match Hashtbl.find_opt shuffle_tables width with
   | Some t -> t
   | None ->
@@ -37,6 +45,7 @@ let shuffle_table width =
       t
 
 let prefix_table width =
+  Mutex.protect tables_lock @@ fun () ->
   match Hashtbl.find_opt prefix_tables width with
   | Some t -> t
   | None ->

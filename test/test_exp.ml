@@ -31,6 +31,79 @@ let test_sweep_quick_mode () =
   check_int "widths agree" (Vc_exp.Sweep.width_on quick fib e5)
     (Vc_exp.Sweep.width_on full fib e5)
 
+(* The Fig. 16 / Table 2 dedup: requesting the machine's default
+   compaction engine explicitly must resolve to the plain hybrid run's key
+   (one simulation, physically the same report). *)
+let test_key_normalization () =
+  let ctx = Vc_exp.Sweep.create ~quick:true () in
+  let h = Vc_exp.Sweep.hybrid ctx fib e5 ~reexpand:true ~block:64 in
+  let before = Vc_exp.Sweep.simulations ctx in
+  let default =
+    Vc_simd.Compact.default_for e5.Vc_mem.Machine.isa
+      ~width:(Vc_exp.Sweep.width_on ctx fib e5)
+  in
+  let sc = Vc_exp.Sweep.with_compaction ctx fib e5 ~compact:default ~block:64 in
+  check_bool "default-engine compaction is a cache hit" true (h == sc);
+  check_int "no extra simulation" before (Vc_exp.Sweep.simulations ctx);
+  let nosc =
+    Vc_exp.Sweep.with_compaction ctx fib e5 ~compact:Vc_simd.Compact.Sequential
+      ~block:64
+  in
+  check_bool "sequential compaction is a distinct point" true (not (h == nosc))
+
+let reports_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ka, ra) (kb, rb) -> ka = kb && Vc_core.Report.equal ra rb)
+       a b
+
+(* The parallel-sweep determinism contract: a full quick-mode sweep
+   produces identical reports (wall-clock excluded) under --jobs 1 and
+   --jobs 4, and a warm rerun against the persisted cache simulates
+   nothing yet returns equal reports.  One cold sweep also persists to a
+   temp cache dir so the cache-hit leg reuses it. *)
+let test_parallel_determinism_and_cache () =
+  let cache_dir = Filename.temp_file "vc-cache" "" in
+  Sys.remove cache_dir;
+  let serial = Vc_exp.Sweep.create ~quick:true ~jobs:1 ~cache_dir:(Some cache_dir) () in
+  Vc_exp.Sweep.prewarm serial;
+  Vc_exp.Sweep.persist serial;
+  check_bool "cold sweep simulated something" true (Vc_exp.Sweep.simulations serial > 0);
+  check_int "cold sweep saw no cache" 0 (Vc_exp.Sweep.cache_hits serial);
+  let parallel = Vc_exp.Sweep.create ~quick:true ~jobs:4 ~cache_dir:None () in
+  Vc_exp.Sweep.prewarm parallel;
+  check_bool "jobs 1 = jobs 4 (reports modulo wall-clock)" true
+    (reports_equal (Vc_exp.Sweep.runs serial) (Vc_exp.Sweep.runs parallel));
+  let warm = Vc_exp.Sweep.create ~quick:true ~jobs:4 ~cache_dir:(Some cache_dir) () in
+  Vc_exp.Sweep.prewarm warm;
+  check_int "warm rerun simulates nothing" 0 (Vc_exp.Sweep.simulations warm);
+  check_bool "warm rerun served from disk" true (Vc_exp.Sweep.cache_hits warm > 0);
+  check_bool "warm reports = cold reports" true
+    (reports_equal (Vc_exp.Sweep.runs serial) (Vc_exp.Sweep.runs warm));
+  (* a warm context regenerates byte-identical claims *)
+  let pp ctx = Format.asprintf "%a" Vc_exp.Claims.pp (Vc_exp.Claims.all ctx) in
+  Alcotest.(check string) "claims identical" (pp serial) (pp warm);
+  Sys.remove (Filename.concat cache_dir "runs.json");
+  Unix.rmdir cache_dir
+
+let test_jsonx_roundtrip () =
+  let open Vc_exp.Jsonx in
+  let doc =
+    Obj
+      [
+        ("s", String "a\"b\\c\nd");
+        ("i", Int (-42));
+        ("f", Float 0.1);
+        ("tiny", Float 1.2345678901234567e-300);
+        ("t", Bool true);
+        ("n", Null);
+        ("l", List [ Int 1; Float 2.5; String "x"; List []; Obj [] ]);
+      ]
+  in
+  match parse (to_string doc) with
+  | Ok doc' -> check_bool "round-trips exactly" true (doc = doc')
+  | Error m -> Alcotest.fail ("parse failed: " ^ m)
+
 let lines s = String.split_on_char '\n' (String.trim s)
 
 let test_csv_table1 () =
@@ -102,7 +175,11 @@ let () =
         [
           Alcotest.test_case "caching" `Quick test_sweep_caching;
           Alcotest.test_case "quick mode" `Quick test_sweep_quick_mode;
+          Alcotest.test_case "key normalization" `Quick test_key_normalization;
+          Alcotest.test_case "parallel determinism + run cache" `Slow
+            test_parallel_determinism_and_cache;
         ] );
+      ("jsonx", [ Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip ]);
       ( "csv",
         [
           Alcotest.test_case "table1" `Quick test_csv_table1;

@@ -211,6 +211,38 @@ let compact_wide_registers =
               Compact.Prefix_scatter { sub_width = 8 } ])
         [ 32; 64 ])
 
+(* Regression: the shuffle/prefix memo tables are global; before they were
+   mutex-guarded, concurrent first-use from several domains raced on
+   [Hashtbl.add].  Hammer [partition] from 4 domains using widths no other
+   test touches, so every domain hits cold tables simultaneously. *)
+let test_compact_parallel_domains () =
+  let domains = 4 in
+  let n = 4096 in
+  let keeps = Array.init n (fun i -> i * 2654435761 land 0b100 = 0) in
+  let pred i = keeps.(i) in
+  let expected = reference_partition n pred in
+  let cases =
+    [
+      (Compact.Full_table, Isa.sse42, 13);
+      (Compact.Full_table, Isa.sse42, 11);
+      (Compact.Factorized { sub_width = 7 }, Isa.sse42, 14);
+      (Compact.Factorized { sub_width = 5 }, Isa.sse42, 10);
+      (Compact.Prefix_scatter { sub_width = 6 }, Isa.avx512, 12);
+      (Compact.Prefix_scatter { sub_width = 9 }, Isa.avx512, 9);
+    ]
+  in
+  let worker () =
+    List.for_all
+      (fun (engine, isa, width) ->
+        let vm = Vm.create isa in
+        Compact.partition ~vm ~engine ~width ~n ~pred = expected)
+      cases
+  in
+  let spawned = List.init domains (fun _ -> Domain.spawn worker) in
+  let ok = List.map Domain.join spawned in
+  check_bool "all domains computed the reference partition" true
+    (List.for_all Fun.id ok)
+
 let test_compact_default_engines () =
   (match Compact.default_for Isa.sse42 ~width:16 with
   | Compact.Factorized { sub_width } -> check_int "sse 16-wide sub" 8 sub_width
@@ -380,6 +412,7 @@ let () =
           Alcotest.test_case "legality" `Quick test_compact_legality;
           Alcotest.test_case "costs" `Quick test_compact_costs;
           Alcotest.test_case "table memory" `Quick test_compact_table_memory;
+          Alcotest.test_case "parallel domains" `Quick test_compact_parallel_domains;
         ]
         @ qsuite [ compact_engines_agree; compact_wide_registers ] );
       ( "vm",
