@@ -130,9 +130,32 @@ let run_bechamel () =
               None)
         rows
 
+(* Summary telemetry of one representative run (deterministic: the model
+   quantities of fib/e5 with re-expansion), so the perf-trajectory
+   artifact also tracks scheduler-behavior drift across commits. *)
+let telemetry_json ctx =
+  let r =
+    Vc_exp.Sweep.hybrid ctx
+      (Vc_bench.Registry.find "fib")
+      Vc_mem.Machine.xeon_e5 ~reexpand:true ~block:256
+  in
+  Jsonx.Obj
+    [
+      ("benchmark", String r.Vc_core.Report.benchmark);
+      ("strategy", String r.Vc_core.Report.strategy);
+      ("reexp_count", Int r.Vc_core.Report.reexp_count);
+      ("compaction_calls", Int r.Vc_core.Report.compaction_calls);
+      ("compaction_passes", Int r.Vc_core.Report.compaction_passes);
+      ( "occupancy_hist",
+        List
+          (Array.to_list r.Vc_core.Report.occupancy_hist
+          |> List.map (fun n -> Jsonx.Int n)) );
+    ]
+
 (* The perf-trajectory artifact: enough to compare sweeps across commits
    (total regeneration seconds, jobs used, per-artifact kernel times). *)
-let write_sweep_json ~jobs ~quick ~regen_seconds ~simulated ~cache_hits ~kernels =
+let write_sweep_json ~jobs ~quick ~regen_seconds ~simulated ~cache_hits ~kernels
+    ~telemetry =
   let doc =
     Jsonx.Obj
       [
@@ -148,6 +171,7 @@ let write_sweep_json ~jobs ~quick ~regen_seconds ~simulated ~cache_hits ~kernels
                (fun (name, ns) ->
                  Jsonx.Obj [ ("name", String name); ("ns_per_run", Float ns) ])
                kernels) );
+        ("telemetry", telemetry);
       ]
   in
   let oc = open_out_bin "BENCH_sweep.json" in
@@ -191,4 +215,4 @@ let () =
     ~regen_seconds
     ~simulated:(Vc_exp.Sweep.simulations ctx)
     ~cache_hits:(Vc_exp.Sweep.cache_hits ctx)
-    ~kernels
+    ~kernels ~telemetry:(telemetry_json ctx)

@@ -258,24 +258,109 @@ let trace_cmd =
   let limit =
     Arg.(value & opt int 40 & info [ "n"; "limit" ] ~doc:"Events to print.")
   in
-  let run quick (entry : Vc_bench.Registry.entry) machine block limit =
+  let chrome =
+    Arg.(value & opt (some string) None
+         & info [ "chrome" ] ~docv:"FILE"
+             ~doc:
+               "Chrome trace-event JSON output file (loadable in \
+                chrome://tracing or Perfetto). Default: $(i,BENCH).trace.json; \
+                pass $(b,--chrome -) to suppress the export.")
+  in
+  let jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"Also stream every telemetry event as one JSON object per line into FILE.")
+  in
+  let run quick (entry : Vc_bench.Registry.entry) machine block limit chrome jsonl =
     (* traced runs are never cached: the trace is a side effect of the
        simulation, so this command always simulates fresh *)
     let ctx = Vc_exp.Sweep.create ~quick ~cache_dir:None () in
     let spec = Vc_exp.Sweep.spec_of ctx entry in
     let trace = Vc_core.Trace.create () in
+    let tel = Vc_core.Telemetry.create () in
+    let ring_sink = Vc_core.Telemetry.ring ~capacity:65536 in
+    Vc_core.Telemetry.attach tel ring_sink;
+    let chrome_path =
+      match chrome with
+      | Some "-" -> None
+      | Some path -> Some path
+      | None -> Some (entry.Vc_bench.Registry.name ^ ".trace.json")
+    in
+    let open_sink make = function
+      | None -> None
+      | Some path ->
+          let oc = open_out path in
+          Vc_core.Telemetry.attach tel (make oc);
+          Some (path, oc)
+    in
+    let chrome_out = open_sink Vc_core.Telemetry.chrome_sink chrome_path in
+    let jsonl_out = open_sink Vc_core.Telemetry.jsonl_sink jsonl in
     let r =
-      Vc_core.Engine.run ~trace ~spec ~machine
+      Vc_core.Engine.run ~trace ~telemetry:tel ~spec ~machine
         ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
         ()
     in
+    (* Engine.run flushed the hub; close the files and report them. *)
+    List.iter
+      (fun out ->
+        match out with
+        | Some (path, oc) ->
+            close_out oc;
+            Format.eprintf "[trace] wrote %s@." path
+        | None -> ())
+      [ chrome_out; jsonl_out ];
     Format.printf "%a@.%a@." Vc_core.Report.pp_summary r
-      (Vc_core.Trace.pp ~limit) trace
+      (Vc_core.Trace.pp ~limit) trace;
+    (* Lane-occupancy timeline: every processed level as a point at its
+       modeled start time, one series per scheduler phase. *)
+    let width =
+      Vc_simd.Isa.lanes machine.Vc_mem.Machine.isa
+        (Vc_core.Schema.lane_kind spec.Vc_core.Spec.schema)
+    in
+    let level_points =
+      Vc_core.Telemetry.levels (Vc_core.Telemetry.ring_events ring_sink)
+    in
+    let series phase marker =
+      {
+        Vc_exp.Ascii_plot.label = Vc_core.Trace.phase_name phase;
+        marker;
+        points =
+          List.filter_map
+            (fun (st : Vc_core.Telemetry.stamped) ->
+              match st.Vc_core.Telemetry.ev with
+              | Vc_core.Telemetry.Level { phase = p; size; _ } when p = phase ->
+                  Some
+                    ( st.Vc_core.Telemetry.ts /. 1e3,
+                      Vc_core.Telemetry.occupancy ~width ~size )
+              | _ -> None)
+            level_points;
+      }
+    in
+    Format.printf "@.lane occupancy over modeled time (width %d)@.@." width;
+    Vc_exp.Ascii_plot.plot ~x_label:"kilocycles" ~y_label:"occupancy"
+      [ series Vc_core.Trace.Bfs '.'; series Vc_core.Trace.Blocked 'o';
+        series Vc_core.Trace.Cutoff 'x' ]
+      Format.std_formatter;
+    (* Summary telemetry now carried by the report itself. *)
+    let hist = r.Vc_core.Report.occupancy_hist in
+    let total = Array.fold_left ( + ) 0 hist in
+    if total > 0 then begin
+      Format.printf "@.occupancy histogram (%d levels)@." total;
+      Array.iteri
+        (fun i n ->
+          Format.printf "  %3d-%3d%% %-40s %d@." (i * 10)
+            (((i + 1) * 10) - if i = 9 then 0 else 1)
+            (String.make (40 * n / total) '#')
+            n)
+        hist
+    end
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Print the scheduler's per-level timeline (bfs / blocked / re-expansion toggling).")
-    Term.(const run $ quick_flag $ bench $ machine $ block $ limit)
+       ~doc:
+         "Trace one run: per-level scheduler timeline, ASCII lane-occupancy \
+          plot, and Chrome trace-event JSON export.")
+    Term.(const run $ quick_flag $ bench $ machine $ block $ limit $ chrome $ jsonl)
 
 let plot_cmd =
   let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in

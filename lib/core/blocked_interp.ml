@@ -14,7 +14,8 @@ type result = {
 exception Continue_thread
 
 let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
-    ?(max_tasks = 20_000_000) (t : Blocked_ast.t) args =
+    ?(max_tasks = 20_000_000) ?telemetry (t : Blocked_ast.t) args =
+  let tel = match telemetry with Some tel -> tel | None -> Telemetry.create () in
   let program = t.Blocked_ast.source in
   let layout = Codegen.layout_of program in
   let nparams = Array.length (Codegen.params layout) in
@@ -99,23 +100,33 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
     end
     else find rt
   in
+  let emit_level ~phase ~depth ~size ~base0 =
+    Telemetry.emit tel
+      (Telemetry.Level { phase; depth; size; base = !base_tasks - base0 })
+  in
   (* f_bfs of Fig. 7. *)
   let rec bfs tb depth =
     if depth > !max_depth then max_depth := depth;
     next := [];
+    let base0 = !base_tasks in
     List.iter (run_thread ~fbase:bfs_base ~find:bfs_ind) tb;
+    emit_level ~phase:Trace.Bfs ~depth ~size:(List.length tb) ~base0;
     let level = List.rev !next in
     if level <> [] then
       if List.length level < max_block then bfs level (depth + 1)
       else begin
         incr switches;
+        Telemetry.emit tel
+          (Telemetry.Switch { depth = depth + 1; size = List.length level });
         blocked level (depth + 1)
       end
   (* f_blocked of Fig. 7. *)
   and blocked tb depth =
     if depth > !max_depth then max_depth := depth;
     Array.fill nexts 0 (Array.length nexts) [];
+    let base0 = !base_tasks in
     List.iter (run_thread ~fbase:blk_base ~find:blk_ind) tb;
+    emit_level ~phase:Trace.Blocked ~depth ~size:(List.length tb) ~base0;
     let site_blocks = Array.map List.rev nexts in
     (* [nexts] is reused by deeper recursion; copy out first. *)
     Array.iter
@@ -124,6 +135,14 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
           if List.length blk >= max_block || not reexpand then blocked blk (depth + 1)
           else begin
             incr reexpansions;
+            let size = List.length blk in
+            Telemetry.emit tel
+              (Telemetry.Reexpand
+                 {
+                   depth = depth + 1;
+                   size;
+                   shrink = float_of_int size /. float_of_int (max 1 max_block);
+                 });
             bfs blk (depth + 1)
           end)
       site_blocks

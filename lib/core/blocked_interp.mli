@@ -25,8 +25,11 @@ type result = {
 val run :
   ?strategy:Policy.strategy ->
   ?max_tasks:int ->
+  ?telemetry:Telemetry.t ->
   Blocked_ast.t ->
   int list ->
   result
 (** Default strategy: [Hybrid { max_block = 256; reexpand = true }].
-    Default [max_tasks]: 20M. *)
+    Default [max_tasks]: 20M.  [telemetry] receives [Level], [Switch] and
+    [Reexpand] events (timestamps are sequence numbers — this interpreter
+    has no cost model). *)

@@ -20,7 +20,7 @@ type ctx = {
   max_live : int;
   max_tasks : int;
   cutoff : int;  (** blocks at most this size run their subtrees scalar *)
-  trace : Trace.t option;
+  tel : Telemetry.t;
   mutable live : int;  (** current live threads, for space accounting *)
   mutable executed : int;
   (* Reusable blocks: ping-pong pair per breadth-first run depth parity is
@@ -106,9 +106,18 @@ let process_level ctx blk ~depth ~phase =
   let n = Block.size blk in
   let vm = ctx.m.Measure.vm in
   let insns = ctx.spec.Spec.insns in
+  (* Telemetry prologue: snapshot the counters so the level's events can
+     carry deltas.  All of it is skipped when no sink is attached. *)
+  let tel_on = Telemetry.enabled ctx.tel in
+  let t0 = if tel_on then Telemetry.now ctx.tel else 0.0 in
+  let vm0 = if tel_on then Some (Vc_simd.Vm.snapshot vm) else None in
+  let hier0 =
+    if tel_on then Some (Vc_mem.Hierarchy.level_stats ctx.m.Measure.hier) else None
+  in
   count_tasks ctx n;
   Vc_simd.Vm.scalar_ops vm level_overhead;
   Metrics.tasks_at_level ctx.m.Measure.metrics ~depth ~n;
+  Metrics.occupancy_sample ctx.m.Measure.metrics ~n ~width:ctx.width;
   Metrics.live_threads ctx.m.Measure.metrics ctx.live;
   charge_block_read ctx blk;
   Vc_simd.Vm.batch vm ~width:ctx.width ~n ~insns_per_task:insns.Spec.check_insns ();
@@ -120,9 +129,6 @@ let process_level ctx blk ~depth ~phase =
       ~pred:(fun row -> ctx.spec.Spec.is_base blk row)
   in
   let nb = Array.length base_rows in
-  (match ctx.trace with
-  | Some trace -> Trace.record trace ~phase ~depth ~size:n ~base:nb
-  | None -> ());
   Metrics.base_at_level ctx.m.Measure.metrics ~depth ~n:nb;
   (* base group: unmasked vector execution after compaction *)
   Vc_simd.Vm.batch vm ~classify:true ~width:ctx.width ~n:nb
@@ -134,6 +140,35 @@ let process_level ctx blk ~depth ~phase =
   Vc_simd.Vm.batch vm ~classify:true ~width:ctx.width ~n:nr
     ~insns_per_task:insns.Spec.inductive_insns ();
   Metrics.kernel_ops ctx.m.Measure.metrics (nr * insns.Spec.inductive_insns);
+  if tel_on then begin
+    let t1 = Telemetry.now ctx.tel in
+    let dur = t1 -. t0 in
+    Telemetry.emit ~ts:t0 ~dur ctx.tel
+      (Telemetry.Level { phase; depth; size = n; base = nb });
+    (match vm0 with
+    | Some before ->
+        let d = Vc_simd.Stats.diff (Vc_simd.Vm.snapshot vm) before in
+        if d.Vc_simd.Stats.compaction_calls > 0 then
+          Telemetry.emit ~ts:t0 ~dur ctx.tel
+            (Telemetry.Compaction
+               {
+                 engine = Vc_simd.Compact.name ctx.compact;
+                 width = ctx.width;
+                 n;
+                 passes = d.Vc_simd.Stats.compaction_passes;
+               })
+    | None -> ());
+    match hier0 with
+    | Some since ->
+        List.iter
+          (fun (label, accesses, misses) ->
+            if accesses > 0 then
+              Telemetry.emit ~ts:t1 ctx.tel
+                (Telemetry.Cache { level = label; depth; accesses; misses }))
+          (Vc_mem.Hierarchy.delta ~since
+             (Vc_mem.Hierarchy.level_stats ctx.m.Measure.hier))
+    | None -> ()
+  end;
   rec_rows
 
 (* Spawn site [site]'s children of [rec_rows] into [dst]; returns how many
@@ -157,10 +192,8 @@ let spawn_site ctx blk rec_rows ~site ~dst =
    sequentially with scalar instructions — what a conventional runtime
    does below the cut-off.  Tasks count as epilog (never vectorized). *)
 let sequential_subtree ctx blk ~depth =
-  (match ctx.trace with
-  | Some trace ->
-      Trace.record trace ~phase:Trace.Cutoff ~depth ~size:(Block.size blk) ~base:0
-  | None -> ());
+  Telemetry.emit ctx.tel
+    (Telemetry.Level { phase = Trace.Cutoff; depth; size = Block.size blk; base = 0 });
   let vm = ctx.m.Measure.vm in
   let insns = ctx.spec.Spec.insns in
   let stats = Vc_simd.Vm.stats vm in
@@ -245,7 +278,11 @@ let rec bfs ctx blk ~depth ~reexp_from =
           Metrics.reexpansion_growth ctx.m.Measure.metrics ~depth:trigger_depth ~factor
       | None -> ());
       ctx.live <- ctx.live - Block.size blk;
-      if Block.size next >= ctx.max_block then blocked ctx next ~depth:(depth + 1)
+      if Block.size next >= ctx.max_block then begin
+        Telemetry.emit ctx.tel
+          (Telemetry.Switch { depth = depth + 1; size = Block.size next });
+        blocked ctx next ~depth:(depth + 1)
+      end
       else bfs ctx next ~depth:(depth + 1) ~reexp_from:None
     end
 
@@ -290,6 +327,15 @@ and blocked ctx blk ~depth =
                  blocked) *)
               Metrics.reexpansion ctx.m.Measure.metrics ~depth:(depth + 1)
                 ~before:(Block.size child);
+              Telemetry.emit ctx.tel
+                (Telemetry.Reexpand
+                   {
+                     depth = depth + 1;
+                     size = Block.size child;
+                     shrink =
+                       float_of_int (Block.size child)
+                       /. float_of_int (max 1 ctx.reexp_threshold);
+                   });
               bfs ctx child ~depth:(depth + 1) ~reexp_from:(Some (depth + 1))
             end
             else blocked ctx child ~depth:(depth + 1))
@@ -297,8 +343,17 @@ and blocked ctx blk ~depth =
     end
 
 let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
-    ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t) ~(strategy : Policy.strategy) () =
+    ?telemetry ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t)
+    ~(strategy : Policy.strategy) () =
   let m = Measure.create machine in
+  let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  (match trace with
+  | Some tr -> Telemetry.attach tel (Telemetry.trace_sink tr)
+  | None -> ());
+  (* Event timestamps are deterministic modeled time, not wall clock. *)
+  Telemetry.set_clock tel (fun () ->
+      Vc_simd.Vm.issue_cycles m.Measure.vm
+      +. Vc_mem.Hierarchy.penalty_cycles m.Measure.hier);
   let width =
     Vc_simd.Isa.lanes machine.Vc_mem.Machine.isa (Schema.lane_kind spec.Spec.schema)
   in
@@ -332,7 +387,7 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
       max_live = machine.Vc_mem.Machine.max_live_threads;
       max_tasks;
       cutoff;
-      trace;
+      tel;
       live = 0;
       executed = 0;
       pool = Hashtbl.create 64;
@@ -352,7 +407,10 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
     List.iter (fun frame -> Block.push root frame) spec.Spec.roots;
     charge_block_append ctx root ~from:0 ~count:(Block.size root);
     ctx.live <- Block.size root;
-    if Block.size root >= ctx.max_block then blocked ctx root ~depth:0
+    if Block.size root >= ctx.max_block then begin
+      Telemetry.emit ctx.tel (Telemetry.Switch { depth = 0; size = Block.size root });
+      blocked ctx root ~depth:0
+    end
     else bfs ctx root ~depth:0 ~reexp_from:None
   in
   match
@@ -364,7 +422,7 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
       Vc_mem.Hierarchy.reset_counters ctx.m.Measure.hier;
       Vc_lang.Reducer.reset_set ctx.reducers;
       Metrics.reset ctx.m.Measure.metrics;
-      (match ctx.trace with Some t -> Trace.clear t | None -> ());
+      Telemetry.clear ctx.tel;
       ctx.live <- 0;
       ctx.executed <- 0
     end;
@@ -372,11 +430,13 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
   with
   | () ->
       let wall = Unix.gettimeofday () -. wall_start in
+      Telemetry.flush ctx.tel;
       Measure.report m ~benchmark:spec.Spec.name ~strategy:strategy_name
         ~reducers:(Vc_lang.Reducer.values ctx.reducers) ~wall_seconds:wall
   | exception Oom { live; limit } ->
       Log.info (fun m ->
           m "%s/%s/%s ran out of memory (%d live threads > %d limit)"
             spec.Spec.name machine.Vc_mem.Machine.name strategy_name live limit);
+      Telemetry.flush ctx.tel;
       Report.oom_placeholder ~benchmark:spec.Spec.name
         ~machine:machine.Vc_mem.Machine.name ~strategy:strategy_name

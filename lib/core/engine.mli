@@ -18,6 +18,7 @@ val run :
   ?cutoff:int ->
   ?warm:bool ->
   ?trace:Trace.t ->
+  ?telemetry:Telemetry.t ->
   spec:Spec.t ->
   machine:Vc_mem.Machine.t ->
   strategy:Policy.strategy ->
@@ -34,7 +35,13 @@ val run :
     paper deliberately runs without a cut-off "to maximize vectorization
     opportunities" (§6.1); the ablation harness quantifies that choice.
 
-    [trace] records one {!Trace} event per processed block level.
+    [trace] records one {!Trace} event per processed block level
+    (implemented as a {!Telemetry.trace_sink} on the run's telemetry
+    hub).  [telemetry] attaches a full {!Telemetry} hub: the engine sets
+    its clock to modeled cycles and emits [Level], [Switch], [Reexpand],
+    [Compaction] and [Cache] events; the hub is flushed before the report
+    is returned.  With neither argument the instrumentation reduces to an
+    enabled-flag test per level.
 
     [warm:true] measures a {e warm-cache} run: the whole execution runs
     once to populate the caches (its costs are discarded), then runs again

@@ -46,5 +46,9 @@ let report t ~benchmark ~strategy ~reducers ~wall_seconds =
     space_peak = Metrics.space_peak t.metrics;
     levels = Metrics.levels t.metrics;
     reexpansions = Metrics.reexpansions t.metrics;
+    reexp_count = Metrics.reexpansion_total t.metrics;
+    compaction_calls = stats.Vc_simd.Stats.compaction_calls;
+    compaction_passes = stats.Vc_simd.Stats.compaction_passes;
+    occupancy_hist = Metrics.occupancy_hist t.metrics;
     wall_seconds;
   }

@@ -10,6 +10,7 @@ type t = {
   mutable space_peak : int;
   mutable kernel : int;
   mutable overhead : int;
+  occupancy : int array;  (* 10 buckets: [0,0.1) .. [0.9,1.0] *)
 }
 
 let create () =
@@ -25,6 +26,7 @@ let create () =
     space_peak = 0;
     kernel = 0;
     overhead = 0;
+    occupancy = Array.make 10 0;
   }
 
 let reset t =
@@ -38,7 +40,8 @@ let reset t =
   t.total_base <- 0;
   t.space_peak <- 0;
   t.kernel <- 0;
-  t.overhead <- 0
+  t.overhead <- 0;
+  Array.fill t.occupancy 0 (Array.length t.occupancy) 0
 
 let ensure t depth =
   let n = Array.length t.level_tasks in
@@ -108,3 +111,15 @@ let reexpansions t =
 let space_peak t = t.space_peak
 let kernel_op_count t = t.kernel
 let overhead_op_count t = t.overhead
+
+let reexpansion_total t = Array.fold_left ( + ) 0 t.reexp_count
+
+let occupancy_sample t ~n ~width =
+  if n > 0 && width > 0 then begin
+    let slots = (n + width - 1) / width * width in
+    let occ = float_of_int n /. float_of_int slots in
+    let bucket = min 9 (int_of_float (occ *. 10.0)) in
+    t.occupancy.(bucket) <- t.occupancy.(bucket) + 1
+  end
+
+let occupancy_hist t = Array.copy t.occupancy

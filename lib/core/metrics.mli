@@ -33,6 +33,11 @@ val live_threads : t -> int -> unit
 val kernel_ops : t -> int -> unit
 val overhead_ops : t -> int -> unit
 
+val occupancy_sample : t -> n:int -> width:int -> unit
+(** Record the lane occupancy of one vectorized level of [n] tasks run at
+    vector [width] — [n / (ceil(n/width) * width)] — into a 10-bucket
+    histogram.  Ignored when [n] or [width] is non-positive. *)
+
 (** {1 Reading} *)
 
 val total_tasks : t -> int
@@ -48,3 +53,11 @@ val reexpansions : t -> (int * int * float) array
 val space_peak : t -> int
 val kernel_op_count : t -> int
 val overhead_op_count : t -> int
+
+val reexpansion_total : t -> int
+(** Total re-expansion events across all depths. *)
+
+val occupancy_hist : t -> int array
+(** The 10-bucket occupancy histogram: bucket [i] counts levels whose
+    occupancy fell in [[i/10, (i+1)/10)] (occupancy 1.0 lands in the last
+    bucket). *)

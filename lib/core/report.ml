@@ -21,6 +21,10 @@ type t = {
   space_peak : int;
   levels : (int * int) array;
   reexpansions : (int * int * float) array;
+  reexp_count : int;
+  compaction_calls : int;
+  compaction_passes : int;
+  occupancy_hist : int array;
   wall_seconds : float;
 }
 
@@ -48,6 +52,10 @@ let oom_placeholder ~benchmark ~machine ~strategy =
     space_peak = 0;
     levels = [||];
     reexpansions = [||];
+    reexp_count = 0;
+    compaction_calls = 0;
+    compaction_passes = 0;
+    occupancy_hist = Array.make 10 0;
     wall_seconds = 0.0;
   }
 
@@ -69,8 +77,10 @@ let pp_summary fmt t =
       "@[<v>%s/%s/%s: %d tasks (%d base), depth %d@,\
        cycles %.3e (issue %.3e + mem %.3e), CPI %.2f@,\
        utilization %.1f%%, space peak %d threads@,\
+       telemetry: %d reexpansions, %d compactions (%d passes)@,\
        reducers: %s@]"
       t.benchmark t.machine t.strategy t.tasks t.base_tasks t.max_depth t.cycles
       t.issue_cycles t.penalty_cycles t.cpi (100.0 *. t.utilization) t.space_peak
+      t.reexp_count t.compaction_calls t.compaction_passes
       (String.concat ", "
          (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) t.reducers))

@@ -24,6 +24,10 @@ type t = {
   space_peak : int;  (** live-thread high-water *)
   levels : (int * int) array;  (** Fig. 9: (tasks, base) per depth *)
   reexpansions : (int * int * float) array;  (** Fig. 15 *)
+  reexp_count : int;  (** total re-expansion events *)
+  compaction_calls : int;  (** non-empty compaction partitions *)
+  compaction_passes : int;  (** sub-group passes across all partitions *)
+  occupancy_hist : int array;  (** 10-bucket per-level lane-occupancy histogram *)
   wall_seconds : float;  (** host wall-clock, for transparency *)
 }
 

@@ -1,9 +1,13 @@
 let width_of vm schema =
   Vc_simd.Isa.lanes (Vc_simd.Vm.isa vm) (Schema.lane_kind schema)
 
-let aos_to_soa ~vm ~addr ~schema ~isa ~aos_base ~frames =
+let aos_to_soa ?telemetry ~vm ~addr ~schema ~isa ~aos_base ~frames () =
   let n = Array.length frames in
   let nfields = Schema.num_fields schema in
+  (match telemetry with
+  | Some tel ->
+      Telemetry.emit tel (Telemetry.Convert { to_soa = true; n; fields = nfields })
+  | None -> ());
   let elem = Schema.elem_bytes schema ~isa in
   let blk = Block.create ~label:"soa" addr ~schema ~isa ~capacity:(max n 1) in
   Array.iter (fun frame -> Block.push blk frame) frames;
@@ -27,9 +31,13 @@ let aos_to_soa ~vm ~addr ~schema ~isa ~aos_base ~frames =
   done;
   blk
 
-let soa_to_aos ~vm ~aos_base blk =
+let soa_to_aos ?telemetry ~vm ~aos_base blk =
   let n = Block.size blk in
   let nfields = Schema.num_fields (Block.schema blk) in
+  (match telemetry with
+  | Some tel ->
+      Telemetry.emit tel (Telemetry.Convert { to_soa = false; n; fields = nfields })
+  | None -> ());
   let elem = Block.elem_bytes blk in
   let width = width_of vm (Block.schema blk) in
   let frame_bytes = nfields * elem in

@@ -8,16 +8,20 @@
     that cost is charged here and ablated in the benchmark harness. *)
 
 val aos_to_soa :
+  ?telemetry:Telemetry.t ->
   vm:Vc_simd.Vm.t ->
   addr:Addr.t ->
   schema:Schema.t ->
   isa:Vc_simd.Isa.t ->
   aos_base:int ->
   frames:int array array ->
+  unit ->
   Block.t
 (** Build a block from frames laid out AoS at modeled address [aos_base].
     Charges one gather per field per width-chunk (reading strided AoS) and
-    packed stores into the new block. *)
+    packed stores into the new block.  [telemetry] receives one [Convert]
+    event per conversion. *)
 
-val soa_to_aos : vm:Vc_simd.Vm.t -> aos_base:int -> Block.t -> int array array
+val soa_to_aos :
+  ?telemetry:Telemetry.t -> vm:Vc_simd.Vm.t -> aos_base:int -> Block.t -> int array array
 (** The inverse: packed loads from the block, scattered stores to AoS. *)

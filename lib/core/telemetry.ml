@@ -1,0 +1,249 @@
+type event =
+  | Level of { phase : Trace.phase; depth : int; size : int; base : int }
+  | Switch of { depth : int; size : int }
+  | Reexpand of { depth : int; size : int; shrink : float }
+  | Compaction of { engine : string; width : int; n : int; passes : int }
+  | Convert of { to_soa : bool; n : int; fields : int }
+  | Cache of { level : string; depth : int; accesses : int; misses : int }
+  | Mark of string
+
+type stamped = { seq : int; ts : float; dur : float; ev : event }
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+type ring = {
+  cap : int;
+  buf : stamped array;
+  mutable filled : int;  (** total events ever pushed *)
+}
+
+type sink =
+  | Null
+  | Ring of ring
+  | Stream of {
+      write : stamped -> unit;
+      stream_flush : unit -> unit;
+      stream_clear : unit -> unit;
+    }
+
+let dummy = { seq = 0; ts = 0.0; dur = 0.0; ev = Mark "" }
+
+let null = Null
+
+let ring ~capacity =
+  if capacity < 1 then invalid_arg "Telemetry.ring: capacity must be positive";
+  Ring { cap = capacity; buf = Array.make capacity dummy; filled = 0 }
+
+let ring_events = function
+  | Ring r ->
+      let n = min r.filled r.cap in
+      (* oldest first: the buffer is a circular window over the tail *)
+      List.init n (fun i -> r.buf.((r.filled - n + i) mod r.cap))
+  | Null | Stream _ -> []
+
+let trace_sink trace =
+  Stream
+    {
+      write =
+        (fun { ev; _ } ->
+          match ev with
+          | Level { phase; depth; size; base } ->
+              Trace.record trace ~phase ~depth ~size ~base
+          | Switch _ | Reexpand _ | Compaction _ | Convert _ | Cache _ | Mark _
+            -> ());
+      stream_flush = (fun () -> ());
+      stream_clear = (fun () -> Trace.clear trace);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering.  Self-contained (the JSON library of the experiment
+   layer sits above this one in the dependency order): every emitted
+   string is ASCII metadata from this codebase, escaped defensively
+   anyway. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let num f =
+  (* JSON has no inf/nan; clamp defensively *)
+  if Float.is_finite f then Printf.sprintf "%.3f" f else "0.0"
+
+let event_name = function
+  | Level { phase; _ } -> "level:" ^ Trace.phase_name phase
+  | Switch _ -> "switch:bfs->blocked"
+  | Reexpand _ -> "reexpand"
+  | Compaction { engine; _ } -> "compact:" ^ engine
+  | Convert { to_soa; _ } -> if to_soa then "convert:aos->soa" else "convert:soa->aos"
+  | Cache { level; _ } -> "cache:" ^ level
+  | Mark m -> "mark:" ^ m
+
+let args_fields = function
+  | Level { depth; size; base; _ } ->
+      [ ("depth", string_of_int depth); ("size", string_of_int size);
+        ("base", string_of_int base) ]
+  | Switch { depth; size } ->
+      [ ("depth", string_of_int depth); ("size", string_of_int size) ]
+  | Reexpand { depth; size; shrink } ->
+      [ ("depth", string_of_int depth); ("size", string_of_int size);
+        ("shrink", num shrink) ]
+  | Compaction { engine; width; n; passes } ->
+      [ ("engine", Printf.sprintf "%S" (escape engine)); ("width", string_of_int width);
+        ("n", string_of_int n); ("passes", string_of_int passes) ]
+  | Convert { to_soa; n; fields } ->
+      [ ("to_soa", string_of_bool to_soa); ("n", string_of_int n);
+        ("fields", string_of_int fields) ]
+  | Cache { level; depth; accesses; misses } ->
+      [ ("cache", Printf.sprintf "%S" (escape level)); ("depth", string_of_int depth);
+        ("accesses", string_of_int accesses); ("misses", string_of_int misses) ]
+  | Mark m -> [ ("mark", Printf.sprintf "%S" (escape m)) ]
+
+let args_json ev =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) (args_fields ev))
+  ^ "}"
+
+let jsonl_of_event { seq; ts; dur; ev } =
+  Printf.sprintf "{\"seq\":%d,\"ts\":%s,\"dur\":%s,\"name\":\"%s\",\"args\":%s}"
+    seq (num ts) (num dur)
+    (escape (event_name ev))
+    (args_json ev)
+
+(* Chrome trace-event format (chrome://tracing, Perfetto): Level events
+   become complete ("X") slices with their modeled-cycle duration, cache
+   deltas become counter ("C") tracks, everything else an instant ("i"). *)
+let chrome_of_event { ts; dur; ev; _ } =
+  let name = escape (event_name ev) in
+  match ev with
+  | Level _ ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":%s}"
+        name (num ts) (num dur) (args_json ev)
+  | Cache { level; accesses; misses; _ } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"accesses\":%d,\"misses\":%d}}"
+        (escape ("cache:" ^ level)) (num ts) accesses misses
+  | Switch _ | Reexpand _ | Compaction _ | Convert _ | Mark _ ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"s\":\"t\",\"pid\":1,\"tid\":1,\"args\":%s}"
+        name (num ts) (args_json ev)
+
+let jsonl_sink oc =
+  Stream
+    {
+      write =
+        (fun st ->
+          output_string oc (jsonl_of_event st);
+          output_char oc '\n');
+      stream_flush = (fun () -> flush oc);
+      stream_clear = (fun () -> ());
+    }
+
+let chrome_sink oc =
+  (* buffered: the enclosing JSON array is only well-formed once flushed *)
+  let events = ref [] in
+  let flushed = ref false in
+  Stream
+    {
+      write = (fun st -> events := chrome_of_event st :: !events);
+      stream_flush =
+        (fun () ->
+          if not !flushed then begin
+            flushed := true;
+            output_string oc "[";
+            List.iteri
+              (fun i line ->
+                if i > 0 then output_string oc ",\n" else output_string oc "\n";
+                output_string oc line)
+              (List.rev !events);
+            output_string oc "\n]\n";
+            flush oc
+          end);
+      stream_clear = (fun () -> events := []);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Hub *)
+
+type t = {
+  mutable sinks : sink list;
+  mutable seq : int;
+  mutable clock : (unit -> float) option;
+  mutable enabled : bool;
+}
+
+let create () = { sinks = []; seq = 0; clock = None; enabled = false }
+
+let with_sinks sinks =
+  let t = create () in
+  t.sinks <- List.filter (function Null -> false | _ -> true) sinks;
+  t.enabled <- t.sinks <> [];
+  t
+
+let attach t sink =
+  match sink with
+  | Null -> ()
+  | _ ->
+      t.sinks <- t.sinks @ [ sink ];
+      t.enabled <- true
+
+let enabled t = t.enabled
+
+let set_clock t clock = t.clock <- Some clock
+
+let now t =
+  match t.clock with Some f -> f () | None -> float_of_int t.seq
+
+let push_sink st = function
+  | Null -> ()
+  | Ring r ->
+      r.buf.(r.filled mod r.cap) <- st;
+      r.filled <- r.filled + 1
+  | Stream { write; _ } -> write st
+
+let emit ?ts ?(dur = 0.0) t ev =
+  if t.enabled then begin
+    let ts = match ts with Some ts -> ts | None -> now t in
+    let st = { seq = t.seq; ts; dur; ev } in
+    t.seq <- t.seq + 1;
+    List.iter (push_sink st) t.sinks
+  end
+
+let clear t =
+  t.seq <- 0;
+  List.iter
+    (function
+      | Null -> ()
+      | Ring r -> r.filled <- 0
+      | Stream { stream_clear; _ } -> stream_clear ())
+    t.sinks
+
+let flush t =
+  List.iter
+    (function Null | Ring _ -> () | Stream { stream_flush; _ } -> stream_flush ())
+    t.sinks
+
+(* ------------------------------------------------------------------ *)
+(* Derived views *)
+
+let occupancy ~width ~size =
+  if size <= 0 || width <= 0 then 0.0
+  else
+    let slots = (size + width - 1) / width * width in
+    float_of_int size /. float_of_int slots
+
+let levels events =
+  List.filter_map
+    (fun st -> match st.ev with Level _ -> Some st | _ -> None)
+    events

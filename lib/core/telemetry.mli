@@ -1,0 +1,118 @@
+(** Structured execution telemetry.
+
+    Executors emit typed events — one per expanded tree level, plus
+    scheduler transitions (BFS→blocked switch, re-expansion), compaction
+    invocations, SoA↔AoS conversions and per-level cache deltas — into a
+    hub that fans them out to pluggable sinks: an in-memory ring buffer,
+    a JSONL stream, a Chrome trace-event JSON file (loadable in
+    chrome://tracing / Perfetto), or the legacy {!Trace} log.
+
+    A hub with no sinks attached is disabled: {!emit} is a single mutable
+    field test, so instrumented code paths can call it unconditionally.
+
+    Timestamps come from a pluggable clock.  The engine wires it to the
+    modeled-cycle counter (VM issue cycles + memory-hierarchy penalty
+    cycles), so event times are deterministic simulated time, not wall
+    clock. *)
+
+type event =
+  | Level of { phase : Trace.phase; depth : int; size : int; base : int }
+      (** One expanded tree level: [size] tasks entered, [base] of them
+          were base cases. *)
+  | Switch of { depth : int; size : int }
+      (** Scheduler switched from breadth-first expansion to blocked
+          depth-first execution at [depth] with [size] live tasks. *)
+  | Reexpand of { depth : int; size : int; shrink : float }
+      (** A shrunken block re-entered breadth-first expansion; [shrink]
+          is [size / reexpansion-threshold]. *)
+  | Compaction of { engine : string; width : int; n : int; passes : int }
+      (** One stream-compaction partition of [n] elements. *)
+  | Convert of { to_soa : bool; n : int; fields : int }
+      (** An AoS→SoA ([to_soa = true]) or SoA→AoS layout conversion. *)
+  | Cache of { level : string; depth : int; accesses : int; misses : int }
+      (** Memory-simulator accesses/misses at one cache level,
+          accumulated over one tree level. *)
+  | Mark of string  (** Free-form annotation. *)
+
+type stamped = { seq : int; ts : float; dur : float; ev : event }
+(** An event with its emission order, timestamp and (for [Level]) modeled
+    duration, both in clock units. *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val null : sink
+(** Discards everything.  Attaching it is a no-op, so a hub stays
+    disabled (near-zero overhead on instrumented paths). *)
+
+val ring : capacity:int -> sink
+(** Keeps the most recent [capacity] events in memory.  Raises
+    [Invalid_argument] if [capacity < 1]. *)
+
+val ring_events : sink -> stamped list
+(** Buffered events of a {!ring} sink, oldest first ([[]] for other
+    sinks). *)
+
+val jsonl_sink : out_channel -> sink
+(** Streams one JSON object per line as events arrive. *)
+
+val chrome_sink : out_channel -> sink
+(** Buffers events and writes a Chrome trace-event JSON array on
+    {!flush}: [Level] events as complete ("X") slices, cache deltas as
+    counter ("C") samples, everything else as instants ("i"). *)
+
+val trace_sink : Trace.t -> sink
+(** Adapter feeding [Level] events into the legacy {!Trace} log
+    (other events are dropped); {!clear} clears the underlying trace. *)
+
+(** {1 Hub} *)
+
+type t
+
+val create : unit -> t
+(** A disabled hub with no sinks. *)
+
+val with_sinks : sink list -> t
+(** A hub with the given sinks attached ({!null} entries are dropped). *)
+
+val attach : t -> sink -> unit
+(** Add a sink; enables the hub unless the sink is {!null}. *)
+
+val enabled : t -> bool
+
+val set_clock : t -> (unit -> float) -> unit
+(** Replace the timestamp source.  Default: the event sequence number. *)
+
+val now : t -> float
+(** Current clock reading (sequence number if no clock was set). *)
+
+val emit : ?ts:float -> ?dur:float -> t -> event -> unit
+(** Stamp and fan an event out to all sinks.  No-op when disabled.
+    [ts] overrides the clock (used for events spanning an interval:
+    pass the interval start as [ts] and its length as [dur]). *)
+
+val clear : t -> unit
+(** Reset the sequence counter and all sinks (ring emptied, buffered
+    chrome events dropped, adapted trace cleared). *)
+
+val flush : t -> unit
+(** Flush stream sinks; finalizes a {!chrome_sink}'s JSON array. *)
+
+(** {1 Rendering & derived views} *)
+
+val jsonl_of_event : stamped -> string
+(** One-line JSON rendering (as written by {!jsonl_sink}). *)
+
+val chrome_of_event : stamped -> string
+(** One Chrome trace-event object (as buffered by {!chrome_sink}). *)
+
+val event_name : event -> string
+(** Short label, e.g. ["level:bfs"], ["compact:shuffle"]. *)
+
+val occupancy : width:int -> size:int -> float
+(** Lane occupancy of a level of [size] tasks run at vector [width]:
+    [size / (ceil(size/width) * width)]; 0 when either is non-positive. *)
+
+val levels : stamped list -> stamped list
+(** Just the [Level] events, in order. *)

@@ -180,7 +180,7 @@ let aos_soa_overhead _ctx fmt =
   let schema = Vc_core.Schema.create ~lane_kind:Vc_simd.Lane.I32 [ "state" ] in
   let n = 1 lsl 14 in
   let frames = Array.init n (fun i -> [| Vc_bench.Rng.mix32 i 0 |]) in
-  let blk = Vc_core.Soa.aos_to_soa ~vm ~addr ~schema ~isa ~aos_base:0x900000 ~frames in
+  let blk = Vc_core.Soa.aos_to_soa ~vm ~addr ~schema ~isa ~aos_base:0x900000 ~frames () in
   let convert_cycles = Vc_simd.Vm.issue_cycles vm in
   let vm2 = Vc_simd.Vm.create isa in
   (* one level of kernel work over the same block for scale *)

@@ -122,7 +122,20 @@ let parse_string_body c =
         | Some 'u' ->
             advance c;
             if c.pos + 4 > String.length c.src then error c "truncated \\u escape";
-            let code = int_of_string ("0x" ^ String.sub c.src c.pos 4) in
+            (* validate by hand: [int_of_string "0x.."] would both raise
+               (escaping the result-returning [parse]) and accept OCaml
+               underscore separators *)
+            let hex ch =
+              match ch with
+              | '0' .. '9' -> Char.code ch - Char.code '0'
+              | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+              | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+              | _ -> error c "bad \\u escape"
+            in
+            let code =
+              let d i = hex c.src.[c.pos + i] in
+              (d 0 lsl 12) lor (d 1 lsl 8) lor (d 2 lsl 4) lor d 3
+            in
             c.pos <- c.pos + 4;
             (* cache keys/reports are ASCII; keep the low byte *)
             Buffer.add_char buf (Char.chr (code land 0xff));

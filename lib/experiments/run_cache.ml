@@ -1,4 +1,10 @@
-let version = 1
+(* 2: telemetry fields (reexp_count, compaction_calls/passes,
+   occupancy_hist) added to the report payload. *)
+let version = 2
+
+let log_src = Logs.Src.create "vc.runcache" ~doc:"Persistent run cache"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   dir : string;
@@ -52,6 +58,10 @@ let json_of_report (r : Vc_core.Report.t) : Jsonx.t =
         List
           (Array.to_list r.reexpansions
           |> List.map (fun (d, c, f) -> Jsonx.List [ Int d; Int c; Float f ])) );
+      ("reexp_count", Int r.reexp_count);
+      ("compaction_calls", Int r.compaction_calls);
+      ("compaction_passes", Int r.compaction_passes);
+      ("occupancy_hist", List (Array.to_list r.occupancy_hist |> List.map (fun n -> Jsonx.Int n)));
     ]
 
 let report_of_json (j : Jsonx.t) : Vc_core.Report.t =
@@ -91,6 +101,10 @@ let report_of_json (j : Jsonx.t) : Vc_core.Report.t =
     levels = Array.of_list (List.map (pair2 to_int to_int) (to_list (m "levels")));
     reexpansions =
       Array.of_list (List.map (triple to_int to_int to_float) (to_list (m "reexpansions")));
+    reexp_count = to_int (m "reexp_count");
+    compaction_calls = to_int (m "compaction_calls");
+    compaction_passes = to_int (m "compaction_passes");
+    occupancy_hist = Array.of_list (List.map to_int (to_list (m "occupancy_hist")));
     wall_seconds = 0.0;
   }
 
@@ -110,15 +124,30 @@ let load ~dir =
      | Ok j when Jsonx.(member "version" j = Int version) -> (
          match Jsonx.member "runs" j with
          | Jsonx.Obj runs ->
+             let skipped = ref 0 in
              List.iter
                (fun (key, rj) ->
                  match report_of_json rj with
                  | r -> Hashtbl.replace t.table key r
-                 | exception _ -> () (* skip corrupt entries, keep the rest *))
-               runs
-         | _ -> ())
-     | Ok _ | Error _ -> () (* stale version or corrupt file: start empty *)
-     | exception _ -> ());
+                 | exception _ -> incr skipped (* skip corrupt entries, keep the rest *))
+               runs;
+             if !skipped > 0 then
+               Log.warn (fun m ->
+                   m "%s: skipped %d corrupt cache entr%s (kept %d)" path !skipped
+                     (if !skipped = 1 then "y" else "ies")
+                     (Hashtbl.length t.table))
+         | _ ->
+             Log.warn (fun m -> m "%s: no \"runs\" object; starting empty" path))
+     | Ok _ ->
+         (* stale or missing version: discard wholesale (the invalidation
+            rule), silently — this is the normal upgrade path *)
+         Log.debug (fun m -> m "%s: version mismatch; starting empty" path)
+     | Error msg ->
+         Log.warn (fun m -> m "%s: unparseable run cache (%s); starting empty" path msg)
+     | exception exn ->
+         Log.warn (fun m ->
+             m "%s: failed to read run cache (%s); starting empty" path
+               (Printexc.to_string exn)));
   t
 
 let find t key = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key)

@@ -40,6 +40,13 @@ let miss_rate t label = Cache.miss_rate (find_level t label).cache
 let level_stats t =
   List.map (fun l -> (l.label, Cache.accesses l.cache, Cache.misses l.cache)) t.levels
 
+let delta ~since now =
+  List.map2
+    (fun (l0, a0, m0) (l1, a1, m1) ->
+      if l0 <> l1 then invalid_arg "Hierarchy.delta: mismatched snapshots";
+      (l1, a1 - a0, m1 - m0))
+    since now
+
 let reset_counters t =
   t.penalty <- 0.0;
   List.iter (fun l -> Cache.reset_counters l.cache) t.levels

@@ -31,6 +31,15 @@ val miss_rate : t -> string -> float
 val level_stats : t -> (string * int * int) list
 (** [(label, accesses, misses)] per level, nearest first. *)
 
+val delta :
+  since:(string * int * int) list ->
+  (string * int * int) list ->
+  (string * int * int) list
+(** [delta ~since now] subtracts two {!level_stats} snapshots of the same
+    hierarchy, giving the per-level accesses/misses accumulated in between
+    (the telemetry layer attributes these to one block level).  Raises
+    [Invalid_argument] if the snapshots' labels disagree. *)
+
 val reset_counters : t -> unit
 val clear : t -> unit
 

@@ -127,6 +127,7 @@ let shuffle_side ~vm ~width ~sub_width =
     let p = ref pos in
     for g = 0 to groups - 1 do
       let m = sub_group_mask ~keeps ~chunk ~sub_width ~want g in
+      (Vm.stats vm).Stats.compaction_passes <- (Vm.stats vm).Stats.compaction_passes + 1;
       Vm.table_lookup vm
         ~addr:(table_region_base + (m * (sub_width + 1)))
         ~bytes:(sub_width + 1);
@@ -150,6 +151,7 @@ let prefix_side ~vm ~width ~sub_width =
     let p = ref pos in
     for g = 0 to groups - 1 do
       let m = sub_group_mask ~keeps ~chunk ~sub_width ~want g in
+      (Vm.stats vm).Stats.compaction_passes <- (Vm.stats vm).Stats.compaction_passes + 1;
       Vm.table_lookup vm
         ~addr:(table_region_base + 0x10000 + (m * (sub_width + 1)))
         ~bytes:(sub_width + 1);
@@ -176,7 +178,8 @@ let partition ~vm ~engine ~width ~n ~pred =
       (Printf.sprintf "Compact.partition: engine %s is illegal on ISA %s"
          (name engine) (Vm.isa vm).Isa.name);
   if n = 0 then ([||], [||])
-  else
+  else begin
+    (Vm.stats vm).Stats.compaction_calls <- (Vm.stats vm).Stats.compaction_calls + 1;
     match engine with
     | Sequential -> sequential ~vm ~n ~pred
     | Full_table ->
@@ -190,3 +193,4 @@ let partition ~vm ~engine ~width ~n ~pred =
     | Prefix_scatter { sub_width } ->
         check_sub_width ~width ~sub_width;
         chunked ~width ~n ~pred ~compact_side:(prefix_side ~vm ~width ~sub_width)
+  end

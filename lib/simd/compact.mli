@@ -49,6 +49,9 @@ val partition :
     [(sel, rest)] — indices where [pred] holds and where it does not, both
     in stream order (stable).  Charges the engine's instructions to [vm];
     the predicate evaluation itself is charged by the caller (it is the
-    vectorized [isBase] loop).  Raises [Invalid_argument] for an engine the
-    VM's ISA cannot execute or a [sub_width] that does not divide
-    [width]. *)
+    vectorized [isBase] loop).  Also tallies [Stats.compaction_calls] (one
+    per non-empty partition) and [Stats.compaction_passes] (one per
+    sub-group pass of the table-driven engines; zero for {!Sequential}) so
+    the telemetry layer can report per-partition pass counts.  Raises
+    [Invalid_argument] for an engine the VM's ISA cannot execute or a
+    [sub_width] that does not divide [width]. *)

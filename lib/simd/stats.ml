@@ -13,6 +13,8 @@ type t = {
   mutable table_lookups : int;
   mutable full_tasks : int;
   mutable epilog_tasks : int;
+  mutable compaction_calls : int;
+  mutable compaction_passes : int;
 }
 
 let create () =
@@ -31,6 +33,8 @@ let create () =
     table_lookups = 0;
     full_tasks = 0;
     epilog_tasks = 0;
+    compaction_calls = 0;
+    compaction_passes = 0;
   }
 
 let reset t =
@@ -47,7 +51,9 @@ let reset t =
   t.shuffles <- 0;
   t.table_lookups <- 0;
   t.full_tasks <- 0;
-  t.epilog_tasks <- 0
+  t.epilog_tasks <- 0;
+  t.compaction_calls <- 0;
+  t.compaction_passes <- 0
 
 let copy t = { t with scalar_ops = t.scalar_ops }
 
@@ -65,7 +71,9 @@ let add acc x =
   acc.shuffles <- acc.shuffles + x.shuffles;
   acc.table_lookups <- acc.table_lookups + x.table_lookups;
   acc.full_tasks <- acc.full_tasks + x.full_tasks;
-  acc.epilog_tasks <- acc.epilog_tasks + x.epilog_tasks
+  acc.epilog_tasks <- acc.epilog_tasks + x.epilog_tasks;
+  acc.compaction_calls <- acc.compaction_calls + x.compaction_calls;
+  acc.compaction_passes <- acc.compaction_passes + x.compaction_passes
 
 let diff after before =
   {
@@ -83,6 +91,8 @@ let diff after before =
     table_lookups = after.table_lookups - before.table_lookups;
     full_tasks = after.full_tasks - before.full_tasks;
     epilog_tasks = after.epilog_tasks - before.epilog_tasks;
+    compaction_calls = after.compaction_calls - before.compaction_calls;
+    compaction_passes = after.compaction_passes - before.compaction_passes;
   }
 
 let lane_occupancy t =

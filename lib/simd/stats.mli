@@ -20,6 +20,11 @@ type t = {
   mutable table_lookups : int;  (** shuffle/advance/prefix table reads *)
   mutable full_tasks : int;  (** tasks executed in full-width SIMD groups *)
   mutable epilog_tasks : int;  (** tasks executed in partial (epilog) groups *)
+  mutable compaction_calls : int;  (** stream-compaction partitions performed *)
+  mutable compaction_passes : int;
+      (** per-sub-group compaction passes (table lookup + shuffle or
+          prefix-sum + scatter) across all partitions; the telemetry layer
+          reports the per-partition delta *)
 }
 
 val create : unit -> t

@@ -10,6 +10,7 @@ let create ?on_access isa = { isa; stats = Stats.create (); on_access }
 
 let isa t = t.isa
 let stats t = t.stats
+let snapshot t = Stats.copy t.stats
 let set_on_access t hook = t.on_access <- hook
 
 let report t addr bytes write =

@@ -16,6 +16,11 @@ val create : ?on_access:(access -> unit) -> Isa.t -> t
 val isa : t -> Isa.t
 val stats : t -> Stats.t
 
+val snapshot : t -> Stats.t
+(** An independent copy of the current counters — diff two snapshots with
+    {!Stats.diff} to attribute instructions to a region (the telemetry
+    layer does this per block level). *)
+
 val set_on_access : t -> (access -> unit) option -> unit
 
 (** {1 Compute instructions} *)

@@ -94,7 +94,7 @@ let test_soa_roundtrip () =
   let s = Schema.create ~lane_kind:Vc_simd.Lane.I32 [ "x"; "y" ] in
   let frames = Array.init 10 (fun i -> [| i; i * i |]) in
   let blk =
-    Soa.aos_to_soa ~vm ~addr ~schema:s ~isa:Vc_simd.Isa.sse42 ~aos_base:0x100000 ~frames
+    Soa.aos_to_soa ~vm ~addr ~schema:s ~isa:Vc_simd.Isa.sse42 ~aos_base:0x100000 ~frames ()
   in
   check_int "size" 10 (Block.size blk);
   check_int "field value" 49 (Block.get blk ~field:1 ~row:7);
@@ -541,6 +541,206 @@ let test_opportunity () =
     (row.Opportunity.max_speedup > 1.0 && row.Opportunity.max_speedup <= 32.0)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+let mark m = Telemetry.Mark m
+
+let sample_events =
+  [
+    Telemetry.Level { phase = Trace.Bfs; depth = 0; size = 1; base = 0 };
+    Telemetry.Switch { depth = 3; size = 9 };
+    Telemetry.Reexpand { depth = 4; size = 2; shrink = 0.5 };
+    Telemetry.Compaction { engine = "shuffle"; width = 8; n = 13; passes = 2 };
+    Telemetry.Convert { to_soa = true; n = 64; fields = 3 };
+    Telemetry.Cache { level = "L1"; depth = 2; accesses = 10; misses = 3 };
+    Telemetry.Mark "checkpoint";
+  ]
+
+let test_telemetry_ring () =
+  let ring = Telemetry.ring ~capacity:4 in
+  let tel = Telemetry.with_sinks [ ring ] in
+  check_bool "ring enables the hub" true (Telemetry.enabled tel);
+  for i = 0 to 5 do
+    Telemetry.emit tel (mark (string_of_int i))
+  done;
+  let evs = Telemetry.ring_events ring in
+  check_int "keeps the most recent [capacity]" 4 (List.length evs);
+  Alcotest.(check (list int)) "oldest first" [ 2; 3; 4; 5 ]
+    (List.map (fun s -> s.Telemetry.seq) evs);
+  (match evs with
+  | { Telemetry.ev = Telemetry.Mark "2"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "window should start at mark 2");
+  Telemetry.clear tel;
+  check_int "clear empties the ring" 0 (List.length (Telemetry.ring_events ring));
+  Telemetry.emit tel (mark "again");
+  (match Telemetry.ring_events ring with
+  | [ { Telemetry.seq = 0; _ } ] -> ()
+  | _ -> Alcotest.fail "clear should reset the sequence counter");
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Telemetry.ring: capacity must be positive") (fun () ->
+      ignore (Telemetry.ring ~capacity:0))
+
+let test_telemetry_disabled () =
+  let tel = Telemetry.create () in
+  check_bool "no sinks = disabled" false (Telemetry.enabled tel);
+  Telemetry.emit tel (mark "dropped");
+  Telemetry.attach tel Telemetry.null;
+  check_bool "null sink keeps it disabled" false (Telemetry.enabled tel);
+  check_bool "with_sinks drops null" false
+    (Telemetry.enabled (Telemetry.with_sinks [ Telemetry.null ]));
+  let ring = Telemetry.ring ~capacity:8 in
+  Telemetry.attach tel ring;
+  check_bool "real sink enables" true (Telemetry.enabled tel);
+  Telemetry.emit tel (mark "kept");
+  (* the event emitted while disabled was never stamped: seq starts at 0 *)
+  match Telemetry.ring_events ring with
+  | [ { Telemetry.seq = 0; ev = Telemetry.Mark "kept"; _ } ] -> ()
+  | _ -> Alcotest.fail "disabled emit should be a complete no-op"
+
+let test_telemetry_clock () =
+  let ring = Telemetry.ring ~capacity:8 in
+  let tel = Telemetry.with_sinks [ ring ] in
+  Alcotest.(check (float 0.0)) "default clock is the sequence number" 0.0
+    (Telemetry.now tel);
+  Telemetry.emit tel (mark "a");
+  Alcotest.(check (float 0.0)) "sequence clock advances" 1.0 (Telemetry.now tel);
+  let t = ref 100.0 in
+  Telemetry.set_clock tel (fun () -> !t);
+  t := 250.0;
+  Telemetry.emit tel (mark "b");
+  Telemetry.emit tel ~ts:42.0 ~dur:8.0 (mark "c");
+  match Telemetry.ring_events ring with
+  | [ _; b; c ] ->
+      Alcotest.(check (float 0.0)) "clock stamps" 250.0 b.Telemetry.ts;
+      Alcotest.(check (float 0.0)) "explicit ts wins" 42.0 c.Telemetry.ts;
+      Alcotest.(check (float 0.0)) "duration recorded" 8.0 c.Telemetry.dur
+  | _ -> Alcotest.fail "expected three events"
+
+(* Every rendered event — JSONL line and Chrome trace object — must be
+   valid JSON with the schema documented in EXPERIMENTS.md.  The
+   experiment layer's parser is the independent check. *)
+let test_telemetry_json () =
+  List.iteri
+    (fun i ev ->
+      let st = { Telemetry.seq = i; ts = float_of_int i; dur = 1.0; ev } in
+      let has fields k = List.mem_assoc k fields in
+      (match Vc_exp.Jsonx.parse (Telemetry.jsonl_of_event st) with
+      | Ok (Vc_exp.Jsonx.Obj fields) ->
+          check_bool "jsonl has seq/ts/dur/name/args" true
+            (List.for_all (has fields) [ "seq"; "ts"; "dur"; "name"; "args" ])
+      | Ok _ -> Alcotest.fail "jsonl line is not an object"
+      | Error m ->
+          Alcotest.failf "jsonl unparseable (%s): %s" m
+            (Telemetry.jsonl_of_event st));
+      match Vc_exp.Jsonx.parse (Telemetry.chrome_of_event st) with
+      | Ok (Vc_exp.Jsonx.Obj fields) ->
+          check_bool "chrome event has ph/ts/name" true
+            (List.for_all (has fields) [ "ph"; "ts"; "name" ])
+      | Ok _ -> Alcotest.fail "chrome event is not an object"
+      | Error m ->
+          Alcotest.failf "chrome event unparseable (%s): %s" m
+            (Telemetry.chrome_of_event st))
+    sample_events
+
+let test_telemetry_chrome_sink () =
+  let path = Filename.temp_file "vc-trace" ".json" in
+  let oc = open_out path in
+  let tel = Telemetry.with_sinks [ Telemetry.chrome_sink oc ] in
+  List.iter (Telemetry.emit tel) sample_events;
+  Telemetry.flush tel;
+  Telemetry.flush tel (* idempotent: the array is finalized exactly once *);
+  close_out oc;
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Vc_exp.Jsonx.parse contents with
+  | Ok (Vc_exp.Jsonx.List evs) ->
+      check_int "one trace event per emitted event" (List.length sample_events)
+        (List.length evs);
+      List.iter
+        (function
+          | Vc_exp.Jsonx.Obj fields ->
+              check_bool "ph present" true (List.mem_assoc "ph" fields)
+          | _ -> Alcotest.fail "trace event is not an object")
+        evs
+  | Ok _ -> Alcotest.fail "chrome trace is not a JSON array"
+  | Error m -> Alcotest.failf "chrome trace unparseable: %s" m
+
+let test_telemetry_trace_sink () =
+  let tr = Trace.create () in
+  let tel = Telemetry.with_sinks [ Telemetry.trace_sink tr ] in
+  List.iter (Telemetry.emit tel) sample_events;
+  check_int "only Level events land in the trace" 1 (Array.length (Trace.events tr));
+  let e = (Trace.events tr).(0) in
+  check_bool "payload preserved" true
+    (e.Trace.phase = Trace.Bfs && e.Trace.depth = 0 && e.Trace.size = 1
+   && e.Trace.base = 0);
+  Telemetry.clear tel;
+  check_int "clear clears the adapted trace" 0 (Array.length (Trace.events tr))
+
+let test_telemetry_occupancy () =
+  Alcotest.(check (float 1e-12)) "full width" 1.0
+    (Telemetry.occupancy ~width:8 ~size:8);
+  Alcotest.(check (float 1e-12)) "9 tasks pad to 2 vectors" (9.0 /. 16.0)
+    (Telemetry.occupancy ~width:8 ~size:9);
+  Alcotest.(check (float 1e-12)) "empty level" 0.0
+    (Telemetry.occupancy ~width:8 ~size:0);
+  Alcotest.(check (float 1e-12)) "degenerate width" 0.0
+    (Telemetry.occupancy ~width:0 ~size:5)
+
+(* End-to-end: the engine's event stream is consistent with its report,
+   and attaching telemetry does not perturb the model. *)
+let test_engine_telemetry () =
+  let spec = Vc_bench.Nqueens.spec { Vc_bench.Nqueens.n = 7 } in
+  let strategy = Policy.Hybrid { max_block = 32; reexpand = true } in
+  let plain = Engine.run ~spec ~machine:e5 ~strategy () in
+  let ring = Telemetry.ring ~capacity:65536 in
+  let tel = Telemetry.with_sinks [ ring ] in
+  let r = Engine.run ~telemetry:tel ~spec ~machine:e5 ~strategy () in
+  check_bool "telemetry does not perturb the model" true (Report.equal plain r);
+  let evs = Telemetry.ring_events ring in
+  check_bool "events captured" true (evs <> []);
+  let by p = List.filter (fun s -> p s.Telemetry.ev) evs in
+  (* Level slices partition the executed tasks, like the legacy trace *)
+  check_int "level sizes sum to tasks" r.Report.tasks
+    (List.fold_left
+       (fun acc s ->
+         match s.Telemetry.ev with
+         | Telemetry.Level { size; _ } -> acc + size
+         | _ -> acc)
+       0
+       (Telemetry.levels evs));
+  check_bool "a bfs->blocked switch was recorded" true
+    (by (function Telemetry.Switch _ -> true | _ -> false) <> []);
+  check_int "one Reexpand event per reported re-expansion" r.Report.reexp_count
+    (List.length (by (function Telemetry.Reexpand _ -> true | _ -> false)));
+  (* compaction pass totals agree with the report counter *)
+  check_int "compaction passes match the report" r.Report.compaction_passes
+    (List.fold_left
+       (fun acc s ->
+         match s.Telemetry.ev with
+         | Telemetry.Compaction { passes; _ } -> acc + passes
+         | _ -> acc)
+       0 evs);
+  check_bool "cache deltas recorded" true
+    (by (function Telemetry.Cache _ -> true | _ -> false) <> []);
+  (* timestamps are modeled cycles: monotone per emission order, bounded
+     by the report's total *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Telemetry.ts <= b.Telemetry.ts +. 1e-9 && monotone rest
+    | _ -> true
+  in
+  check_bool "timestamps ride the modeled clock" true
+    (monotone (Telemetry.levels evs));
+  List.iter
+    (fun s ->
+      check_bool "event times within the modeled run" true
+        (s.Telemetry.ts >= 0.0 && s.Telemetry.ts <= r.Report.cycles +. 1.0))
+    evs
+
+(* ------------------------------------------------------------------ *)
 (* Metrics / Measure / Report                                          *)
 
 let test_metrics () =
@@ -634,6 +834,22 @@ let () =
         ]
         @ qsuite [ ws_sim_bounds ] );
       ("opportunity", [ Alcotest.test_case "table 3 row" `Quick test_opportunity ]);
+      ( "telemetry",
+        [
+          Alcotest.test_case "ring buffer window" `Quick test_telemetry_ring;
+          Alcotest.test_case "disabled hub is a no-op" `Quick
+            test_telemetry_disabled;
+          Alcotest.test_case "clock and explicit stamps" `Quick
+            test_telemetry_clock;
+          Alcotest.test_case "jsonl + chrome rendering is valid JSON" `Quick
+            test_telemetry_json;
+          Alcotest.test_case "chrome sink finalizes one array" `Quick
+            test_telemetry_chrome_sink;
+          Alcotest.test_case "trace sink adapter" `Quick test_telemetry_trace_sink;
+          Alcotest.test_case "occupancy" `Quick test_telemetry_occupancy;
+          Alcotest.test_case "engine event stream matches report" `Quick
+            test_engine_telemetry;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "collection" `Quick test_metrics;

@@ -1,0 +1,138 @@
+(* Differential test harness: every execution engine must agree with the
+   sequential interpreter on every random program.
+
+   For each generated (program, args) pair the oracle is
+   [Vc_lang.Interp.run]; the candidates are the sequential spec executor
+   ([Seq_exec]), the measured engine ([Engine]) across block sizes {4, 8,
+   16} x {no-reexpansion, re-expansion} plus pure breadth-first, and the
+   direct transformed-AST interpreter ([Blocked_interp]).  Reducer values
+   AND executed task counts must match exactly (OOM runs are skipped —
+   they deliberately report nothing).
+
+   The generator is seeded explicitly so CI can fan out over seeds:
+   VC_PROP_SEED=n (default 42) selects the program stream,
+   VC_PROP_COUNT=n (default 60) its length. *)
+
+open Vc_core
+
+let e5 = Vc_mem.Machine.xeon_e5
+
+let seed =
+  match Sys.getenv_opt "VC_PROP_SEED" with
+  | Some s -> (try int_of_string s with _ -> 42)
+  | None -> 42
+
+let count =
+  match Sys.getenv_opt "VC_PROP_COUNT" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 60)
+  | None -> 60
+
+(* One deterministic stream of programs per seed. *)
+let cases =
+  let st = Random.State.make [| seed |] in
+  List.init count (fun i ->
+      let p = Gen_programs.gen_program st in
+      let args = Gen_programs.gen_args st in
+      (i, p, args))
+
+let strategies =
+  (Policy.Bfs_only, "bfs")
+  :: List.concat_map
+       (fun block ->
+         [
+           ( Policy.Hybrid { max_block = block; reexpand = false },
+             Printf.sprintf "noreexp/%d" block );
+           ( Policy.Hybrid { max_block = block; reexpand = true },
+             Printf.sprintf "reexp/%d" block );
+         ])
+       [ 4; 8; 16 ]
+
+let describe i p args =
+  Printf.sprintf "case %d (seed %d)\n%s\nargs: %s" i seed
+    (Vc_lang.Pp.program_to_string p)
+    (String.concat ", " (List.map string_of_int args))
+
+let check_agreement () =
+  let checked = ref 0 in
+  List.iter
+    (fun (i, p, args) ->
+      let out = Vc_lang.Interp.run ~max_tasks:100_000 p args in
+      let expected = out.Vc_lang.Interp.reducers in
+      let expected_tasks = Vc_lang.Profile.tasks out.Vc_lang.Interp.profile in
+      let spec = Compile.spec_of_program p ~args in
+      let agree what reducers tasks =
+        if reducers <> expected || tasks <> expected_tasks then
+          Alcotest.failf "%s disagrees with the interpreter on %s:\n%s\ngot %s, %d tasks"
+            what
+            (Printf.sprintf "reducers %s / %d tasks"
+               (String.concat ","
+                  (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) expected))
+               expected_tasks)
+            (describe i p args)
+            (String.concat ","
+               (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) reducers))
+            tasks;
+        incr checked
+      in
+      let seq = Seq_exec.run ~spec ~machine:e5 () in
+      agree "seq_exec" seq.Report.reducers seq.Report.tasks;
+      List.iter
+        (fun (strategy, sname) ->
+          let r = Engine.run ~spec ~machine:e5 ~strategy () in
+          if not r.Report.oom then
+            agree (Printf.sprintf "engine[%s]" sname) r.Report.reducers r.Report.tasks)
+        strategies;
+      let t = Transform.transform p in
+      List.iter
+        (fun (strategy, sname) ->
+          match Blocked_interp.run ~strategy t args with
+          | b ->
+              agree
+                (Printf.sprintf "blocked_interp[%s]" sname)
+                b.Blocked_interp.reducers b.Blocked_interp.tasks
+          | exception Blocked_interp.Task_limit_exceeded _ -> ())
+        strategies)
+    cases;
+  (* 1 seq + 7 engine strategies + 7 blocked_interp strategies per case,
+     minus skipped OOM/limit runs; the floor catches a silently-vacuous
+     suite *)
+  if !checked < count * 8 then
+    Alcotest.failf "only %d agreement checks ran (expected >= %d)" !checked (count * 8)
+
+(* Engine task counts must also agree with each other across compaction
+   engines (partition is a pure reordering). *)
+let check_compaction_engines () =
+  List.iter
+    (fun (i, p, args) ->
+      let spec = Compile.spec_of_program p ~args in
+      let strategy = Policy.Hybrid { max_block = 8; reexpand = true } in
+      let reference = Engine.run ~spec ~machine:e5 ~strategy () in
+      List.iter
+        (fun compact ->
+          let r = Engine.run ~compact ~spec ~machine:e5 ~strategy () in
+          if
+            r.Report.reducers <> reference.Report.reducers
+            || r.Report.tasks <> reference.Report.tasks
+          then
+            Alcotest.failf "compaction engine %s changes results on %s"
+              (Vc_simd.Compact.name compact) (describe i p args))
+        [
+          Vc_simd.Compact.Sequential;
+          Vc_simd.Compact.Full_table;
+          Vc_simd.Compact.Factorized { sub_width = 4 };
+        ])
+    (List.filteri (fun i _ -> i < 20) cases)
+
+let () =
+  Alcotest.run "vc_differential"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "all engines = interpreter (%d programs, seed %d)"
+               count seed)
+            `Slow check_agreement;
+          Alcotest.test_case "compaction engines preserve results" `Quick
+            check_compaction_engines;
+        ] );
+    ]

@@ -86,6 +86,132 @@ let test_parallel_determinism_and_cache () =
   Sys.remove (Filename.concat cache_dir "runs.json");
   Unix.rmdir cache_dir
 
+(* ------------------------------------------------------------------ *)
+(* Run_cache robustness: a damaged runs.json must never take the sweep
+   down — it degrades to an empty (or partially salvaged) cache. *)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let sample_report () =
+  let ctx = Vc_exp.Sweep.create ~quick:true () in
+  Vc_core.Engine.run
+    ~spec:(Vc_exp.Sweep.spec_of ctx fib)
+    ~machine:e5
+    ~strategy:(Vc_core.Policy.Hybrid { max_block = 64; reexpand = true })
+    ()
+
+let test_run_cache_corrupt_files () =
+  let dir = temp_dir "vc-cache" in
+  let path = Filename.concat dir "runs.json" in
+  let load_empty what contents =
+    write_file path contents;
+    let c = Vc_exp.Run_cache.load ~dir in
+    check_int (what ^ " degrades to an empty cache") 0 (Vc_exp.Run_cache.entries c)
+  in
+  load_empty "empty file" "";
+  load_empty "truncated json"
+    (Printf.sprintf {|{"version": %d, "runs": {"k": {"benchma|}
+       Vc_exp.Run_cache.version);
+  load_empty "garbage bytes" "\x00\xff not json at all";
+  load_empty "stale version" {|{"version": -1, "runs": {}}|};
+  load_empty "runs not an object"
+    (Printf.sprintf {|{"version": %d, "runs": 7}|} Vc_exp.Run_cache.version);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_run_cache_roundtrip () =
+  let dir = temp_dir "vc-cache" in
+  let r = sample_report () in
+  let c = Vc_exp.Run_cache.load ~dir in
+  Vc_exp.Run_cache.add c "fib/e5/hybrid" r;
+  Vc_exp.Run_cache.persist c;
+  let c' = Vc_exp.Run_cache.load ~dir in
+  check_int "one entry after reload" 1 (Vc_exp.Run_cache.entries c');
+  (match Vc_exp.Run_cache.find c' "fib/e5/hybrid" with
+  | Some r' ->
+      check_bool "report round-trips structurally" true (Vc_core.Report.equal r r');
+      (* the telemetry fields ride along explicitly *)
+      check_int "reexp_count" r.Vc_core.Report.reexp_count r'.Vc_core.Report.reexp_count;
+      check_int "compaction_calls" r.Vc_core.Report.compaction_calls
+        r'.Vc_core.Report.compaction_calls;
+      check_int "compaction_passes" r.Vc_core.Report.compaction_passes
+        r'.Vc_core.Report.compaction_passes;
+      check_bool "occupancy_hist" true
+        (r.Vc_core.Report.occupancy_hist = r'.Vc_core.Report.occupancy_hist)
+  | None -> Alcotest.fail "entry missing after reload");
+  Sys.remove (Filename.concat dir "runs.json");
+  Unix.rmdir dir
+
+let test_run_cache_skips_corrupt_entries () =
+  let dir = temp_dir "vc-cache" in
+  let r = sample_report () in
+  let c = Vc_exp.Run_cache.load ~dir in
+  Vc_exp.Run_cache.add c "good" r;
+  Vc_exp.Run_cache.persist c;
+  (* splice a structurally-valid-JSON but non-report entry into the file *)
+  let path = Filename.concat dir "runs.json" in
+  let doc =
+    match Vc_exp.Jsonx.parse (read_file path) with
+    | Ok j -> j
+    | Error m -> Alcotest.fail ("persisted cache unparseable: " ^ m)
+  in
+  let doc' =
+    match doc with
+    | Vc_exp.Jsonx.Obj fields ->
+        Vc_exp.Jsonx.Obj
+          (List.map
+             (function
+               | "runs", Vc_exp.Jsonx.Obj runs ->
+                   ( "runs",
+                     Vc_exp.Jsonx.Obj
+                       (("zzz-bad", Vc_exp.Jsonx.Obj [ ("benchmark", Int 3) ])
+                       :: runs) )
+               | f -> f)
+             fields)
+    | _ -> Alcotest.fail "unexpected cache file shape"
+  in
+  write_file path (Vc_exp.Jsonx.to_string doc');
+  let c' = Vc_exp.Run_cache.load ~dir in
+  check_int "good entry survives alongside the corrupt one" 1
+    (Vc_exp.Run_cache.entries c');
+  check_bool "and is intact" true
+    (match Vc_exp.Run_cache.find c' "good" with
+    | Some r' -> Vc_core.Report.equal r r'
+    | None -> false);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_jsonx_bad_escapes () =
+  let open Vc_exp.Jsonx in
+  let rejects what s =
+    match parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should be a parse error: %s" what s
+  in
+  (* these must come back as [Error _], not escape as an exception *)
+  rejects "non-hex \\u escape" {|"\u12zz"|};
+  rejects "underscore in \\u escape" {|"\u1_23"|};
+  rejects "truncated \\u escape" {|"\u12|};
+  match parse {|"\u0041"|} with
+  | Ok (String "A") -> ()
+  | Ok _ -> Alcotest.fail "\\u0041 should decode to \"A\""
+  | Error m -> Alcotest.fail ("\\u0041 rejected: " ^ m)
+
 let test_jsonx_roundtrip () =
   let open Vc_exp.Jsonx in
   let doc =
@@ -179,7 +305,20 @@ let () =
           Alcotest.test_case "parallel determinism + run cache" `Slow
             test_parallel_determinism_and_cache;
         ] );
-      ("jsonx", [ Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip ]);
+      ( "jsonx",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "bad escapes are errors" `Quick test_jsonx_bad_escapes;
+        ] );
+      ( "run-cache",
+        [
+          Alcotest.test_case "corrupt files degrade to empty" `Quick
+            test_run_cache_corrupt_files;
+          Alcotest.test_case "report round-trip (telemetry fields)" `Quick
+            test_run_cache_roundtrip;
+          Alcotest.test_case "corrupt entries are skipped" `Quick
+            test_run_cache_skips_corrupt_entries;
+        ] );
       ( "csv",
         [
           Alcotest.test_case "table1" `Quick test_csv_table1;

@@ -211,6 +211,84 @@ let compact_wide_registers =
               Compact.Prefix_scatter { sub_width = 8 } ])
         [ 32; 64 ])
 
+(* Exhaustive seeded fuzz over the full engine matrix: every supported
+   width, every sub-width k dividing it (k <= 8), every engine legal on a
+   both-capable ISA, against the naive stable partition — on random masks
+   plus the all-zero and all-one boundary masks, which the table-driven
+   paths treat specially (empty groups, no epilog). *)
+let fuzz_isa =
+  (* both compaction primitives available, so one VM runs every engine *)
+  {
+    Isa.name = "fuzz";
+    vector_bits = 512;
+    has_shuffle = true;
+    has_masked_scatter = true;
+    min_lane_bits = 8;
+    scalar_issue = 1.0;
+    vector_issue = 1.0;
+    gather_cost = 2.0;
+    scatter_cost = 2.0;
+  }
+
+let fuzz_engines width =
+  Compact.Sequential
+  :: (if width <= 16 then [ Compact.Full_table ] else [])
+  @ List.concat_map
+      (fun k ->
+        if k <= width && width mod k = 0 then
+          [ Compact.Factorized { sub_width = k };
+            Compact.Prefix_scatter { sub_width = k } ]
+        else [])
+      [ 1; 2; 4; 8 ]
+
+let test_compact_engine_matrix () =
+  let seed =
+    match Sys.getenv_opt "VC_PROP_SEED" with
+    | Some s -> (try int_of_string s with _ -> 42)
+    | None -> 42
+  in
+  let st = Random.State.make [| seed |] in
+  let widths = [ 2; 4; 8; 16; 32; 64 ] in
+  let masks n =
+    Array.make n false :: Array.make n true
+    :: List.init 6 (fun _ -> Array.init n (fun _ -> Random.State.bool st))
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun width ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun keeps ->
+              let pred i = keeps.(i) in
+              let expected = reference_partition n pred in
+              List.iter
+                (fun engine ->
+                  let vm = Vm.create fuzz_isa in
+                  let got = Compact.partition ~vm ~engine ~width ~n ~pred in
+                  if got <> expected then
+                    Alcotest.failf
+                      "engine %s disagrees at width %d, n %d, seed %d"
+                      (Compact.name engine) width n seed;
+                  (* call/pass tallies behave as documented *)
+                  let s = Vm.stats vm in
+                  if n = 0 then
+                    check_int "no call on empty stream" 0 s.Stats.compaction_calls
+                  else begin
+                    check_int "one call per partition" 1 s.Stats.compaction_calls;
+                    if engine = Compact.Sequential then
+                      check_int "sequential has no passes" 0 s.Stats.compaction_passes
+                    else
+                      check_bool "table engines count passes" true
+                        (s.Stats.compaction_passes > 0)
+                  end;
+                  incr checked)
+                (fuzz_engines width))
+            (masks n))
+        [ 0; 1; width - 1; width; width + 1; (3 * width) + 2 ])
+    widths;
+  check_bool "matrix was non-trivial" true (!checked > 1000)
+
 (* Regression: the shuffle/prefix memo tables are global; before they were
    mutex-guarded, concurrent first-use from several domains raced on
    [Hashtbl.add].  Hammer [partition] from 4 domains using widths no other
@@ -413,6 +491,7 @@ let () =
           Alcotest.test_case "costs" `Quick test_compact_costs;
           Alcotest.test_case "table memory" `Quick test_compact_table_memory;
           Alcotest.test_case "parallel domains" `Quick test_compact_parallel_domains;
+          Alcotest.test_case "seeded engine matrix" `Quick test_compact_engine_matrix;
         ]
         @ qsuite [ compact_engines_agree; compact_wide_registers ] );
       ( "vm",
