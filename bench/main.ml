@@ -184,35 +184,62 @@ let () =
   let jobs = ref (Vc_exp.Pool.default_jobs ()) in
   let no_cache = ref false in
   let quick = ref false in
+  let deadline = ref 0.0 in
+  let wall_deadline = ref 0.0 in
+  let max_live_frames = ref 0 in
   Arg.parse
     [
       ("--jobs", Arg.Set_int jobs, "N  worker domains for the sweep");
       ("--no-cache", Arg.Set no_cache, " skip the persistent .vc-cache run cache");
       ("--quick", Arg.Set quick, " scaled-down workloads (same as VC_BENCH_QUICK=1)");
+      ( "--deadline",
+        Arg.Set_float deadline,
+        "CYCLES  modeled-cycle budget per engine run (exceeded: exit 2)" );
+      ( "--wall-deadline",
+        Arg.Set_float wall_deadline,
+        "SECONDS  wall-clock budget per run (exceeded: exit 2)" );
+      ( "--max-live-frames",
+        Arg.Set_int max_live_frames,
+        "N  live-frame budget per run (exceeded: exit 2)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--jobs N] [--no-cache] [--quick]";
+    "bench [--jobs N] [--no-cache] [--quick] [--deadline C] [--wall-deadline S] \
+     [--max-live-frames N]";
+  let opt_pos r = if !r > 0.0 then Some !r else None in
+  let budgets =
+    {
+      Vc_core.Supervisor.deadline = opt_pos deadline;
+      wall_deadline = opt_pos wall_deadline;
+      max_live_frames = (if !max_live_frames > 0 then Some !max_live_frames else None);
+    }
+  in
   let ctx =
     Vc_exp.Sweep.create
       ?quick:(if !quick then Some true else None)
       ~jobs:!jobs
       ~cache_dir:(if !no_cache then None else Some ".vc-cache")
+      ~budgets
+      ~faults:(Vc_core.Fault.of_env ())
       ()
   in
   say "vectorcilk benchmark harness (quick mode: %b, jobs: %d)@."
     (Vc_exp.Sweep.quick ctx) (Vc_exp.Sweep.jobs ctx);
-  let t0 = Unix.gettimeofday () in
-  Vc_exp.Sweep.prewarm ctx;
-  regenerate ctx;
-  Vc_exp.Sweep.persist ctx;
-  let regen_seconds = Unix.gettimeofday () -. t0 in
-  say "@.(regeneration took %.1fs; %d simulated, %d disk-cache hits)@."
-    regen_seconds
-    (Vc_exp.Sweep.simulations ctx)
-    (Vc_exp.Sweep.cache_hits ctx);
-  let kernels = run_bechamel () in
-  write_sweep_json ~jobs:(Vc_exp.Sweep.jobs ctx) ~quick:(Vc_exp.Sweep.quick ctx)
-    ~regen_seconds
-    ~simulated:(Vc_exp.Sweep.simulations ctx)
-    ~cache_hits:(Vc_exp.Sweep.cache_hits ctx)
-    ~kernels ~telemetry:(telemetry_json ctx)
+  try
+    let t0 = Unix.gettimeofday () in
+    Vc_exp.Sweep.prewarm ctx;
+    regenerate ctx;
+    Vc_exp.Sweep.persist ctx;
+    let regen_seconds = Unix.gettimeofday () -. t0 in
+    say "@.(regeneration took %.1fs; %d simulated, %d disk-cache hits)@."
+      regen_seconds
+      (Vc_exp.Sweep.simulations ctx)
+      (Vc_exp.Sweep.cache_hits ctx);
+    let kernels = run_bechamel () in
+    write_sweep_json ~jobs:(Vc_exp.Sweep.jobs ctx) ~quick:(Vc_exp.Sweep.quick ctx)
+      ~regen_seconds
+      ~simulated:(Vc_exp.Sweep.simulations ctx)
+      ~cache_hits:(Vc_exp.Sweep.cache_hits ctx)
+      ~kernels ~telemetry:(telemetry_json ctx)
+  with Vc_core.Vc_error.Error e ->
+    Format.eprintf "bench: %s@." (Vc_core.Vc_error.to_string e);
+    exit (Vc_core.Vc_error.exit_code e)

@@ -15,12 +15,22 @@
      plot BENCH                  - ASCII block-size sweep curves
      export DIR                  - all artifacts as CSV
      verify                      - the paper's claims as checks
+     chaos                       - fault-injection campaign: every
+                                   benchmark must recover to exact
+                                   results via scalar fallback
      all                         - every table, figure, and ablation
 
    Sweep-driven subcommands (table, figure, plot, export, verify, all)
    take --jobs N (parallel worker domains, default: the recommended
    domain count) and --no-cache (skip the persistent .vc-cache run
-   cache).  VCILK_LOG=debug|info enables engine logging on stderr. *)
+   cache).  VCILK_LOG=debug|info enables engine logging on stderr.
+
+   Supervised execution: run and verify take --deadline CYCLES,
+   --wall-deadline SECONDS and --max-live-frames N; an exceeded budget
+   terminates with a typed error and exit code 2 (0 ok, 1 failure).
+   VC_FAULT_SEED / VC_FAULT_SITES / VC_FAULT_RATE arm deterministic
+   fault injection in any subcommand (fault-armed runs never write the
+   persistent cache); chaos arms it explicitly via --seed/--faults. *)
 
 open Cmdliner
 
@@ -64,9 +74,42 @@ let no_cache_flag =
        & info [ "no-cache" ]
            ~doc:"Do not read or write the persistent $(b,.vc-cache) run cache.")
 
-let ctx_of quick jobs no_cache =
+let deadline_flag =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"CYCLES"
+           ~doc:
+             "Modeled-cycle budget for engine runs. Exceeding it terminates \
+              with a typed error and exit code 2. Ignored by the seq and \
+              strawman strategies, which have no blocked scheduler.")
+
+let wall_deadline_flag =
+  Arg.(value & opt (some float) None
+       & info [ "wall-deadline" ] ~docv:"SECONDS"
+           ~doc:
+             "Wall-clock budget, checked cooperatively at level boundaries. \
+              Exceeding it terminates with exit code 2.")
+
+let max_live_frames_flag =
+  Arg.(value & opt (some int) None
+       & info [ "max-live-frames" ] ~docv:"N"
+           ~doc:
+             "Live-frame budget (a user-level cap below the machine's space \
+              limit). Exceeding it terminates with exit code 2.")
+
+(* Uniform exit-code convention: 0 ok, 1 failure, 2 budget exceeded. *)
+let die (e : Vc_core.Vc_error.t) : 'a =
+  Format.eprintf "vcilk: %s@." (Vc_core.Vc_error.to_string e);
+  exit (Vc_core.Vc_error.exit_code e)
+
+let or_die f = try f () with Vc_core.Vc_error.Error e -> die e
+
+let ctx_of ?(budgets = Vc_core.Supervisor.no_budgets) quick jobs no_cache =
+  (* VC_FAULT_SEED arms fault injection in every sweep point; the sweep
+     then refuses to write recovered (degraded-cost) runs to disk. *)
   Vc_exp.Sweep.create ~quick ~jobs
     ~cache_dir:(if no_cache then None else Some ".vc-cache")
+    ~budgets
+    ~faults:(Vc_core.Fault.of_env ())
     ()
 
 (* Flush the run cache and report what the sweep actually did; artifact
@@ -106,22 +149,32 @@ let run_cmd =
     Arg.(value & opt int 4096
          & info [ "b"; "block" ] ~doc:"Hybrid max block size / re-expansion threshold.")
   in
-  let run quick jobs no_cache (entry : Vc_bench.Registry.entry) machine strategy block =
+  let run quick jobs no_cache deadline wall_deadline max_live_frames
+      (entry : Vc_bench.Registry.entry) machine strategy block =
     let ctx = ctx_of quick jobs no_cache in
     let spec = Vc_exp.Sweep.spec_of ctx entry in
+    let budgets = { Vc_core.Supervisor.deadline; wall_deadline; max_live_frames } in
+    let supervised strategy =
+      match
+        Vc_core.Supervisor.run ~faults:(Vc_core.Fault.of_env ()) ~budgets ~spec
+          ~machine ~strategy ()
+      with
+      | Ok o ->
+          if o.Vc_core.Supervisor.faults_seen > 0 then
+            Format.eprintf "[supervisor] %d faults contained, %d scalar fallbacks@."
+              o.Vc_core.Supervisor.faults_seen o.Vc_core.Supervisor.fallbacks;
+          o.Vc_core.Supervisor.report
+      | Error e -> die e
+    in
     let report =
       match strategy with
       | "seq" -> Vc_core.Seq_exec.run ~spec ~machine ()
       | "strawman" -> Vc_core.Strawman.run ~spec ~machine ()
-      | "bfs" -> Vc_core.Engine.run ~spec ~machine ~strategy:Vc_core.Policy.Bfs_only ()
+      | "bfs" -> supervised Vc_core.Policy.Bfs_only
       | "noreexp" ->
-          Vc_core.Engine.run ~spec ~machine
-            ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = false })
-            ()
+          supervised (Vc_core.Policy.Hybrid { max_block = block; reexpand = false })
       | "reexp" ->
-          Vc_core.Engine.run ~spec ~machine
-            ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
-            ()
+          supervised (Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
       | other -> failwith (Printf.sprintf "unknown strategy %S" other)
     in
     Format.printf "%a@." Vc_core.Report.pp_summary report;
@@ -132,7 +185,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under one execution strategy.")
-    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ bench $ machine $ strategy $ block)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ deadline_flag
+          $ wall_deadline_flag $ max_live_frames_flag $ bench $ machine $ strategy
+          $ block)
 
 let transform_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -422,8 +477,10 @@ let export_cmd =
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ dir)
 
 let verify_cmd =
-  let run quick jobs no_cache =
-    let ctx = ctx_of quick jobs no_cache in
+  let run quick jobs no_cache deadline wall_deadline max_live_frames =
+    or_die @@ fun () ->
+    let budgets = { Vc_core.Supervisor.deadline; wall_deadline; max_live_frames } in
+    let ctx = ctx_of ~budgets quick jobs no_cache in
     Vc_exp.Sweep.prewarm ctx;
     let verdicts = Vc_exp.Claims.all ctx in
     Vc_exp.Claims.pp Format.std_formatter verdicts;
@@ -433,7 +490,178 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check the paper's qualitative claims against fresh measurements.")
-    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ deadline_flag
+          $ wall_deadline_flag $ max_live_frames_flag)
+
+let chaos_cmd =
+  let sites_conv =
+    let parse s =
+      match Vc_core.Fault.parse_sites s with
+      | Ok sites -> Ok sites
+      | Error msg -> Error (`Msg msg)
+    in
+    let print fmt sites =
+      Format.pp_print_string fmt
+        (String.concat "," (List.map Vc_core.Fault.site_name sites))
+    in
+    Arg.conv (parse, print)
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.") in
+  let sites =
+    Arg.(value
+         & opt sites_conv Vc_core.Fault.all_sites
+         & info [ "faults" ] ~docv:"SITES"
+             ~doc:
+               "Comma-separated injection sites: compact, convert, alloc, cache \
+                ($(b,all) or empty = every site).")
+  in
+  let rate =
+    Arg.(value & opt float 0.25
+         & info [ "rate" ] ~docv:"R" ~doc:"Fraction of instrumented calls that fault.")
+  in
+  let block =
+    Arg.(value & opt int 256
+         & info [ "b"; "block" ]
+             ~doc:"Hybrid max block size (small blocks exercise more fault sites).")
+  in
+  let machine =
+    Arg.(value
+         & opt machine_conv Vc_mem.Machine.xeon_e5
+         & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
+  in
+  let run quick jobs seed sites rate block machine =
+    (* Chaos runs are recovered-but-degraded, so they never touch the
+       persistent cache; every reference and faulted run is fresh. *)
+    let ctx = Vc_exp.Sweep.create ~quick ~jobs ~cache_dir:None () in
+    let strategy = Vc_core.Policy.Hybrid { max_block = block; reexpand = true } in
+    Format.printf "chaos: seed %d, rate %.2f, sites %s, block %d, %s workloads@."
+      seed rate
+      (String.concat "," (List.map Vc_core.Fault.site_name sites))
+      block
+      (if Vc_exp.Sweep.quick ctx then "quick" else "full");
+    (* Engine campaign: for every benchmark, a supervised run under the
+       fault plan must reproduce the fault-free reducers and task counts
+       exactly — scalar fallback is a correctness-preserving degradation. *)
+    let entries = Array.of_list Vc_bench.Registry.all in
+    let results = Array.make (Array.length entries) None in
+    let check_bench (entry : Vc_bench.Registry.entry) =
+      let name = entry.Vc_bench.Registry.name in
+      let spec = Vc_exp.Sweep.spec_of ctx entry in
+      let reference = Vc_core.Engine.run ~spec ~machine ~strategy () in
+      let plan = Vc_core.Fault.make ~rate ~seed ~sites () in
+      match Vc_core.Supervisor.run ~faults:plan ~spec ~machine ~strategy () with
+      | Error e -> (name, false, Vc_core.Vc_error.to_string e, 0, 0)
+      | Ok o ->
+          let r = o.Vc_core.Supervisor.report in
+          let ok =
+            r.Vc_core.Report.oom = reference.Vc_core.Report.oom
+            && r.Vc_core.Report.reducers = reference.Vc_core.Report.reducers
+            && r.Vc_core.Report.tasks = reference.Vc_core.Report.tasks
+            && r.Vc_core.Report.base_tasks = reference.Vc_core.Report.base_tasks
+          in
+          let detail =
+            Printf.sprintf "%d faults, %d fallbacks" o.Vc_core.Supervisor.faults_seen
+              o.Vc_core.Supervisor.fallbacks
+          in
+          (name, ok, detail, o.Vc_core.Supervisor.faults_seen,
+           o.Vc_core.Supervisor.fallbacks)
+    in
+    Vc_exp.Pool.run ~jobs:(Vc_exp.Sweep.jobs ctx)
+      (Array.to_list
+         (Array.mapi (fun i e () -> results.(i) <- Some (check_bench e)) entries));
+    let failures = ref 0 in
+    let total_faults = ref 0 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some (name, ok, detail, faults, _) ->
+            total_faults := !total_faults + faults;
+            if not ok then incr failures;
+            Format.printf "  %-10s %-4s %s@." name (if ok then "ok" else "FAIL") detail)
+      results;
+    (* The engine never converts layouts, so the convert site gets a
+       dedicated AoS->SoA->AoS round trip that must be the identity. *)
+    if List.mem Vc_core.Fault.Convert sites then begin
+      let plan = Vc_core.Fault.make ~rate ~seed ~sites:[ Vc_core.Fault.Convert ] () in
+      let isa = machine.Vc_mem.Machine.isa in
+      let vm = Vc_simd.Vm.create isa in
+      let addr = Vc_core.Addr.create () in
+      let schema = Vc_core.Schema.create ~lane_kind:Vc_simd.Lane.I32 [ "x"; "y"; "z" ] in
+      let ok = ref true in
+      for round = 1 to 8 do
+        let frames =
+          Array.init 257 (fun i -> [| i; i * round; (i * i) land 0xffff |])
+        in
+        let blk =
+          Vc_core.Soa.aos_to_soa ~faults:plan ~vm ~addr ~schema ~isa
+            ~aos_base:(0x100000 * round) ~frames ()
+        in
+        let back = Vc_core.Soa.soa_to_aos ~faults:plan ~vm ~aos_base:(0x100000 * round) blk in
+        if back <> frames then ok := false
+      done;
+      let fired = Vc_core.Fault.total_fired plan in
+      total_faults := !total_faults + fired;
+      let ok = !ok in
+      if not ok then incr failures;
+      Format.printf "  %-10s %-4s %d faults, scalar-copy fallback@." "soa" (if ok then "ok" else "FAIL") fired
+    end;
+    (* Cache site: repeated add/persist rounds under injected I/O faults
+       in a scratch directory.  Injected persist faults retry (up to 3
+       attempts); a round that exhausts the retries surfaces the typed
+       error, and — crash safety — must leave the previous round's file
+       intact: the final fault-free reload must hold every key through the
+       last successful persist. *)
+    if List.mem Vc_core.Fault.Cache sites then begin
+      let plan = Vc_core.Fault.make ~rate ~seed ~sites:[ Vc_core.Fault.Cache ] () in
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "vcilk-chaos-%d" (Unix.getpid ()))
+      in
+      let t = Vc_exp.Run_cache.load ~faults:plan ~dir () in
+      let spec = Vc_exp.Sweep.spec_of ctx entries.(0) in
+      let report = Vc_core.Seq_exec.run ~spec ~machine () in
+      let rounds = 6 in
+      let last_ok = ref 0 in
+      let gave_up = ref 0 in
+      for r = 1 to rounds do
+        Vc_exp.Run_cache.add t (Printf.sprintf "chaos-%d" r) report;
+        match Vc_exp.Run_cache.persist ~faults:plan t with
+        | () -> last_ok := r
+        | exception Vc_core.Vc_error.Error e when not (Vc_core.Vc_error.is_budget e) ->
+            incr gave_up
+      done;
+      let fired = Vc_core.Fault.total_fired plan in
+      total_faults := !total_faults + fired;
+      let t2 = Vc_exp.Run_cache.load ~dir () in
+      let ok = ref true in
+      for r = 1 to !last_ok do
+        match Vc_exp.Run_cache.find t2 (Printf.sprintf "chaos-%d" r) with
+        | Some r' when Vc_core.Report.equal report r' -> ()
+        | _ -> ok := false
+      done;
+      if not !ok then incr failures;
+      Format.printf
+        "  %-10s %-4s %d faults, %d/%d persists landed (%d gave up), crash-safe file@."
+        "cache"
+        (if !ok then "ok" else "FAIL")
+        fired !last_ok rounds !gave_up;
+      (try Sys.remove (Filename.concat dir "runs.json") with Sys_error _ -> ());
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    end;
+    Format.printf "chaos: %d checks, %d failed, %d faults injected@."
+      (Array.length entries
+      + (if List.mem Vc_core.Fault.Convert sites then 1 else 0)
+      + if List.mem Vc_core.Fault.Cache sites then 1 else 0)
+      !failures !total_faults;
+    exit (if !failures = 0 then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic fault-injection campaign: every benchmark runs under \
+          an armed fault plan and must recover to exact fault-free results \
+          via scalar fallback.")
+    Term.(const run $ quick_flag $ jobs_flag $ seed $ sites $ rate $ block $ machine)
 
 let all_cmd =
   let run quick jobs no_cache =
@@ -495,5 +723,6 @@ let () =
             plot_cmd;
             export_cmd;
             verify_cmd;
+            chaos_cmd;
             all_cmd;
           ]))

@@ -14,8 +14,35 @@ type result = {
 exception Continue_thread
 
 let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
-    ?(max_tasks = 20_000_000) ?telemetry (t : Blocked_ast.t) args =
+    ?(max_tasks = 20_000_000) ?telemetry ?wall_deadline ?max_live_frames
+    (t : Blocked_ast.t) args =
   let tel = match telemetry with Some tel -> tel | None -> Telemetry.create () in
+  let wall_start = Unix.gettimeofday () in
+  (* Live-frame accounting mirrors the engine's rule: whoever enqueues a
+     level adds its size, the consumer subtracts its own input once its
+     children are enqueued.  Budgets are checked cooperatively at level
+     boundaries. *)
+  let live = ref 0 in
+  let budget_check () =
+    (match max_live_frames with
+    | Some limit when !live > limit ->
+        let limit_f = float_of_int limit and actual = float_of_int !live in
+        Telemetry.emit tel
+          (Telemetry.Deadline { resource = "live-frames"; limit = limit_f; actual });
+        Vc_error.budget ~phase:Vc_error.Execute Vc_error.Live_frames ~limit:limit_f
+          ~actual ()
+    | _ -> ());
+    match wall_deadline with
+    | Some limit ->
+        let actual = Unix.gettimeofday () -. wall_start in
+        if actual > limit then begin
+          Telemetry.emit tel
+            (Telemetry.Deadline { resource = "deadline-wall"; limit; actual });
+          Vc_error.budget ~phase:Vc_error.Execute Vc_error.Deadline_wall ~limit
+            ~actual ()
+        end
+    | None -> ()
+  in
   let program = t.Blocked_ast.source in
   let layout = Codegen.layout_of program in
   let nparams = Array.length (Codegen.params layout) in
@@ -106,12 +133,14 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
   in
   (* f_bfs of Fig. 7. *)
   let rec bfs tb depth =
+    budget_check ();
     if depth > !max_depth then max_depth := depth;
     next := [];
     let base0 = !base_tasks in
     List.iter (run_thread ~fbase:bfs_base ~find:bfs_ind) tb;
     emit_level ~phase:Trace.Bfs ~depth ~size:(List.length tb) ~base0;
     let level = List.rev !next in
+    live := !live + List.length level - List.length tb;
     if level <> [] then
       if List.length level < max_block then bfs level (depth + 1)
       else begin
@@ -122,12 +151,17 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
       end
   (* f_blocked of Fig. 7. *)
   and blocked tb depth =
+    budget_check ();
     if depth > !max_depth then max_depth := depth;
     Array.fill nexts 0 (Array.length nexts) [];
     let base0 = !base_tasks in
     List.iter (run_thread ~fbase:blk_base ~find:blk_ind) tb;
     emit_level ~phase:Trace.Blocked ~depth ~size:(List.length tb) ~base0;
     let site_blocks = Array.map List.rev nexts in
+    live :=
+      !live
+      + Array.fold_left (fun acc blk -> acc + List.length blk) 0 site_blocks
+      - List.length tb;
     (* [nexts] is reused by deeper recursion; copy out first. *)
     Array.iter
       (fun blk ->
@@ -147,6 +181,7 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
           end)
       site_blocks
   in
+  live := 1;
   bfs [ Array.of_list args ] 0;
   {
     reducers = Reducer.values reducer_set;

@@ -26,10 +26,17 @@ val run :
   ?strategy:Policy.strategy ->
   ?max_tasks:int ->
   ?telemetry:Telemetry.t ->
+  ?wall_deadline:float ->
+  ?max_live_frames:int ->
   Blocked_ast.t ->
   int list ->
   result
 (** Default strategy: [Hybrid { max_block = 256; reexpand = true }].
     Default [max_tasks]: 20M.  [telemetry] receives [Level], [Switch] and
     [Reexpand] events (timestamps are sequence numbers — this interpreter
-    has no cost model). *)
+    has no cost model).
+
+    [wall_deadline] (seconds) and [max_live_frames] are cooperative
+    budgets checked at every level boundary; exceeding one raises a
+    [Budget_exceeded] {!Vc_error.Error}.  (There is no modeled-cycle
+    deadline here — this interpreter has no cost model.) *)

@@ -21,6 +21,12 @@ type ctx = {
   max_tasks : int;
   cutoff : int;  (** blocks at most this size run their subtrees scalar *)
   tel : Telemetry.t;
+  faults : Fault.plan;
+  recover : bool;  (** quarantine faulted blocks and re-run them scalar *)
+  deadline : float option;  (** modeled-cycle budget, checked per level *)
+  wall_deadline : float option;  (** wall-clock budget in seconds *)
+  frame_budget : int option;  (** user live-frame budget (typed error) *)
+  wall_start : float;
   mutable live : int;  (** current live threads, for space accounting *)
   mutable executed : int;
   (* Reusable blocks: ping-pong pair per breadth-first run depth parity is
@@ -32,7 +38,60 @@ type ctx = {
 
 let isa ctx = ctx.m.Measure.machine.Vc_mem.Machine.isa
 
+let modeled_cycles ctx =
+  Vc_simd.Vm.issue_cycles ctx.m.Measure.vm
+  +. Vc_mem.Hierarchy.penalty_cycles ctx.m.Measure.hier
+
+(* Cooperative cancellation: budgets are checked at every level boundary,
+   so an exceeded deadline surfaces within one block level rather than
+   tearing down the run mid-operation.  Budget violations are typed (exit
+   code 2) and deliberately never handled by fault recovery. *)
+let budget_check ctx =
+  (match ctx.frame_budget with
+  | Some limit when ctx.live > limit ->
+      let limit_f = float_of_int limit and actual = float_of_int ctx.live in
+      Telemetry.emit ctx.tel
+        (Telemetry.Deadline { resource = "live-frames"; limit = limit_f; actual });
+      Vc_error.budget ~phase:Vc_error.Execute Vc_error.Live_frames ~limit:limit_f
+        ~actual ()
+  | _ -> ());
+  (match ctx.deadline with
+  | Some limit ->
+      let actual = modeled_cycles ctx in
+      if actual > limit then begin
+        Telemetry.emit ctx.tel
+          (Telemetry.Deadline { resource = "deadline-cycles"; limit; actual });
+        Vc_error.budget ~phase:Vc_error.Execute Vc_error.Deadline_cycles ~limit
+          ~actual ()
+      end
+  | None -> ());
+  match ctx.wall_deadline with
+  | Some limit ->
+      let actual = Unix.gettimeofday () -. ctx.wall_start in
+      if actual > limit then begin
+        Telemetry.emit ctx.tel
+          (Telemetry.Deadline { resource = "deadline-wall"; limit; actual });
+        Vc_error.budget ~phase:Vc_error.Execute Vc_error.Deadline_wall ~limit ~actual
+          ()
+      end
+  | None -> ()
+
+let note_fault ctx (e : Vc_error.t) =
+  Log.info (fun m -> m "fault: %s" (Vc_error.to_string e));
+  Telemetry.emit ctx.tel
+    (Telemetry.Fault
+       {
+         site =
+           (match Vc_error.site_of e with
+           | Some s -> Vc_error.site_name s
+           | None -> "unknown");
+         detail = e.Vc_error.detail;
+       })
+
 let pool_block ctx ~depth ~slot ~room =
+  Fault.trip ctx.faults Fault.Alloc ~phase:Vc_error.Expand
+    ~hint:Vc_error.Fallback_scalar
+    ~detail:(Printf.sprintf "block d%d-s%d (room %d)" depth slot room);
   let key = (depth, slot) in
   let cell =
     match Hashtbl.find_opt ctx.pool key with
@@ -88,6 +147,97 @@ let count_tasks ctx n =
   ctx.executed <- ctx.executed + n;
   if ctx.executed > ctx.max_tasks then raise (Task_limit ctx.max_tasks)
 
+let frame_of ctx b row = Array.init ctx.nfields (fun f -> Block.get b ~field:f ~row)
+
+(* Build the recursive scalar executor over a pair of scratch blocks:
+   [go ~count frame d] runs [frame]'s whole subtree sequentially with
+   scalar instructions, as a conventional runtime does below the task
+   cut-off.  Tasks count as epilog (never vectorized).  [count:false]
+   skips the root's task accounting for quarantine recovery, where the
+   faulted vectorized level already ran [count_tasks]/[tasks_at_level]
+   for the frame; descendants are always counted. *)
+let scalar_executor ctx =
+  let vm = ctx.m.Measure.vm in
+  let insns = ctx.spec.Spec.insns in
+  let stats = Vc_simd.Vm.stats vm in
+  let scratch_parent =
+    Block.create ~label:"scalar-parent" ctx.m.Measure.addr
+      ~schema:ctx.spec.Spec.schema ~isa:(isa ctx) ~capacity:1
+  in
+  let scratch_child =
+    Block.create ~label:"scalar-child" ctx.m.Measure.addr
+      ~schema:ctx.spec.Spec.schema ~isa:(isa ctx)
+      ~capacity:(max 1 ctx.spec.Spec.num_spawns)
+  in
+  let rec go ~count frame d =
+    if count then begin
+      count_tasks ctx 1;
+      Metrics.tasks_at_level ctx.m.Measure.metrics ~depth:d ~n:1
+    end;
+    stats.Vc_simd.Stats.epilog_tasks <- stats.Vc_simd.Stats.epilog_tasks + 1;
+    Vc_simd.Vm.scalar_ops vm
+      (insns.Spec.check_insns + insns.Spec.scalar_insns + (2 * ctx.nfields) + 2);
+    Block.clear scratch_parent;
+    Block.push scratch_parent frame;
+    if ctx.spec.Spec.is_base scratch_parent 0 then begin
+      Metrics.base_at_level ctx.m.Measure.metrics ~depth:d ~n:1;
+      Vc_simd.Vm.scalar_ops vm insns.Spec.base_insns;
+      ctx.spec.Spec.exec_base ctx.reducers scratch_parent 0
+    end
+    else begin
+      Vc_simd.Vm.scalar_ops vm insns.Spec.inductive_insns;
+      Block.clear scratch_child;
+      for site = 0 to ctx.spec.Spec.num_spawns - 1 do
+        Vc_simd.Vm.scalar_ops vm insns.Spec.spawn_insns;
+        ignore (ctx.spec.Spec.spawn scratch_parent 0 ~site ~dst:scratch_child : bool)
+      done;
+      let children =
+        List.init (Block.size scratch_child) (fun row ->
+            frame_of ctx scratch_child row)
+      in
+      List.iter (fun child -> go ~count:true child (d + 1)) children
+    end
+  in
+  go
+
+(* Task cut-off path: every thread of [blk] executes its whole subtree
+   sequentially. *)
+let sequential_subtree ctx blk ~depth =
+  Telemetry.emit ctx.tel
+    (Telemetry.Level { phase = Trace.Cutoff; depth; size = Block.size blk; base = 0 });
+  let go = scalar_executor ctx in
+  for row = 0 to Block.size blk - 1 do
+    go ~count:true (frame_of ctx blk row) depth
+  done;
+  ctx.live <- ctx.live - Block.size blk
+
+(* Quarantine recovery: re-run each listed frame's whole subtree on the
+   scalar path after a fault on the vectorized one.  [count_roots:false]
+   when the faulted level already accounted the roots' task counts (the
+   compaction trip fires after the level prologue; allocation trips fire
+   after [process_level] returned); their base/inductive work still runs
+   here, so reducer values match a fault-free run exactly. *)
+let scalar_subtrees ctx frames ~depth ~count_roots =
+  match frames with
+  | [] -> ()
+  | _ :: _ ->
+      Telemetry.emit ctx.tel
+        (Telemetry.Fallback { depth; size = List.length frames });
+      let go = scalar_executor ctx in
+      List.iter (fun frame -> go ~count:count_roots frame depth) frames
+
+(* Is [exn] a fault this engine may absorb by falling back to scalar
+   execution?  Budget violations and abort-hinted faults never are. *)
+let recoverable ctx exn =
+  ctx.recover
+  &&
+  match exn with
+  | Vc_error.Error
+      { Vc_error.kind = Vc_error.Fault { hint = Vc_error.Fallback_scalar; _ }; _ }
+    ->
+      true
+  | _ -> false
+
 (* Process the tasks of one block at one tree level: vectorized isBase
    check, stream compaction into base/recursive groups, vectorized base
    execution.  Returns the recursive rows.  Common to both execution
@@ -124,9 +274,42 @@ let process_level ctx blk ~depth ~phase =
   Metrics.kernel_ops ctx.m.Measure.metrics (n * insns.Spec.check_insns);
   (* data-dependent work the compiler cannot vectorize stays scalar *)
   Vc_simd.Vm.scalar_ops vm (n * insns.Spec.scalar_insns);
+  (* The compaction trip fires after the level prologue ([count_tasks],
+     level metrics) but before any base work, so on a fault the whole
+     block is exactly "task-counted but not yet executed": quarantine it
+     and run every frame's subtree scalar, with [count_roots:false]. *)
+  let quarantine err =
+    note_fault ctx err;
+    scalar_subtrees ctx
+      (List.init n (fun row -> frame_of ctx blk row))
+      ~depth ~count_roots:false;
+    ([||], [||])
+  in
   let base_rows, rec_rows =
-    Vc_simd.Compact.partition ~vm ~engine:ctx.compact ~width:ctx.width ~n
-      ~pred:(fun row -> ctx.spec.Spec.is_base blk row)
+    match
+      Fault.trip ctx.faults Fault.Compact ~phase:Vc_error.Execute
+        ~hint:Vc_error.Fallback_scalar
+        ~detail:(Printf.sprintf "partition of %d frames at depth %d" n depth);
+      Vc_simd.Compact.partition ~vm ~engine:ctx.compact ~width:ctx.width ~n
+        ~pred:(fun row -> ctx.spec.Spec.is_base blk row)
+    with
+    | groups -> groups
+    | exception Vc_simd.Compact.Unsupported { engine; isa; reason } ->
+        (* an unsupported engine/ISA pairing is a compaction fault too:
+           degrade to scalar under supervision, typed error otherwise *)
+        let err =
+          {
+            Vc_error.kind =
+              Vc_error.Fault
+                { site = Vc_error.Compaction; hint = Vc_error.Fallback_scalar };
+            phase = Vc_error.Execute;
+            detail =
+              Printf.sprintf "engine %s unsupported on %s: %s" engine isa reason;
+          }
+        in
+        if ctx.recover then quarantine err else raise (Vc_error.Error err)
+    | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
+        quarantine err
   in
   let nb = Array.length base_rows in
   Metrics.base_at_level ctx.m.Measure.metrics ~depth ~n:nb;
@@ -188,55 +371,6 @@ let spawn_site ctx blk rec_rows ~site ~dst =
   charge_block_append ctx dst ~from:before ~count:pushed;
   pushed
 
-(* Task cut-off path: every thread of [blk] executes its whole subtree
-   sequentially with scalar instructions — what a conventional runtime
-   does below the cut-off.  Tasks count as epilog (never vectorized). *)
-let sequential_subtree ctx blk ~depth =
-  Telemetry.emit ctx.tel
-    (Telemetry.Level { phase = Trace.Cutoff; depth; size = Block.size blk; base = 0 });
-  let vm = ctx.m.Measure.vm in
-  let insns = ctx.spec.Spec.insns in
-  let stats = Vc_simd.Vm.stats vm in
-  let scratch_parent =
-    Block.create ~label:"cutoff-parent" ctx.m.Measure.addr
-      ~schema:ctx.spec.Spec.schema ~isa:(isa ctx) ~capacity:1
-  in
-  let scratch_child =
-    Block.create ~label:"cutoff-child" ctx.m.Measure.addr
-      ~schema:ctx.spec.Spec.schema ~isa:(isa ctx)
-      ~capacity:(max 1 ctx.spec.Spec.num_spawns)
-  in
-  let frame_of b row = Array.init ctx.nfields (fun f -> Block.get b ~field:f ~row) in
-  let rec go frame d =
-    count_tasks ctx 1;
-    Metrics.tasks_at_level ctx.m.Measure.metrics ~depth:d ~n:1;
-    stats.Vc_simd.Stats.epilog_tasks <- stats.Vc_simd.Stats.epilog_tasks + 1;
-    Vc_simd.Vm.scalar_ops vm
-      (insns.Spec.check_insns + insns.Spec.scalar_insns + (2 * ctx.nfields) + 2);
-    Block.clear scratch_parent;
-    Block.push scratch_parent frame;
-    if ctx.spec.Spec.is_base scratch_parent 0 then begin
-      Metrics.base_at_level ctx.m.Measure.metrics ~depth:d ~n:1;
-      Vc_simd.Vm.scalar_ops vm insns.Spec.base_insns;
-      ctx.spec.Spec.exec_base ctx.reducers scratch_parent 0
-    end
-    else begin
-      Vc_simd.Vm.scalar_ops vm insns.Spec.inductive_insns;
-      Block.clear scratch_child;
-      for site = 0 to ctx.spec.Spec.num_spawns - 1 do
-        Vc_simd.Vm.scalar_ops vm insns.Spec.spawn_insns;
-        ignore (ctx.spec.Spec.spawn scratch_parent 0 ~site ~dst:scratch_child : bool)
-      done;
-      let children =
-        List.init (Block.size scratch_child) (fun row -> frame_of scratch_child row)
-      in
-      List.iter (fun child -> go child (d + 1)) children
-    end
-  in
-  for row = 0 to Block.size blk - 1 do
-    go (frame_of blk row) depth
-  done;
-  ctx.live <- ctx.live - Block.size blk
 
 let check_live ctx =
   if ctx.live > ctx.max_live then raise (Oom { live = ctx.live; limit = ctx.max_live })
@@ -253,43 +387,59 @@ let check_live ctx =
    [reexp_from] carries the depth of the re-expansion trigger so the first
    expanded level can report its growth factor (Fig. 15). *)
 let rec bfs ctx blk ~depth ~reexp_from =
+  budget_check ctx;
   if Block.size blk = 0 then ()
   else
     let rec_rows = process_level ctx blk ~depth ~phase:Trace.Bfs in
     if Array.length rec_rows = 0 then ctx.live <- ctx.live - Block.size blk
     else begin
       let e = ctx.spec.Spec.num_spawns in
-      let next =
-        pool_block ctx ~depth:(depth + 1) ~slot:e ~room:(Array.length rec_rows * e)
-      in
-      (* Site-major enqueueing: all site-i children before any site-(i+1)
-         children, preserving spawn-id grouping (§5). *)
-      for site = 0 to e - 1 do
-        ignore (spawn_site ctx blk rec_rows ~site ~dst:next : int)
-      done;
-      ctx.live <- ctx.live + Block.size next;
-      Metrics.live_threads ctx.m.Measure.metrics ctx.live;
-      check_live ctx;
-      (match reexp_from with
-      | Some trigger_depth ->
-          let factor =
-            float_of_int (Block.size next) /. float_of_int (max 1 (Block.size blk))
-          in
-          Metrics.reexpansion_growth ctx.m.Measure.metrics ~depth:trigger_depth ~factor
-      | None -> ());
-      ctx.live <- ctx.live - Block.size blk;
-      if Block.size next >= ctx.max_block then begin
-        Telemetry.emit ctx.tel
-          (Telemetry.Switch { depth = depth + 1; size = Block.size next });
-        blocked ctx next ~depth:(depth + 1)
-      end
-      else bfs ctx next ~depth:(depth + 1) ~reexp_from:None
+      match
+        let next =
+          pool_block ctx ~depth:(depth + 1) ~slot:e ~room:(Array.length rec_rows * e)
+        in
+        (* Site-major enqueueing: all site-i children before any site-(i+1)
+           children, preserving spawn-id grouping (§5). *)
+        for site = 0 to e - 1 do
+          ignore (spawn_site ctx blk rec_rows ~site ~dst:next : int)
+        done;
+        next
+      with
+      | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
+          (* the next-level block never materialized (the allocation trip
+             fires before the pool mutates anything): the recursive frames
+             are accounted but their subtrees are not — run them scalar *)
+          note_fault ctx err;
+          scalar_subtrees ctx
+            (Array.to_list (Array.map (fun row -> frame_of ctx blk row) rec_rows))
+            ~depth ~count_roots:false;
+          ctx.live <- ctx.live - Block.size blk
+      | next ->
+          ctx.live <- ctx.live + Block.size next;
+          Metrics.live_threads ctx.m.Measure.metrics ctx.live;
+          check_live ctx;
+          (match reexp_from with
+          | Some trigger_depth ->
+              let factor =
+                float_of_int (Block.size next) /. float_of_int (max 1 (Block.size blk))
+              in
+              Metrics.reexpansion_growth ctx.m.Measure.metrics ~depth:trigger_depth
+                ~factor
+          | None -> ());
+          ctx.live <- ctx.live - Block.size blk;
+          if Block.size next >= ctx.max_block then begin
+            Telemetry.emit ctx.tel
+              (Telemetry.Switch { depth = depth + 1; size = Block.size next });
+            blocked ctx next ~depth:(depth + 1)
+          end
+          else bfs ctx next ~depth:(depth + 1) ~reexp_from:None
     end
 
 (* Blocked depth-first execution (Fig. 4(b) / Fig. 6 blocked_foo).  One
    child block per spawn site; each is executed to completion before the
    next, re-expanding when it has shrunk below the threshold. *)
 and blocked ctx blk ~depth =
+  budget_check ctx;
   if Block.size blk = 0 then ()
   else if Block.size blk <= ctx.cutoff then sequential_subtree ctx blk ~depth
   else
@@ -297,16 +447,34 @@ and blocked ctx blk ~depth =
     if Array.length rec_rows = 0 then ctx.live <- ctx.live - Block.size blk
     else begin
       let e = ctx.spec.Spec.num_spawns in
-      let children =
-        Array.init e (fun site ->
-            let dst =
-              pool_block ctx ~depth:(depth + 1) ~slot:site
-                ~room:(Array.length rec_rows)
-            in
-            ignore (spawn_site ctx blk rec_rows ~site ~dst : int);
-            ctx.live <- ctx.live + Block.size dst;
-            dst)
-      in
+      let spawned = ref [] in
+      match
+        for site = 0 to e - 1 do
+          let dst =
+            pool_block ctx ~depth:(depth + 1) ~slot:site
+              ~room:(Array.length rec_rows)
+          in
+          ignore (spawn_site ctx blk rec_rows ~site ~dst : int);
+          ctx.live <- ctx.live + Block.size dst;
+          spawned := dst :: !spawned
+        done
+      with
+      | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
+          (* roll back the sites spawned before the fault (their frames
+             were never executed) and quarantine the whole recursive
+             group: each rec frame's subtree re-runs scalar exactly once *)
+          note_fault ctx err;
+          List.iter
+            (fun dst ->
+              ctx.live <- ctx.live - Block.size dst;
+              Block.clear dst)
+            !spawned;
+          scalar_subtrees ctx
+            (Array.to_list (Array.map (fun row -> frame_of ctx blk row) rec_rows))
+            ~depth ~count_roots:false;
+          ctx.live <- ctx.live - Block.size blk
+      | () ->
+      let children = Array.of_list (List.rev !spawned) in
       Metrics.live_threads ctx.m.Measure.metrics ctx.live;
       check_live ctx;
       ctx.live <- ctx.live - Block.size blk;
@@ -343,7 +511,8 @@ and blocked ctx blk ~depth =
     end
 
 let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
-    ?telemetry ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t)
+    ?telemetry ?(faults = Fault.none) ?(recover = true) ?deadline ?wall_deadline
+    ?max_live_frames ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t)
     ~(strategy : Policy.strategy) () =
   let m = Measure.create machine in
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
@@ -372,6 +541,7 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
     | Policy.Bfs_only -> false
     | Policy.Hybrid { reexpand; _ } -> reexpand
   in
+  let wall_start = Unix.gettimeofday () in
   let ctx =
     {
       m;
@@ -388,6 +558,12 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
       max_tasks;
       cutoff;
       tel;
+      faults;
+      recover;
+      deadline;
+      wall_deadline;
+      frame_budget = max_live_frames;
+      wall_start;
       live = 0;
       executed = 0;
       pool = Hashtbl.create 64;
@@ -398,20 +574,26 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
       m "run %s on %s: %s, width %d, compaction %s" spec.Spec.name
         machine.Vc_mem.Machine.name (Policy.describe strategy) width
         (Vc_simd.Compact.name ctx.compact));
-  let wall_start = Unix.gettimeofday () in
   let execute () =
-    let root =
+    match
       pool_block ctx ~depth:0 ~slot:ctx.spec.Spec.num_spawns
         ~room:(List.length spec.Spec.roots)
-    in
-    List.iter (fun frame -> Block.push root frame) spec.Spec.roots;
-    charge_block_append ctx root ~from:0 ~count:(Block.size root);
-    ctx.live <- Block.size root;
-    if Block.size root >= ctx.max_block then begin
-      Telemetry.emit ctx.tel (Telemetry.Switch { depth = 0; size = Block.size root });
-      blocked ctx root ~depth:0
-    end
-    else bfs ctx root ~depth:0 ~reexp_from:None
+    with
+    | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
+        (* root block allocation faulted before anything was accounted:
+           the entire run degrades to the scalar path *)
+        note_fault ctx err;
+        scalar_subtrees ctx spec.Spec.roots ~depth:0 ~count_roots:true
+    | root ->
+        List.iter (fun frame -> Block.push root frame) spec.Spec.roots;
+        charge_block_append ctx root ~from:0 ~count:(Block.size root);
+        ctx.live <- Block.size root;
+        if Block.size root >= ctx.max_block then begin
+          Telemetry.emit ctx.tel
+            (Telemetry.Switch { depth = 0; size = Block.size root });
+          blocked ctx root ~depth:0
+        end
+        else bfs ctx root ~depth:0 ~reexp_from:None
   in
   match
     if warm then begin

@@ -12,6 +12,10 @@ exception Oom of { live : int; limit : int }
     live-thread limit; {!run} converts it to an OOM report (Table 2's OOM
     entries). *)
 
+exception Task_limit of int
+(** Raised when a run exceeds its [max_tasks] guard; {!Supervisor.run}
+    converts it to a typed [Task_budget] error. *)
+
 val run :
   ?compact:Vc_simd.Compact.engine ->
   ?max_tasks:int ->
@@ -19,6 +23,11 @@ val run :
   ?warm:bool ->
   ?trace:Trace.t ->
   ?telemetry:Telemetry.t ->
+  ?faults:Fault.plan ->
+  ?recover:bool ->
+  ?deadline:float ->
+  ?wall_deadline:float ->
+  ?max_live_frames:int ->
   spec:Spec.t ->
   machine:Vc_mem.Machine.t ->
   strategy:Policy.strategy ->
@@ -48,4 +57,23 @@ val run :
     over the same reused blocks and reports only the second pass — the
     paper's Table 2 footnote for minmax ("if the cache is warmed up for
     the kernel computation...").  Reducer values are from the measured
-    pass only. *)
+    pass only.
+
+    {2 Supervised execution}
+
+    [faults] (default {!Fault.none}) arms deterministic fault injection at
+    the engine's compaction and block-allocation sites.  With
+    [recover:true] (the default) an injected — or organic, e.g.
+    {!Vc_simd.Compact.Unsupported} — fault on the vectorized path
+    quarantines the affected block and re-executes its outstanding frames
+    on the scalar path, yielding reducer values and task counts exactly
+    equal to a fault-free run (a [Fallback] telemetry event records each
+    quarantine).  With [recover:false] the typed {!Vc_error.Error}
+    propagates to the caller.
+
+    [deadline] (modeled cycles), [wall_deadline] (seconds) and
+    [max_live_frames] are cooperative budgets checked at every level
+    boundary; exceeding one raises a [Budget_exceeded] {!Vc_error.Error}
+    (exit-code convention 2).  [max_live_frames] is a user budget distinct
+    from the machine's live-thread limit, which still produces an OOM
+    report. *)

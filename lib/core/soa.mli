@@ -5,10 +5,19 @@
     instead of transforming the whole program: array-of-structures to
     structure-of-arrays on entry, and back on exit.  The conversions are
     strided, so they cost gathers/scatters rather than packed accesses —
-    that cost is charged here and ablated in the benchmark harness. *)
+    that cost is charged here and ablated in the benchmark harness.
+
+    Both directions are supervision-aware: [faults] arms the [Convert]
+    injection site, and with [recover] (default [true]) a fault on the
+    gather/scatter path degrades to an element-wise scalar copy with an
+    identical result (charged as scalar ops, recorded as [Fault] and
+    [Fallback] telemetry events).  With [recover:false] the typed
+    {!Vc_error.Error} propagates. *)
 
 val aos_to_soa :
   ?telemetry:Telemetry.t ->
+  ?faults:Fault.plan ->
+  ?recover:bool ->
   vm:Vc_simd.Vm.t ->
   addr:Addr.t ->
   schema:Schema.t ->
@@ -23,5 +32,11 @@ val aos_to_soa :
     event per conversion. *)
 
 val soa_to_aos :
-  ?telemetry:Telemetry.t -> vm:Vc_simd.Vm.t -> aos_base:int -> Block.t -> int array array
+  ?telemetry:Telemetry.t ->
+  ?faults:Fault.plan ->
+  ?recover:bool ->
+  vm:Vc_simd.Vm.t ->
+  aos_base:int ->
+  Block.t ->
+  int array array
 (** The inverse: packed loads from the block, scattered stores to AoS. *)

@@ -1,0 +1,94 @@
+type budgets = {
+  deadline : float option;
+  wall_deadline : float option;
+  max_live_frames : int option;
+}
+
+let no_budgets = { deadline = None; wall_deadline = None; max_live_frames = None }
+
+let budgets ?deadline ?wall_deadline ?max_live_frames () =
+  { deadline; wall_deadline; max_live_frames }
+
+type outcome = {
+  report : Report.t;
+  fallbacks : int;
+  faults_seen : int;
+  deadline_events : int;
+}
+
+(* Recovery accounting rides the telemetry bus: the engine already emits
+   one [Fault] event per surfaced fault and one [Fallback] per quarantine,
+   so a counting sink observes supervision without widening [Report.t]
+   (which would invalidate every persisted run cache). *)
+let counting_sink () =
+  let faults = ref 0 and fallbacks = ref 0 and deadlines = ref 0 in
+  let sink =
+    Telemetry.callback_sink (fun { Telemetry.ev; _ } ->
+        match ev with
+        | Telemetry.Fault _ -> incr faults
+        | Telemetry.Fallback _ -> incr fallbacks
+        | Telemetry.Deadline _ -> incr deadlines
+        | _ -> ())
+  in
+  (sink, faults, fallbacks, deadlines)
+
+let supervise ~phase f =
+  match f () with
+  | v -> Ok v
+  | exception Vc_error.Error e -> Error e
+  | exception Engine.Task_limit n ->
+      Error
+        {
+          Vc_error.kind =
+            Vc_error.Budget_exceeded
+              {
+                resource = Vc_error.Task_budget;
+                limit = float_of_int n;
+                actual = float_of_int n;
+              };
+          phase;
+          detail = "engine task limit";
+        }
+  | exception Blocked_interp.Task_limit_exceeded n ->
+      Error
+        {
+          Vc_error.kind =
+            Vc_error.Budget_exceeded
+              {
+                resource = Vc_error.Task_budget;
+                limit = float_of_int n;
+                actual = float_of_int n;
+              };
+          phase;
+          detail = "interpreter task limit";
+        }
+  | exception exn -> Error (Vc_error.of_exn ~phase exn)
+
+let run ?compact ?max_tasks ?cutoff ?warm ?trace ?telemetry
+    ?(faults = Fault.none) ?(recover = true) ?(budgets = no_budgets) ~spec
+    ~machine ~strategy () =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  let sink, faults_seen, fallbacks, deadlines = counting_sink () in
+  Telemetry.attach tel sink;
+  supervise ~phase:Vc_error.Execute (fun () ->
+      let report =
+        Engine.run ?compact ?max_tasks ?cutoff ?warm ?trace ~telemetry:tel
+          ~faults ~recover ?deadline:budgets.deadline
+          ?wall_deadline:budgets.wall_deadline
+          ?max_live_frames:budgets.max_live_frames ~spec ~machine ~strategy ()
+      in
+      {
+        report;
+        fallbacks = !fallbacks;
+        faults_seen = !faults_seen;
+        deadline_events = !deadlines;
+      })
+
+let run_blocked ?strategy ?max_tasks ?telemetry ?(budgets = no_budgets) t args =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  let sink, _faults, _fallbacks, _deadlines = counting_sink () in
+  Telemetry.attach tel sink;
+  supervise ~phase:Vc_error.Execute (fun () ->
+      Blocked_interp.run ?strategy ?max_tasks ~telemetry:tel
+        ?wall_deadline:budgets.wall_deadline
+        ?max_live_frames:budgets.max_live_frames t args)

@@ -1,0 +1,67 @@
+(** Supervised execution: budgets, fault containment, recovery accounting.
+
+    The supervisor wraps {!Engine.run} / {!Blocked_interp.run} so that a
+    run either completes — possibly degraded, with quarantined blocks
+    re-executed on the scalar path — or terminates promptly with a typed
+    {!Vc_error.t} instead of an arbitrary exception.  Budgets (modeled
+    cycles, wall-clock seconds, live frames) are enforced cooperatively by
+    the executors at level boundaries; task limits surface as
+    [Budget_exceeded] errors too, so the caller can apply the exit-code
+    convention uniformly: 0 ok, 1 fault/verification failure, 2 budget
+    exceeded ({!Vc_error.exit_code}).
+
+    Recovery accounting rides the telemetry bus (a counting sink observes
+    [Fault], [Fallback] and [Deadline] events) rather than widening
+    {!Report.t}, which would invalidate persisted run caches. *)
+
+type budgets = {
+  deadline : float option;  (** modeled-cycle ceiling (engine only) *)
+  wall_deadline : float option;  (** wall-clock ceiling, seconds *)
+  max_live_frames : int option;  (** live-frame ceiling *)
+}
+
+val no_budgets : budgets
+
+val budgets :
+  ?deadline:float -> ?wall_deadline:float -> ?max_live_frames:int -> unit -> budgets
+
+type outcome = {
+  report : Report.t;
+  fallbacks : int;  (** quarantined blocks re-run on the scalar path *)
+  faults_seen : int;  (** faults surfaced (injected or organic) *)
+  deadline_events : int;  (** budget-violation telemetry events *)
+}
+
+val run :
+  ?compact:Vc_simd.Compact.engine ->
+  ?max_tasks:int ->
+  ?cutoff:int ->
+  ?warm:bool ->
+  ?trace:Trace.t ->
+  ?telemetry:Telemetry.t ->
+  ?faults:Fault.plan ->
+  ?recover:bool ->
+  ?budgets:budgets ->
+  spec:Spec.t ->
+  machine:Vc_mem.Machine.t ->
+  strategy:Policy.strategy ->
+  unit ->
+  (outcome, Vc_error.t) result
+(** Supervised {!Engine.run}.  With [recover:true] (default) injected and
+    organic vectorized-path faults degrade to scalar re-execution — the
+    outcome's [report] then has reducer values and task counts exactly
+    equal to a fault-free run, and [fallbacks] counts the quarantines.
+    [Error e] carries the typed failure: budget violations when a budget
+    in [budgets] was exceeded, the fault itself when [recover:false]. *)
+
+val run_blocked :
+  ?strategy:Policy.strategy ->
+  ?max_tasks:int ->
+  ?telemetry:Telemetry.t ->
+  ?budgets:budgets ->
+  Blocked_ast.t ->
+  int list ->
+  (Blocked_interp.result, Vc_error.t) result
+(** Supervised {!Blocked_interp.run}.  The interpreter has no cost model,
+    so [budgets.deadline] is ignored; wall-clock and live-frame budgets
+    apply. *)

@@ -5,6 +5,10 @@ type event =
   | Compaction of { engine : string; width : int; n : int; passes : int }
   | Convert of { to_soa : bool; n : int; fields : int }
   | Cache of { level : string; depth : int; accesses : int; misses : int }
+  | Fault of { site : string; detail : string }
+  | Fallback of { depth : int; size : int }
+  | Retry of { what : string; attempt : int }
+  | Deadline of { resource : string; limit : float; actual : float }
   | Mark of string
 
 type stamped = { seq : int; ts : float; dur : float; ev : event }
@@ -50,11 +54,14 @@ let trace_sink trace =
           match ev with
           | Level { phase; depth; size; base } ->
               Trace.record trace ~phase ~depth ~size ~base
-          | Switch _ | Reexpand _ | Compaction _ | Convert _ | Cache _ | Mark _
-            -> ());
+          | Switch _ | Reexpand _ | Compaction _ | Convert _ | Cache _ | Fault _
+          | Fallback _ | Retry _ | Deadline _ | Mark _ -> ());
       stream_flush = (fun () -> ());
       stream_clear = (fun () -> Trace.clear trace);
     }
+
+let callback_sink f =
+  Stream { write = f; stream_flush = (fun () -> ()); stream_clear = (fun () -> ()) }
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering.  Self-contained (the JSON library of the experiment
@@ -86,6 +93,10 @@ let event_name = function
   | Compaction { engine; _ } -> "compact:" ^ engine
   | Convert { to_soa; _ } -> if to_soa then "convert:aos->soa" else "convert:soa->aos"
   | Cache { level; _ } -> "cache:" ^ level
+  | Fault { site; _ } -> "fault:" ^ site
+  | Fallback _ -> "fallback:scalar"
+  | Retry { what; _ } -> "retry:" ^ what
+  | Deadline { resource; _ } -> "deadline:" ^ resource
   | Mark m -> "mark:" ^ m
 
 let args_fields = function
@@ -106,6 +117,16 @@ let args_fields = function
   | Cache { level; depth; accesses; misses } ->
       [ ("cache", Printf.sprintf "%S" (escape level)); ("depth", string_of_int depth);
         ("accesses", string_of_int accesses); ("misses", string_of_int misses) ]
+  | Fault { site; detail } ->
+      [ ("site", Printf.sprintf "%S" (escape site));
+        ("detail", Printf.sprintf "%S" (escape detail)) ]
+  | Fallback { depth; size } ->
+      [ ("depth", string_of_int depth); ("size", string_of_int size) ]
+  | Retry { what; attempt } ->
+      [ ("what", Printf.sprintf "%S" (escape what)); ("attempt", string_of_int attempt) ]
+  | Deadline { resource; limit; actual } ->
+      [ ("resource", Printf.sprintf "%S" (escape resource)); ("limit", num limit);
+        ("actual", num actual) ]
   | Mark m -> [ ("mark", Printf.sprintf "%S" (escape m)) ]
 
 let args_json ev =
@@ -134,7 +155,8 @@ let chrome_of_event { ts; dur; ev; _ } =
       Printf.sprintf
         "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"accesses\":%d,\"misses\":%d}}"
         (escape ("cache:" ^ level)) (num ts) accesses misses
-  | Switch _ | Reexpand _ | Compaction _ | Convert _ | Mark _ ->
+  | Switch _ | Reexpand _ | Compaction _ | Convert _ | Fault _ | Fallback _
+  | Retry _ | Deadline _ | Mark _ ->
       Printf.sprintf
         "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"s\":\"t\",\"pid\":1,\"tid\":1,\"args\":%s}"
         name (num ts) (args_json ev)

@@ -32,6 +32,15 @@ type event =
   | Cache of { level : string; depth : int; accesses : int; misses : int }
       (** Memory-simulator accesses/misses at one cache level,
           accumulated over one tree level. *)
+  | Fault of { site : string; detail : string }
+      (** A fault (injected or organic) surfaced at a runtime site. *)
+  | Fallback of { depth : int; size : int }
+      (** A quarantined block of [size] frames at [depth] was re-executed
+          on the scalar path. *)
+  | Retry of { what : string; attempt : int }
+      (** A failed operation was retried ([attempt] starts at 1). *)
+  | Deadline of { resource : string; limit : float; actual : float }
+      (** A budget or deadline was exceeded. *)
   | Mark of string  (** Free-form annotation. *)
 
 type stamped = { seq : int; ts : float; dur : float; ev : event }
@@ -65,6 +74,11 @@ val chrome_sink : out_channel -> sink
 val trace_sink : Trace.t -> sink
 (** Adapter feeding [Level] events into the legacy {!Trace} log
     (other events are dropped); {!clear} clears the underlying trace. *)
+
+val callback_sink : (stamped -> unit) -> sink
+(** Invokes the callback on every event (flush/clear are no-ops).  Used
+    by the supervisor to count faults and fallbacks without threading
+    extra state through the engine. *)
 
 (** {1 Hub} *)
 

@@ -1,0 +1,72 @@
+(** Typed error taxonomy for supervised execution.
+
+    Every runtime failure carries a {e site} (which subsystem broke), a
+    {e phase} (where in the run lifecycle it happened) and a {e recovery
+    hint} (what a supervisor may do about it), replacing the ad-hoc
+    [failwith]/[invalid_arg] escapes that previously killed whole sweeps.
+    Budget violations (deadlines, live-frame and task limits) are a
+    separate kind so callers can map them to the exit-code convention:
+    0 ok, 1 verification/fault failure, 2 budget/deadline exceeded. *)
+
+type site =
+  | Compaction  (** stream-compaction partition *)
+  | Conversion  (** AoS↔SoA layout conversion *)
+  | Block_alloc  (** ThreadBlock allocation / growth *)
+  | Cache_io  (** persistent run-cache I/O *)
+  | Scheduler  (** engine / interpreter scheduling *)
+  | Decode  (** JSON / report decoding *)
+
+type phase = Setup | Expand | Execute | Recover | Persist | Load
+
+type hint =
+  | Retry  (** transient: retry the operation *)
+  | Fallback_scalar  (** quarantine the block, re-run its tasks scalar *)
+  | Discard_entry  (** drop the corrupt datum, keep the rest *)
+  | Abort  (** no recovery: surface to the caller *)
+
+type resource = Deadline_cycles | Deadline_wall | Live_frames | Task_budget
+
+type kind =
+  | Fault of { site : site; hint : hint }
+  | Budget_exceeded of { resource : resource; limit : float; actual : float }
+
+type t = { kind : kind; phase : phase; detail : string }
+
+exception Error of t
+
+val site_name : site -> string
+val phase_name : phase -> string
+val hint_name : hint -> string
+val resource_name : resource -> string
+
+val site_of : t -> site option
+(** The fault site; [None] for budget violations. *)
+
+val hint_of : t -> hint option
+(** The recovery hint; [None] for budget violations. *)
+
+val is_budget : t -> bool
+
+val exit_code : t -> int
+(** [2] for budget violations, [1] otherwise. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val fail : phase:phase -> site -> hint -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted detail message. *)
+
+val budget :
+  ?detail:string ->
+  phase:phase ->
+  resource ->
+  limit:float ->
+  actual:float ->
+  unit ->
+  'a
+(** Raise a [Budget_exceeded] {!Error}. *)
+
+val of_exn : phase:phase -> exn -> t
+(** Classify an arbitrary exception: {!Error} payloads pass through,
+    anything else becomes an unrecoverable [Scheduler] fault carrying the
+    original message. *)

@@ -166,7 +166,12 @@ let parse_number c =
       | Some f -> Float f
       | None -> error c "bad number %S" s)
 
-let rec parse_value c =
+(* Containers count toward a nesting budget so adversarial or corrupt
+   input produces a typed parse error instead of a stack overflow (which
+   OCaml cannot recover reliably across platforms). *)
+let default_max_depth = 512
+
+let rec parse_value c ~depth =
   skip_ws c;
   match peek c with
   | None -> error c "unexpected end of input"
@@ -179,21 +184,23 @@ let rec parse_value c =
   | Some 'f' -> literal c "false" (Bool false)
   | Some '"' -> String (parse_string_body c)
   | Some '[' ->
+      if depth <= 0 then error c "nesting too deep";
       advance c;
       skip_ws c;
       if peek c = Some ']' then begin advance c; List [] end
       else begin
-        let items = ref [ parse_value c ] in
+        let items = ref [ parse_value c ~depth:(depth - 1) ] in
         skip_ws c;
         while peek c = Some ',' do
           advance c;
-          items := parse_value c :: !items;
+          items := parse_value c ~depth:(depth - 1) :: !items;
           skip_ws c
         done;
         expect c ']';
         List (List.rev !items)
       end
   | Some '{' ->
+      if depth <= 0 then error c "nesting too deep";
       advance c;
       skip_ws c;
       if peek c = Some '}' then begin advance c; Obj [] end
@@ -203,7 +210,7 @@ let rec parse_value c =
           let k = parse_string_body c in
           skip_ws c;
           expect c ':';
-          let v = parse_value c in
+          let v = parse_value c ~depth:(depth - 1) in
           (k, v)
         in
         let fields = ref [ field () ] in
@@ -221,9 +228,9 @@ let rec parse_value c =
       | '0' .. '9' | '-' | 'i' -> parse_number c
       | _ -> error c "unexpected character %C" ch)
 
-let parse s =
+let parse ?(max_depth = default_max_depth) s =
   let c = { src = s; pos = 0 } in
-  match parse_value c with
+  match parse_value c ~depth:max_depth with
   | v ->
       skip_ws c;
       if c.pos <> String.length s then Error (Printf.sprintf "trailing garbage at %d" c.pos)

@@ -19,8 +19,13 @@ type t =
 val to_string : t -> string
 (** Compact single-line rendering. *)
 
-val parse : string -> (t, string) result
-(** Parse one JSON value (trailing whitespace allowed). *)
+val default_max_depth : int
+(** Default container-nesting budget (512). *)
+
+val parse : ?max_depth:int -> string -> (t, string) result
+(** Parse one JSON value (trailing whitespace allowed).  Containers
+    nested deeper than [max_depth] (default {!default_max_depth}) yield
+    [Error "... nesting too deep"] instead of a stack overflow. *)
 
 val member : string -> t -> t
 (** Field lookup on an [Obj]; [Null] when absent or not an object. *)

@@ -1,10 +1,47 @@
+let log_src = Logs.Src.create "vc.pool" ~doc:"Domain work-queue pool"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run_serial tasks = List.iter (fun f -> f ()) tasks
+type failure = { index : int; attempts : int; error : Vc_core.Vc_error.t }
 
-let run ~jobs tasks =
+let is_budget_exn = function
+  | Vc_core.Vc_error.Error e -> Vc_core.Vc_error.is_budget e
+  | _ -> false
+
+(* Run one task, retrying transient failures with exponential backoff.
+   Budget violations are deterministic — the same deadline fires again on
+   every retry — so they are never retried; they re-raise immediately.
+   Injected faults, by contrast, CAN succeed on retry: the fault plan's
+   call counters have advanced, so the replay sees a different pattern. *)
+let try_task ~retries ~backoff index f : (unit, exn * int) result =
+  let rec go attempt =
+    match f () with
+    | () -> Ok ()
+    | exception exn when is_budget_exn exn -> raise exn
+    | exception exn ->
+        if attempt <= retries then begin
+          Log.info (fun m ->
+              m "task %d failed (%s); retry %d/%d" index (Printexc.to_string exn)
+                attempt retries);
+          if backoff > 0.0 then
+            Unix.sleepf (backoff *. (2.0 ** float_of_int (attempt - 1)));
+          go (attempt + 1)
+        end
+        else Error (exn, attempt)
+  in
+  go 1
+
+let run ?(retries = 0) ?(backoff = 0.0) ~jobs tasks =
   let n = List.length tasks in
-  if jobs <= 1 || n < 2 then run_serial tasks
+  if jobs <= 1 || n < 2 then
+    List.iteri
+      (fun i f ->
+        match try_task ~retries ~backoff i f with
+        | Ok () -> ()
+        | Error (exn, _) -> raise exn)
+      tasks
   else begin
     let tasks = Array.of_list tasks in
     let next = Atomic.make 0 in
@@ -15,17 +52,66 @@ let run ~jobs tasks =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Atomic.get failure <> None then continue := false
         else
-          try tasks.(i) ()
-          with e ->
-            (* keep the first failure; losing later ones is fine — the
-               sweep aborts on any *)
-            ignore (Atomic.compare_and_set failure None (Some e))
+          match try_task ~retries ~backoff i tasks.(i) with
+          | Ok () -> ()
+          | Error (exn, _) ->
+              (* keep the first failure; losing later ones is fine — the
+                 sweep aborts on any *)
+              ignore (Atomic.compare_and_set failure None (Some exn))
+          | exception exn ->
+              (* budget violation: deterministic, abort the whole queue *)
+              ignore (Atomic.compare_and_set failure None (Some exn))
       done
     in
-    let domains =
-      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
+    let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join domains;
     match Atomic.get failure with Some e -> raise e | None -> ()
   end
+
+let run_collect ?(retries = 0) ?(backoff = 0.0) ~jobs tasks =
+  let n = List.length tasks in
+  let lock = Mutex.create () in
+  let failures = ref [] in
+  let fatal : exn option Atomic.t = Atomic.make None in
+  let contain i exn attempts =
+    if is_budget_exn exn then
+      (* budgets abort the queue — containing them would let a sweep keep
+         burning time the user explicitly capped *)
+      ignore (Atomic.compare_and_set fatal None (Some exn))
+    else begin
+      let error = Vc_core.Vc_error.of_exn ~phase:Vc_core.Vc_error.Execute exn in
+      Log.warn (fun m ->
+          m "task %d failed permanently after %d attempt%s: %s" i attempts
+            (if attempts = 1 then "" else "s")
+            (Vc_core.Vc_error.to_string error));
+      Mutex.protect lock (fun () ->
+          failures := { index = i; attempts; error } :: !failures)
+    end
+  in
+  let exec i f =
+    match try_task ~retries ~backoff i f with
+    | Ok () -> ()
+    | Error (exn, attempts) -> contain i exn attempts
+    | exception exn -> contain i exn 1
+  in
+  if jobs <= 1 || n < 2 then
+    List.iteri (fun i f -> if Atomic.get fatal = None then exec i f) tasks
+  else begin
+    let tasks = Array.of_list tasks in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get fatal <> None then continue := false
+        else exec i tasks.(i)
+      done
+    in
+    let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  match Atomic.get fatal with
+  | Some e -> raise e
+  | None -> List.sort (fun a b -> compare a.index b.index) !failures

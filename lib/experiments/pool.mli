@@ -5,14 +5,37 @@
     independent simulation — so the pool is deliberately simple: one
     shared atomic cursor over the task array, [jobs] domains racing to
     claim the next index.  Tasks must do their own synchronization around
-    shared state (the sweep memo table is mutex-guarded). *)
+    shared state (the sweep memo table is mutex-guarded).
+
+    Both entry points support supervised execution: failed tasks retry
+    with exponential backoff, and budget violations (typed
+    [Budget_exceeded] {!Vc_core.Vc_error.Error}s) are deterministic, so
+    they are never retried or contained — they abort the queue and
+    re-raise in the caller. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
 
-val run : jobs:int -> (unit -> unit) list -> unit
+type failure = {
+  index : int;  (** position of the task in the submitted list *)
+  attempts : int;  (** attempts made, including the first *)
+  error : Vc_core.Vc_error.t;  (** classified final error *)
+}
+
+val run : ?retries:int -> ?backoff:float -> jobs:int -> (unit -> unit) list -> unit
 (** Execute every task.  With [jobs <= 1] (or fewer than two tasks) the
     tasks run in the calling domain, in order, spawning nothing — the
     [--jobs 1] reference schedule.  Otherwise [min jobs (length tasks)]
-    domains drain the queue.  The first exception raised by any task is
-    re-raised in the caller after all domains have joined. *)
+    domains drain the queue.  Each failing task is retried up to
+    [retries] times (default 0) with [backoff * 2^(attempt-1)] seconds of
+    sleep between attempts (default no sleep); the first exhausted
+    failure aborts the queue and is re-raised verbatim in the caller
+    after all domains have joined. *)
+
+val run_collect :
+  ?retries:int -> ?backoff:float -> jobs:int -> (unit -> unit) list -> failure list
+(** Like {!run}, but contains per-task failures instead of aborting: a
+    task that still fails after its retries is recorded (worker-death
+    containment — the rest of the queue keeps draining) and the failures
+    are returned sorted by task index, [[]] when everything succeeded.
+    Budget violations are still fatal and re-raise in the caller. *)

@@ -64,20 +64,29 @@ let json_of_report (r : Vc_core.Report.t) : Jsonx.t =
       ("occupancy_hist", List (Array.to_list r.occupancy_hist |> List.map (fun n -> Jsonx.Int n)));
     ]
 
-let report_of_json (j : Jsonx.t) : Vc_core.Report.t =
+(* Decoding failures travel on a result channel, not [failwith]: a corrupt
+   entry must never look like a programming error to the caller, and load's
+   salvage loop needs the message to report what it skipped. *)
+exception Decode of string
+
+let decode_error fmt = Printf.ksprintf (fun m -> raise (Decode m)) fmt
+
+let report_of_json (j : Jsonx.t) : (Vc_core.Report.t, string) result =
   let open Jsonx in
   let m name = member name j in
   let pair2 conv_a conv_b v =
     match to_list v with
     | [ a; b ] -> (conv_a a, conv_b b)
-    | _ -> failwith "Run_cache: bad pair"
+    | _ -> decode_error "bad pair (expected a 2-element list)"
   in
   let triple conv_a conv_b conv_c v =
     match to_list v with
     | [ a; b; c ] -> (conv_a a, conv_b b, conv_c c)
-    | _ -> failwith "Run_cache: bad triple"
+    | _ -> decode_error "bad triple (expected a 3-element list)"
   in
-  {
+  try
+    Ok
+      {
     benchmark = to_str (m "benchmark");
     machine = to_str (m "machine");
     strategy = to_str (m "strategy");
@@ -104,9 +113,12 @@ let report_of_json (j : Jsonx.t) : Vc_core.Report.t =
     reexp_count = to_int (m "reexp_count");
     compaction_calls = to_int (m "compaction_calls");
     compaction_passes = to_int (m "compaction_passes");
-    occupancy_hist = Array.of_list (List.map to_int (to_list (m "occupancy_hist")));
-    wall_seconds = 0.0;
-  }
+        occupancy_hist = Array.of_list (List.map to_int (to_list (m "occupancy_hist")));
+        wall_seconds = 0.0;
+      }
+  with
+  | Decode msg -> Error msg
+  | Failure msg -> Error msg (* Jsonx accessor type mismatch *)
 
 (* ------------------------------------------------------------------ *)
 
@@ -116,11 +128,15 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load ~dir =
+let load ?(faults = Vc_core.Fault.none) ~dir () =
   let t = { dir; lock = Mutex.create (); table = Hashtbl.create 256; dirty = false } in
   let path = file t in
   (if Sys.file_exists path then
-     match Jsonx.parse (read_file path) with
+     match
+       Vc_core.Fault.trip faults Vc_core.Fault.Cache ~phase:Vc_core.Vc_error.Load
+         ~hint:Vc_core.Vc_error.Discard_entry ~detail:path;
+       Jsonx.parse (read_file path)
+     with
      | Ok j when Jsonx.(member "version" j = Int version) -> (
          match Jsonx.member "runs" j with
          | Jsonx.Obj runs ->
@@ -128,8 +144,11 @@ let load ~dir =
              List.iter
                (fun (key, rj) ->
                  match report_of_json rj with
-                 | r -> Hashtbl.replace t.table key r
-                 | exception _ -> incr skipped (* skip corrupt entries, keep the rest *))
+                 | Ok r -> Hashtbl.replace t.table key r
+                 | Error msg ->
+                     (* skip corrupt entries, keep the rest *)
+                     incr skipped;
+                     Log.debug (fun m -> m "%s: entry %s: %s" path key msg))
                runs;
              if !skipped > 0 then
                Log.warn (fun m ->
@@ -159,7 +178,9 @@ let add t key report =
 
 let entries t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
 
-let persist t =
+let max_persist_attempts = 3
+
+let persist ?(faults = Vc_core.Fault.none) t =
   Mutex.protect t.lock @@ fun () ->
   if t.dirty then begin
     if not (Sys.file_exists t.dir) then Unix.mkdir t.dir 0o755;
@@ -168,11 +189,46 @@ let persist t =
       |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
     let doc = Jsonx.Obj [ ("version", Int version); ("runs", Obj runs) ] in
-    let tmp = file t ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (Jsonx.to_string doc));
-    Sys.rename tmp (file t);
+    let payload = Jsonx.to_string doc in
+    (* Crash-safe write: a pid-unique temp file in the same directory
+       (rename is only atomic within a filesystem), flushed and fsynced
+       before the rename, and removed if anything goes wrong — a reader
+       never observes a partial [runs.json]. *)
+    let write_once () =
+      Vc_core.Fault.trip faults Vc_core.Fault.Cache ~phase:Vc_core.Vc_error.Persist
+        ~hint:Vc_core.Vc_error.Retry ~detail:(file t);
+      let tmp = Printf.sprintf "%s.tmp.%d" (file t) (Unix.getpid ()) in
+      (try
+         let oc = open_out_bin tmp in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () ->
+             output_string oc payload;
+             flush oc;
+             Unix.fsync (Unix.descr_of_out_channel oc))
+       with exn ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise exn);
+      Sys.rename tmp (file t)
+    in
+    let rec attempt n =
+      try write_once ()
+      with
+      | Vc_core.Vc_error.Error
+          {
+            Vc_core.Vc_error.kind =
+              Vc_core.Vc_error.Fault { hint = Vc_core.Vc_error.Retry; _ };
+            _;
+          } as exn
+      ->
+        if n >= max_persist_attempts then raise exn
+        else begin
+          Log.warn (fun m ->
+              m "%s: persist fault, retrying (attempt %d/%d)" (file t) (n + 1)
+                max_persist_attempts);
+          attempt (n + 1)
+        end
+    in
+    attempt 1;
     t.dirty <- false
   end

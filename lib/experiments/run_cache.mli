@@ -20,10 +20,19 @@ type t
 val version : int
 (** Current schema version of the cache file. *)
 
-val load : dir:string -> t
+val json_of_report : Vc_core.Report.t -> Jsonx.t
+
+val report_of_json : Jsonx.t -> (Vc_core.Report.t, string) result
+(** Decode one cached report.  Malformed payloads (wrong arity pairs or
+    triples, type mismatches) yield [Error msg] — never an exception —
+    so {!load} can skip corrupt entries individually. *)
+
+val load : ?faults:Vc_core.Fault.plan -> dir:string -> unit -> t
 (** Open (or initialize) the cache rooted at [dir].  A missing, unreadable,
     corrupt, or version-mismatched [runs.json] yields an empty cache; the
-    directory is created lazily by {!persist}. *)
+    directory is created lazily by {!persist}.  [faults] arms the
+    [Cache] injection site on the file read; an injected load fault is
+    contained as "unreadable" (empty cache). *)
 
 val find : t -> string -> Vc_core.Report.t option
 
@@ -33,6 +42,11 @@ val add : t -> string -> Vc_core.Report.t -> unit
 
 val entries : t -> int
 
-val persist : t -> unit
-(** Write [dir/runs.json] atomically (temp file + rename) if any entry was
-    added since [load].  No-op on a clean handle. *)
+val persist : ?faults:Vc_core.Fault.plan -> t -> unit
+(** Write [dir/runs.json] crash-safely if any entry was added since
+    [load]: the payload goes to a pid-unique temp file in the same
+    directory, is flushed and fsynced, then renamed over the target —
+    readers never observe a partial file, and a failed write removes its
+    temp file.  No-op on a clean handle.  [faults] arms the [Cache]
+    injection site; injected persist faults (hint [Retry]) are retried
+    up to 3 attempts before the typed error propagates. *)

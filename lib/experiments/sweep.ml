@@ -11,15 +11,21 @@ type key = {
 type ctx = {
   quick : bool;
   jobs : int;
+  budgets : Vc_core.Supervisor.budgets;
+  faults : Vc_core.Fault.plan;
+  retries : int;
   specs : (string, Vc_core.Spec.t) Hashtbl.t;
   runs : (key, Vc_core.Report.t) Hashtbl.t;
   lock : Mutex.t;
   disk : Run_cache.t option;
   mutable simulated : int;
   mutable disk_hits : int;
+  mutable failed : Pool.failure list;
 }
 
-let create ?quick ?(jobs = 1) ?(cache_dir = None) () =
+let create ?quick ?(jobs = 1) ?(cache_dir = None)
+    ?(budgets = Vc_core.Supervisor.no_budgets) ?(faults = Vc_core.Fault.none)
+    ?(retries = 0) () =
   let quick =
     match quick with
     | Some q -> q
@@ -31,25 +37,40 @@ let create ?quick ?(jobs = 1) ?(cache_dir = None) () =
   {
     quick;
     jobs = max 1 jobs;
+    budgets;
+    faults;
+    retries;
     specs = Hashtbl.create 16;
     runs = Hashtbl.create 256;
     lock = Mutex.create ();
-    disk = Option.map (fun dir -> Run_cache.load ~dir) cache_dir;
+    disk = Option.map (fun dir -> Run_cache.load ~faults ~dir ()) cache_dir;
     simulated = 0;
     disk_hits = 0;
+    failed = [];
   }
 
 let quick ctx = ctx.quick
 let jobs ctx = ctx.jobs
 let simulations ctx = Mutex.protect ctx.lock (fun () -> ctx.simulated)
 let cache_hits ctx = Mutex.protect ctx.lock (fun () -> ctx.disk_hits)
+let failures ctx = Mutex.protect ctx.lock (fun () -> List.rev ctx.failed)
 
 let key_string ctx key =
   Printf.sprintf "%s|%s|%s|%s|%d|%s"
     (if ctx.quick then "quick" else "full")
     key.bench key.machine key.strategy key.block key.compact
 
-let persist ctx = Option.iter Run_cache.persist ctx.disk
+let persist ctx = Option.iter (Run_cache.persist ~faults:ctx.faults) ctx.disk
+
+(* The supervised-engine knobs every engine point shares.  Fault-armed
+   runs recover to correct reducer values but with degraded (partly
+   scalar) cost numbers, so they must never be persisted — a later
+   fault-free process would read them as genuine measurements. *)
+let engine_args ctx =
+  ( ctx.faults,
+    ctx.budgets.Vc_core.Supervisor.deadline,
+    ctx.budgets.Vc_core.Supervisor.wall_deadline,
+    ctx.budgets.Vc_core.Supervisor.max_live_frames )
 
 let runs ctx =
   Mutex.protect ctx.lock (fun () ->
@@ -129,7 +150,8 @@ let cached ctx key f =
           Hashtbl.add ctx.runs key r;
           if fresh then begin
             ctx.simulated <- ctx.simulated + 1;
-            Option.iter (fun d -> Run_cache.add d (key_string ctx key) r) ctx.disk
+            if not (Vc_core.Fault.armed ctx.faults) then
+              Option.iter (fun d -> Run_cache.add d (key_string ctx key) r) ctx.disk
           end
           else ctx.disk_hits <- ctx.disk_hits + 1;
           r)
@@ -157,8 +179,9 @@ let bfs_only ctx entry (machine : Vc_mem.Machine.t) =
     }
   in
   cached ctx key (fun () ->
-      Vc_core.Engine.run ~spec:(spec_of ctx entry) ~machine
-        ~strategy:Vc_core.Policy.Bfs_only ())
+      let faults, deadline, wall_deadline, max_live_frames = engine_args ctx in
+      Vc_core.Engine.run ~faults ?deadline ?wall_deadline ?max_live_frames
+        ~spec:(spec_of ctx entry) ~machine ~strategy:Vc_core.Policy.Bfs_only ())
 
 let hybrid ctx entry (machine : Vc_mem.Machine.t) ~reexpand ~block =
   let key =
@@ -171,7 +194,9 @@ let hybrid ctx entry (machine : Vc_mem.Machine.t) ~reexpand ~block =
     }
   in
   cached ctx key (fun () ->
-      Vc_core.Engine.run ~spec:(spec_of ctx entry) ~machine
+      let faults, deadline, wall_deadline, max_live_frames = engine_args ctx in
+      Vc_core.Engine.run ~faults ?deadline ?wall_deadline ?max_live_frames
+        ~spec:(spec_of ctx entry) ~machine
         ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand })
         ())
 
@@ -186,7 +211,9 @@ let with_compaction ctx entry (machine : Vc_mem.Machine.t) ~compact ~block =
     }
   in
   cached ctx key (fun () ->
-      Vc_core.Engine.run ~compact ~spec:(spec_of ctx entry) ~machine
+      let faults, deadline, wall_deadline, max_live_frames = engine_args ctx in
+      Vc_core.Engine.run ~compact ~faults ?deadline ?wall_deadline ?max_live_frames
+        ~spec:(spec_of ctx entry) ~machine
         ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
         ())
 
@@ -288,9 +315,16 @@ let prewarm ?(scope = `Full) ctx =
   (* build every spec in the calling domain so pool workers (and their
      closures) only read the spec table *)
   List.iter (fun e -> ignore (spec_of ctx e : Vc_core.Spec.t)) Registry.all;
+  (* Containment boundary: a point that still fails after [retries] is
+     recorded and the rest of the sweep proceeds; budget violations stay
+     fatal and propagate out of Pool.run_collect immediately. *)
+  let submit tasks =
+    let fs = Pool.run_collect ~retries:ctx.retries ~jobs:ctx.jobs tasks in
+    if fs <> [] then
+      Mutex.protect ctx.lock (fun () -> ctx.failed <- List.rev_append fs ctx.failed)
+  in
   match scope with
-  | `Seq_only -> Pool.run ~jobs:ctx.jobs (seq_points ctx)
+  | `Seq_only -> submit (seq_points ctx)
   | `Full ->
-      Pool.run ~jobs:ctx.jobs
-        (seq_points ctx @ engine_points ctx @ strawman_points ctx);
-      Pool.run ~jobs:ctx.jobs (compaction_points ctx)
+      submit (seq_points ctx @ engine_points ctx @ strawman_points ctx);
+      submit (compaction_points ctx)

@@ -27,11 +27,27 @@ type key = {
 
 type ctx
 
-val create : ?quick:bool -> ?jobs:int -> ?cache_dir:string option -> unit -> ctx
+val create :
+  ?quick:bool ->
+  ?jobs:int ->
+  ?cache_dir:string option ->
+  ?budgets:Vc_core.Supervisor.budgets ->
+  ?faults:Vc_core.Fault.plan ->
+  ?retries:int ->
+  unit ->
+  ctx
 (** [quick] defaults to the [VC_BENCH_QUICK] environment variable.
     [jobs] (default 1) is the domain count used by {!prewarm}.
     [cache_dir] (default [None] = no persistence; the CLI passes
-    [Some ".vc-cache"]) roots the on-disk run cache. *)
+    [Some ".vc-cache"]) roots the on-disk run cache.
+
+    [budgets] (default {!Vc_core.Supervisor.no_budgets}) applies the
+    deadline / wall-clock / live-frame budgets to every engine point;
+    a violation is fatal and propagates (exit-code 2 convention).
+    [faults] arms fault injection in every engine point and the disk
+    cache; fault-armed contexts never write the persistent cache (their
+    recovered runs carry degraded cost numbers).  [retries] (default 0)
+    is the per-task retry count {!prewarm} hands to the pool. *)
 
 val quick : ctx -> bool
 val jobs : ctx -> int
@@ -42,6 +58,11 @@ val simulations : ctx -> int
 
 val cache_hits : ctx -> int
 (** Points served from the persistent disk cache. *)
+
+val failures : ctx -> Pool.failure list
+(** Sweep points contained by {!prewarm} after exhausting their retries
+    (chronological).  Empty on a healthy sweep.  A contained point is
+    re-attempted on demand if a generator later reads it. *)
 
 val key_string : ctx -> key -> string
 (** The disk-cache encoding of [key]: the workload scale (quick/full)

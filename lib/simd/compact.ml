@@ -4,6 +4,8 @@ type engine =
   | Factorized of { sub_width : int }
   | Prefix_scatter of { sub_width : int }
 
+exception Unsupported of { engine : string; isa : string; reason : string }
+
 let name = function
   | Sequential -> "sequential"
   | Full_table -> "full-table"
@@ -60,10 +62,17 @@ let table_memory_bytes engine ~width =
   | Factorized { sub_width } -> Shuffle_table.memory_bytes (shuffle_table sub_width)
   | Prefix_scatter { sub_width } -> Prefix_table.memory_bytes (prefix_table sub_width)
 
-let check_sub_width ~width ~sub_width =
+let check_sub_width engine ~isa ~width ~sub_width =
   if sub_width < 1 || sub_width > width || width mod sub_width <> 0 then
-    invalid_arg
-      (Printf.sprintf "Compact: sub_width %d must divide width %d" sub_width width)
+    raise
+      (Unsupported
+         {
+           engine = name engine;
+           isa;
+           reason =
+             Printf.sprintf "Compact: sub_width %d must divide width %d" sub_width
+               width;
+         })
 
 (* Stable partition with a plain scalar loop: one compare + one store per
    element. *)
@@ -172,11 +181,15 @@ let prefix_side ~vm ~width ~sub_width =
     !p
 
 let partition ~vm ~engine ~width ~n ~pred =
-  if width < 1 then invalid_arg "Compact.partition: width must be positive";
+  let isa_name = (Vm.isa vm).Isa.name in
+  let unsupported reason =
+    raise (Unsupported { engine = name engine; isa = isa_name; reason })
+  in
+  if width < 1 then unsupported "Compact.partition: width must be positive";
   if not (legal (Vm.isa vm) engine) then
-    invalid_arg
+    unsupported
       (Printf.sprintf "Compact.partition: engine %s is illegal on ISA %s"
-         (name engine) (Vm.isa vm).Isa.name);
+         (name engine) isa_name);
   if n = 0 then ([||], [||])
   else begin
     (Vm.stats vm).Stats.compaction_calls <- (Vm.stats vm).Stats.compaction_calls + 1;
@@ -184,13 +197,13 @@ let partition ~vm ~engine ~width ~n ~pred =
     | Sequential -> sequential ~vm ~n ~pred
     | Full_table ->
         if width > 16 then
-          invalid_arg "Compact.partition: full table limited to width 16";
+          unsupported "Compact.partition: full table limited to width 16";
         chunked ~width ~n ~pred
           ~compact_side:(shuffle_side ~vm ~width ~sub_width:width)
     | Factorized { sub_width } ->
-        check_sub_width ~width ~sub_width;
+        check_sub_width engine ~isa:isa_name ~width ~sub_width;
         chunked ~width ~n ~pred ~compact_side:(shuffle_side ~vm ~width ~sub_width)
     | Prefix_scatter { sub_width } ->
-        check_sub_width ~width ~sub_width;
+        check_sub_width engine ~isa:isa_name ~width ~sub_width;
         chunked ~width ~n ~pred ~compact_side:(prefix_side ~vm ~width ~sub_width)
   end

@@ -25,6 +25,12 @@ type engine =
   | Factorized of { sub_width : int }
   | Prefix_scatter of { sub_width : int }
 
+exception Unsupported of { engine : string; isa : string; reason : string }
+(** Raised by {!partition} when the requested engine cannot run on the
+    VM's ISA (or its parameters are inconsistent).  Typed so supervised
+    executors can catch it and fall back to the scalar partition instead
+    of dying on an untyped [Invalid_argument]. *)
+
 val name : engine -> string
 
 val default_for : Isa.t -> width:int -> engine
@@ -53,5 +59,5 @@ val partition :
     per non-empty partition) and [Stats.compaction_passes] (one per
     sub-group pass of the table-driven engines; zero for {!Sequential}) so
     the telemetry layer can report per-partition pass counts.  Raises
-    [Invalid_argument] for an engine the VM's ISA cannot execute or a
+    {!Unsupported} for an engine the VM's ISA cannot execute or a
     [sub_width] that does not divide [width]. *)

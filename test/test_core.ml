@@ -773,6 +773,101 @@ let test_report_speedup () =
   check_int "reducer lookup" (Vc_bench.Fib.reference { Vc_bench.Fib.n = 10 })
     (Report.reducer seq "result")
 
+(* ------------------------------------------------------------------ *)
+(* Supervised execution                                                *)
+
+let hybrid8 = Policy.Hybrid { max_block = 8; reexpand = true }
+
+let test_supervisor_recovers () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 12 } in
+  let reference = Engine.run ~spec ~machine:e5 ~strategy:hybrid8 () in
+  let plan = Fault.make ~rate:1.0 ~seed:7 ~sites:[ Fault.Compact; Fault.Alloc ] () in
+  match Supervisor.run ~faults:plan ~spec ~machine:e5 ~strategy:hybrid8 () with
+  | Error e -> Alcotest.failf "no recovery: %s" (Vc_error.to_string e)
+  | Ok o ->
+      check_bool "reducers equal" true
+        (o.Supervisor.report.Report.reducers = reference.Report.reducers);
+      check_int "tasks equal" reference.Report.tasks o.Supervisor.report.Report.tasks;
+      check_int "base tasks equal" reference.Report.base_tasks
+        o.Supervisor.report.Report.base_tasks;
+      check_bool "faults were injected" true (o.Supervisor.faults_seen > 0);
+      check_bool "scalar fallback fired" true (o.Supervisor.fallbacks > 0)
+
+let test_supervisor_no_recover () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 12 } in
+  let plan = Fault.make ~rate:1.0 ~seed:7 ~sites:[ Fault.Alloc ] () in
+  match
+    Supervisor.run ~faults:plan ~recover:false ~spec ~machine:e5 ~strategy:hybrid8 ()
+  with
+  | Ok _ -> Alcotest.fail "recover:false still recovered"
+  | Error e ->
+      check_bool "typed fault" true
+        (match e.Vc_error.kind with Vc_error.Fault _ -> true | _ -> false);
+      check_int "exit code 1" 1 (Vc_error.exit_code e)
+
+let test_supervisor_deadline () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 18 } in
+  match
+    Supervisor.run
+      ~budgets:(Supervisor.budgets ~deadline:100.0 ())
+      ~spec ~machine:e5 ~strategy:hybrid8 ()
+  with
+  | Ok _ -> Alcotest.fail "deadline did not fire"
+  | Error e ->
+      check_bool "budget error" true (Vc_error.is_budget e);
+      check_int "exit code 2" 2 (Vc_error.exit_code e)
+
+let test_supervisor_live_frames () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 18 } in
+  match
+    Supervisor.run
+      ~budgets:(Supervisor.budgets ~max_live_frames:4 ())
+      ~spec ~machine:e5 ~strategy:hybrid8 ()
+  with
+  | Ok _ -> Alcotest.fail "live-frame budget did not fire"
+  | Error e ->
+      check_bool "budget error" true (Vc_error.is_budget e);
+      check_int "exit code 2" 2 (Vc_error.exit_code e)
+
+let test_soa_fault_fallback () =
+  let vm = Vc_simd.Vm.create Vc_simd.Isa.sse42 in
+  let addr = Addr.create () in
+  let s = Schema.create ~lane_kind:Vc_simd.Lane.I32 [ "x"; "y" ] in
+  let frames = Array.init 33 (fun i -> [| i; i * 7 |]) in
+  let plan = Fault.make ~rate:1.0 ~seed:5 ~sites:[ Fault.Convert ] () in
+  let tel = Telemetry.create () in
+  let events = ref [] in
+  Telemetry.attach tel (Telemetry.callback_sink (fun st -> events := st :: !events));
+  let blk =
+    Soa.aos_to_soa ~telemetry:tel ~faults:plan ~vm ~addr ~schema:s
+      ~isa:Vc_simd.Isa.sse42 ~aos_base:0x100000 ~frames ()
+  in
+  let back = Soa.soa_to_aos ~telemetry:tel ~faults:plan ~vm ~aos_base:0x100000 blk in
+  check_bool "scalar fallback is the identity" true (back = frames);
+  check_int "both conversions faulted" 2 (Fault.total_fired plan);
+  let count p = List.length (List.filter p !events) in
+  check_int "fault events" 2
+    (count (fun st ->
+         match st.Telemetry.ev with Telemetry.Fault _ -> true | _ -> false));
+  check_int "fallback events" 2
+    (count (fun st ->
+         match st.Telemetry.ev with Telemetry.Fallback _ -> true | _ -> false))
+
+let test_blocked_interp_budget () =
+  let t = Transform.transform fib_program in
+  (match
+     Supervisor.run_blocked
+       ~budgets:(Supervisor.budgets ~max_live_frames:2 ())
+       t [ 12 ]
+   with
+  | Ok _ -> Alcotest.fail "live-frame budget did not fire"
+  | Error e ->
+      check_bool "budget error" true (Vc_error.is_budget e);
+      check_int "exit code 2" 2 (Vc_error.exit_code e));
+  match Supervisor.run_blocked t [ 10 ] with
+  | Ok b -> check_int "fib 10" 55 (List.assoc "result" b.Blocked_interp.reducers)
+  | Error e -> Alcotest.failf "unbudgeted run failed: %s" (Vc_error.to_string e)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -854,5 +949,20 @@ let () =
         [
           Alcotest.test_case "collection" `Quick test_metrics;
           Alcotest.test_case "report speedup" `Quick test_report_speedup;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "fault recovery is exact" `Quick
+            test_supervisor_recovers;
+          Alcotest.test_case "recover:false propagates the fault" `Quick
+            test_supervisor_no_recover;
+          Alcotest.test_case "cycle deadline exits 2" `Quick
+            test_supervisor_deadline;
+          Alcotest.test_case "live-frame budget exits 2" `Quick
+            test_supervisor_live_frames;
+          Alcotest.test_case "soa fault falls back to scalar copy" `Quick
+            test_soa_fault_fallback;
+          Alcotest.test_case "blocked interp budgets" `Quick
+            test_blocked_interp_budget;
         ] );
     ]

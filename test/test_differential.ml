@@ -123,6 +123,62 @@ let check_compaction_engines () =
         ])
     (List.filteri (fun i _ -> i < 20) cases)
 
+(* Fault matrix: for every injected fault site and fault seed, a
+   supervised run under the fault plan must recover — via block
+   quarantine and scalar re-execution — to exactly the fault-free
+   engine's reducers and task counts.  The assertion that fallbacks
+   actually fired keeps the matrix from passing vacuously with a plan
+   that never trips. *)
+let check_fault_recovery () =
+  let strategy = Policy.Hybrid { max_block = 8; reexpand = true } in
+  let fallbacks = ref 0 in
+  let faults_seen = ref 0 in
+  List.iter
+    (fun (i, p, args) ->
+      let spec = Compile.spec_of_program p ~args in
+      let reference = Engine.run ~spec ~machine:e5 ~strategy () in
+      if not reference.Report.oom then
+        List.iter
+          (fun site ->
+            List.iter
+              (fun fault_seed ->
+                let plan =
+                  Fault.make ~rate:0.25 ~seed:fault_seed ~sites:[ site ] ()
+                in
+                match Supervisor.run ~faults:plan ~spec ~machine:e5 ~strategy () with
+                | Error e ->
+                    Alcotest.failf "site %s seed %d did not recover (%s) on %s"
+                      (Fault.site_name site) fault_seed (Vc_error.to_string e)
+                      (describe i p args)
+                | Ok o ->
+                    fallbacks := !fallbacks + o.Supervisor.fallbacks;
+                    faults_seen := !faults_seen + o.Supervisor.faults_seen;
+                    let r = o.Supervisor.report in
+                    if
+                      r.Report.reducers <> reference.Report.reducers
+                      || r.Report.tasks <> reference.Report.tasks
+                      || r.Report.base_tasks <> reference.Report.base_tasks
+                    then
+                      Alcotest.failf
+                        "scalar fallback diverges under site %s seed %d on %s:\n\
+                         got %s / %d tasks, want %s / %d tasks"
+                        (Fault.site_name site) fault_seed (describe i p args)
+                        (String.concat ","
+                           (List.map
+                              (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+                              r.Report.reducers))
+                        r.Report.tasks
+                        (String.concat ","
+                           (List.map
+                              (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+                              reference.Report.reducers))
+                        reference.Report.tasks)
+              [ 1; 2; 3 ])
+          [ Fault.Compact; Fault.Alloc ])
+    (List.filteri (fun i _ -> i < 10) cases);
+  if !faults_seen = 0 then Alcotest.fail "fault matrix injected nothing";
+  if !fallbacks = 0 then Alcotest.fail "fault matrix never took the scalar fallback"
+
 let () =
   Alcotest.run "vc_differential"
     [
@@ -134,5 +190,7 @@ let () =
             `Slow check_agreement;
           Alcotest.test_case "compaction engines preserve results" `Quick
             check_compaction_engines;
+          Alcotest.test_case "fault injection recovers to exact results" `Quick
+            check_fault_recovery;
         ] );
     ]

@@ -120,7 +120,7 @@ let test_run_cache_corrupt_files () =
   let path = Filename.concat dir "runs.json" in
   let load_empty what contents =
     write_file path contents;
-    let c = Vc_exp.Run_cache.load ~dir in
+    let c = Vc_exp.Run_cache.load ~dir () in
     check_int (what ^ " degrades to an empty cache") 0 (Vc_exp.Run_cache.entries c)
   in
   load_empty "empty file" "";
@@ -137,10 +137,10 @@ let test_run_cache_corrupt_files () =
 let test_run_cache_roundtrip () =
   let dir = temp_dir "vc-cache" in
   let r = sample_report () in
-  let c = Vc_exp.Run_cache.load ~dir in
+  let c = Vc_exp.Run_cache.load ~dir () in
   Vc_exp.Run_cache.add c "fib/e5/hybrid" r;
   Vc_exp.Run_cache.persist c;
-  let c' = Vc_exp.Run_cache.load ~dir in
+  let c' = Vc_exp.Run_cache.load ~dir () in
   check_int "one entry after reload" 1 (Vc_exp.Run_cache.entries c');
   (match Vc_exp.Run_cache.find c' "fib/e5/hybrid" with
   | Some r' ->
@@ -160,7 +160,7 @@ let test_run_cache_roundtrip () =
 let test_run_cache_skips_corrupt_entries () =
   let dir = temp_dir "vc-cache" in
   let r = sample_report () in
-  let c = Vc_exp.Run_cache.load ~dir in
+  let c = Vc_exp.Run_cache.load ~dir () in
   Vc_exp.Run_cache.add c "good" r;
   Vc_exp.Run_cache.persist c;
   (* splice a structurally-valid-JSON but non-report entry into the file *)
@@ -186,7 +186,7 @@ let test_run_cache_skips_corrupt_entries () =
     | _ -> Alcotest.fail "unexpected cache file shape"
   in
   write_file path (Vc_exp.Jsonx.to_string doc');
-  let c' = Vc_exp.Run_cache.load ~dir in
+  let c' = Vc_exp.Run_cache.load ~dir () in
   check_int "good entry survives alongside the corrupt one" 1
     (Vc_exp.Run_cache.entries c');
   check_bool "and is intact" true
@@ -195,6 +195,124 @@ let test_run_cache_skips_corrupt_entries () =
     | None -> false);
   Sys.remove path;
   Unix.rmdir dir
+
+let test_jsonx_depth_limit () =
+  let open Vc_exp.Jsonx in
+  (* a 600-deep array must come back as a typed error, not a stack
+     overflow *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match parse (String.make 600 '[' ^ String.make 600 ']') with
+  | Error m -> check_bool "mentions the depth budget" true (contains m "deep")
+  | Ok _ -> Alcotest.fail "600-deep nesting should exceed the default budget");
+  (match parse ~max_depth:3 {|[[[1]]]|} with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("3-deep under max_depth 3 rejected: " ^ m));
+  (match parse ~max_depth:3 {|[[[[1]]]]|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "4-deep under max_depth 3 should be rejected");
+  match parse ~max_depth:2 {|{"a": [{"b": 1}]}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "objects must count against the depth budget too"
+
+let test_report_decode_errors () =
+  let open Vc_exp.Jsonx in
+  let r = sample_report () in
+  let j = Vc_exp.Run_cache.json_of_report r in
+  let mutate field v =
+    match j with
+    | Obj fields -> Obj (List.map (fun (f, x) -> (f, if f = field then v else x)) fields)
+    | _ -> Alcotest.fail "report json is not an object"
+  in
+  let rejects what doc =
+    match Vc_exp.Run_cache.report_of_json doc with
+    | Error msg -> check_bool (what ^ " has a message") true (String.length msg > 0)
+    | Ok _ -> Alcotest.failf "%s should fail to decode" what
+  in
+  (match Vc_exp.Run_cache.report_of_json j with
+  | Ok r' -> check_bool "pristine json decodes" true (Vc_core.Report.equal r r')
+  | Error m -> Alcotest.fail ("pristine report json rejected: " ^ m));
+  (* the former 'Run_cache: bad pair/triple' failwiths, now Error values *)
+  rejects "cache triple with arity 2"
+    (mutate "cache" (List [ List [ String "L1d"; Int 1 ] ]));
+  rejects "levels pair with arity 3"
+    (mutate "levels" (List [ List [ Int 1; Int 2; Int 3 ] ]));
+  rejects "reducer pair of wrong type" (mutate "reducers" (List [ Int 5 ]));
+  rejects "type mismatch" (mutate "benchmark" (Int 9))
+
+let test_run_cache_crash_safe_persist () =
+  let dir = temp_dir "vc-cache" in
+  let path = Filename.concat dir "runs.json" in
+  let r = sample_report () in
+  let c = Vc_exp.Run_cache.load ~dir () in
+  Vc_exp.Run_cache.add c "keep" r;
+  Vc_exp.Run_cache.persist c;
+  let before = read_file path in
+  (* now every write attempt faults: persist retries 3 times, then the
+     typed error propagates — and the good file must be untouched *)
+  let plan = Vc_core.Fault.make ~rate:1.0 ~seed:9 ~sites:[ Vc_core.Fault.Cache ] () in
+  Vc_exp.Run_cache.add c "lost" r;
+  (match Vc_exp.Run_cache.persist ~faults:plan c with
+  | () -> Alcotest.fail "persist under a rate-1.0 fault plan should give up"
+  | exception Vc_core.Vc_error.Error e ->
+      check_bool "cache-io fault" true
+        (Vc_core.Vc_error.site_of e = Some Vc_core.Vc_error.Cache_io);
+      check_int "three attempts" 3 (Vc_core.Fault.total_fired plan));
+  check_bool "failed persist leaves the file byte-identical" true
+    (read_file path = before);
+  check_bool "no temp files leak" true
+    (Array.for_all
+       (fun f -> not (String.length f >= 4 && String.sub f 0 4 = "runs" && f <> "runs.json"))
+       (Sys.readdir dir));
+  let c' = Vc_exp.Run_cache.load ~dir () in
+  check_int "previous state still loads" 1 (Vc_exp.Run_cache.entries c');
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_pool_retry () =
+  (* a task that fails its first two attempts succeeds with retries 2 *)
+  let attempts = Atomic.make 0 in
+  let flaky () =
+    if Atomic.fetch_and_add attempts 1 < 2 then failwith "transient"
+  in
+  Vc_exp.Pool.run ~retries:2 ~jobs:1 [ flaky ];
+  check_int "two failures + one success" 3 (Atomic.get attempts);
+  (* with only one retry the failure propagates verbatim *)
+  Atomic.set attempts 0;
+  (match Vc_exp.Pool.run ~retries:1 ~jobs:1 [ flaky ] with
+  | () -> Alcotest.fail "retries 1 should not be enough"
+  | exception Failure msg -> Alcotest.(check string) "verbatim" "transient" msg)
+
+let test_pool_run_collect () =
+  let ran = Array.make 4 false in
+  let tasks =
+    [
+      (fun () -> ran.(0) <- true);
+      (fun () -> failwith "boom");
+      (fun () -> ran.(2) <- true);
+      (fun () -> ran.(3) <- true);
+    ]
+  in
+  (match Vc_exp.Pool.run_collect ~jobs:1 tasks with
+  | [ f ] ->
+      check_int "failed index" 1 f.Vc_exp.Pool.index;
+      check_int "attempts" 1 f.Vc_exp.Pool.attempts;
+      check_bool "classified" true
+        (not (Vc_core.Vc_error.is_budget f.Vc_exp.Pool.error))
+  | fs -> Alcotest.failf "expected exactly one contained failure, got %d" (List.length fs));
+  check_bool "other tasks still ran" true (ran.(0) && ran.(2) && ran.(3));
+  (* budget violations are never contained: they abort and re-raise *)
+  let budget_task () =
+    Vc_core.Vc_error.budget ~phase:Vc_core.Vc_error.Execute
+      Vc_core.Vc_error.Deadline_cycles ~limit:1.0 ~actual:2.0 ()
+  in
+  match Vc_exp.Pool.run_collect ~jobs:1 [ (fun () -> ()); budget_task ] with
+  | _ -> Alcotest.fail "budget violation should abort run_collect"
+  | exception Vc_core.Vc_error.Error e ->
+      check_bool "budget error" true (Vc_core.Vc_error.is_budget e)
 
 let test_jsonx_bad_escapes () =
   let open Vc_exp.Jsonx in
@@ -309,6 +427,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
           Alcotest.test_case "bad escapes are errors" `Quick test_jsonx_bad_escapes;
+          Alcotest.test_case "nesting depth is bounded" `Quick
+            test_jsonx_depth_limit;
         ] );
       ( "run-cache",
         [
@@ -318,6 +438,16 @@ let () =
             test_run_cache_roundtrip;
           Alcotest.test_case "corrupt entries are skipped" `Quick
             test_run_cache_skips_corrupt_entries;
+          Alcotest.test_case "malformed payloads decode to Error" `Quick
+            test_report_decode_errors;
+          Alcotest.test_case "failed persist never corrupts the file" `Quick
+            test_run_cache_crash_safe_persist;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "retry with backoff" `Quick test_pool_retry;
+          Alcotest.test_case "run_collect contains failures" `Quick
+            test_pool_run_collect;
         ] );
       ( "csv",
         [

@@ -338,10 +338,15 @@ let test_compact_legality () =
     (Compact.legal Isa.sse42 (Compact.Prefix_scatter { sub_width = 8 }));
   check_bool "sequential always legal" true (Compact.legal Isa.avx512 Compact.Sequential);
   let vm = Vm.create Isa.avx512 in
-  Alcotest.check_raises "partition rejects illegal engine"
-    (Invalid_argument "Compact.partition: engine full-table is illegal on ISA avx512")
-    (fun () ->
-      ignore (Compact.partition ~vm ~engine:Compact.Full_table ~width:16 ~n:4 ~pred:(fun _ -> true)))
+  match
+    Compact.partition ~vm ~engine:Compact.Full_table ~width:16 ~n:4
+      ~pred:(fun _ -> true)
+  with
+  | _ -> Alcotest.fail "partition accepted an illegal engine"
+  | exception Compact.Unsupported { engine; isa; reason } ->
+      Alcotest.(check string) "unsupported engine" "full-table" engine;
+      Alcotest.(check string) "unsupported isa" "avx512" isa;
+      check_bool "reason non-empty" true (String.length reason > 0)
 
 let test_compact_costs () =
   (* factorized-8 on a 16-wide stream: 2 sub-groups per register per side,
