@@ -12,8 +12,15 @@
      table  {1|2|3}              - regenerate one paper table
      figure {9..16}              - regenerate one paper figure
      trace BENCH                 - per-level scheduler timeline
+     profile BENCH               - cycle-attribution hotspots, folded
+                                   stacks (flamegraph input), JSON
      plot BENCH                  - ASCII block-size sweep curves
      export DIR                  - all artifacts as CSV
+     bench                       - per-benchmark summary metrics; appends
+                                   to the baseline history and gates on
+                                   it (--check-baseline, exit 3)
+     version                     - package version, git provenance, and
+                                   per-machine SIMD widths
      verify                      - the paper's claims as checks
      chaos                       - fault-injection campaign: every
                                    benchmark must recover to exact
@@ -96,7 +103,8 @@ let max_live_frames_flag =
              "Live-frame budget (a user-level cap below the machine's space \
               limit). Exceeding it terminates with exit code 2.")
 
-(* Uniform exit-code convention: 0 ok, 1 failure, 2 budget exceeded. *)
+(* Uniform exit-code convention: 0 ok, 1 failure, 2 budget exceeded,
+   3 perf regression (bench --check-baseline). *)
 let die (e : Vc_core.Vc_error.t) : 'a =
   Format.eprintf "vcilk: %s@." (Vc_core.Vc_error.to_string e);
   exit (Vc_core.Vc_error.exit_code e)
@@ -417,6 +425,203 @@ let trace_cmd =
           plot, and Chrome trace-event JSON export.")
     Term.(const run $ quick_flag $ bench $ machine $ block $ limit $ chrome $ jsonl)
 
+let profile_cmd =
+  let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
+  let machine =
+    Arg.(value
+         & opt machine_conv Vc_mem.Machine.xeon_e5
+         & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
+  in
+  let block =
+    Arg.(value & opt int 256
+         & info [ "b"; "block" ] ~doc:"Hybrid max block size / re-expansion threshold.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Hotspot rows to print.")
+  in
+  let folded =
+    Arg.(value
+         & opt ~vopt:(Some "-") (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:
+               "Write folded stacks (flamegraph.pl / speedscope / inferno \
+                input) to FILE; $(b,--folded) alone or $(b,--folded -) \
+                prints them to stdout.")
+  in
+  let json =
+    Arg.(value
+         & opt ~vopt:(Some "-") (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:
+               "Write the attribution frames as one JSON object to FILE \
+                ($(b,-) = stdout).")
+  in
+  let run quick (entry : Vc_bench.Registry.entry) machine block top folded json =
+    (* Profiled runs always simulate fresh: attribution is a side effect
+       of the simulation, exactly like trace. *)
+    let ctx = Vc_exp.Sweep.create ~quick ~cache_dir:None () in
+    let spec = Vc_exp.Sweep.spec_of ctx entry in
+    let tel = Vc_core.Telemetry.create () in
+    let profile = Vc_core.Profile.create () in
+    Vc_core.Profile.attach profile tel;
+    let r =
+      Vc_core.Engine.run ~telemetry:tel ~spec ~machine
+        ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
+        ()
+    in
+    let emit what = function
+      | None -> ()
+      | Some "-" -> print_string what
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc what);
+          Format.eprintf "[profile] wrote %s@." path
+    in
+    let quiet = folded = Some "-" || json = Some "-" in
+    if not quiet then begin
+      Format.printf "%a@.@." Vc_core.Report.pp_summary r;
+      Format.printf "%a" (Vc_core.Profile.pp_hotspots ~top) profile
+    end;
+    emit (Vc_core.Profile.folded profile) folded;
+    emit (Vc_core.Profile.json_string profile ^ "\n") json
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Attribute one run's modeled cycles to benchmark / phase / \
+          spawn-site frames: hotspot table, folded stacks, JSON. The \
+          attribution reconciles exactly with the report's cycle total.")
+    Term.(const run $ quick_flag $ bench $ machine $ block $ top $ folded $ json)
+
+let bench_cmd =
+  let block =
+    Arg.(value & opt int Vc_exp.Baseline.default_block
+         & info [ "b"; "block" ]
+             ~doc:"Hybrid block size used for every collected point.")
+  in
+  let history =
+    Arg.(value & opt string "BENCH_history.json"
+         & info [ "history" ] ~docv:"FILE"
+             ~doc:
+               "Baseline history file appended to after collection; pass \
+                $(b,--history -) to skip the append.")
+  in
+  let check_baseline =
+    Arg.(value & opt (some string) None
+         & info [ "check-baseline" ] ~docv:"FILE"
+             ~doc:
+               "Compare the fresh metrics against the last entry of FILE and \
+                exit 3 if any metric regressed past its threshold. Skips the \
+                history append.")
+  in
+  let write_baseline =
+    Arg.(value & opt (some string) None
+         & info [ "write-baseline" ] ~docv:"FILE"
+             ~doc:
+               "Write the fresh metrics as a single-entry baseline file \
+                (replacing FILE). Skips the history append.")
+  in
+  let tolerance =
+    Arg.(value & opt float 1.0
+         & info [ "tolerance" ] ~docv:"T"
+             ~doc:"Scale every regression threshold by T (default 1.0).")
+  in
+  let run quick jobs no_cache block history check_baseline write_baseline tolerance =
+    or_die @@ fun () ->
+    let ctx = ctx_of quick jobs no_cache in
+    let current = Vc_exp.Baseline.collect ~block ctx in
+    Format.printf "%-24s %14s %8s %6s %6s %10s@." "BENCH/MACHINE" "CYCLES"
+      "SPEEDUP" "OCC" "CPASS" "SPACE";
+    List.iter
+      (fun (key, (m : Vc_exp.Baseline.metrics)) ->
+        Format.printf "%-24s %14.0f %8.2f %6.2f %6d %10d@." key
+          m.Vc_exp.Baseline.cycles m.Vc_exp.Baseline.speedup
+          m.Vc_exp.Baseline.lane_occupancy m.Vc_exp.Baseline.compaction_passes
+          m.Vc_exp.Baseline.space_peak)
+      current.Vc_exp.Baseline.benchmarks;
+    finish ctx;
+    let faults_armed = Vc_core.Fault.armed (Vc_core.Fault.of_env ()) in
+    match check_baseline with
+    | Some path -> (
+        match Vc_exp.Baseline.load ~path with
+        | Error msg ->
+            Format.eprintf "vcilk: %s@." msg;
+            exit 1
+        | Ok [] ->
+            Format.eprintf "vcilk: %s: empty baseline history@." path;
+            exit 1
+        | Ok entries -> (
+            let baseline = Option.get (Vc_exp.Baseline.last entries) in
+            match Vc_exp.Baseline.check ~tolerance ~baseline ~current () with
+            | Error msg ->
+                Format.eprintf "vcilk: %s: %s@." path msg;
+                exit 1
+            | Ok verdicts ->
+                Format.printf "@.regression gate vs %s (entry %S)@.%a" path
+                  baseline.Vc_exp.Baseline.label Vc_exp.Baseline.pp_verdicts
+                  verdicts;
+                exit
+                  (if Vc_exp.Baseline.regressions verdicts = [] then 0 else 3)))
+    | None -> (
+        match write_baseline with
+        | Some path ->
+            (* Fault-armed metrics carry degraded (recovered-run) costs:
+               never let them become the reference. *)
+            if faults_armed then begin
+              Format.eprintf "vcilk: refusing to write a baseline from a fault-armed run@.";
+              exit 1
+            end;
+            Vc_exp.Baseline.write ~path [ current ];
+            Format.eprintf "[bench] wrote baseline %s@." path
+        | None ->
+            if history <> "-" then
+              if faults_armed then
+                Format.eprintf "[bench] fault-armed run: not appending to %s@." history
+              else begin
+                Vc_exp.Baseline.append ~path:history current;
+                Format.eprintf "[bench] appended to %s@." history
+              end)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Collect per-benchmark summary metrics (modeled cycles, speedup, \
+          occupancy, compaction, space), append them to the baseline \
+          history, and optionally gate against a recorded baseline \
+          (exit 3 on regression).")
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ block $ history
+          $ check_baseline $ write_baseline $ tolerance)
+
+let version_cmd =
+  let run () =
+    Format.printf "vcilk %s@." (Vc_core.Version.describe ());
+    (match Vc_core.Version.git_describe () with
+    | Some g -> Format.printf "git:  %s@." g
+    | None -> Format.printf "git:  (not a checkout)@.");
+    Format.printf "@.simulated platforms:@.";
+    List.iter
+      (fun (m : Vc_mem.Machine.t) ->
+        let isa = m.Vc_mem.Machine.isa in
+        Format.printf "  %-4s %-9s %4d-bit vectors, lanes:" m.Vc_mem.Machine.name
+          isa.Vc_simd.Isa.name isa.Vc_simd.Isa.vector_bits;
+        List.iter
+          (fun kind ->
+            Format.printf " %s=%d"
+              (Vc_simd.Lane.to_string kind)
+              (Vc_simd.Isa.lanes isa kind))
+          Vc_simd.Lane.all;
+        Format.printf "@.")
+      Vc_mem.Machine.all
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the package version, git provenance, and each simulated \
+          machine's ISA and SIMD widths.")
+    Term.(const run $ const ())
+
 let plot_cmd =
   let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
   let machine =
@@ -706,7 +911,7 @@ let () =
     "Vectorized execution of recursive task-parallel programs (PLDI 2015 \
      reproduction)."
   in
-  let info = Cmd.info "vcilk" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "vcilk" ~version:(Vc_core.Version.describe ()) ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -720,8 +925,11 @@ let () =
             table_cmd;
             figure_cmd;
             trace_cmd;
+            profile_cmd;
             plot_cmd;
             export_cmd;
+            bench_cmd;
+            version_cmd;
             verify_cmd;
             chaos_cmd;
             all_cmd;

@@ -131,15 +131,31 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
     Telemetry.emit tel
       (Telemetry.Level { phase; depth; size; base = !base_tasks - base0 })
   in
+  (* Attribution spans mirror the engine's: one per level, closed before
+     recursing so profile paths stay flat.  This hub's default clock is
+     the event sequence number, so attributed "cycles" are event counts
+     unless the caller wired a real clock. *)
+  let with_span frame f =
+    if Telemetry.enabled tel then begin
+      Telemetry.emit tel (Telemetry.Span_open { frame });
+      Fun.protect
+        ~finally:(fun () -> Telemetry.emit tel (Telemetry.Span_close { frame }))
+        f
+    end
+    else f ()
+  in
   (* f_bfs of Fig. 7. *)
   let rec bfs tb depth =
     budget_check ();
     if depth > !max_depth then max_depth := depth;
-    next := [];
-    let base0 = !base_tasks in
-    List.iter (run_thread ~fbase:bfs_base ~find:bfs_ind) tb;
-    emit_level ~phase:Trace.Bfs ~depth ~size:(List.length tb) ~base0;
-    let level = List.rev !next in
+    let level =
+      with_span "expand" @@ fun () ->
+      next := [];
+      let base0 = !base_tasks in
+      List.iter (run_thread ~fbase:bfs_base ~find:bfs_ind) tb;
+      emit_level ~phase:Trace.Bfs ~depth ~size:(List.length tb) ~base0;
+      List.rev !next
+    in
     live := !live + List.length level - List.length tb;
     if level <> [] then
       if List.length level < max_block then bfs level (depth + 1)
@@ -153,11 +169,14 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
   and blocked tb depth =
     budget_check ();
     if depth > !max_depth then max_depth := depth;
-    Array.fill nexts 0 (Array.length nexts) [];
-    let base0 = !base_tasks in
-    List.iter (run_thread ~fbase:blk_base ~find:blk_ind) tb;
-    emit_level ~phase:Trace.Blocked ~depth ~size:(List.length tb) ~base0;
-    let site_blocks = Array.map List.rev nexts in
+    let site_blocks =
+      with_span "blocked" @@ fun () ->
+      Array.fill nexts 0 (Array.length nexts) [];
+      let base0 = !base_tasks in
+      List.iter (run_thread ~fbase:blk_base ~find:blk_ind) tb;
+      emit_level ~phase:Trace.Blocked ~depth ~size:(List.length tb) ~base0;
+      Array.map List.rev nexts
+    in
     live :=
       !live
       + Array.fold_left (fun acc blk -> acc + List.length blk) 0 site_blocks
@@ -182,7 +201,10 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
       site_blocks
   in
   live := 1;
+  let root_frame = program.Ast.mth.Ast.name in
+  Telemetry.emit tel (Telemetry.Span_open { frame = root_frame });
   bfs [ Array.of_list args ] 0;
+  Telemetry.emit tel (Telemetry.Span_close { frame = root_frame });
   {
     reducers = Reducer.values reducer_set;
     tasks = !tasks;

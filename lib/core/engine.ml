@@ -21,6 +21,7 @@ type ctx = {
   max_tasks : int;
   cutoff : int;  (** blocks at most this size run their subtrees scalar *)
   tel : Telemetry.t;
+  site_frames : string array;  (** preformatted "spawn:siteN" span names *)
   faults : Fault.plan;
   recover : bool;  (** quarantine faulted blocks and re-run them scalar *)
   deadline : float option;  (** modeled-cycle budget, checked per level *)
@@ -75,6 +76,27 @@ let budget_check ctx =
           ()
       end
   | None -> ()
+
+(* Attribution frames (consumed by Profile): execution phases nested
+   under the benchmark's root span.  Spans always close before the
+   scheduler recurses into the next level, so profile paths stay flat —
+   benchmark -> phase -> spawn site — instead of growing with tree
+   depth. *)
+let frame_expand = "expand"
+let frame_blocked = "blocked"
+let frame_compact = "compact"
+let frame_cutoff = "cutoff"
+let frame_fallback = "fallback"
+
+let with_span ctx frame f =
+  (* disabled hub: no closure setup on the hot path *)
+  if Telemetry.enabled ctx.tel then begin
+    Telemetry.emit ctx.tel (Telemetry.Span_open { frame });
+    Fun.protect
+      ~finally:(fun () -> Telemetry.emit ctx.tel (Telemetry.Span_close { frame }))
+      f
+  end
+  else f ()
 
 let note_fault ctx (e : Vc_error.t) =
   Log.info (fun m -> m "fault: %s" (Vc_error.to_string e));
@@ -203,6 +225,7 @@ let scalar_executor ctx =
 (* Task cut-off path: every thread of [blk] executes its whole subtree
    sequentially. *)
 let sequential_subtree ctx blk ~depth =
+  with_span ctx frame_cutoff @@ fun () ->
   Telemetry.emit ctx.tel
     (Telemetry.Level { phase = Trace.Cutoff; depth; size = Block.size blk; base = 0 });
   let go = scalar_executor ctx in
@@ -221,6 +244,7 @@ let scalar_subtrees ctx frames ~depth ~count_roots =
   match frames with
   | [] -> ()
   | _ :: _ ->
+      with_span ctx frame_fallback @@ fun () ->
       Telemetry.emit ctx.tel
         (Telemetry.Fallback { depth; size = List.length frames });
       let go = scalar_executor ctx in
@@ -285,14 +309,19 @@ let process_level ctx blk ~depth ~phase =
       ~depth ~count_roots:false;
     ([||], [||])
   in
+  (* the compact span closes (via Fun.protect) before any quarantine
+     runs, so fallback work attributes under the phase frame, not under
+     "compact" *)
+  let partition () =
+    with_span ctx frame_compact @@ fun () ->
+    Fault.trip ctx.faults Fault.Compact ~phase:Vc_error.Execute
+      ~hint:Vc_error.Fallback_scalar
+      ~detail:(Printf.sprintf "partition of %d frames at depth %d" n depth);
+    Vc_simd.Compact.partition ~vm ~engine:ctx.compact ~width:ctx.width ~n
+      ~pred:(fun row -> ctx.spec.Spec.is_base blk row)
+  in
   let base_rows, rec_rows =
-    match
-      Fault.trip ctx.faults Fault.Compact ~phase:Vc_error.Execute
-        ~hint:Vc_error.Fallback_scalar
-        ~detail:(Printf.sprintf "partition of %d frames at depth %d" n depth);
-      Vc_simd.Compact.partition ~vm ~engine:ctx.compact ~width:ctx.width ~n
-        ~pred:(fun row -> ctx.spec.Spec.is_base blk row)
-    with
+    match partition () with
     | groups -> groups
     | exception Vc_simd.Compact.Unsupported { engine; isa; reason } ->
         (* an unsupported engine/ISA pairing is a compaction fault too:
@@ -390,50 +419,67 @@ let rec bfs ctx blk ~depth ~reexp_from =
   budget_check ctx;
   if Block.size blk = 0 then ()
   else
-    let rec_rows = process_level ctx blk ~depth ~phase:Trace.Bfs in
-    if Array.length rec_rows = 0 then ctx.live <- ctx.live - Block.size blk
-    else begin
-      let e = ctx.spec.Spec.num_spawns in
-      match
-        let next =
-          pool_block ctx ~depth:(depth + 1) ~slot:e ~room:(Array.length rec_rows * e)
-        in
-        (* Site-major enqueueing: all site-i children before any site-(i+1)
-           children, preserving spawn-id grouping (§5). *)
-        for site = 0 to e - 1 do
-          ignore (spawn_site ctx blk rec_rows ~site ~dst:next : int)
-        done;
-        next
-      with
-      | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
-          (* the next-level block never materialized (the allocation trip
-             fires before the pool mutates anything): the recursive frames
-             are accounted but their subtrees are not — run them scalar *)
-          note_fault ctx err;
-          scalar_subtrees ctx
-            (Array.to_list (Array.map (fun row -> frame_of ctx blk row) rec_rows))
-            ~depth ~count_roots:false;
-          ctx.live <- ctx.live - Block.size blk
-      | next ->
-          ctx.live <- ctx.live + Block.size next;
-          Metrics.live_threads ctx.m.Measure.metrics ctx.live;
-          check_live ctx;
-          (match reexp_from with
-          | Some trigger_depth ->
-              let factor =
-                float_of_int (Block.size next) /. float_of_int (max 1 (Block.size blk))
-              in
-              Metrics.reexpansion_growth ctx.m.Measure.metrics ~depth:trigger_depth
-                ~factor
-          | None -> ());
-          ctx.live <- ctx.live - Block.size blk;
-          if Block.size next >= ctx.max_block then begin
-            Telemetry.emit ctx.tel
-              (Telemetry.Switch { depth = depth + 1; size = Block.size next });
-            blocked ctx next ~depth:(depth + 1)
-          end
-          else bfs ctx next ~depth:(depth + 1) ~reexp_from:None
-    end
+    (* The whole level — compaction, base execution, spawning — runs
+       under an "expand" span; the recursion into the next level happens
+       after it closes, so the span covers exactly one level's work. *)
+    let continue_with =
+      with_span ctx frame_expand @@ fun () ->
+      let rec_rows = process_level ctx blk ~depth ~phase:Trace.Bfs in
+      if Array.length rec_rows = 0 then begin
+        ctx.live <- ctx.live - Block.size blk;
+        None
+      end
+      else begin
+        let e = ctx.spec.Spec.num_spawns in
+        match
+          let next =
+            pool_block ctx ~depth:(depth + 1) ~slot:e
+              ~room:(Array.length rec_rows * e)
+          in
+          (* Site-major enqueueing: all site-i children before any site-(i+1)
+             children, preserving spawn-id grouping (§5). *)
+          for site = 0 to e - 1 do
+            with_span ctx ctx.site_frames.(site) (fun () ->
+                ignore (spawn_site ctx blk rec_rows ~site ~dst:next : int))
+          done;
+          next
+        with
+        | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
+            (* the next-level block never materialized (the allocation trip
+               fires before the pool mutates anything): the recursive frames
+               are accounted but their subtrees are not — run them scalar *)
+            note_fault ctx err;
+            scalar_subtrees ctx
+              (Array.to_list (Array.map (fun row -> frame_of ctx blk row) rec_rows))
+              ~depth ~count_roots:false;
+            ctx.live <- ctx.live - Block.size blk;
+            None
+        | next ->
+            ctx.live <- ctx.live + Block.size next;
+            Metrics.live_threads ctx.m.Measure.metrics ctx.live;
+            check_live ctx;
+            (match reexp_from with
+            | Some trigger_depth ->
+                let factor =
+                  float_of_int (Block.size next)
+                  /. float_of_int (max 1 (Block.size blk))
+                in
+                Metrics.reexpansion_growth ctx.m.Measure.metrics ~depth:trigger_depth
+                  ~factor
+            | None -> ());
+            ctx.live <- ctx.live - Block.size blk;
+            Some next
+      end
+    in
+    match continue_with with
+    | None -> ()
+    | Some next ->
+        if Block.size next >= ctx.max_block then begin
+          Telemetry.emit ctx.tel
+            (Telemetry.Switch { depth = depth + 1; size = Block.size next });
+          blocked ctx next ~depth:(depth + 1)
+        end
+        else bfs ctx next ~depth:(depth + 1) ~reexp_from:None
 
 (* Blocked depth-first execution (Fig. 4(b) / Fig. 6 blocked_foo).  One
    child block per spawn site; each is executed to completion before the
@@ -443,43 +489,55 @@ and blocked ctx blk ~depth =
   if Block.size blk = 0 then ()
   else if Block.size blk <= ctx.cutoff then sequential_subtree ctx blk ~depth
   else
-    let rec_rows = process_level ctx blk ~depth ~phase:Trace.Blocked in
-    if Array.length rec_rows = 0 then ctx.live <- ctx.live - Block.size blk
-    else begin
-      let e = ctx.spec.Spec.num_spawns in
-      let spawned = ref [] in
-      match
-        for site = 0 to e - 1 do
-          let dst =
-            pool_block ctx ~depth:(depth + 1) ~slot:site
-              ~room:(Array.length rec_rows)
-          in
-          ignore (spawn_site ctx blk rec_rows ~site ~dst : int);
-          ctx.live <- ctx.live + Block.size dst;
-          spawned := dst :: !spawned
-        done
-      with
-      | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
-          (* roll back the sites spawned before the fault (their frames
-             were never executed) and quarantine the whole recursive
-             group: each rec frame's subtree re-runs scalar exactly once *)
-          note_fault ctx err;
-          List.iter
-            (fun dst ->
-              ctx.live <- ctx.live - Block.size dst;
-              Block.clear dst)
-            !spawned;
-          scalar_subtrees ctx
-            (Array.to_list (Array.map (fun row -> frame_of ctx blk row) rec_rows))
-            ~depth ~count_roots:false;
-          ctx.live <- ctx.live - Block.size blk
-      | () ->
-      let children = Array.of_list (List.rev !spawned) in
-      Metrics.live_threads ctx.m.Measure.metrics ctx.live;
-      check_live ctx;
-      ctx.live <- ctx.live - Block.size blk;
-      Array.iter
-        (fun child ->
+    (* Like bfs: the level's own work runs under a "blocked" span that
+       closes before any child block is descended into. *)
+    let children =
+      with_span ctx frame_blocked @@ fun () ->
+      let rec_rows = process_level ctx blk ~depth ~phase:Trace.Blocked in
+      if Array.length rec_rows = 0 then begin
+        ctx.live <- ctx.live - Block.size blk;
+        [||]
+      end
+      else begin
+        let e = ctx.spec.Spec.num_spawns in
+        let spawned = ref [] in
+        match
+          for site = 0 to e - 1 do
+            with_span ctx ctx.site_frames.(site) (fun () ->
+                let dst =
+                  pool_block ctx ~depth:(depth + 1) ~slot:site
+                    ~room:(Array.length rec_rows)
+                in
+                ignore (spawn_site ctx blk rec_rows ~site ~dst : int);
+                ctx.live <- ctx.live + Block.size dst;
+                spawned := dst :: !spawned)
+          done
+        with
+        | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
+            (* roll back the sites spawned before the fault (their frames
+               were never executed) and quarantine the whole recursive
+               group: each rec frame's subtree re-runs scalar exactly once *)
+            note_fault ctx err;
+            List.iter
+              (fun dst ->
+                ctx.live <- ctx.live - Block.size dst;
+                Block.clear dst)
+              !spawned;
+            scalar_subtrees ctx
+              (Array.to_list (Array.map (fun row -> frame_of ctx blk row) rec_rows))
+              ~depth ~count_roots:false;
+            ctx.live <- ctx.live - Block.size blk;
+            [||]
+        | () ->
+            let children = Array.of_list (List.rev !spawned) in
+            Metrics.live_threads ctx.m.Measure.metrics ctx.live;
+            check_live ctx;
+            ctx.live <- ctx.live - Block.size blk;
+            children
+      end
+    in
+    Array.iter
+      (fun child ->
           if Block.size child > 0 then
             if Block.size child <= ctx.cutoff then
               (* conventional task cut-off: sequentialize small subtrees
@@ -507,8 +565,7 @@ and blocked ctx blk ~depth =
               bfs ctx child ~depth:(depth + 1) ~reexp_from:(Some (depth + 1))
             end
             else blocked ctx child ~depth:(depth + 1))
-        children
-    end
+      children
 
 let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
     ?telemetry ?(faults = Fault.none) ?(recover = true) ?deadline ?wall_deadline
@@ -558,6 +615,8 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
       max_tasks;
       cutoff;
       tel;
+      site_frames =
+        Array.init spec.Spec.num_spawns (fun i -> "spawn:site" ^ string_of_int i);
       faults;
       recover;
       deadline;
@@ -574,7 +633,14 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
       m "run %s on %s: %s, width %d, compaction %s" spec.Spec.name
         machine.Vc_mem.Machine.name (Policy.describe strategy) width
         (Vc_simd.Compact.name ctx.compact));
+  (* Root attribution span: opened per pass, closed when the pass
+     completes (its close timestamp is the very clock reading
+     [Measure.report] turns into [Report.cycles], so profiler totals
+     reconcile bit-for-bit).  The warm pass's unclosed root span is
+     discarded with everything else by [Telemetry.clear]. *)
+  let root_frame = spec.Spec.name in
   let execute () =
+    Telemetry.emit ctx.tel (Telemetry.Span_open { frame = root_frame });
     match
       pool_block ctx ~depth:0 ~slot:ctx.spec.Spec.num_spawns
         ~room:(List.length spec.Spec.roots)
@@ -612,6 +678,7 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
   with
   | () ->
       let wall = Unix.gettimeofday () -. wall_start in
+      Telemetry.emit ctx.tel (Telemetry.Span_close { frame = root_frame });
       Telemetry.flush ctx.tel;
       Measure.report m ~benchmark:spec.Spec.name ~strategy:strategy_name
         ~reducers:(Vc_lang.Reducer.values ctx.reducers) ~wall_seconds:wall
@@ -619,6 +686,7 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
       Log.info (fun m ->
           m "%s/%s/%s ran out of memory (%d live threads > %d limit)"
             spec.Spec.name machine.Vc_mem.Machine.name strategy_name live limit);
+      Telemetry.emit ctx.tel (Telemetry.Span_close { frame = root_frame });
       Telemetry.flush ctx.tel;
       Report.oom_placeholder ~benchmark:spec.Spec.name
         ~machine:machine.Vc_mem.Machine.name ~strategy:strategy_name

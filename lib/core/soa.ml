@@ -4,6 +4,18 @@ let width_of vm schema =
 let emit_opt telemetry ev =
   match telemetry with Some tel -> Telemetry.emit tel ev | None -> ()
 
+(* Conversion cost attributes to a "convert" span (profiled alongside the
+   engine's expand/blocked/compact frames). *)
+let with_span_opt telemetry f =
+  match telemetry with
+  | Some tel when Telemetry.enabled tel ->
+      Telemetry.emit tel (Telemetry.Span_open { frame = "convert" });
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.emit tel (Telemetry.Span_close { frame = "convert" }))
+        f
+  | Some _ | None -> f ()
+
 let note_fault telemetry (err : Vc_error.t) =
   emit_opt telemetry
     (Telemetry.Fault
@@ -20,6 +32,7 @@ let aos_to_soa ?telemetry ?(faults = Fault.none) ?(recover = true) ~vm ~addr
     ~schema ~isa ~aos_base ~frames () =
   let n = Array.length frames in
   let nfields = Schema.num_fields schema in
+  with_span_opt telemetry @@ fun () ->
   emit_opt telemetry (Telemetry.Convert { to_soa = true; n; fields = nfields });
   let elem = Schema.elem_bytes schema ~isa in
   let blk = Block.create ~label:"soa" addr ~schema ~isa ~capacity:(max n 1) in
@@ -61,6 +74,7 @@ let soa_to_aos ?telemetry ?(faults = Fault.none) ?(recover = true) ~vm ~aos_base
     blk =
   let n = Block.size blk in
   let nfields = Schema.num_fields (Block.schema blk) in
+  with_span_opt telemetry @@ fun () ->
   emit_opt telemetry (Telemetry.Convert { to_soa = false; n; fields = nfields });
   let elem = Block.elem_bytes blk in
   let width = width_of vm (Block.schema blk) in

@@ -9,6 +9,8 @@ type event =
   | Fallback of { depth : int; size : int }
   | Retry of { what : string; attempt : int }
   | Deadline of { resource : string; limit : float; actual : float }
+  | Span_open of { frame : string }
+  | Span_close of { frame : string }
   | Mark of string
 
 type stamped = { seq : int; ts : float; dur : float; ev : event }
@@ -22,14 +24,16 @@ type ring = {
   mutable filled : int;  (** total events ever pushed *)
 }
 
-type sink =
-  | Null
-  | Ring of ring
-  | Stream of {
-      write : stamped -> unit;
-      stream_flush : unit -> unit;
-      stream_clear : unit -> unit;
-    }
+type stream = {
+  write : stamped -> unit;
+  stream_flush : unit -> unit;
+  stream_clear : unit -> unit;
+  mutable dead : bool;
+      (** Set after the first I/O failure; the sink is skipped from then
+          on so one broken channel cannot re-fault every later event. *)
+}
+
+type sink = Null | Ring of ring | Stream of stream
 
 let dummy = { seq = 0; ts = 0.0; dur = 0.0; ev = Mark "" }
 
@@ -55,13 +59,17 @@ let trace_sink trace =
           | Level { phase; depth; size; base } ->
               Trace.record trace ~phase ~depth ~size ~base
           | Switch _ | Reexpand _ | Compaction _ | Convert _ | Cache _ | Fault _
-          | Fallback _ | Retry _ | Deadline _ | Mark _ -> ());
+          | Fallback _ | Retry _ | Deadline _ | Span_open _ | Span_close _
+          | Mark _ -> ());
       stream_flush = (fun () -> ());
       stream_clear = (fun () -> Trace.clear trace);
+      dead = false;
     }
 
-let callback_sink f =
-  Stream { write = f; stream_flush = (fun () -> ()); stream_clear = (fun () -> ()) }
+let nop () = ()
+
+let callback_sink ?(on_flush = nop) ?(on_clear = nop) f =
+  Stream { write = f; stream_flush = on_flush; stream_clear = on_clear; dead = false }
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering.  Self-contained (the JSON library of the experiment
@@ -97,6 +105,8 @@ let event_name = function
   | Fallback _ -> "fallback:scalar"
   | Retry { what; _ } -> "retry:" ^ what
   | Deadline { resource; _ } -> "deadline:" ^ resource
+  (* open and close share the name so Chrome "B"/"E" pairs match up *)
+  | Span_open { frame } | Span_close { frame } -> "span:" ^ frame
   | Mark m -> "mark:" ^ m
 
 let args_fields = function
@@ -127,6 +137,10 @@ let args_fields = function
   | Deadline { resource; limit; actual } ->
       [ ("resource", Printf.sprintf "%S" (escape resource)); ("limit", num limit);
         ("actual", num actual) ]
+  | Span_open { frame } ->
+      [ ("frame", Printf.sprintf "%S" (escape frame)); ("open", "true") ]
+  | Span_close { frame } ->
+      [ ("frame", Printf.sprintf "%S" (escape frame)); ("open", "false") ]
   | Mark m -> [ ("mark", Printf.sprintf "%S" (escape m)) ]
 
 let args_json ev =
@@ -142,7 +156,8 @@ let jsonl_of_event { seq; ts; dur; ev } =
     (args_json ev)
 
 (* Chrome trace-event format (chrome://tracing, Perfetto): Level events
-   become complete ("X") slices with their modeled-cycle duration, cache
+   become complete ("X") slices with their modeled-cycle duration,
+   attribution spans become nestable begin/end ("B"/"E") pairs, cache
    deltas become counter ("C") tracks, everything else an instant ("i"). *)
 let chrome_of_event { ts; dur; ev; _ } =
   let name = escape (event_name ev) in
@@ -151,6 +166,12 @@ let chrome_of_event { ts; dur; ev; _ } =
       Printf.sprintf
         "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":%s}"
         name (num ts) (num dur) (args_json ev)
+  | Span_open _ ->
+      Printf.sprintf "{\"name\":\"%s\",\"ph\":\"B\",\"ts\":%s,\"pid\":1,\"tid\":1}"
+        name (num ts)
+  | Span_close _ ->
+      Printf.sprintf "{\"name\":\"%s\",\"ph\":\"E\",\"ts\":%s,\"pid\":1,\"tid\":1}"
+        name (num ts)
   | Cache { level; accesses; misses; _ } ->
       Printf.sprintf
         "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"accesses\":%d,\"misses\":%d}}"
@@ -170,6 +191,7 @@ let jsonl_sink oc =
           output_char oc '\n');
       stream_flush = (fun () -> flush oc);
       stream_clear = (fun () -> ());
+      dead = false;
     }
 
 let chrome_sink oc =
@@ -193,6 +215,7 @@ let chrome_sink oc =
             flush oc
           end);
       stream_clear = (fun () -> events := []);
+      dead = false;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -227,12 +250,24 @@ let set_clock t clock = t.clock <- Some clock
 let now t =
   match t.clock with Some f -> f () | None -> float_of_int t.seq
 
+(* A stream sink whose channel breaks (closed fd, full disk) would leak a
+   bare [Sys_error] out of whatever instrumented executor happened to emit
+   the next event.  Instead: mark the sink dead — it is skipped from then
+   on, other sinks keep receiving events — and surface one typed
+   telemetry fault so supervised callers can classify it. *)
+let sink_failed ~phase (s : stream) msg =
+  s.dead <- true;
+  Vc_error.fail ~phase Vc_error.Telemetry Vc_error.Discard_entry
+    "sink write failed, sink dropped: %s" msg
+
 let push_sink st = function
   | Null -> ()
   | Ring r ->
       r.buf.(r.filled mod r.cap) <- st;
       r.filled <- r.filled + 1
-  | Stream { write; _ } -> write st
+  | Stream s when s.dead -> ()
+  | Stream s -> (
+      try s.write st with Sys_error msg -> sink_failed ~phase:Vc_error.Execute s msg)
 
 let emit ?ts ?(dur = 0.0) t ev =
   if t.enabled then begin
@@ -248,12 +283,17 @@ let clear t =
     (function
       | Null -> ()
       | Ring r -> r.filled <- 0
-      | Stream { stream_clear; _ } -> stream_clear ())
+      | Stream s -> if not s.dead then s.stream_clear ())
     t.sinks
 
 let flush t =
   List.iter
-    (function Null | Ring _ -> () | Stream { stream_flush; _ } -> stream_flush ())
+    (function
+      | Null | Ring _ -> ()
+      | Stream s when s.dead -> ()
+      | Stream s -> (
+          try s.stream_flush ()
+          with Sys_error msg -> sink_failed ~phase:Vc_error.Persist s msg))
     t.sinks
 
 (* ------------------------------------------------------------------ *)

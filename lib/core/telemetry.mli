@@ -41,6 +41,13 @@ type event =
       (** A failed operation was retried ([attempt] starts at 1). *)
   | Deadline of { resource : string; limit : float; actual : float }
       (** A budget or deadline was exceeded. *)
+  | Span_open of { frame : string }
+      (** An attribution span opened: clock time from here until the next
+          span boundary belongs to [frame] (nested under any open spans).
+          Rendered as a Chrome "B" event; consumed by [Profile]. *)
+  | Span_close of { frame : string }
+      (** The matching close of {!Span_open}.  Rendered as a Chrome "E"
+          event. *)
   | Mark of string  (** Free-form annotation. *)
 
 type stamped = { seq : int; ts : float; dur : float; ev : event }
@@ -68,17 +75,21 @@ val jsonl_sink : out_channel -> sink
 
 val chrome_sink : out_channel -> sink
 (** Buffers events and writes a Chrome trace-event JSON array on
-    {!flush}: [Level] events as complete ("X") slices, cache deltas as
-    counter ("C") samples, everything else as instants ("i"). *)
+    {!flush}: [Level] events as complete ("X") slices, spans as
+    nestable begin/end ("B"/"E") pairs, cache deltas as counter ("C")
+    samples, everything else as instants ("i"). *)
 
 val trace_sink : Trace.t -> sink
 (** Adapter feeding [Level] events into the legacy {!Trace} log
     (other events are dropped); {!clear} clears the underlying trace. *)
 
-val callback_sink : (stamped -> unit) -> sink
-(** Invokes the callback on every event (flush/clear are no-ops).  Used
-    by the supervisor to count faults and fallbacks without threading
-    extra state through the engine. *)
+val callback_sink :
+  ?on_flush:(unit -> unit) -> ?on_clear:(unit -> unit) -> (stamped -> unit) -> sink
+(** Invokes the callback on every event; [on_flush] / [on_clear] (both
+    no-ops by default) run on hub {!flush} / {!clear}.  Used by the
+    supervisor to count faults and fallbacks, and by [Profile] to build
+    cycle attributions, without threading extra state through the
+    engine. *)
 
 (** {1 Hub} *)
 
@@ -112,6 +123,15 @@ val clear : t -> unit
 
 val flush : t -> unit
 (** Flush stream sinks; finalizes a {!chrome_sink}'s JSON array. *)
+
+(** {2 Sink failure}
+
+    A stream sink whose write or flush raises [Sys_error] (channel
+    closed, disk full) is {e dropped}: the sink is marked dead and
+    skipped for the rest of the run, remaining sinks keep receiving
+    events, and the failure surfaces once as a typed {!Vc_error.Error}
+    with site [Telemetry] (recovery hint [Discard_entry]) instead of a
+    bare [Sys_error] escaping mid-run. *)
 
 (** {1 Rendering & derived views} *)
 

@@ -5,6 +5,7 @@ type site =
   | Cache_io
   | Scheduler
   | Decode
+  | Telemetry
 
 type phase = Setup | Expand | Execute | Recover | Persist | Load
 
@@ -27,6 +28,7 @@ let site_name = function
   | Cache_io -> "cache-io"
   | Scheduler -> "scheduler"
   | Decode -> "decode"
+  | Telemetry -> "telemetry"
 
 let phase_name = function
   | Setup -> "setup"

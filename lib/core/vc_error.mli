@@ -15,6 +15,7 @@ type site =
   | Cache_io  (** persistent run-cache I/O *)
   | Scheduler  (** engine / interpreter scheduling *)
   | Decode  (** JSON / report decoding *)
+  | Telemetry  (** telemetry sink I/O (closed or full channel) *)
 
 type phase = Setup | Expand | Execute | Recover | Persist | Load
 

@@ -1,0 +1,18 @@
+let version = "1.0.0"
+
+(* Best-effort git provenance: present when running inside a checkout
+   with git on PATH, [None] otherwise (installed binaries, tarballs).
+   Never raises. *)
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty --tags 2>/dev/null"
+    in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some s when s <> "" -> Some s
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let describe () =
+  match git_describe () with Some g -> version ^ "+" ^ g | None -> version

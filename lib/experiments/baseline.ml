@@ -1,0 +1,289 @@
+(* 1: initial schema (per-benchmark summary metrics keyed bench/machine). *)
+let version = 1
+
+let log_src = Logs.Src.create "vc.baseline" ~doc:"Bench baseline history"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type metrics = {
+  cycles : float;
+  speedup : float;
+  lane_occupancy : float;
+  compaction_passes : int;
+  space_peak : int;
+  occupancy_hist : int array;
+}
+
+type entry = {
+  label : string;
+  quick : bool;
+  block : int;
+  benchmarks : (string * metrics) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Collection *)
+
+let default_block = 256
+
+let collect ?(block = default_block) ctx =
+  let benchmarks =
+    List.concat_map
+      (fun (e : Vc_bench.Registry.entry) ->
+        List.map
+          (fun (m : Vc_mem.Machine.t) ->
+            let r = Sweep.hybrid ctx e m ~reexpand:true ~block in
+            let metrics =
+              {
+                cycles = r.Vc_core.Report.cycles;
+                speedup = Sweep.speedup ctx e m r;
+                lane_occupancy = r.Vc_core.Report.lane_occupancy;
+                compaction_passes = r.Vc_core.Report.compaction_passes;
+                space_peak = r.Vc_core.Report.space_peak;
+                occupancy_hist = Array.copy r.Vc_core.Report.occupancy_hist;
+              }
+            in
+            (e.Vc_bench.Registry.name ^ "/" ^ m.Vc_mem.Machine.name, metrics))
+          Sweep.machines)
+      Vc_bench.Registry.all
+  in
+  {
+    label = Vc_core.Version.describe ();
+    quick = Sweep.quick ctx;
+    block;
+    benchmarks = List.sort (fun (a, _) (b, _) -> compare a b) benchmarks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Entry <-> Jsonx *)
+
+let json_of_metrics (m : metrics) : Jsonx.t =
+  Jsonx.Obj
+    [
+      ("cycles", Float m.cycles);
+      ("speedup", Float m.speedup);
+      ("lane_occupancy", Float m.lane_occupancy);
+      ("compaction_passes", Int m.compaction_passes);
+      ("space_peak", Int m.space_peak);
+      ("occupancy_hist", List (Array.to_list m.occupancy_hist |> List.map (fun n -> Jsonx.Int n)));
+    ]
+
+let json_of_entry (e : entry) : Jsonx.t =
+  Jsonx.Obj
+    [
+      ("label", String e.label);
+      ("quick", Bool e.quick);
+      ("block", Int e.block);
+      ("benchmarks", Obj (List.map (fun (k, m) -> (k, json_of_metrics m)) e.benchmarks));
+    ]
+
+exception Decode of string
+
+let decode_error fmt = Printf.ksprintf (fun m -> raise (Decode m)) fmt
+
+let metrics_of_json j : metrics =
+  let open Jsonx in
+  let m name = member name j in
+  {
+    cycles = to_float (m "cycles");
+    speedup = to_float (m "speedup");
+    lane_occupancy = to_float (m "lane_occupancy");
+    compaction_passes = to_int (m "compaction_passes");
+    space_peak = to_int (m "space_peak");
+    occupancy_hist = Array.of_list (List.map to_int (to_list (m "occupancy_hist")));
+  }
+
+let entry_of_json j : entry =
+  let open Jsonx in
+  match member "benchmarks" j with
+  | Obj fields ->
+      {
+        label = to_str (member "label" j);
+        quick = to_bool (member "quick" j);
+        block = to_int (member "block" j);
+        benchmarks = List.map (fun (k, v) -> (k, metrics_of_json v)) fields;
+      }
+  | v -> decode_error "benchmarks: expected an object, got %s" (Jsonx.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* History file *)
+
+let json_of_history entries =
+  Jsonx.Obj
+    [ ("version", Int version); ("entries", List (List.map json_of_entry entries)) ]
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    let read () =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Jsonx.parse (read ()) with
+    | exception Sys_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Error msg -> Error (Printf.sprintf "%s: unparseable history (%s)" path msg)
+    | Ok j -> (
+        if Jsonx.(member "version" j <> Int version) then
+          Error
+            (Printf.sprintf "%s: history version mismatch (want %d)" path version)
+        else
+          match Jsonx.member "entries" j with
+          | Jsonx.List entries -> (
+              try Ok (List.map entry_of_json entries) with
+              | Decode msg -> Error (Printf.sprintf "%s: %s" path msg)
+              | Failure msg -> Error (Printf.sprintf "%s: %s" path msg))
+          | _ -> Error (Printf.sprintf "%s: no \"entries\" list" path))
+
+let last entries = match List.rev entries with [] -> None | e :: _ -> Some e
+
+let write ?faults ~path entries =
+  Run_cache.save_atomic ?faults ~path (Jsonx.to_pretty_string (json_of_history entries))
+
+let append ?faults ~path entry =
+  match load ~path with
+  | Ok entries -> write ?faults ~path (entries @ [ entry ])
+  | Error msg ->
+      (* A corrupt history must not silently eat its past: keep the file
+         and drop the new entry rather than overwrite. *)
+      Log.warn (fun m -> m "%s; not appending" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Regression check *)
+
+type verdict = {
+  key : string;
+  metric : string;
+  baseline_v : float;
+  current_v : float;
+  delta : float;
+  threshold : float;
+  regressed : bool;
+}
+
+(* Direction-aware relative thresholds.  The engine is deterministic, so
+   any drift is a real code change — the slack absorbs intentional minor
+   cost-model adjustments, not measurement noise.  Counters with small
+   magnitudes (compaction passes) get a coarser threshold and a floored
+   denominator so 3 -> 4 passes is not a 33% "regression" panic but
+   3 -> 7 still trips. *)
+let checks =
+  [
+    (* name, worse-when-higher, threshold *)
+    ("cycles", true, 0.02);
+    ("speedup", false, 0.02);
+    ("lane_occupancy", false, 0.02);
+    ("compaction_passes", true, 0.10);
+    ("space_peak", true, 0.10);
+  ]
+
+let value_of name (m : metrics) =
+  match name with
+  | "cycles" -> m.cycles
+  | "speedup" -> m.speedup
+  | "lane_occupancy" -> m.lane_occupancy
+  | "compaction_passes" -> float_of_int m.compaction_passes
+  | "space_peak" -> float_of_int m.space_peak
+  | _ -> invalid_arg ("Baseline.value_of: " ^ name)
+
+(* Floors on the relative denominator, per metric: ratios over tiny bases
+   explode (0 -> 1 compaction passes is not infinite regress). *)
+let denom_floor = function
+  | "compaction_passes" -> 1.0
+  | "space_peak" -> 1.0
+  | _ -> 1e-9
+
+let hist_l1 a b =
+  let sum h = Array.fold_left ( + ) 0 h in
+  let ta = float_of_int (max 1 (sum a)) and tb = float_of_int (max 1 (sum b)) in
+  let n = max (Array.length a) (Array.length b) in
+  let get h i = if i < Array.length h then float_of_int h.(i) else 0.0 in
+  let d = ref 0.0 in
+  for i = 0 to n - 1 do
+    d := !d +. Float.abs ((get a i /. ta) -. (get b i /. tb))
+  done;
+  !d
+
+let hist_threshold = 0.05
+
+let check ?(tolerance = 1.0) ~baseline ~current () =
+  if baseline.quick <> current.quick then
+    Error
+      (Printf.sprintf "scale mismatch: baseline is %s, current is %s"
+         (if baseline.quick then "quick" else "full")
+         (if current.quick then "quick" else "full"))
+  else if baseline.block <> current.block then
+    Error
+      (Printf.sprintf "block mismatch: baseline uses %d, current uses %d"
+         baseline.block current.block)
+  else
+    Ok
+      (List.concat_map
+         (fun (key, (b : metrics)) ->
+           match List.assoc_opt key current.benchmarks with
+           | None ->
+               (* A benchmark that vanished is the worst regression of all. *)
+               [
+                 {
+                   key;
+                   metric = "present";
+                   baseline_v = 1.0;
+                   current_v = 0.0;
+                   delta = 1.0;
+                   threshold = 0.0;
+                   regressed = true;
+                 };
+               ]
+           | Some c ->
+               let scalar (name, worse_high, threshold) =
+                 let bv = value_of name b and cv = value_of name c in
+                 let threshold = threshold *. tolerance in
+                 let denom = Float.max (Float.abs bv) (denom_floor name) in
+                 let delta =
+                   (if worse_high then cv -. bv else bv -. cv) /. denom
+                 in
+                 {
+                   key;
+                   metric = name;
+                   baseline_v = bv;
+                   current_v = cv;
+                   delta;
+                   threshold;
+                   regressed = delta > threshold;
+                 }
+               in
+               let hist =
+                 let d = hist_l1 b.occupancy_hist c.occupancy_hist in
+                 let threshold = hist_threshold *. tolerance in
+                 {
+                   key;
+                   metric = "occupancy_hist";
+                   baseline_v = 0.0;
+                   current_v = 0.0;
+                   delta = d;
+                   threshold;
+                   regressed = d > threshold;
+                 }
+               in
+               List.map scalar checks @ [ hist ])
+         baseline.benchmarks)
+
+let regressions verdicts = List.filter (fun v -> v.regressed) verdicts
+
+let pp_verdicts ppf verdicts =
+  let bad = regressions verdicts in
+  Format.fprintf ppf "%-24s %-18s %12s %12s %8s@." "BENCH/MACHINE" "METRIC"
+    "BASELINE" "CURRENT" "DELTA";
+  List.iter
+    (fun v ->
+      if v.regressed || v.metric = "present" then
+        Format.fprintf ppf "%-24s %-18s %12.4g %12.4g %+7.1f%%  REGRESSED (>%g%%)@."
+          v.key v.metric v.baseline_v v.current_v (100.0 *. v.delta)
+          (100.0 *. v.threshold))
+    verdicts;
+  if bad = [] then
+    Format.fprintf ppf "ok: %d checks within thresholds@." (List.length verdicts)
+  else
+    Format.fprintf ppf "%d of %d checks regressed@." (List.length bad)
+      (List.length verdicts)

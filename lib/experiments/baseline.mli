@@ -1,0 +1,98 @@
+(** Versioned per-benchmark baseline metrics and the perf-regression gate.
+
+    Each bench run can append a summary {!entry} — modeled cycles, speedup
+    over sequential, lane occupancy, compaction passes, and the occupancy
+    histogram for every benchmark × machine point — to a history file
+    ([BENCH_history.json]), written crash-safely via
+    {!Run_cache.save_atomic}.  [vcilk bench --check-baseline FILE] then
+    compares a fresh collection against the last recorded entry with
+    direction-aware relative thresholds and exits 3 on regression.
+
+    The engine is a deterministic simulator, so baseline deltas are real
+    code-behavior changes, not measurement noise; the thresholds exist to
+    absorb intentional minor cost-model adjustments. *)
+
+val version : int
+(** Schema version of the history file; mismatches refuse to load. *)
+
+type metrics = {
+  cycles : float;  (** modeled cycles (hybrid re-expansion run) *)
+  speedup : float;  (** over the same machine's sequential run *)
+  lane_occupancy : float;
+  compaction_passes : int;
+  space_peak : int;  (** peak live frames *)
+  occupancy_hist : int array;  (** 10 deciles of per-op lane occupancy *)
+}
+
+type entry = {
+  label : string;  (** build provenance ({!Vc_core.Version.describe}) *)
+  quick : bool;  (** workload scale the metrics were collected at *)
+  block : int;  (** hybrid block size used for every point *)
+  benchmarks : (string * metrics) list;
+      (** keyed ["bench/machine"], sorted by key *)
+}
+
+val default_block : int
+(** Block size used by {!collect} unless overridden (256). *)
+
+val collect : ?block:int -> Sweep.ctx -> entry
+(** Run (or reuse from cache) the hybrid re-expansion point at [block]
+    plus the sequential baseline for every registry benchmark on every
+    machine, and summarize them as one history entry. *)
+
+(** {2 History file} *)
+
+val load : path:string -> (entry list, string) result
+(** Read a history file.  A missing file is [Ok []]; an unreadable,
+    unparseable, or version-mismatched file is [Error msg]. *)
+
+val last : entry list -> entry option
+(** The most recently appended entry. *)
+
+val write : ?faults:Vc_core.Fault.plan -> path:string -> entry list -> unit
+(** Replace the history crash-safely ({!Run_cache.save_atomic}). *)
+
+val append : ?faults:Vc_core.Fault.plan -> path:string -> entry -> unit
+(** [load] then [write] with [entry] at the end.  If the existing file is
+    corrupt the append is dropped with a warning — history is never
+    silently overwritten. *)
+
+val json_of_entry : entry -> Jsonx.t
+
+val entry_of_json : Jsonx.t -> entry
+(** Raises [Failure] on malformed input (callers go through {!load},
+    which converts to [Error]). *)
+
+(** {2 Regression check} *)
+
+type verdict = {
+  key : string;  (** ["bench/machine"] *)
+  metric : string;
+      (** one of cycles / speedup / lane_occupancy / compaction_passes /
+          space_peak / occupancy_hist / present *)
+  baseline_v : float;
+  current_v : float;
+  delta : float;
+      (** relative drift in the metric's {e bad} direction (positive =
+          worse); for [occupancy_hist], the L1 distance between the
+          normalized histograms *)
+  threshold : float;  (** effective threshold after [tolerance] scaling *)
+  regressed : bool;
+}
+
+val check :
+  ?tolerance:float -> baseline:entry -> current:entry -> unit -> (verdict list, string) result
+(** One verdict per baseline benchmark per metric.  Directions: cycles,
+    compaction passes, and space peak regress {e upward}; speedup and
+    lane occupancy regress {e downward}; the occupancy histogram regresses
+    when the normalized L1 distance exceeds its threshold.  Improvements
+    never regress.  A benchmark present in [baseline] but missing from
+    [current] yields a single regressed ["present"] verdict.
+    [tolerance] (default 1.0) scales every threshold.
+    [Error] when the entries are not comparable (quick/full or block-size
+    mismatch) — that is a harness misuse, not a perf regression. *)
+
+val regressions : verdict list -> verdict list
+
+val pp_verdicts : Format.formatter -> verdict list -> unit
+(** Table of regressed checks plus a one-line summary. *)

@@ -63,6 +63,46 @@ let to_string v =
   write buf v;
   Buffer.contents buf
 
+(* Pretty writer: 2-space indent, scalars rendered exactly as [to_string]
+   so [parse (to_pretty_string v) = Ok v] holds whenever it does for the
+   compact form. *)
+let rec write_pretty buf ~indent v =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> write buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          write_pretty buf ~indent:(indent + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          escape_string buf k;
+          Buffer.add_string buf ": ";
+          write_pretty buf ~indent:(indent + 2) v)
+        fields;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_pretty_string v =
+  let buf = Buffer.create 4096 in
+  write_pretty buf ~indent:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Parser: recursive descent over a string cursor. *)
 

@@ -19,6 +19,12 @@ type t =
 val to_string : t -> string
 (** Compact single-line rendering. *)
 
+val to_pretty_string : t -> string
+(** Human-readable rendering (2-space indent, trailing newline) for
+    committed artifacts like the baseline bench history.  Scalars render
+    exactly as in {!to_string}, so values round-trip through {!parse}
+    identically in both forms. *)
+
 val default_max_depth : int
 (** Default container-nesting budget (512). *)
 

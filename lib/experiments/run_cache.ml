@@ -180,55 +180,61 @@ let entries t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
 
 let max_persist_attempts = 3
 
+(* Crash-safe write, shared by the run cache and the baseline history: a
+   pid-unique temp file in the destination's directory (rename is only
+   atomic within a filesystem), flushed and fsynced before the rename,
+   and removed if anything goes wrong — a reader never observes a
+   partial file.  Injected cache-I/O faults with a Retry hint are
+   retried up to {!max_persist_attempts} times. *)
+let save_atomic ?(faults = Vc_core.Fault.none) ~path payload =
+  let dir = Filename.dirname path in
+  (if dir <> "" && dir <> "." && not (Sys.file_exists dir) then
+     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write_once () =
+    Vc_core.Fault.trip faults Vc_core.Fault.Cache ~phase:Vc_core.Vc_error.Persist
+      ~hint:Vc_core.Vc_error.Retry ~detail:path;
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    (try
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           output_string oc payload;
+           flush oc;
+           Unix.fsync (Unix.descr_of_out_channel oc))
+     with exn ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise exn);
+    Sys.rename tmp path
+  in
+  let rec attempt n =
+    try write_once ()
+    with
+    | Vc_core.Vc_error.Error
+        {
+          Vc_core.Vc_error.kind =
+            Vc_core.Vc_error.Fault { hint = Vc_core.Vc_error.Retry; _ };
+          _;
+        } as exn
+    ->
+      if n >= max_persist_attempts then raise exn
+      else begin
+        Log.warn (fun m ->
+            m "%s: persist fault, retrying (attempt %d/%d)" path (n + 1)
+              max_persist_attempts);
+        attempt (n + 1)
+      end
+  in
+  attempt 1
+
 let persist ?(faults = Vc_core.Fault.none) t =
   Mutex.protect t.lock @@ fun () ->
   if t.dirty then begin
-    if not (Sys.file_exists t.dir) then Unix.mkdir t.dir 0o755;
     let runs =
       Hashtbl.fold (fun k r acc -> (k, json_of_report r) :: acc) t.table []
       |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
     let doc = Jsonx.Obj [ ("version", Int version); ("runs", Obj runs) ] in
-    let payload = Jsonx.to_string doc in
-    (* Crash-safe write: a pid-unique temp file in the same directory
-       (rename is only atomic within a filesystem), flushed and fsynced
-       before the rename, and removed if anything goes wrong — a reader
-       never observes a partial [runs.json]. *)
-    let write_once () =
-      Vc_core.Fault.trip faults Vc_core.Fault.Cache ~phase:Vc_core.Vc_error.Persist
-        ~hint:Vc_core.Vc_error.Retry ~detail:(file t);
-      let tmp = Printf.sprintf "%s.tmp.%d" (file t) (Unix.getpid ()) in
-      (try
-         let oc = open_out_bin tmp in
-         Fun.protect
-           ~finally:(fun () -> close_out_noerr oc)
-           (fun () ->
-             output_string oc payload;
-             flush oc;
-             Unix.fsync (Unix.descr_of_out_channel oc))
-       with exn ->
-         (try Sys.remove tmp with Sys_error _ -> ());
-         raise exn);
-      Sys.rename tmp (file t)
-    in
-    let rec attempt n =
-      try write_once ()
-      with
-      | Vc_core.Vc_error.Error
-          {
-            Vc_core.Vc_error.kind =
-              Vc_core.Vc_error.Fault { hint = Vc_core.Vc_error.Retry; _ };
-            _;
-          } as exn
-      ->
-        if n >= max_persist_attempts then raise exn
-        else begin
-          Log.warn (fun m ->
-              m "%s: persist fault, retrying (attempt %d/%d)" (file t) (n + 1)
-                max_persist_attempts);
-          attempt (n + 1)
-        end
-    in
-    attempt 1;
+    save_atomic ~faults ~path:(file t) (Jsonx.to_string doc);
     t.dirty <- false
   end

@@ -42,6 +42,17 @@ val add : t -> string -> Vc_core.Report.t -> unit
 
 val entries : t -> int
 
+val save_atomic : ?faults:Vc_core.Fault.plan -> path:string -> string -> unit
+(** [save_atomic ~path payload] writes [payload] to [path] crash-safely:
+    the bytes go to a pid-unique temp file in the same directory, are
+    flushed and fsynced, then renamed over the target — readers never
+    observe a partial file, and a failed write removes its temp file.
+    The parent directory is created if missing (one level).  Shared by
+    the run cache and the baseline bench history ({!Baseline}).
+    [faults] arms the [Cache] injection site; injected persist faults
+    with a [Retry] hint are retried up to 3 attempts before the typed
+    error propagates. *)
+
 val persist : ?faults:Vc_core.Fault.plan -> t -> unit
 (** Write [dir/runs.json] crash-safely if any entry was added since
     [load]: the payload goes to a pid-unique temp file in the same

@@ -553,6 +553,8 @@ let sample_events =
     Telemetry.Compaction { engine = "shuffle"; width = 8; n = 13; passes = 2 };
     Telemetry.Convert { to_soa = true; n = 64; fields = 3 };
     Telemetry.Cache { level = "L1"; depth = 2; accesses = 10; misses = 3 };
+    Telemetry.Span_open { frame = "expand" };
+    Telemetry.Span_close { frame = "expand" };
     Telemetry.Mark "checkpoint";
   ]
 
@@ -740,6 +742,202 @@ let test_engine_telemetry () =
         (s.Telemetry.ts >= 0.0 && s.Telemetry.ts <= r.Report.cycles +. 1.0))
     evs
 
+(* A stream sink whose channel breaks surfaces one typed telemetry error,
+   is dropped, and never starves the other sinks. *)
+let test_telemetry_sink_failure () =
+  let path = Filename.temp_file "vc-dead-sink" ".jsonl" in
+  let oc = open_out path in
+  let ring = Telemetry.ring ~capacity:8 in
+  (* ring first: it must receive every event even when the jsonl sink
+     dies mid-fanout *)
+  let tel = Telemetry.with_sinks [ ring; Telemetry.jsonl_sink oc ] in
+  Telemetry.emit tel (mark "ok");
+  close_out oc;
+  (match Telemetry.emit tel (mark "boom") with
+  | () -> Alcotest.fail "write to a closed channel should raise a typed error"
+  | exception Vc_error.Error e ->
+      check_bool "site is telemetry" true
+        (Vc_error.site_of e = Some Vc_error.Telemetry);
+      check_bool "hinted discard" true
+        (Vc_error.hint_of e = Some Vc_error.Discard_entry);
+      check_int "exit code 1" 1 (Vc_error.exit_code e));
+  (* the sink is dead now: emits and flushes are clean no-ops for it *)
+  Telemetry.emit tel (mark "after");
+  Telemetry.flush tel;
+  Sys.remove path;
+  Alcotest.(check (list string)) "ring saw every event despite the dead sink"
+    [ "ok"; "boom"; "after" ]
+    (List.filter_map
+       (fun s ->
+         match s.Telemetry.ev with Telemetry.Mark m -> Some m | _ -> None)
+       (Telemetry.ring_events ring))
+
+(* ------------------------------------------------------------------ *)
+(* Profile: cycle attribution over spans                               *)
+
+let run_profiled ?cutoff ?faults ?(warm = false) ~spec strategy =
+  let tel = Telemetry.create () in
+  let prof = Profile.create () in
+  Profile.attach prof tel;
+  let r =
+    Engine.run ?cutoff ?faults ~warm ~telemetry:tel ~spec ~machine:e5 ~strategy ()
+  in
+  (prof, r)
+
+let profile_paths prof = List.map (fun f -> f.Profile.stack) (Profile.frames prof)
+
+(* The acceptance criterion: attributed cycles reconcile EXACTLY — float
+   equality, no epsilon — with the report's modeled cycles.  All ISA
+   costs and miss penalties are multiples of 0.5, so clock readings,
+   span deltas and their sums are exact doubles and must telescope to
+   the total. *)
+let test_profile_reconciles_exactly () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 16 } in
+  let prof, r =
+    run_profiled ~spec (Policy.Hybrid { max_block = 64; reexpand = true })
+  in
+  Alcotest.(check (float 0.0)) "attributed total == Report.cycles (bit-exact)"
+    r.Report.cycles (Profile.total_cycles prof);
+  check_int "all spans balanced" 0 (Profile.unbalanced prof);
+  let paths = profile_paths prof in
+  check_bool "root frame" true (List.mem [ "fib" ] paths);
+  check_bool "expand phase" true (List.mem [ "fib"; "expand" ] paths);
+  check_bool "blocked phase" true (List.mem [ "fib"; "blocked" ] paths);
+  check_bool "compaction attributed under a phase" true
+    (List.mem [ "fib"; "expand"; "compact" ] paths
+    || List.mem [ "fib"; "blocked"; "compact" ] paths);
+  check_bool "spawn sites attributed" true
+    (List.mem [ "fib"; "expand"; "spawn:site0" ] paths
+    || List.mem [ "fib"; "blocked"; "spawn:site0" ] paths);
+  check_bool "no untracked time" true
+    (List.for_all
+       (fun f -> f.Profile.stack <> [ "(untracked)" ] || f.Profile.cycles = 0.0)
+       (Profile.frames prof))
+
+(* Folded-stack output is the export consumers sum: parsing it back and
+   summing the count column must reconcile exactly too (cycle counts are
+   printed losslessly; float addition of exact half-integers is exact in
+   any order). *)
+let test_profile_folded_reconciles () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 16 } in
+  let prof, r =
+    run_profiled ~spec (Policy.Hybrid { max_block = 64; reexpand = true })
+  in
+  let lines =
+    String.split_on_char '\n' (Profile.folded prof)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_bool "folded output is non-empty" true (lines <> []);
+  let sum =
+    List.fold_left
+      (fun acc line ->
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "malformed folded line: %s" line
+        | Some i ->
+            let stack = String.sub line 0 i in
+            check_bool "path rooted at the benchmark" true
+              (String.length stack >= 3 && String.sub stack 0 3 = "fib");
+            acc
+            +. float_of_string
+                 (String.sub line (i + 1) (String.length line - i - 1)))
+      0.0 lines
+  in
+  Alcotest.(check (float 0.0)) "folded column sums to Report.cycles"
+    r.Report.cycles sum
+
+(* The engine's warm pass clears the hub between passes; the profiler
+   must reset with it or measured totals would double-count. *)
+let test_profile_warm_run_resets () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 14 } in
+  let prof, r =
+    run_profiled ~warm:true ~spec (Policy.Hybrid { max_block = 32; reexpand = true })
+  in
+  Alcotest.(check (float 0.0)) "only the measured pass is attributed"
+    r.Report.cycles (Profile.total_cycles prof);
+  check_int "balanced after reset" 0 (Profile.unbalanced prof)
+
+(* Cutoff and fault-recovery work lands in dedicated frames, and the
+   reconciliation invariant survives both. *)
+let test_profile_cutoff_and_fallback_frames () =
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 14 } in
+  let prof, r =
+    run_profiled ~cutoff:64 ~spec (Policy.Hybrid { max_block = 16; reexpand = true })
+  in
+  Alcotest.(check (float 0.0)) "cutoff run reconciles" r.Report.cycles
+    (Profile.total_cycles prof);
+  check_bool "cutoff frame present" true
+    (List.exists (List.mem "cutoff") (profile_paths prof));
+  let plan = Fault.make ~rate:1.0 ~seed:7 ~sites:[ Fault.Compact ] () in
+  let prof, r =
+    run_profiled ~faults:plan ~spec
+      (Policy.Hybrid { max_block = 16; reexpand = true })
+  in
+  Alcotest.(check (float 0.0)) "faulted run reconciles" r.Report.cycles
+    (Profile.total_cycles prof);
+  check_bool "fallback frame present" true
+    (List.exists (List.mem "fallback") (profile_paths prof));
+  check_bool "faults counted on their frame" true
+    (List.exists (fun f -> f.Profile.faults > 0) (Profile.frames prof))
+
+(* Hand-fed streams: unbalanced closes are tolerated and counted, and
+   compaction/convert counters land on the innermost open frame. *)
+let test_profile_unbalanced_and_counters () =
+  let prof = Profile.create () in
+  let feed i ev = Profile.observe prof { Telemetry.seq = i; ts = float_of_int i; dur = 0.0; ev } in
+  feed 0 (Telemetry.Span_open { frame = "a" });
+  feed 1 (Telemetry.Span_open { frame = "b" });
+  feed 2 (Telemetry.Compaction { engine = "shuffle"; width = 8; n = 32; passes = 3 });
+  feed 3 (Telemetry.Convert { to_soa = true; n = 8; fields = 2 });
+  (* closes "a" through the still-open "b" *)
+  feed 4 (Telemetry.Span_close { frame = "a" });
+  (* stray close with nothing open *)
+  feed 5 (Telemetry.Span_close { frame = "zzz" });
+  check_int "two unbalanced boundaries" 2 (Profile.unbalanced prof);
+  let frames = Profile.frames prof in
+  let node path = List.find (fun f -> f.Profile.stack = path) frames in
+  check_int "compaction calls on a;b" 1 (node [ "a"; "b" ]).Profile.compaction_calls;
+  check_int "compaction passes on a;b" 3
+    (node [ "a"; "b" ]).Profile.compaction_passes;
+  check_int "converts on a;b" 1 (node [ "a"; "b" ]).Profile.converts;
+  Alcotest.(check (float 0.0)) "a holds [0,1)" 1.0 (node [ "a" ]).Profile.cycles;
+  Alcotest.(check (float 0.0)) "a;b holds [1,4)" 3.0 (node [ "a"; "b" ]).Profile.cycles;
+  Alcotest.(check (float 0.0)) "stray tail is untracked" 1.0
+    (node [ "(untracked)" ]).Profile.cycles;
+  Alcotest.(check (float 0.0)) "total telescopes" 5.0 (Profile.total_cycles prof);
+  (* hotspot table and JSON render without error and carry the total *)
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Profile.pp_hotspots ~top:2 fmt prof;
+  Format.pp_print_flush fmt ();
+  check_bool "hotspot table mentions total" true
+    (let s = Buffer.contents buf in
+     let re = "total:" in
+     let rec find i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || find (i + 1))
+     in
+     find 0);
+  match Vc_exp.Jsonx.parse (Profile.json_string prof) with
+  | Ok (Vc_exp.Jsonx.Obj fields) ->
+      check_bool "json has total_cycles + frames" true
+        (List.mem_assoc "total_cycles" fields && List.mem_assoc "frames" fields)
+  | Ok _ -> Alcotest.fail "profile json is not an object"
+  | Error m -> Alcotest.failf "profile json unparseable: %s" m
+
+(* The blocked interpreter emits the same span vocabulary (seq-number
+   clock): open/close pairs balance over a full run. *)
+let test_profile_blocked_interp_spans () =
+  let t = Transform.transform fib_program in
+  let tel = Telemetry.create () in
+  let prof = Profile.create () in
+  Profile.attach prof tel;
+  let b = Blocked_interp.run ~telemetry:tel t [ 12 ] in
+  check_int "fib 12" 144 (List.assoc "result" b.Blocked_interp.reducers);
+  check_int "spans balance" 0 (Profile.unbalanced prof);
+  let paths = profile_paths prof in
+  check_bool "root method frame" true (List.mem [ "fib" ] paths);
+  check_bool "expand frame" true (List.mem [ "fib"; "expand" ] paths)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics / Measure / Report                                          *)
 
@@ -763,6 +961,53 @@ let test_metrics () =
   let levels = Metrics.levels m in
   check_int "levels len" 6 (Array.length levels);
   check_bool "level 5" true (levels.(5) = (10, 4))
+
+(* Read APIs on a freshly created (empty) collector: everything is
+   well-defined, and returned arrays are copies/fresh. *)
+let test_metrics_read_empty () =
+  let m = Metrics.create () in
+  check_int "no tasks" 0 (Metrics.total_tasks m);
+  check_int "space peak" 0 (Metrics.space_peak m);
+  check_int "no reexpansions" 0 (Array.length (Metrics.reexpansions m));
+  check_int "reexpansion total" 0 (Metrics.reexpansion_total m);
+  (match Metrics.levels m with
+  | [| (0, 0) |] -> ()
+  | l -> Alcotest.failf "empty levels should be [|(0,0)|], got %d rows" (Array.length l));
+  let hist = Metrics.occupancy_hist m in
+  check_int "10 occupancy buckets" 10 (Array.length hist);
+  check_bool "all buckets empty" true (Array.for_all (( = ) 0) hist);
+  hist.(0) <- 42;
+  check_bool "occupancy_hist returns a copy" true
+    (Array.for_all (( = ) 0) (Metrics.occupancy_hist m))
+
+(* Read APIs after a single level, plus occupancy_sample's non-positive
+   input guard. *)
+let test_metrics_read_single_level () =
+  let m = Metrics.create () in
+  Metrics.tasks_at_level m ~depth:0 ~n:5;
+  Metrics.base_at_level m ~depth:0 ~n:2;
+  Metrics.live_threads m 5;
+  Metrics.occupancy_sample m ~n:5 ~width:8;
+  (match Metrics.levels m with
+  | [| (5, 2) |] -> ()
+  | _ -> Alcotest.fail "single-level levels");
+  check_int "space peak tracks the level" 5 (Metrics.space_peak m);
+  check_int "no reexpansions recorded" 0 (Array.length (Metrics.reexpansions m));
+  check_int "reexpansion total" 0 (Metrics.reexpansion_total m);
+  (* occupancy 5/8 = 0.625 lands in bucket 6 *)
+  let hist = Metrics.occupancy_hist m in
+  check_int "bucket 6" 1 hist.(6);
+  check_int "one sample total" 1 (Array.fold_left ( + ) 0 hist);
+  (* non-positive inputs are guarded: no bucket moves, nothing raises *)
+  Metrics.occupancy_sample m ~n:0 ~width:8;
+  Metrics.occupancy_sample m ~n:(-3) ~width:8;
+  Metrics.occupancy_sample m ~n:5 ~width:0;
+  Metrics.occupancy_sample m ~n:5 ~width:(-1);
+  check_int "guarded samples ignored" 1
+    (Array.fold_left ( + ) 0 (Metrics.occupancy_hist m));
+  (* full occupancy lands in the top bucket *)
+  Metrics.occupancy_sample m ~n:8 ~width:8;
+  check_int "bucket 9" 1 (Metrics.occupancy_hist m).(9)
 
 let test_report_speedup () =
   let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 10 } in
@@ -944,10 +1189,31 @@ let () =
           Alcotest.test_case "occupancy" `Quick test_telemetry_occupancy;
           Alcotest.test_case "engine event stream matches report" `Quick
             test_engine_telemetry;
+          Alcotest.test_case "dead sink is dropped with a typed error" `Quick
+            test_telemetry_sink_failure;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "attribution reconciles exactly with the report"
+            `Quick test_profile_reconciles_exactly;
+          Alcotest.test_case "folded stacks sum back to the report" `Quick
+            test_profile_folded_reconciles;
+          Alcotest.test_case "warm pass resets attribution" `Quick
+            test_profile_warm_run_resets;
+          Alcotest.test_case "cutoff and fallback frames" `Quick
+            test_profile_cutoff_and_fallback_frames;
+          Alcotest.test_case "unbalanced spans and counters" `Quick
+            test_profile_unbalanced_and_counters;
+          Alcotest.test_case "blocked interpreter spans balance" `Quick
+            test_profile_blocked_interp_spans;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "collection" `Quick test_metrics;
+          Alcotest.test_case "read APIs on an empty run" `Quick
+            test_metrics_read_empty;
+          Alcotest.test_case "read APIs on a single level" `Quick
+            test_metrics_read_single_level;
           Alcotest.test_case "report speedup" `Quick test_report_speedup;
         ] );
       ( "supervisor",

@@ -348,6 +348,227 @@ let test_jsonx_roundtrip () =
   | Ok doc' -> check_bool "round-trips exactly" true (doc = doc')
   | Error m -> Alcotest.fail ("parse failed: " ^ m)
 
+let test_jsonx_pretty_roundtrip () =
+  let open Vc_exp.Jsonx in
+  let doc =
+    Obj
+      [
+        ("s", String "a\"b\\c\nd");
+        ("i", Int (-42));
+        ("f", Float 0.1);
+        ("t", Bool false);
+        ("n", Null);
+        ("empty_l", List []);
+        ("empty_o", Obj []);
+        ("l", List [ Int 1; Float 2.5; Obj [ ("k", List [ Null ]) ] ]);
+      ]
+  in
+  let pretty = to_pretty_string doc in
+  check_bool "multi-line" true (String.contains pretty '\n');
+  check_bool "trailing newline" true (pretty.[String.length pretty - 1] = '\n');
+  match parse pretty with
+  | Ok doc' -> check_bool "pretty form round-trips exactly" true (doc = doc')
+  | Error m -> Alcotest.fail ("pretty parse failed: " ^ m)
+
+let test_save_atomic () =
+  let dir = temp_dir "vc-atomic" in
+  let path = Filename.concat dir "out.json" in
+  Vc_exp.Run_cache.save_atomic ~path "first";
+  Alcotest.(check string) "payload lands" "first" (read_file path);
+  (* a rate-1.0 cache fault plan exhausts the 3 retries; the previous
+     payload must survive and no temp file may leak *)
+  let plan = Vc_core.Fault.make ~rate:1.0 ~seed:5 ~sites:[ Vc_core.Fault.Cache ] () in
+  (match Vc_exp.Run_cache.save_atomic ~faults:plan ~path "second" with
+  | () -> Alcotest.fail "save_atomic under a rate-1.0 fault plan should give up"
+  | exception Vc_core.Vc_error.Error e ->
+      check_bool "cache-io fault" true
+        (Vc_core.Vc_error.site_of e = Some Vc_core.Vc_error.Cache_io);
+      check_int "three attempts" 3 (Vc_core.Fault.total_fired plan));
+  Alcotest.(check string) "old payload intact" "first" (read_file path);
+  check_int "no temp files leak" 1 (Array.length (Sys.readdir dir));
+  (* missing parent directory is created (one level) *)
+  let nested = Filename.concat (Filename.concat dir "sub") "out.json" in
+  Vc_exp.Run_cache.save_atomic ~path:nested "third";
+  Alcotest.(check string) "nested payload lands" "third" (read_file nested);
+  Sys.remove nested;
+  Unix.rmdir (Filename.concat dir "sub");
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Baseline history + regression gate *)
+
+let sample_metrics () =
+  {
+    Vc_exp.Baseline.cycles = 131072.0;
+    speedup = 3.5;
+    lane_occupancy = 0.82;
+    compaction_passes = 40;
+    space_peak = 750;
+    occupancy_hist = [| 0; 0; 1; 2; 4; 8; 16; 32; 64; 128 |];
+  }
+
+let sample_entry () =
+  {
+    Vc_exp.Baseline.label = "test";
+    quick = true;
+    block = 256;
+    benchmarks = [ ("fib/e5", sample_metrics ()); ("uts/phi", sample_metrics ()) ];
+  }
+
+let check_ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "expected Ok, got Error %S" msg
+
+let test_baseline_history_roundtrip () =
+  let dir = temp_dir "vc-baseline" in
+  let path = Filename.concat dir "hist.json" in
+  check_bool "missing file is an empty history" true
+    (Vc_exp.Baseline.load ~path = Ok []);
+  let e1 = sample_entry () in
+  let e2 = { e1 with Vc_exp.Baseline.label = "later" } in
+  Vc_exp.Baseline.append ~path e1;
+  Vc_exp.Baseline.append ~path e2;
+  (match Vc_exp.Baseline.load ~path with
+  | Ok [ a; b ] ->
+      check_bool "entries round-trip in order" true (a = e1 && b = e2);
+      check_bool "last is the newest" true
+        (Vc_exp.Baseline.last [ a; b ] = Some e2)
+  | Ok es -> Alcotest.failf "expected 2 entries, got %d" (List.length es)
+  | Error m -> Alcotest.fail m);
+  (* a corrupt history refuses to load — and append never overwrites it *)
+  let oc = open_out path in
+  output_string oc "{not json";
+  close_out oc;
+  check_bool "corrupt history is an Error" true
+    (match Vc_exp.Baseline.load ~path with Error _ -> true | Ok _ -> false);
+  Vc_exp.Baseline.append ~path e1;
+  Alcotest.(check string) "append dropped, file untouched" "{not json"
+    (read_file path);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_baseline_check_verdicts () =
+  let base = sample_entry () in
+  let with_fib f =
+    {
+      base with
+      Vc_exp.Baseline.benchmarks =
+        [ ("fib/e5", f (sample_metrics ())); ("uts/phi", sample_metrics ()) ];
+    }
+  in
+  let regressed ~baseline ~current =
+    Vc_exp.Baseline.regressions
+      (check_ok (Vc_exp.Baseline.check ~baseline ~current ()))
+  in
+  (* identical entries: every check passes, 6 metrics per benchmark *)
+  let verdicts = check_ok (Vc_exp.Baseline.check ~baseline:base ~current:base ()) in
+  check_int "six checks per benchmark" 12 (List.length verdicts);
+  check_int "identical entries never regress" 0
+    (List.length (Vc_exp.Baseline.regressions verdicts));
+  (* cycles +5% > 2% threshold: regression on exactly that metric *)
+  let slow =
+    with_fib (fun m -> { m with Vc_exp.Baseline.cycles = m.Vc_exp.Baseline.cycles *. 1.05 })
+  in
+  (match regressed ~baseline:base ~current:slow with
+  | [ v ] ->
+      check_bool "cycles metric" true (v.Vc_exp.Baseline.metric = "cycles");
+      check_bool "on fib/e5" true (v.Vc_exp.Baseline.key = "fib/e5")
+  | vs -> Alcotest.failf "expected 1 regression, got %d" (List.length vs));
+  (* ...and a 10x tolerance absorbs it *)
+  check_int "tolerance scales thresholds" 0
+    (List.length
+       (Vc_exp.Baseline.regressions
+          (check_ok (Vc_exp.Baseline.check ~tolerance:10.0 ~baseline:base ~current:slow ()))));
+  (* improvements (cycles down, speedup up) never regress *)
+  let better =
+    with_fib (fun m ->
+        {
+          m with
+          Vc_exp.Baseline.cycles = m.Vc_exp.Baseline.cycles *. 0.5;
+          speedup = m.Vc_exp.Baseline.speedup *. 2.0;
+        })
+  in
+  check_int "improvements never regress" 0
+    (List.length (regressed ~baseline:base ~current:better));
+  (* speedup -5% regresses (downward-bad direction) *)
+  let slower =
+    with_fib (fun m -> { m with Vc_exp.Baseline.speedup = m.Vc_exp.Baseline.speedup *. 0.95 })
+  in
+  (match regressed ~baseline:base ~current:slower with
+  | [ v ] -> check_bool "speedup metric" true (v.Vc_exp.Baseline.metric = "speedup")
+  | vs -> Alcotest.failf "expected 1 regression, got %d" (List.length vs));
+  (* occupancy-histogram shape drift: same total, mass moved to low deciles *)
+  let shifted =
+    with_fib (fun m ->
+        { m with Vc_exp.Baseline.occupancy_hist = [| 128; 64; 32; 16; 8; 4; 2; 1; 0; 0 |] })
+  in
+  (match regressed ~baseline:base ~current:shifted with
+  | [ v ] ->
+      check_bool "hist metric" true (v.Vc_exp.Baseline.metric = "occupancy_hist")
+  | vs -> Alcotest.failf "expected 1 regression, got %d" (List.length vs));
+  (* a benchmark missing from current is a single "present" regression *)
+  let missing =
+    { base with Vc_exp.Baseline.benchmarks = [ ("fib/e5", sample_metrics ()) ] }
+  in
+  (match regressed ~baseline:base ~current:missing with
+  | [ v ] ->
+      check_bool "present metric" true (v.Vc_exp.Baseline.metric = "present");
+      check_bool "on uts/phi" true (v.Vc_exp.Baseline.key = "uts/phi")
+  | vs -> Alcotest.failf "expected 1 regression, got %d" (List.length vs));
+  (* incomparable entries are harness errors, not regressions *)
+  check_bool "quick/full mismatch is an Error" true
+    (match
+       Vc_exp.Baseline.check ~baseline:base
+         ~current:{ base with Vc_exp.Baseline.quick = false }
+         ()
+     with
+    | Error _ -> true
+    | Ok _ -> false);
+  check_bool "block mismatch is an Error" true
+    (match
+       Vc_exp.Baseline.check ~baseline:base
+         ~current:{ base with Vc_exp.Baseline.block = 64 }
+         ()
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* End-to-end: collect real quick-mode metrics, write them as a baseline,
+   and gate a second collection from the same (memoized) context against
+   it — the determinism contract behind [vcilk bench --check-baseline]. *)
+let test_baseline_collect_and_gate () =
+  let ctx = Vc_exp.Sweep.create ~quick:true ~cache_dir:None () in
+  let current = Vc_exp.Baseline.collect ~block:64 ctx in
+  check_bool "quick scale recorded" true current.Vc_exp.Baseline.quick;
+  check_int "block recorded" 64 current.Vc_exp.Baseline.block;
+  check_int "every benchmark x machine present"
+    (List.length Vc_bench.Registry.all * List.length Vc_exp.Sweep.machines)
+    (List.length current.Vc_exp.Baseline.benchmarks);
+  List.iter
+    (fun (key, (m : Vc_exp.Baseline.metrics)) ->
+      check_bool (key ^ " cycles positive") true (m.Vc_exp.Baseline.cycles > 0.0);
+      check_bool (key ^ " speedup positive") true (m.Vc_exp.Baseline.speedup > 0.0))
+    current.Vc_exp.Baseline.benchmarks;
+  let dir = temp_dir "vc-baseline" in
+  let path = Filename.concat dir "baseline.json" in
+  Vc_exp.Baseline.write ~path [ current ];
+  let baseline =
+    match Vc_exp.Baseline.last (check_ok (Vc_exp.Baseline.load ~path)) with
+    | Some e -> e
+    | None -> Alcotest.fail "written baseline should load"
+  in
+  let verdicts =
+    check_ok
+      (Vc_exp.Baseline.check ~baseline
+         ~current:(Vc_exp.Baseline.collect ~block:64 ctx)
+         ())
+  in
+  check_int "self-gate has no regressions" 0
+    (List.length (Vc_exp.Baseline.regressions verdicts));
+  Sys.remove path;
+  Unix.rmdir dir
+
 let lines s = String.split_on_char '\n' (String.trim s)
 
 let test_csv_table1 () =
@@ -426,6 +647,7 @@ let () =
       ( "jsonx",
         [
           Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "pretty roundtrip" `Quick test_jsonx_pretty_roundtrip;
           Alcotest.test_case "bad escapes are errors" `Quick test_jsonx_bad_escapes;
           Alcotest.test_case "nesting depth is bounded" `Quick
             test_jsonx_depth_limit;
@@ -442,6 +664,15 @@ let () =
             test_report_decode_errors;
           Alcotest.test_case "failed persist never corrupts the file" `Quick
             test_run_cache_crash_safe_persist;
+          Alcotest.test_case "save_atomic crash safety" `Quick test_save_atomic;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "history roundtrip + corrupt refusal" `Quick
+            test_baseline_history_roundtrip;
+          Alcotest.test_case "check verdicts" `Quick test_baseline_check_verdicts;
+          Alcotest.test_case "collect + self-gate" `Slow
+            test_baseline_collect_and_gate;
         ] );
       ( "pool",
         [
