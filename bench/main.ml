@@ -32,6 +32,7 @@ let regenerate ctx =
   Vc_exp.Figures.figure14 ctx fmt;
   Vc_exp.Figures.figure15 ctx fmt;
   Vc_exp.Figures.figure16 ctx fmt;
+  Vc_exp.Figures.figure17 ctx fmt;
   section "Ablations";
   Vc_exp.Ablations.strawman ctx fmt;
   Vc_exp.Ablations.compaction_cost ctx fmt;

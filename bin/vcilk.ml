@@ -10,7 +10,8 @@
      distribute FILE.rtp         - the loop-distributed, if-converted form
      interp FILE.rtp ARGS...     - run a DSL program sequentially
      table  {1|2|3}              - regenerate one paper table
-     figure {9..16}              - regenerate one paper figure
+     figure {9..17}              - regenerate one paper figure (17 is the
+                                   lanes x domains hybrid-scheduler study)
      trace BENCH                 - per-level scheduler timeline
      profile BENCH               - cycle-attribution hotspots, folded
                                    stacks (flamegraph input), JSON
@@ -33,8 +34,16 @@
    cache).  VCILK_LOG=debug|info enables engine logging on stderr.
 
    Supervised execution: run and verify take --deadline CYCLES,
-   --wall-deadline SECONDS and --max-live-frames N; an exceeded budget
-   terminates with a typed error and exit code 2 (0 ok, 1 failure).
+   --wall-deadline SECONDS and --max-live-frames N (run also
+   --max-tasks N); an exceeded budget terminates with a typed error and
+   exit code 2 (0 ok, 1 failure).
+
+   Intra-run parallelism: run and chaos take --domains N.  N = 1 (the
+   default) is the single-context engine; N > 1 splits the run across
+   real OCaml domains via the hybrid multicore x SIMD scheduler
+   (Domain_sched) — reducer values and task counts stay bit-equal to
+   --domains 1, modeled cycles come from the deterministic work-stealing
+   schedule model.
    VC_FAULT_SEED / VC_FAULT_SITES / VC_FAULT_RATE arm deterministic
    fault injection in any subcommand (fault-armed runs never write the
    persistent cache); chaos arms it explicitly via --seed/--faults. *)
@@ -103,6 +112,23 @@ let max_live_frames_flag =
              "Live-frame budget (a user-level cap below the machine's space \
               limit). Exceeding it terminates with exit code 2.")
 
+let domains_flag =
+  Arg.(value & opt int 1
+       & info [ "d"; "domains" ] ~docv:"N"
+           ~doc:
+             "Execute across N real OCaml domains via the hybrid multicore x \
+              SIMD scheduler. 1 (the default) is the plain single-context \
+              engine. Reducer values and task counts are bit-equal across \
+              domain counts; modeled cycles use the deterministic \
+              work-stealing schedule model.")
+
+let max_tasks_flag =
+  Arg.(value & opt (some int) None
+       & info [ "max-tasks" ] ~docv:"N"
+           ~doc:
+             "Task budget per engine context (default 200M). Exceeding it \
+              terminates with a typed error and exit code 2.")
+
 (* Uniform exit-code convention: 0 ok, 1 failure, 2 budget exceeded,
    3 perf regression (bench --check-baseline). *)
 let die (e : Vc_core.Vc_error.t) : 'a =
@@ -150,43 +176,84 @@ let run_cmd =
          & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
   in
   let strategy =
-    Arg.(value & opt string "reexp"
+    (* a typed enum, so an unknown strategy is a usage error from the
+       argument parser instead of a raw Failure escaping main *)
+    Arg.(value
+         & opt
+             (enum
+                [ ("seq", `Seq); ("strawman", `Strawman); ("bfs", `Bfs);
+                  ("noreexp", `Noreexp); ("reexp", `Reexp) ])
+             `Reexp
          & info [ "s"; "strategy" ] ~doc:"seq|strawman|bfs|noreexp|reexp.")
   in
   let block =
     Arg.(value & opt int 4096
          & info [ "b"; "block" ] ~doc:"Hybrid max block size / re-expansion threshold.")
   in
-  let run quick jobs no_cache deadline wall_deadline max_live_frames
-      (entry : Vc_bench.Registry.entry) machine strategy block =
+  let run quick jobs no_cache deadline wall_deadline max_live_frames domains
+      max_tasks (entry : Vc_bench.Registry.entry) machine strategy block =
+    or_die @@ fun () ->
+    if domains < 1 then begin
+      Format.eprintf "vcilk: --domains must be positive@.";
+      exit 1
+    end;
+    if domains > 1 && (strategy = `Seq || strategy = `Strawman) then begin
+      Format.eprintf "vcilk: --domains applies to the engine strategies (bfs|noreexp|reexp)@.";
+      exit 1
+    end;
     let ctx = ctx_of quick jobs no_cache in
     let spec = Vc_exp.Sweep.spec_of ctx entry in
     let budgets = { Vc_core.Supervisor.deadline; wall_deadline; max_live_frames } in
     let supervised strategy =
-      match
-        Vc_core.Supervisor.run ~faults:(Vc_core.Fault.of_env ()) ~budgets ~spec
-          ~machine ~strategy ()
-      with
-      | Ok o ->
-          if o.Vc_core.Supervisor.faults_seen > 0 then
-            Format.eprintf "[supervisor] %d faults contained, %d scalar fallbacks@."
-              o.Vc_core.Supervisor.faults_seen o.Vc_core.Supervisor.fallbacks;
-          o.Vc_core.Supervisor.report
-      | Error e -> die e
+      if domains = 1 then
+        match
+          Vc_core.Supervisor.run ?max_tasks ~faults:(Vc_core.Fault.of_env ())
+            ~budgets ~spec ~machine ~strategy ()
+        with
+        | Ok o ->
+            if o.Vc_core.Supervisor.faults_seen > 0 then
+              Format.eprintf "[supervisor] %d faults contained, %d scalar fallbacks@."
+                o.Vc_core.Supervisor.faults_seen o.Vc_core.Supervisor.fallbacks;
+            o.Vc_core.Supervisor.report
+        | Error e -> die e
+      else
+        match
+          Vc_core.Supervisor.run_domains ?max_tasks
+            ~faults:(Vc_core.Fault.of_env ()) ~budgets ~spec ~machine ~strategy
+            ~domains ()
+        with
+        | Ok d ->
+            Format.eprintf
+              "[domains] %d domains, %d chunks (frontier %d at depth %d)@."
+              d.Vc_core.Domain_sched.domains d.Vc_core.Domain_sched.chunks
+              d.Vc_core.Domain_sched.frontier d.Vc_core.Domain_sched.frontier_depth;
+            Format.eprintf
+              "[domains] expansion %.3e + makespan %.3e of %.3e work cycles; \
+               %d modeled steals (%d failed), %d observed@."
+              d.Vc_core.Domain_sched.expansion_cycles
+              d.Vc_core.Domain_sched.makespan_cycles
+              d.Vc_core.Domain_sched.work_cycles
+              d.Vc_core.Domain_sched.modeled_steals
+              d.Vc_core.Domain_sched.modeled_failed_steals
+              d.Vc_core.Domain_sched.observed_steals;
+            if d.Vc_core.Domain_sched.faults_seen > 0 then
+              Format.eprintf "[supervisor] %d faults contained, %d scalar fallbacks@."
+                d.Vc_core.Domain_sched.faults_seen d.Vc_core.Domain_sched.fallbacks;
+            d.Vc_core.Domain_sched.report
+        | Error e -> die e
     in
     let report =
       match strategy with
-      | "seq" -> Vc_core.Seq_exec.run ~spec ~machine ()
-      | "strawman" -> Vc_core.Strawman.run ~spec ~machine ()
-      | "bfs" -> supervised Vc_core.Policy.Bfs_only
-      | "noreexp" ->
+      | `Seq -> Vc_core.Seq_exec.run ~spec ~machine ()
+      | `Strawman -> Vc_core.Strawman.run ?max_tasks ~spec ~machine ()
+      | `Bfs -> supervised Vc_core.Policy.Bfs_only
+      | `Noreexp ->
           supervised (Vc_core.Policy.Hybrid { max_block = block; reexpand = false })
-      | "reexp" ->
+      | `Reexp ->
           supervised (Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
-      | other -> failwith (Printf.sprintf "unknown strategy %S" other)
     in
     Format.printf "%a@." Vc_core.Report.pp_summary report;
-    if strategy <> "seq" && not report.Vc_core.Report.oom then
+    if strategy <> `Seq && not report.Vc_core.Report.oom then
       Format.printf "modeled speedup over sequential: %.2f@."
         (Vc_exp.Sweep.speedup ctx entry machine report);
     finish ctx
@@ -194,8 +261,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under one execution strategy.")
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ deadline_flag
-          $ wall_deadline_flag $ max_live_frames_flag $ bench $ machine $ strategy
-          $ block)
+          $ wall_deadline_flag $ max_live_frames_flag $ domains_flag
+          $ max_tasks_flag $ bench $ machine $ strategy $ block)
 
 let transform_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -287,7 +354,7 @@ let figure_cmd =
     let ctx = ctx_of quick jobs no_cache in
     let fmt = Format.std_formatter in
     (match n with
-    | 9 -> Vc_exp.Sweep.prewarm ~scope:`Seq_only ctx
+    | 9 | 17 -> Vc_exp.Sweep.prewarm ~scope:`Seq_only ctx
     | 10 | 11 | 12 | 13 | 14 | 15 | 16 -> Vc_exp.Sweep.prewarm ctx
     | _ -> ());
     (match n with
@@ -299,12 +366,13 @@ let figure_cmd =
     | 14 -> Vc_exp.Figures.figure14 ctx fmt
     | 15 -> Vc_exp.Figures.figure15 ctx fmt
     | 16 -> Vc_exp.Figures.figure16 ctx fmt
+    | 17 -> Vc_exp.Figures.figure17 ctx fmt
     | _ ->
-        Format.eprintf "no such figure: %d (9..16)@." n;
+        Format.eprintf "no such figure: %d (9..17)@." n;
         exit 1);
     finish ctx
   in
-  Cmd.v (Cmd.info "figure" ~doc:"Regenerate one paper figure (9-16).")
+  Cmd.v (Cmd.info "figure" ~doc:"Regenerate one paper figure (9-17).")
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ n)
 
 let trace_cmd =
@@ -532,12 +600,13 @@ let bench_cmd =
     or_die @@ fun () ->
     let ctx = ctx_of quick jobs no_cache in
     let current = Vc_exp.Baseline.collect ~block ctx in
-    Format.printf "%-24s %14s %8s %6s %6s %10s@." "BENCH/MACHINE" "CYCLES"
-      "SPEEDUP" "OCC" "CPASS" "SPACE";
+    Format.printf "%-24s %14s %8s %8s %6s %6s %10s@." "BENCH/MACHINE" "CYCLES"
+      "SPEEDUP" "DSPEED" "OCC" "CPASS" "SPACE";
     List.iter
       (fun (key, (m : Vc_exp.Baseline.metrics)) ->
-        Format.printf "%-24s %14.0f %8.2f %6.2f %6d %10d@." key
+        Format.printf "%-24s %14.0f %8.2f %8.2f %6.2f %6d %10d@." key
           m.Vc_exp.Baseline.cycles m.Vc_exp.Baseline.speedup
+          m.Vc_exp.Baseline.domains_speedup
           m.Vc_exp.Baseline.lane_occupancy m.Vc_exp.Baseline.compaction_passes
           m.Vc_exp.Baseline.space_peak)
       current.Vc_exp.Baseline.benchmarks;
@@ -630,7 +699,13 @@ let plot_cmd =
          & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
   in
   let what =
-    Arg.(value & opt string "speedup"
+    (* typed enum: an unknown metric is a usage error, not a Failure *)
+    Arg.(value
+         & opt
+             (enum
+                [ ("speedup", `Speedup); ("utilization", `Utilization);
+                  ("miss", `Miss) ])
+             `Speedup
          & info [ "w"; "what" ] ~doc:"speedup|utilization|miss.")
   in
   let run quick jobs no_cache (entry : Vc_bench.Registry.entry) machine what =
@@ -638,10 +713,9 @@ let plot_cmd =
     let log2 b = log (float_of_int b) /. log 2.0 in
     let value (r : Vc_core.Report.t) =
       match what with
-      | "speedup" -> Some (Vc_exp.Sweep.speedup ctx entry machine r)
-      | "utilization" -> Some r.Vc_core.Report.utilization
-      | "miss" -> List.assoc_opt "L1d" r.Vc_core.Report.miss_rates
-      | other -> failwith (Printf.sprintf "unknown metric %S" other)
+      | `Speedup -> Some (Vc_exp.Sweep.speedup ctx entry machine r)
+      | `Utilization -> Some r.Vc_core.Report.utilization
+      | `Miss -> List.assoc_opt "L1d" r.Vc_core.Report.miss_rates
     in
     let series reexpand marker =
       {
@@ -657,7 +731,13 @@ let plot_cmd =
             (Vc_exp.Sweep.blocks_of ctx entry);
       }
     in
-    Format.printf "%s of %s on %s vs log2(block size)@.@." what
+    let what_name =
+      match what with
+      | `Speedup -> "speedup"
+      | `Utilization -> "utilization"
+      | `Miss -> "miss"
+    in
+    Format.printf "%s of %s on %s vs log2(block size)@.@." what_name
       entry.Vc_bench.Registry.name machine.Vc_mem.Machine.name;
     Vc_exp.Ascii_plot.plot ~x_label:"log2(block)" [ series false '.'; series true 'o' ]
       Format.std_formatter;
@@ -734,19 +814,24 @@ let chaos_cmd =
          & opt machine_conv Vc_mem.Machine.xeon_e5
          & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
   in
-  let run quick jobs seed sites rate block machine =
+  let run quick jobs seed sites rate block machine domains =
+    or_die @@ fun () ->
     (* Chaos runs are recovered-but-degraded, so they never touch the
        persistent cache; every reference and faulted run is fresh. *)
     let ctx = Vc_exp.Sweep.create ~quick ~jobs ~cache_dir:None () in
     let strategy = Vc_core.Policy.Hybrid { max_block = block; reexpand = true } in
-    Format.printf "chaos: seed %d, rate %.2f, sites %s, block %d, %s workloads@."
+    Format.printf
+      "chaos: seed %d, rate %.2f, sites %s, block %d, %d domain%s, %s workloads@."
       seed rate
       (String.concat "," (List.map Vc_core.Fault.site_name sites))
-      block
+      block domains
+      (if domains = 1 then "" else "s")
       (if Vc_exp.Sweep.quick ctx then "quick" else "full");
     (* Engine campaign: for every benchmark, a supervised run under the
        fault plan must reproduce the fault-free reducers and task counts
-       exactly — scalar fallback is a correctness-preserving degradation. *)
+       exactly — scalar fallback is a correctness-preserving degradation.
+       With --domains > 1 the same property must hold across the hybrid
+       domain scheduler (fault plans are split per chunk). *)
     let entries = Array.of_list Vc_bench.Registry.all in
     let results = Array.make (Array.length entries) None in
     let check_bench (entry : Vc_bench.Registry.entry) =
@@ -754,22 +839,38 @@ let chaos_cmd =
       let spec = Vc_exp.Sweep.spec_of ctx entry in
       let reference = Vc_core.Engine.run ~spec ~machine ~strategy () in
       let plan = Vc_core.Fault.make ~rate ~seed ~sites () in
-      match Vc_core.Supervisor.run ~faults:plan ~spec ~machine ~strategy () with
+      let faulted =
+        if domains = 1 then
+          match Vc_core.Supervisor.run ~faults:plan ~spec ~machine ~strategy () with
+          | Error e -> Error e
+          | Ok o ->
+              Ok
+                ( o.Vc_core.Supervisor.report,
+                  o.Vc_core.Supervisor.faults_seen,
+                  o.Vc_core.Supervisor.fallbacks )
+        else
+          match
+            Vc_core.Supervisor.run_domains ~faults:plan ~spec ~machine ~strategy
+              ~domains ()
+          with
+          | Error e -> Error e
+          | Ok d ->
+              Ok
+                ( d.Vc_core.Domain_sched.report,
+                  d.Vc_core.Domain_sched.faults_seen,
+                  d.Vc_core.Domain_sched.fallbacks )
+      in
+      match faulted with
       | Error e -> (name, false, Vc_core.Vc_error.to_string e, 0, 0)
-      | Ok o ->
-          let r = o.Vc_core.Supervisor.report in
+      | Ok (r, faults_seen, fallbacks) ->
           let ok =
             r.Vc_core.Report.oom = reference.Vc_core.Report.oom
             && r.Vc_core.Report.reducers = reference.Vc_core.Report.reducers
             && r.Vc_core.Report.tasks = reference.Vc_core.Report.tasks
             && r.Vc_core.Report.base_tasks = reference.Vc_core.Report.base_tasks
           in
-          let detail =
-            Printf.sprintf "%d faults, %d fallbacks" o.Vc_core.Supervisor.faults_seen
-              o.Vc_core.Supervisor.fallbacks
-          in
-          (name, ok, detail, o.Vc_core.Supervisor.faults_seen,
-           o.Vc_core.Supervisor.fallbacks)
+          let detail = Printf.sprintf "%d faults, %d fallbacks" faults_seen fallbacks in
+          (name, ok, detail, faults_seen, fallbacks)
     in
     Vc_exp.Pool.run ~jobs:(Vc_exp.Sweep.jobs ctx)
       (Array.to_list
@@ -866,7 +967,8 @@ let chaos_cmd =
          "Deterministic fault-injection campaign: every benchmark runs under \
           an armed fault plan and must recover to exact fault-free results \
           via scalar fallback.")
-    Term.(const run $ quick_flag $ jobs_flag $ seed $ sites $ rate $ block $ machine)
+    Term.(const run $ quick_flag $ jobs_flag $ seed $ sites $ rate $ block
+          $ machine $ domains_flag)
 
 let all_cmd =
   let run quick jobs no_cache =
@@ -879,7 +981,8 @@ let all_cmd =
     List.iter
       (fun f -> f ctx fmt)
       Vc_exp.Figures.
-        [ figure9; figure10; figure11; figure12; figure13; figure14; figure15; figure16 ];
+        [ figure9; figure10; figure11; figure12; figure13; figure14; figure15;
+          figure16; figure17 ];
     Vc_exp.Ablations.strawman ctx fmt;
     Vc_exp.Ablations.compaction_cost ctx fmt;
     Vc_exp.Ablations.dsl_vs_native ctx fmt;

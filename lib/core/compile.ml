@@ -13,21 +13,34 @@ let spec_of_program ?(lane_kind = Vc_simd.Lane.I32) ?name (program : Ast.program
   let schema = Schema.create ~lane_kind (Array.to_list params) in
   let is_base_fn = Codegen.compile_expr layout m.Ast.is_base in
   (* Sinks are routed through cells because the spec callbacks receive the
-     reducer set / destination block per call. *)
-  let current_reducers : Reducer.set ref = ref (Reducer.make_set []) in
+     reducer set / destination block per call.  The cells and the codegen
+     scratch state are domain-local: Domain_sched executes frontier chunks
+     of the same spec concurrently on several domains, and a single shared
+     [rt] / sink-cell set would race (flaky reducer and task-count
+     divergence).  Chunks within one domain run sequentially, so
+     per-domain state is exactly the isolation needed. *)
+  let state_key =
+    Domain.DLS.new_key (fun () ->
+        ( Codegen.make_rt layout,
+          ref (Reducer.make_set []),
+          ref 0,
+          ref (None : Block.t option),
+          ref false ))
+  in
+  let local () = Domain.DLS.get state_key in
   let base_fn =
     Codegen.compile_stmt layout
-      ~reduce:(fun name v -> Reducer.reduce !current_reducers name v)
+      ~reduce:(fun name v ->
+        let _, current_reducers, _, _, _ = local () in
+        Reducer.reduce !current_reducers name v)
       ~spawn:(fun ~site:_ _ -> ())
       m.Ast.base
   in
-  let want_site = ref 0 in
-  let spawn_dst : Block.t option ref = ref None in
-  let spawned = ref false in
   let inductive_fn =
     Codegen.compile_stmt layout
       ~reduce:(fun _ _ -> ())
       ~spawn:(fun ~site child_args ->
+        let _, _, want_site, spawn_dst, spawned = local () in
         if site = !want_site then begin
           match !spawn_dst with
           | Some dst ->
@@ -37,8 +50,7 @@ let spec_of_program ?(lane_kind = Vc_simd.Lane.I32) ?name (program : Ast.program
         end)
       m.Ast.inductive
   in
-  let rt = Codegen.make_rt layout in
-  let load_frame blk row =
+  let load_frame rt blk row =
     for f = 0 to nparams - 1 do
       rt.Codegen.frame.(f) <- Block.get blk ~field:f ~row
     done;
@@ -71,16 +83,19 @@ let spec_of_program ?(lane_kind = Vc_simd.Lane.I32) ?name (program : Ast.program
     reducers = List.map (fun r -> (r.Ast.red_name, r.Ast.red_op)) program.Ast.reducers;
     is_base =
       (fun blk row ->
-        load_frame blk row;
+        let rt, _, _, _, _ = local () in
+        load_frame rt blk row;
         is_base_fn rt <> 0);
     exec_base =
       (fun reducers blk row ->
+        let rt, current_reducers, _, _, _ = local () in
         current_reducers := reducers;
-        load_frame blk row;
+        load_frame rt blk row;
         base_fn rt);
     spawn =
       (fun blk row ~site ~dst ->
-        load_frame blk row;
+        let rt, _, want_site, spawn_dst, spawned = local () in
+        load_frame rt blk row;
         want_site := site;
         spawn_dst := Some dst;
         spawned := false;

@@ -17,4 +17,9 @@ val spec_of_program :
 (** [lane_kind] defaults to [I32]; pass [I8] etc. to model the paper's
     narrow-data-type benchmarks (Table 1).  [name] defaults to the method
     name.  Raises [Vc_lang.Validate.Invalid] on an invalid program and
-    [Invalid_argument] on an arity mismatch. *)
+    [Invalid_argument] on an arity mismatch.
+
+    The returned spec is domain-safe: the compiled callbacks keep their
+    scratch runtime state (frame registers, spawn routing cells) in
+    domain-local storage, so {!Domain_sched} may execute chunks of the
+    same spec concurrently on several domains. *)

@@ -1,0 +1,316 @@
+(* Intra-run multicore × SIMD hybrid scheduler (the paper's §8 hybrid,
+   executed for real).
+
+   One run splits into a serial breadth-first expansion phase plus a set
+   of independent chunks — frontier slices whose subtrees the language
+   guarantees are disjoint — executed on real OCaml 5 domains with chunk
+   stealing between their deques.  Every chunk runs in its own
+   {!Engine.ctx} (own VM, cache hierarchy, address space, reducers,
+   telemetry hub and fault sub-plan), so all modeled quantities are a
+   function of the chunk set alone, never of which domain ran a chunk or
+   in what order.
+
+   Determinism contract: the chunk count is fixed (independent of the
+   domain count), chunks are dealt round-robin in frontier order, and the
+   modeled schedule — makespan, steals, steal costs — comes from the
+   {!Ws_sim} discrete-event simulation over the measured per-chunk cycle
+   costs, not from the real execution's timing.  Real domains provide
+   wall-clock parallelism; their observed steal count is reported
+   separately and feeds nothing that is cached, gated or compared.  The
+   merged report is therefore bit-identical across domain counts except
+   for the documented schedule-model fields: [strategy], [cycles], [cpi]
+   and [space_peak] (see {!Report.merge}). *)
+
+let log_src = Logs.Src.create "vc.domains" ~doc:"Hybrid domain scheduler"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let default_chunks = 32
+
+(* The frontier target: a few frames per chunk so round-robin dealing has
+   slack to balance uneven subtrees. *)
+let frontier_target ~chunks = chunks * 4
+
+let default_steal_cost = 200.0
+
+type result = {
+  report : Report.t;
+  domains : int;
+  chunks : int;
+  frontier : int;
+  frontier_depth : int;
+  expansion_cycles : float;
+  work_cycles : float;
+  makespan_cycles : float;
+  modeled_steals : int;
+  modeled_failed_steals : int;
+  observed_steals : int;
+  fallbacks : int;
+  faults_seen : int;
+}
+
+let strategy_name ~strategy ~domains =
+  Printf.sprintf "%s+d%d" (Policy.name strategy) domains
+
+(* Deal frames round-robin into [n] chunks, preserving frontier order
+   inside each chunk.  Adjacent frontier frames have correlated subtree
+   sizes, so spreading them evens the chunk costs (like {!Multicore}'s
+   dealing). *)
+let deal frames n =
+  let chunks = Array.make n [] in
+  List.iteri (fun i f -> chunks.(i mod n) <- f :: chunks.(i mod n)) frames;
+  Array.map List.rev chunks
+
+(* Count Fault / Fallback telemetry events into plain refs — the
+   per-chunk equivalent of Supervisor's counting sink, summed by the
+   scheduler in chunk order. *)
+let counting_hub () =
+  let faults = ref 0 and fallbacks = ref 0 in
+  let tel = Telemetry.create () in
+  Telemetry.attach tel
+    (Telemetry.callback_sink (fun { Telemetry.ev; _ } ->
+         match ev with
+         | Telemetry.Fault _ -> incr faults
+         | Telemetry.Fallback _ -> incr fallbacks
+         | _ -> ()));
+  (tel, faults, fallbacks)
+
+let run ?compact ?max_tasks ?cutoff ?(chunks = default_chunks)
+    ?(steal_cost = default_steal_cost) ?(seed = 1) ?telemetry
+    ?(faults = Fault.none) ?recover ?deadline ?wall_deadline ?max_live_frames
+    ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t)
+    ~(strategy : Policy.strategy) ~domains () =
+  if domains < 1 then invalid_arg "Domain_sched.run: domains must be positive";
+  if chunks < 1 then invalid_arg "Domain_sched.run: chunks must be positive";
+  let wall_start = Unix.gettimeofday () in
+  let sname = strategy_name ~strategy ~domains in
+  let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  let exp_faults = ref 0 and exp_fallbacks = ref 0 in
+  Telemetry.attach tel
+    (Telemetry.callback_sink (fun { Telemetry.ev; _ } ->
+         match ev with
+         | Telemetry.Fault _ -> incr exp_faults
+         | Telemetry.Fallback _ -> incr exp_fallbacks
+         | _ -> ()));
+  let make_engine_ctx ?telemetry:chunk_tel ~faults () =
+    Engine.make_ctx ?compact ?max_tasks ?cutoff ?telemetry:chunk_tel ~faults
+      ?recover ?deadline ?wall_deadline ?max_live_frames ~spec ~machine
+      ~strategy ()
+  in
+  (* ---- Phase 1: serial measured frontier expansion ---- *)
+  let ectx = make_engine_ctx ~telemetry:tel ~faults () in
+  let oom_result ~frontier ~frontier_depth ~nchunks =
+    {
+      report =
+        Report.oom_placeholder ~benchmark:spec.Spec.name
+          ~machine:machine.Vc_mem.Machine.name ~strategy:sname;
+      domains;
+      chunks = nchunks;
+      frontier;
+      frontier_depth;
+      expansion_cycles = 0.0;
+      work_cycles = 0.0;
+      makespan_cycles = 0.0;
+      modeled_steals = 0;
+      modeled_failed_steals = 0;
+      observed_steals = 0;
+      fallbacks = 0;
+      faults_seen = 0;
+    }
+  in
+  match
+    Engine.expand_frontier ectx ~roots:spec.Spec.roots
+      ~target:(frontier_target ~chunks)
+  with
+  | exception Engine.Oom _ -> oom_result ~frontier:0 ~frontier_depth:0 ~nchunks:0
+  | frontier_frames, frontier_depth ->
+      let expansion_report =
+        Engine.report_of ectx ~strategy:(sname ^ ":expand") ~wall_seconds:0.0
+      in
+      let nfrontier = List.length frontier_frames in
+      let nchunks = max 1 (min chunks nfrontier) in
+      if nfrontier = 0 then
+        (* the whole tree fit in the expansion phase *)
+        let report =
+          Report.merge ~reducers:spec.Spec.reducers ~strategy:sname
+            ~cycles:expansion_report.Report.cycles
+            ~space_peak:expansion_report.Report.space_peak
+            ~wall_seconds:(Unix.gettimeofday () -. wall_start)
+            [ expansion_report ]
+        in
+        {
+          report;
+          domains;
+          chunks = 0;
+          frontier = 0;
+          frontier_depth;
+          expansion_cycles = expansion_report.Report.cycles;
+          work_cycles = 0.0;
+          makespan_cycles = 0.0;
+          modeled_steals = 0;
+          modeled_failed_steals = 0;
+          observed_steals = 0;
+          fallbacks = !exp_fallbacks;
+          faults_seen = !exp_faults;
+        }
+      else begin
+        (* ---- Phase 2: chunk execution on real domains ---- *)
+        let chunk_roots = deal frontier_frames nchunks in
+        let reports : Report.t option array = Array.make nchunks None in
+        let chunk_fallbacks = Array.make nchunks 0 in
+        let chunk_faults_seen = Array.make nchunks 0 in
+        let errors : exn option array = Array.make nchunks None in
+        let run_chunk idx =
+          let ctel, cfaults, cfallbacks = counting_hub () in
+          let cctx =
+            make_engine_ctx ~telemetry:ctel ~faults:(Fault.split faults ~salt:idx) ()
+          in
+          (match
+             Engine.execute_frames cctx ~roots:chunk_roots.(idx)
+               ~depth:frontier_depth
+           with
+          | () ->
+              reports.(idx) <-
+                Some (Engine.report_of cctx ~strategy:"chunk" ~wall_seconds:0.0)
+          | exception Engine.Oom _ ->
+              reports.(idx) <-
+                Some
+                  (Report.oom_placeholder ~benchmark:spec.Spec.name
+                     ~machine:machine.Vc_mem.Machine.name ~strategy:"chunk")
+          | exception exn -> errors.(idx) <- Some exn);
+          chunk_fallbacks.(idx) <- !cfallbacks;
+          chunk_faults_seen.(idx) <- !cfaults
+        in
+        let observed_steals = Atomic.make 0 in
+        let workers = min domains nchunks in
+        if workers <= 1 then
+          for idx = 0 to nchunks - 1 do
+            run_chunk idx
+          done
+        else begin
+          (* Per-domain deques under one lock: each worker pops its own
+             deque bottom-first; an empty worker scans the other deques in
+             a fixed order and steals one chunk from a victim's top.
+             Chunks are dealt round-robin in index order, mirroring the
+             Ws_sim Round_robin placement that models this schedule. *)
+          let queues = Array.make workers [] in
+          Array.iteri
+            (fun idx _ -> queues.(idx mod workers) <- idx :: queues.(idx mod workers))
+            chunk_roots;
+          Array.iteri (fun w q -> queues.(w) <- List.rev q) queues;
+          let lock = Mutex.create () in
+          let pop_own w =
+            Mutex.protect lock (fun () ->
+                match queues.(w) with
+                | [] -> None
+                | idx :: rest ->
+                    queues.(w) <- rest;
+                    Some idx)
+          in
+          let steal w =
+            Mutex.protect lock (fun () ->
+                let rec scan k =
+                  if k >= workers then None
+                  else
+                    let victim = (w + k) mod workers in
+                    match List.rev queues.(victim) with
+                    | [] -> scan (k + 1)
+                    | idx :: rest_rev ->
+                        queues.(victim) <- List.rev rest_rev;
+                        Some idx
+                in
+                scan 1)
+          in
+          let rec worker_loop w =
+            match pop_own w with
+            | Some idx ->
+                run_chunk idx;
+                worker_loop w
+            | None -> (
+                match steal w with
+                | Some idx ->
+                    Atomic.incr observed_steals;
+                    run_chunk idx;
+                    worker_loop w
+                | None -> ())
+          in
+          let spawned =
+            List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker_loop (i + 1)))
+          in
+          worker_loop 0;
+          List.iter Domain.join spawned
+        end;
+        (* Deterministic error propagation: the lowest-index chunk error
+           wins, whichever domain hit it. *)
+        Array.iteri
+          (fun idx err ->
+            match (err, Array.exists Option.is_some (Array.sub errors 0 idx)) with
+            | Some exn, false -> raise exn
+            | _ -> ())
+          errors;
+        let chunk_reports =
+          Array.to_list (Array.map (fun r -> Option.get r) reports)
+        in
+        (* ---- Phase 3: deterministic schedule model + merge ---- *)
+        let jobs =
+          List.mapi (fun id (r : Report.t) -> { Ws_sim.id; cost = r.Report.cycles })
+            chunk_reports
+        in
+        let stats =
+          Ws_sim.simulate ~steal_cost ~seed ~placement:Ws_sim.Round_robin
+            ~workers:domains jobs
+        in
+        List.iter
+          (fun (thief, victim, chunk) ->
+            Telemetry.emit tel (Telemetry.Steal { thief; victim; chunk }))
+          stats.Ws_sim.steal_log;
+        let cycles = expansion_report.Report.cycles +. stats.Ws_sim.makespan in
+        (* Space model: the frontier is materialized when chunk execution
+           starts, and up to [min domains nchunks] chunks are live at
+           once — charge the largest ones (an upper bound that depends
+           only on the chunk set and the domain count). *)
+        let space_peak =
+          let peaks =
+            List.map (fun (r : Report.t) -> r.Report.space_peak) chunk_reports
+            |> List.sort (fun a b -> compare b a)
+          in
+          let rec take n = function
+            | x :: rest when n > 0 -> x + take (n - 1) rest
+            | _ -> 0
+          in
+          max expansion_report.Report.space_peak
+            (nfrontier + take (min domains nchunks) peaks)
+        in
+        let wall = Unix.gettimeofday () -. wall_start in
+        let report =
+          Report.merge ~reducers:spec.Spec.reducers ~strategy:sname ~cycles
+            ~space_peak ~wall_seconds:wall
+            (expansion_report :: chunk_reports)
+        in
+        Telemetry.flush tel;
+        Log.debug (fun m ->
+            m "%s/%s: %d chunks over %d domains, frontier %d@d%d, %d modeled steals"
+              spec.Spec.name machine.Vc_mem.Machine.name nchunks domains nfrontier
+              frontier_depth stats.Ws_sim.steals);
+        {
+          report;
+          domains;
+          chunks = nchunks;
+          frontier = nfrontier;
+          frontier_depth;
+          expansion_cycles = expansion_report.Report.cycles;
+          work_cycles = stats.Ws_sim.total_work;
+          makespan_cycles = stats.Ws_sim.makespan;
+          modeled_steals = stats.Ws_sim.steals;
+          modeled_failed_steals = stats.Ws_sim.failed_steals;
+          observed_steals = Atomic.get observed_steals;
+          fallbacks =
+            !exp_fallbacks + Array.fold_left ( + ) 0 chunk_fallbacks;
+          faults_seen =
+            !exp_faults + Array.fold_left ( + ) 0 chunk_faults_seen;
+        }
+      end
+
+let speedup ~(baseline : Report.t) result =
+  if result.report.Report.oom || result.report.Report.cycles <= 0.0 then 0.0
+  else baseline.Report.cycles /. result.report.Report.cycles

@@ -1,0 +1,81 @@
+(** Intra-run multicore × SIMD hybrid scheduler: one logical run split
+    into a serial measured breadth-first expansion phase plus independent
+    frontier chunks executed on real OCaml 5 domains with chunk stealing,
+    each chunk in its own {!Engine.ctx}.
+
+    {2 Determinism contract}
+
+    All modeled quantities are a function of the chunk set, which is
+    fixed by [chunks] (not by [domains]): the frontier expands to
+    [4 × chunks] frames and is dealt round-robin, so every domain count
+    sees the same chunks.  The modeled schedule — makespan, steal count,
+    steal costs — comes from the deterministic {!Ws_sim} discrete-event
+    simulation over measured per-chunk cycle costs ([Round_robin]
+    placement, mirroring the real dealing).  Real domains only provide
+    wall-clock parallelism; [observed_steals] from the live deques is
+    reported for transparency and feeds nothing modeled.
+
+    Consequently the merged report is bit-identical across domain counts
+    except [strategy] (carries ["+dN"]), [cycles] (expansion + modeled
+    makespan), the derived [cpi], [space_peak] (up to [domains] chunks
+    live at once) and [wall_seconds].
+
+    Budgets ([deadline], [max_live_frames], [max_tasks]) apply per
+    context: the expansion phase and each chunk check them independently.
+    Fault plans are {!Fault.split} per chunk index, so injected fault
+    patterns are schedule-independent too.  Errors are propagated
+    deterministically: every chunk runs to completion and the
+    lowest-index chunk's error (if any) is re-raised after the join. *)
+
+type result = {
+  report : Report.t;  (** merged cross-context report (see above) *)
+  domains : int;
+  chunks : int;  (** chunks actually executed (0 if the tree fit in expansion) *)
+  frontier : int;  (** frontier frames split across chunks *)
+  frontier_depth : int;
+  expansion_cycles : float;  (** serial expansion-phase modeled cycles *)
+  work_cycles : float;  (** sum of per-chunk modeled cycles *)
+  makespan_cycles : float;  (** modeled parallel makespan over the chunks *)
+  modeled_steals : int;
+  modeled_failed_steals : int;
+  observed_steals : int;  (** real-deque steals (informational only) *)
+  fallbacks : int;  (** scalar-path quarantines across all contexts *)
+  faults_seen : int;  (** faults surfaced across all contexts *)
+}
+
+val default_chunks : int
+(** 32 — enough slack for load balancing at the domain counts commodity
+    hardware offers, few enough that chunk overhead stays negligible. *)
+
+val run :
+  ?compact:Vc_simd.Compact.engine ->
+  ?max_tasks:int ->
+  ?cutoff:int ->
+  ?chunks:int ->
+  ?steal_cost:float ->
+  ?seed:int ->
+  ?telemetry:Telemetry.t ->
+  ?faults:Fault.plan ->
+  ?recover:bool ->
+  ?deadline:float ->
+  ?wall_deadline:float ->
+  ?max_live_frames:int ->
+  spec:Spec.t ->
+  machine:Vc_mem.Machine.t ->
+  strategy:Policy.strategy ->
+  domains:int ->
+  unit ->
+  result
+(** Execute [spec] under [strategy] across [domains] OCaml domains (the
+    calling domain is worker 0; [domains = 1] runs the chunks in order
+    without spawning).  Engine knobs are per context, as {!Engine.run}.
+    [chunks] (default {!default_chunks}) fixes the chunk count;
+    [steal_cost] and [seed] parameterize the {!Ws_sim} schedule model.
+    [telemetry] receives the expansion phase's events plus one
+    [Telemetry.Steal] per modeled steal after the join.  Raises
+    [Invalid_argument] if [domains] or [chunks] is not positive; budget
+    {!Vc_error.Error}s and {!Engine.Task_limit} propagate (OOM yields an
+    [oom] report like {!Engine.run}). *)
+
+val speedup : baseline:Report.t -> result -> float
+(** Modeled speedup of the hybrid run over [baseline] (0 on OOM). *)

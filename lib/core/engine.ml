@@ -411,67 +411,74 @@ let check_live ctx =
    is the O(T*D) sum of the blocks along the active path plus their
    sibling site blocks (§4.2). *)
 
+(* One breadth-first level (the loop body of Fig. 3): process [blk],
+   spawn its recursive rows site-major into the pooled next-level block.
+   Returns [None] when the subtree finished here — no recursive rows, or
+   an allocation fault quarantined them onto the scalar path.  The caller
+   decides what the returned level continues as (breadth-first, blocked,
+   or a frontier handed to another worker).  [reexp_from] carries the
+   depth of the re-expansion trigger so the first expanded level can
+   report its growth factor (Fig. 15). *)
+let bfs_step ctx blk ~depth ~reexp_from =
+  (* The whole level — compaction, base execution, spawning — runs
+     under an "expand" span; whatever happens to the next level happens
+     after it closes, so the span covers exactly one level's work. *)
+  with_span ctx frame_expand @@ fun () ->
+  let rec_rows = process_level ctx blk ~depth ~phase:Trace.Bfs in
+  if Array.length rec_rows = 0 then begin
+    ctx.live <- ctx.live - Block.size blk;
+    None
+  end
+  else begin
+    let e = ctx.spec.Spec.num_spawns in
+    match
+      let next =
+        pool_block ctx ~depth:(depth + 1) ~slot:e
+          ~room:(Array.length rec_rows * e)
+      in
+      (* Site-major enqueueing: all site-i children before any site-(i+1)
+         children, preserving spawn-id grouping (§5). *)
+      for site = 0 to e - 1 do
+        with_span ctx ctx.site_frames.(site) (fun () ->
+            ignore (spawn_site ctx blk rec_rows ~site ~dst:next : int))
+      done;
+      next
+    with
+    | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
+        (* the next-level block never materialized (the allocation trip
+           fires before the pool mutates anything): the recursive frames
+           are accounted but their subtrees are not — run them scalar *)
+        note_fault ctx err;
+        scalar_subtrees ctx
+          (Array.to_list (Array.map (fun row -> frame_of ctx blk row) rec_rows))
+          ~depth ~count_roots:false;
+        ctx.live <- ctx.live - Block.size blk;
+        None
+    | next ->
+        ctx.live <- ctx.live + Block.size next;
+        Metrics.live_threads ctx.m.Measure.metrics ctx.live;
+        check_live ctx;
+        (match reexp_from with
+        | Some trigger_depth ->
+            let factor =
+              float_of_int (Block.size next)
+              /. float_of_int (max 1 (Block.size blk))
+            in
+            Metrics.reexpansion_growth ctx.m.Measure.metrics ~depth:trigger_depth
+              ~factor
+        | None -> ());
+        ctx.live <- ctx.live - Block.size blk;
+        Some next
+  end
+
 (* Breadth-first execution (Fig. 3 / Fig. 6 bfs_foo).  [blk] is consumed.
-   When the next level reaches [max_block], switch to blocked depth-first.
-   [reexp_from] carries the depth of the re-expansion trigger so the first
-   expanded level can report its growth factor (Fig. 15). *)
+   When the next level reaches [max_block], switch to blocked
+   depth-first. *)
 let rec bfs ctx blk ~depth ~reexp_from =
   budget_check ctx;
   if Block.size blk = 0 then ()
   else
-    (* The whole level — compaction, base execution, spawning — runs
-       under an "expand" span; the recursion into the next level happens
-       after it closes, so the span covers exactly one level's work. *)
-    let continue_with =
-      with_span ctx frame_expand @@ fun () ->
-      let rec_rows = process_level ctx blk ~depth ~phase:Trace.Bfs in
-      if Array.length rec_rows = 0 then begin
-        ctx.live <- ctx.live - Block.size blk;
-        None
-      end
-      else begin
-        let e = ctx.spec.Spec.num_spawns in
-        match
-          let next =
-            pool_block ctx ~depth:(depth + 1) ~slot:e
-              ~room:(Array.length rec_rows * e)
-          in
-          (* Site-major enqueueing: all site-i children before any site-(i+1)
-             children, preserving spawn-id grouping (§5). *)
-          for site = 0 to e - 1 do
-            with_span ctx ctx.site_frames.(site) (fun () ->
-                ignore (spawn_site ctx blk rec_rows ~site ~dst:next : int))
-          done;
-          next
-        with
-        | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
-            (* the next-level block never materialized (the allocation trip
-               fires before the pool mutates anything): the recursive frames
-               are accounted but their subtrees are not — run them scalar *)
-            note_fault ctx err;
-            scalar_subtrees ctx
-              (Array.to_list (Array.map (fun row -> frame_of ctx blk row) rec_rows))
-              ~depth ~count_roots:false;
-            ctx.live <- ctx.live - Block.size blk;
-            None
-        | next ->
-            ctx.live <- ctx.live + Block.size next;
-            Metrics.live_threads ctx.m.Measure.metrics ctx.live;
-            check_live ctx;
-            (match reexp_from with
-            | Some trigger_depth ->
-                let factor =
-                  float_of_int (Block.size next)
-                  /. float_of_int (max 1 (Block.size blk))
-                in
-                Metrics.reexpansion_growth ctx.m.Measure.metrics ~depth:trigger_depth
-                  ~factor
-            | None -> ());
-            ctx.live <- ctx.live - Block.size blk;
-            Some next
-      end
-    in
-    match continue_with with
+    match bfs_step ctx blk ~depth ~reexp_from with
     | None -> ()
     | Some next ->
         if Block.size next >= ctx.max_block then begin
@@ -567,15 +574,79 @@ and blocked ctx blk ~depth =
             else blocked ctx child ~depth:(depth + 1))
       children
 
-let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
-    ?telemetry ?(faults = Fault.none) ?(recover = true) ?deadline ?wall_deadline
+(* Execute [roots] as sibling frames at tree depth [depth], to completion,
+   under the context's configured strategy: pool a root block, then
+   dispatch to breadth-first or blocked execution.  This is {!run}'s body
+   (minus the root attribution span) and the per-chunk entry point of the
+   hybrid domain scheduler, which hands each worker a frontier slice at
+   the frontier depth. *)
+let execute_frames ctx ~roots ~depth =
+  match
+    pool_block ctx ~depth ~slot:ctx.spec.Spec.num_spawns
+      ~room:(List.length roots)
+  with
+  | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
+      (* root block allocation faulted before anything was accounted:
+         the entire subtree degrades to the scalar path *)
+      note_fault ctx err;
+      scalar_subtrees ctx roots ~depth ~count_roots:true
+  | root ->
+      List.iter (fun frame -> Block.push root frame) roots;
+      charge_block_append ctx root ~from:0 ~count:(Block.size root);
+      ctx.live <- ctx.live + Block.size root;
+      if Block.size root >= ctx.max_block then begin
+        Telemetry.emit ctx.tel
+          (Telemetry.Switch { depth; size = Block.size root });
+        blocked ctx root ~depth
+      end
+      else bfs ctx root ~depth ~reexp_from:None
+
+(* Breadth-first frontier expansion for the domain scheduler: expand
+   [roots] level by level (measured, exactly like bfs) until one level
+   holds at least [target] frames, and hand that level back as frames
+   plus its depth.  Base cases met on the way are executed here, so the
+   expansion context's reducers hold their contributions.  Returns
+   [([], depth)] when the tree completed (or degraded to the scalar
+   path) before reaching [target]. *)
+let expand_frontier ctx ~roots ~target =
+  let target = max 1 target in
+  match
+    pool_block ctx ~depth:0 ~slot:ctx.spec.Spec.num_spawns
+      ~room:(List.length roots)
+  with
+  | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
+      note_fault ctx err;
+      scalar_subtrees ctx roots ~depth:0 ~count_roots:true;
+      ([], 0)
+  | root ->
+      List.iter (fun frame -> Block.push root frame) roots;
+      charge_block_append ctx root ~from:0 ~count:(Block.size root);
+      ctx.live <- ctx.live + Block.size root;
+      let rec go blk ~depth =
+        budget_check ctx;
+        if Block.size blk = 0 then ([], depth)
+        else if Block.size blk >= target then begin
+          let frames =
+            List.init (Block.size blk) (fun row -> frame_of ctx blk row)
+          in
+          (* the frontier leaves this context: its frames become other
+             workers' roots, which account them from here on *)
+          ctx.live <- ctx.live - Block.size blk;
+          (frames, depth)
+        end
+        else
+          match bfs_step ctx blk ~depth ~reexp_from:None with
+          | None -> ([], depth)
+          | Some next -> go next ~depth:(depth + 1)
+      in
+      go root ~depth:0
+
+let make_ctx ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?telemetry
+    ?(faults = Fault.none) ?(recover = true) ?deadline ?wall_deadline
     ?max_live_frames ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t)
     ~(strategy : Policy.strategy) () =
   let m = Measure.create machine in
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
-  (match trace with
-  | Some tr -> Telemetry.attach tel (Telemetry.trace_sink tr)
-  | None -> ());
   (* Event timestamps are deterministic modeled time, not wall clock. *)
   Telemetry.set_clock tel (fun () ->
       Vc_simd.Vm.issue_cycles m.Measure.vm
@@ -599,39 +670,55 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
     | Policy.Hybrid { reexpand; _ } -> reexpand
   in
   let wall_start = Unix.gettimeofday () in
+  {
+    m;
+    spec;
+    reducers = Spec.make_reducers spec;
+    width;
+    elem = Schema.elem_bytes spec.Spec.schema ~isa:machine.Vc_mem.Machine.isa;
+    nfields = Schema.num_fields spec.Spec.schema;
+    compact;
+    max_block;
+    reexp_threshold = max_block;
+    reexpand;
+    max_live = machine.Vc_mem.Machine.max_live_threads;
+    max_tasks;
+    cutoff;
+    tel;
+    site_frames =
+      Array.init spec.Spec.num_spawns (fun i -> "spawn:site" ^ string_of_int i);
+    faults;
+    recover;
+    deadline;
+    wall_deadline;
+    frame_budget = max_live_frames;
+    wall_start;
+    live = 0;
+    executed = 0;
+    pool = Hashtbl.create 64;
+  }
+
+let report_of ctx ~strategy ~wall_seconds =
+  Telemetry.flush ctx.tel;
+  Measure.report ctx.m ~benchmark:ctx.spec.Spec.name ~strategy
+    ~reducers:(Vc_lang.Reducer.values ctx.reducers) ~wall_seconds
+
+let run ?compact ?max_tasks ?cutoff ?(warm = false) ?trace ?telemetry
+    ?faults ?recover ?deadline ?wall_deadline ?max_live_frames
+    ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t)
+    ~(strategy : Policy.strategy) () =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  (match trace with
+  | Some tr -> Telemetry.attach tel (Telemetry.trace_sink tr)
+  | None -> ());
   let ctx =
-    {
-      m;
-      spec;
-      reducers = Spec.make_reducers spec;
-      width;
-      elem = Schema.elem_bytes spec.Spec.schema ~isa:machine.Vc_mem.Machine.isa;
-      nfields = Schema.num_fields spec.Spec.schema;
-      compact;
-      max_block;
-      reexp_threshold = max_block;
-      reexpand;
-      max_live = machine.Vc_mem.Machine.max_live_threads;
-      max_tasks;
-      cutoff;
-      tel;
-      site_frames =
-        Array.init spec.Spec.num_spawns (fun i -> "spawn:site" ^ string_of_int i);
-      faults;
-      recover;
-      deadline;
-      wall_deadline;
-      frame_budget = max_live_frames;
-      wall_start;
-      live = 0;
-      executed = 0;
-      pool = Hashtbl.create 64;
-    }
+    make_ctx ?compact ?max_tasks ?cutoff ~telemetry:tel ?faults ?recover
+      ?deadline ?wall_deadline ?max_live_frames ~spec ~machine ~strategy ()
   in
   let strategy_name = Policy.name strategy ^ if warm then "+warm" else "" in
   Log.debug (fun m ->
       m "run %s on %s: %s, width %d, compaction %s" spec.Spec.name
-        machine.Vc_mem.Machine.name (Policy.describe strategy) width
+        machine.Vc_mem.Machine.name (Policy.describe strategy) ctx.width
         (Vc_simd.Compact.name ctx.compact));
   (* Root attribution span: opened per pass, closed when the pass
      completes (its close timestamp is the very clock reading
@@ -641,25 +728,7 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
   let root_frame = spec.Spec.name in
   let execute () =
     Telemetry.emit ctx.tel (Telemetry.Span_open { frame = root_frame });
-    match
-      pool_block ctx ~depth:0 ~slot:ctx.spec.Spec.num_spawns
-        ~room:(List.length spec.Spec.roots)
-    with
-    | exception (Vc_error.Error err as exn) when recoverable ctx exn ->
-        (* root block allocation faulted before anything was accounted:
-           the entire run degrades to the scalar path *)
-        note_fault ctx err;
-        scalar_subtrees ctx spec.Spec.roots ~depth:0 ~count_roots:true
-    | root ->
-        List.iter (fun frame -> Block.push root frame) spec.Spec.roots;
-        charge_block_append ctx root ~from:0 ~count:(Block.size root);
-        ctx.live <- Block.size root;
-        if Block.size root >= ctx.max_block then begin
-          Telemetry.emit ctx.tel
-            (Telemetry.Switch { depth = 0; size = Block.size root });
-          blocked ctx root ~depth:0
-        end
-        else bfs ctx root ~depth:0 ~reexp_from:None
+    execute_frames ctx ~roots:spec.Spec.roots ~depth:0
   in
   match
     if warm then begin
@@ -677,10 +746,10 @@ let run ?compact ?(max_tasks = 200_000_000) ?(cutoff = 0) ?(warm = false) ?trace
     execute ()
   with
   | () ->
-      let wall = Unix.gettimeofday () -. wall_start in
+      let wall = Unix.gettimeofday () -. ctx.wall_start in
       Telemetry.emit ctx.tel (Telemetry.Span_close { frame = root_frame });
       Telemetry.flush ctx.tel;
-      Measure.report m ~benchmark:spec.Spec.name ~strategy:strategy_name
+      Measure.report ctx.m ~benchmark:spec.Spec.name ~strategy:strategy_name
         ~reducers:(Vc_lang.Reducer.values ctx.reducers) ~wall_seconds:wall
   | exception Oom { live; limit } ->
       Log.info (fun m ->

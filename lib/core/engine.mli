@@ -16,6 +16,56 @@ exception Task_limit of int
 (** Raised when a run exceeds its [max_tasks] guard; {!Supervisor.run}
     converts it to a typed [Task_budget] error. *)
 
+type ctx
+(** A per-worker execution context: all block, frame, telemetry,
+    reducer and budget state for one engine instance.  Contexts share
+    nothing — each owns its {!Measure} (VM + cache hierarchy + address
+    space), block pool and reducer set — so independent contexts may run
+    concurrently on separate domains.  A context's telemetry hub is
+    single-domain, though: never share one hub across contexts that run
+    in parallel. *)
+
+val make_ctx :
+  ?compact:Vc_simd.Compact.engine ->
+  ?max_tasks:int ->
+  ?cutoff:int ->
+  ?telemetry:Telemetry.t ->
+  ?faults:Fault.plan ->
+  ?recover:bool ->
+  ?deadline:float ->
+  ?wall_deadline:float ->
+  ?max_live_frames:int ->
+  spec:Spec.t ->
+  machine:Vc_mem.Machine.t ->
+  strategy:Policy.strategy ->
+  unit ->
+  ctx
+(** Build a fresh context with the same knobs (and defaults) as {!run}.
+    The telemetry hub's clock is set to the context's modeled cycles. *)
+
+val execute_frames : ctx -> roots:int array list -> depth:int -> unit
+(** Execute [roots] as sibling frames at tree depth [depth] to
+    completion under the context's strategy (breadth-first expansion,
+    blocked switch, re-expansion, task cut-off — exactly {!run}'s
+    scheduling).  Raises {!Oom}, {!Task_limit} or a typed budget
+    {!Vc_error.Error} like {!run}'s internals; with [recover:true]
+    vectorized-path faults degrade to the scalar path as usual. *)
+
+val expand_frontier : ctx -> roots:int array list -> target:int -> int array list * int
+(** Breadth-first frontier expansion for a parallel scheduler: expand
+    [roots] level by measured level until a level holds at least
+    [target] frames, returning those frames and their depth.  Base cases
+    met on the way execute in this context (their reducer contributions
+    are in the context's report).  Returns [([], depth)] when the whole
+    tree completed before reaching [target]. *)
+
+val modeled_cycles : ctx -> float
+(** VM issue cycles plus memory-hierarchy penalty cycles so far. *)
+
+val report_of : ctx -> strategy:string -> wall_seconds:float -> Report.t
+(** Flush the context's telemetry and package its measurements as a
+    report (the [strategy] string is recorded verbatim). *)
+
 val run :
   ?compact:Vc_simd.Compact.engine ->
   ?max_tasks:int ->

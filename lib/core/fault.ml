@@ -85,6 +85,22 @@ let trip plan site ~phase ~hint ~detail =
     end
   end
 
+(* Derive an independent sub-plan: same sites and rate, fresh counters,
+   and a seed avalanched from (seed, salt) — channel [num_sites] so a
+   sub-plan seed never collides with a site's own fault pattern.  Each
+   parallel chunk runs under its own sub-plan, so the fault pattern is a
+   function of the chunk index alone, not of which domain (or in what
+   order) the chunk happened to execute. *)
+let split plan ~salt =
+  if plan.period = 0 then none
+  else
+    {
+      plan with
+      seed = mix plan.seed num_sites salt;
+      calls = Array.init num_sites (fun _ -> Atomic.make 0);
+      fired = Array.init num_sites (fun _ -> Atomic.make 0);
+    }
+
 let counts a = List.map (fun s -> (s, Atomic.get a.(index s))) all_sites
 
 let fired plan = List.filter (fun (_, n) -> n > 0) (counts plan.fired)

@@ -41,6 +41,12 @@ val of_env : unit -> plan
 val parse_sites : string -> (site list, string) result
 (** Parse a comma-separated site list (["all"] or [""] = every site). *)
 
+val split : plan -> salt:int -> plan
+(** An independent sub-plan with the same sites and rate, fresh counters,
+    and a seed deterministically derived from [salt] — one per parallel
+    chunk, so fault patterns do not depend on execution interleaving.
+    Splitting a disarmed plan yields {!none}. *)
+
 val armed : plan -> bool
 val armed_at : plan -> site -> bool
 val sites : plan -> site list

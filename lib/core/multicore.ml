@@ -131,7 +131,13 @@ let run ?(jobs_per_worker = 4) ?(max_block = 4096) ?(schedule = Lpt)
             ~strategy:(Policy.Hybrid { max_block; reexpand = true })
             ()
         in
-        if r.Report.oom then failwith "Multicore.run: job ran out of memory";
+        if r.Report.oom then
+          (* typed, so pools contain it as a per-run failure instead of a
+             sweep-killing [Failure] (exit-code convention 2) *)
+          Vc_error.budget ~detail:"Multicore.run: job ran out of memory"
+            ~phase:Vc_error.Execute Vc_error.Memory
+            ~limit:(float_of_int machine.Vc_mem.Machine.max_live_threads)
+            ~actual:(float_of_int machine.Vc_mem.Machine.max_live_threads) ();
         r)
       jobs
   in

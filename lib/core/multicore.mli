@@ -51,6 +51,9 @@ val run :
 (** [jobs_per_worker] defaults to 4; [max_block] is the per-core engine's
     re-expansion threshold (default 4096); [schedule] defaults to {!Lpt}.
     [workers = 1] degenerates to the single-core engine plus expansion
-    bookkeeping.  Raises [Invalid_argument] if [workers < 1]. *)
+    bookkeeping.  Raises [Invalid_argument] if [workers < 1]; a job that
+    runs out of modeled memory raises a typed [Memory] budget
+    {!Vc_error.Error} (exit-code convention 2), which pools contain as a
+    per-run failure. *)
 
 val speedup : baseline:Report.t -> result -> float

@@ -105,7 +105,7 @@ let observe t ({ ts; ev; _ } : Telemetry.stamped) =
   | Telemetry.Fault _ -> (current_node t).faults <- (current_node t).faults + 1
   | Telemetry.Level _ | Telemetry.Switch _ | Telemetry.Reexpand _
   | Telemetry.Cache _ | Telemetry.Fallback _ | Telemetry.Retry _
-  | Telemetry.Deadline _ | Telemetry.Mark _ -> ()
+  | Telemetry.Deadline _ | Telemetry.Steal _ | Telemetry.Mark _ -> ()
 
 (* Clearing the hub (the engine does between its warm and measured
    passes) must also discard warm-pass attributions, or the measured

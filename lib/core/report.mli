@@ -33,6 +33,24 @@ type t = {
 
 val oom_placeholder : benchmark:string -> machine:string -> strategy:string -> t
 
+val merge :
+  reducers:(string * Vc_lang.Reducer.op) list ->
+  strategy:string ->
+  cycles:float ->
+  space_peak:int ->
+  wall_seconds:float ->
+  t list ->
+  t
+(** Merge the parts of one logical run executed across several engine
+    contexts (expansion phase first, then chunks in chunk-index order —
+    the part order is the canonical merge order, so the result is
+    independent of execution interleaving).  Counters sum, reducer values
+    combine under their ops, rates are weighted means or recomputed;
+    [cycles] and [space_peak] come from the caller's schedule model and
+    are — with the derived [cpi] — the only fields a different worker
+    count may change.  If any part is an OOM report the merge is the OOM
+    placeholder.  Raises [Invalid_argument] on an empty list. *)
+
 val equal : ?ignore_wall:bool -> t -> t -> bool
 (** Structural equality of two reports.  [ignore_wall] (default [true])
     excludes the host wall-clock field, which is the only nondeterministic

@@ -11,7 +11,13 @@
     The [insns] weights are the per-task kernel instruction counts used by
     the cost model; the executors charge them as scalar instructions in
     sequential runs and as [ceil(n/width)]-vector batches in blocked
-    runs. *)
+    runs.
+
+    Domain-safety: {!Domain_sched} calls [is_base] / [exec_base] / [spawn]
+    of one spec concurrently from several domains (each on its own blocks
+    and reducer set).  Callbacks that need scratch state must keep it
+    domain-local (see {!Compile}) rather than in cells shared across the
+    spec. *)
 
 type insns = {
   check_insns : int;  (** evaluating the [isBase] conditional *)

@@ -28,7 +28,10 @@ let run ?(max_tasks = 200_000_000) ~(spec : Spec.t) ~(machine : Vc_mem.Machine.t
   let frame_of blk row = Array.init nfields (fun f -> Block.get blk ~field:f ~row) in
   let expand (frame, depth) =
     incr executed;
-    if !executed > max_tasks then failwith "Strawman: task limit exceeded";
+    if !executed > max_tasks then
+      Vc_error.budget ~detail:"Strawman: task limit exceeded"
+        ~phase:Vc_error.Execute Vc_error.Task_budget
+        ~limit:(float_of_int max_tasks) ~actual:(float_of_int !executed) ();
     Metrics.tasks_at_level m.Measure.metrics ~depth ~n:1;
     Block.clear parent_blk;
     Block.push parent_blk frame;

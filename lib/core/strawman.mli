@@ -13,4 +13,7 @@ val run :
   machine:Vc_mem.Machine.t ->
   unit ->
   Report.t
-(** Strategy name in the report: ["strawman"]. *)
+(** Strategy name in the report: ["strawman"].  Exceeding [max_tasks]
+    (default 200M) raises a typed [Task_budget] {!Vc_error.Error} carrying
+    the executed count, so sweeps record it as a per-run failure instead
+    of dying on a raw [Failure]. *)

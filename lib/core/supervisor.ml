@@ -84,6 +84,19 @@ let run ?compact ?max_tasks ?cutoff ?warm ?trace ?telemetry
         deadline_events = !deadlines;
       })
 
+let run_domains ?compact ?max_tasks ?cutoff ?chunks ?steal_cost ?seed
+    ?telemetry ?(faults = Fault.none) ?(recover = true) ?(budgets = no_budgets)
+    ~spec ~machine ~strategy ~domains () =
+  (* No counting sink here: [Domain_sched.result] already carries its own
+     cross-context fault/fallback totals (per-chunk hubs are private to
+     their domains, so a shared sink could not observe them anyway). *)
+  supervise ~phase:Vc_error.Execute (fun () ->
+      Domain_sched.run ?compact ?max_tasks ?cutoff ?chunks ?steal_cost ?seed
+        ?telemetry ~faults ~recover ?deadline:budgets.deadline
+        ?wall_deadline:budgets.wall_deadline
+        ?max_live_frames:budgets.max_live_frames ~spec ~machine ~strategy
+        ~domains ())
+
 let run_blocked ?strategy ?max_tasks ?telemetry ?(budgets = no_budgets) t args =
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let sink, _faults, _fallbacks, _deadlines = counting_sink () in

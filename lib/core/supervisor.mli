@@ -54,6 +54,29 @@ val run :
     [Error e] carries the typed failure: budget violations when a budget
     in [budgets] was exceeded, the fault itself when [recover:false]. *)
 
+val run_domains :
+  ?compact:Vc_simd.Compact.engine ->
+  ?max_tasks:int ->
+  ?cutoff:int ->
+  ?chunks:int ->
+  ?steal_cost:float ->
+  ?seed:int ->
+  ?telemetry:Telemetry.t ->
+  ?faults:Fault.plan ->
+  ?recover:bool ->
+  ?budgets:budgets ->
+  spec:Spec.t ->
+  machine:Vc_mem.Machine.t ->
+  strategy:Policy.strategy ->
+  domains:int ->
+  unit ->
+  (Domain_sched.result, Vc_error.t) result
+(** Supervised {!Domain_sched.run}: the hybrid multicore × SIMD scheduler
+    under the same typed-error contract as {!run}.  Budgets apply per
+    engine context (expansion phase and each chunk independently); the
+    returned {!Domain_sched.result} carries its own cross-context
+    fault/fallback totals, so no counting sink is attached here. *)
+
 val run_blocked :
   ?strategy:Policy.strategy ->
   ?max_tasks:int ->

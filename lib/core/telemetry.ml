@@ -9,6 +9,7 @@ type event =
   | Fallback of { depth : int; size : int }
   | Retry of { what : string; attempt : int }
   | Deadline of { resource : string; limit : float; actual : float }
+  | Steal of { thief : int; victim : int; chunk : int }
   | Span_open of { frame : string }
   | Span_close of { frame : string }
   | Mark of string
@@ -59,8 +60,8 @@ let trace_sink trace =
           | Level { phase; depth; size; base } ->
               Trace.record trace ~phase ~depth ~size ~base
           | Switch _ | Reexpand _ | Compaction _ | Convert _ | Cache _ | Fault _
-          | Fallback _ | Retry _ | Deadline _ | Span_open _ | Span_close _
-          | Mark _ -> ());
+          | Fallback _ | Retry _ | Deadline _ | Steal _ | Span_open _
+          | Span_close _ | Mark _ -> ());
       stream_flush = (fun () -> ());
       stream_clear = (fun () -> Trace.clear trace);
       dead = false;
@@ -105,6 +106,7 @@ let event_name = function
   | Fallback _ -> "fallback:scalar"
   | Retry { what; _ } -> "retry:" ^ what
   | Deadline { resource; _ } -> "deadline:" ^ resource
+  | Steal _ -> "steal"
   (* open and close share the name so Chrome "B"/"E" pairs match up *)
   | Span_open { frame } | Span_close { frame } -> "span:" ^ frame
   | Mark m -> "mark:" ^ m
@@ -137,6 +139,9 @@ let args_fields = function
   | Deadline { resource; limit; actual } ->
       [ ("resource", Printf.sprintf "%S" (escape resource)); ("limit", num limit);
         ("actual", num actual) ]
+  | Steal { thief; victim; chunk } ->
+      [ ("thief", string_of_int thief); ("victim", string_of_int victim);
+        ("chunk", string_of_int chunk) ]
   | Span_open { frame } ->
       [ ("frame", Printf.sprintf "%S" (escape frame)); ("open", "true") ]
   | Span_close { frame } ->
@@ -177,7 +182,7 @@ let chrome_of_event { ts; dur; ev; _ } =
         "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"accesses\":%d,\"misses\":%d}}"
         (escape ("cache:" ^ level)) (num ts) accesses misses
   | Switch _ | Reexpand _ | Compaction _ | Convert _ | Fault _ | Fallback _
-  | Retry _ | Deadline _ | Mark _ ->
+  | Retry _ | Deadline _ | Steal _ | Mark _ ->
       Printf.sprintf
         "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"s\":\"t\",\"pid\":1,\"tid\":1,\"args\":%s}"
         name (num ts) (args_json ev)

@@ -41,6 +41,10 @@ type event =
       (** A failed operation was retried ([attempt] starts at 1). *)
   | Deadline of { resource : string; limit : float; actual : float }
       (** A budget or deadline was exceeded. *)
+  | Steal of { thief : int; victim : int; chunk : int }
+      (** Domain [thief] stole [chunk] from [victim]'s deque (emitted
+          from the deterministic {!Ws_sim} schedule by the hybrid
+          domain scheduler). *)
   | Span_open of { frame : string }
       (** An attribution span opened: clock time from here until the next
           span boundary belongs to [frame] (nested under any open spans).

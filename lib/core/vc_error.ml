@@ -11,7 +11,7 @@ type phase = Setup | Expand | Execute | Recover | Persist | Load
 
 type hint = Retry | Fallback_scalar | Discard_entry | Abort
 
-type resource = Deadline_cycles | Deadline_wall | Live_frames | Task_budget
+type resource = Deadline_cycles | Deadline_wall | Live_frames | Task_budget | Memory
 
 type kind =
   | Fault of { site : site; hint : hint }
@@ -49,6 +49,7 @@ let resource_name = function
   | Deadline_wall -> "deadline-wall"
   | Live_frames -> "live-frames"
   | Task_budget -> "task-budget"
+  | Memory -> "memory"
 
 let site_of t = match t.kind with Fault { site; _ } -> Some site | _ -> None
 

@@ -25,7 +25,15 @@ type hint =
   | Discard_entry  (** drop the corrupt datum, keep the rest *)
   | Abort  (** no recovery: surface to the caller *)
 
-type resource = Deadline_cycles | Deadline_wall | Live_frames | Task_budget
+type resource =
+  | Deadline_cycles
+  | Deadline_wall
+  | Live_frames
+  | Task_budget
+  | Memory
+      (** a run exceeded the machine's live-thread capacity inside a
+          scheduler that treats it as a per-job failure (the plain engine
+          reports OOM via {!Report.t} instead) *)
 
 type kind =
   | Fault of { site : site; hint : hint }

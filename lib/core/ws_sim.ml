@@ -1,5 +1,7 @@
 type job = { id : int; cost : float }
 
+type placement = Worker0 | Round_robin
+
 type stats = {
   makespan : float;
   total_work : float;
@@ -7,6 +9,7 @@ type stats = {
   steals : int;
   failed_steals : int;
   jobs_run : int array;
+  steal_log : (int * int * int) list;
 }
 
 (* Simple deterministic xorshift for victim selection. *)
@@ -18,19 +21,28 @@ let next_rand state =
   state := x;
   x
 
-let simulate ?(steal_cost = 200.0) ?(seed = 1) ~workers jobs =
+let simulate ?(steal_cost = 200.0) ?(seed = 1) ?(placement = Worker0) ~workers jobs =
   if workers < 1 then invalid_arg "Ws_sim.simulate: workers must be positive";
   let rng = ref (max 1 (seed land 0x3FFFFFFFFFFFFFFF)) in
-  (* Deques: worker 0 starts with everything (expansion feeds the pool).
-     Bottom = list head for the owner; thieves take from the top (list
-     tail), so we keep each deque as a (front, back) pair of lists. *)
+  (* Deques: bottom = list head for the owner; thieves take from the top
+     (list tail), so we keep each deque as a (front, back) pair of
+     lists. *)
   let front = Array.make workers [] in
   let back = Array.make workers [] in
-  front.(0) <- jobs;
+  (match placement with
+  | Worker0 ->
+      (* worker 0 starts with everything (expansion feeds the pool) *)
+      front.(0) <- jobs
+  | Round_robin ->
+      (* jobs are dealt bottom-up in index order, matching the domain
+         scheduler's initial chunk assignment *)
+      List.iteri (fun i j -> front.(i mod workers) <- j :: front.(i mod workers)) jobs;
+      Array.iteri (fun w l -> front.(w) <- List.rev l) front);
   let clock = Array.make workers 0.0 in
   let busy = Array.make workers 0.0 in
   let jobs_run = Array.make workers 0 in
   let steals = ref 0 in
+  let steal_log = ref [] in
   let failed = ref 0 in
   let remaining = ref (List.length jobs) in
   let pop_bottom w =
@@ -88,6 +100,7 @@ let simulate ?(steal_cost = 200.0) ?(seed = 1) ~workers jobs =
           match steal_top victim with
           | Some job ->
               incr steals;
+              steal_log := (w, victim, job.id) :: !steal_log;
               (* the thief starts executing the stolen job immediately
                  (Cilk-style); leaving it stealable on the thief's deque
                  would let idle workers leapfrog-steal it forever *)
@@ -106,6 +119,7 @@ let simulate ?(steal_cost = 200.0) ?(seed = 1) ~workers jobs =
     steals = !steals;
     failed_steals = !failed;
     jobs_run;
+    steal_log = List.rev !steal_log;
   }
 
 let utilization stats =

@@ -13,6 +13,12 @@
 
 type job = { id : int; cost : float }
 
+type placement =
+  | Worker0  (** all jobs start on worker 0's deque (expansion feeds the pool) *)
+  | Round_robin
+      (** jobs dealt across deques in index order, bottom-up — the hybrid
+          domain scheduler's initial chunk assignment *)
+
 type stats = {
   makespan : float;  (** completion time of the last job *)
   total_work : float;  (** sum of job costs *)
@@ -20,10 +26,16 @@ type stats = {
   steals : int;  (** successful steals *)
   failed_steals : int;  (** attempts on empty or busy-less victims *)
   jobs_run : int array;  (** per-worker job counts *)
+  steal_log : (int * int * int) list;
+      (** successful steals in simulated-time order: (thief, victim, job
+          id) — the modeled schedule the domain scheduler replays into
+          telemetry *)
 }
 
-val simulate : ?steal_cost:float -> ?seed:int -> workers:int -> job list -> stats
-(** All jobs start on worker 0's deque (the paper's single-core expansion
+val simulate :
+  ?steal_cost:float -> ?seed:int -> ?placement:placement -> workers:int ->
+  job list -> stats
+(** [placement] defaults to {!Worker0} (the paper's single-core expansion
     phase feeds the pool).  [steal_cost] defaults to 200 cycles — a
     cache-line ping-pong plus deque CAS.  Raises [Invalid_argument] when
     [workers < 1].  An empty job list yields a zero makespan. *)

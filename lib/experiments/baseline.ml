@@ -1,5 +1,8 @@
-(* 1: initial schema (per-benchmark summary metrics keyed bench/machine). *)
-let version = 1
+(* 1: initial schema (per-benchmark summary metrics keyed bench/machine).
+   2: adds [domains_speedup] — the hybrid multicore × SIMD scheduler's
+      modeled speedup over sequential at 2 domains — so multicore scaling
+      is gated alongside the single-core metrics. *)
+let version = 2
 
 let log_src = Logs.Src.create "vc.baseline" ~doc:"Bench baseline history"
 
@@ -8,6 +11,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type metrics = {
   cycles : float;
   speedup : float;
+  domains_speedup : float;
   lane_occupancy : float;
   compaction_passes : int;
   space_peak : int;
@@ -33,10 +37,12 @@ let collect ?(block = default_block) ctx =
         List.map
           (fun (m : Vc_mem.Machine.t) ->
             let r = Sweep.hybrid ctx e m ~reexpand:true ~block in
+            let rd = Sweep.hybrid_domains ctx e m ~block ~domains:2 in
             let metrics =
               {
                 cycles = r.Vc_core.Report.cycles;
                 speedup = Sweep.speedup ctx e m r;
+                domains_speedup = Sweep.speedup ctx e m rd;
                 lane_occupancy = r.Vc_core.Report.lane_occupancy;
                 compaction_passes = r.Vc_core.Report.compaction_passes;
                 space_peak = r.Vc_core.Report.space_peak;
@@ -62,6 +68,7 @@ let json_of_metrics (m : metrics) : Jsonx.t =
     [
       ("cycles", Float m.cycles);
       ("speedup", Float m.speedup);
+      ("domains_speedup", Float m.domains_speedup);
       ("lane_occupancy", Float m.lane_occupancy);
       ("compaction_passes", Int m.compaction_passes);
       ("space_peak", Int m.space_peak);
@@ -77,16 +84,13 @@ let json_of_entry (e : entry) : Jsonx.t =
       ("benchmarks", Obj (List.map (fun (k, m) -> (k, json_of_metrics m)) e.benchmarks));
     ]
 
-exception Decode of string
-
-let decode_error fmt = Printf.ksprintf (fun m -> raise (Decode m)) fmt
-
 let metrics_of_json j : metrics =
   let open Jsonx in
   let m name = member name j in
   {
     cycles = to_float (m "cycles");
     speedup = to_float (m "speedup");
+    domains_speedup = to_float (m "domains_speedup");
     lane_occupancy = to_float (m "lane_occupancy");
     compaction_passes = to_int (m "compaction_passes");
     space_peak = to_int (m "space_peak");
@@ -131,9 +135,8 @@ let load ~path =
         else
           match Jsonx.member "entries" j with
           | Jsonx.List entries -> (
-              try Ok (List.map entry_of_json entries) with
-              | Decode msg -> Error (Printf.sprintf "%s: %s" path msg)
-              | Failure msg -> Error (Printf.sprintf "%s: %s" path msg))
+              try Ok (List.map entry_of_json entries)
+              with Jsonx.Decode msg -> Error (Printf.sprintf "%s: %s" path msg))
           | _ -> Error (Printf.sprintf "%s: no \"entries\" list" path))
 
 let last entries = match List.rev entries with [] -> None | e :: _ -> Some e
@@ -173,6 +176,7 @@ let checks =
     (* name, worse-when-higher, threshold *)
     ("cycles", true, 0.02);
     ("speedup", false, 0.02);
+    ("domains_speedup", false, 0.05);
     ("lane_occupancy", false, 0.02);
     ("compaction_passes", true, 0.10);
     ("space_peak", true, 0.10);
@@ -182,6 +186,7 @@ let value_of name (m : metrics) =
   match name with
   | "cycles" -> m.cycles
   | "speedup" -> m.speedup
+  | "domains_speedup" -> m.domains_speedup
   | "lane_occupancy" -> m.lane_occupancy
   | "compaction_passes" -> float_of_int m.compaction_passes
   | "space_peak" -> float_of_int m.space_peak

@@ -18,6 +18,10 @@ val version : int
 type metrics = {
   cycles : float;  (** modeled cycles (hybrid re-expansion run) *)
   speedup : float;  (** over the same machine's sequential run *)
+  domains_speedup : float;
+      (** the {!Vc_core.Domain_sched} hybrid multicore × SIMD point at
+          2 domains, over the same sequential run — gates multicore
+          scaling alongside the single-core metrics (schema version 2) *)
   lane_occupancy : float;
   compaction_passes : int;
   space_peak : int;  (** peak live frames *)
@@ -60,7 +64,7 @@ val append : ?faults:Vc_core.Fault.plan -> path:string -> entry -> unit
 val json_of_entry : entry -> Jsonx.t
 
 val entry_of_json : Jsonx.t -> entry
-(** Raises [Failure] on malformed input (callers go through {!load},
+(** Raises {!Jsonx.Decode} on malformed input (callers go through {!load},
     which converts to [Error]). *)
 
 (** {2 Regression check} *)

@@ -155,3 +155,49 @@ let figure16 ctx fmt =
         Sweep.machines)
     [ "fib"; "nqueens" ];
   Format.fprintf fmt "@]@."
+
+(* Fixed block size rather than [Sweep.best]: the d1/d2/d4 points must
+   share one chunk set, and [best] would pick a per-benchmark block from
+   the single-context sweep that need not be optimal for the chunked
+   family anyway. *)
+let figure17_domains = [ 1; 2; 4 ]
+let figure17_block = 256
+
+let figure17 ctx fmt =
+  Format.fprintf fmt
+    "@[<v>Figure 17: lanes x domains hybrid speedup over sequential (block \
+     2^%d, %d chunks)@,@,"
+    (log2i figure17_block) Vc_core.Domain_sched.default_chunks;
+  Format.fprintf fmt "%-10s %-8s" "benchmark" "machine";
+  List.iter (fun d -> Format.fprintf fmt " %9s" (Printf.sprintf "d=%d" d)) figure17_domains;
+  Format.fprintf fmt " %9s@," "d4/d1";
+  List.iter
+    (fun name ->
+      let entry = Registry.find name in
+      List.iter
+        (fun (machine : Vc_mem.Machine.t) ->
+          Format.fprintf fmt "%-10s %-8s" name machine.Vc_mem.Machine.name;
+          let speedups =
+            List.map
+              (fun domains ->
+                let r =
+                  Sweep.hybrid_domains ctx entry machine ~block:figure17_block
+                    ~domains
+                in
+                if r.Vc_core.Report.oom then None
+                else Some (Sweep.speedup ctx entry machine r))
+              figure17_domains
+          in
+          List.iter
+            (fun s ->
+              match s with
+              | None -> Format.fprintf fmt " %9s" "OOM"
+              | Some s -> Format.fprintf fmt " %9.2f" s)
+            speedups;
+          (match (List.hd speedups, List.rev speedups |> List.hd) with
+          | Some s1, Some sn when s1 > 0.0 ->
+              Format.fprintf fmt " %9.2f@," (sn /. s1)
+          | _ -> Format.fprintf fmt " %9s@," "-"))
+        Sweep.machines)
+    study_benchmarks;
+  Format.fprintf fmt "@]@."

@@ -30,3 +30,11 @@ val figure15 : Sweep.ctx -> Format.formatter -> unit
 val figure16 : Sweep.ctx -> Format.formatter -> unit
 (** Speedup with vectorized vs. sequential stream compaction (fib and
     nqueens, both machines). *)
+
+val figure17 : Sweep.ctx -> Format.formatter -> unit
+(** Lanes × domains combined speedup: the {!Vc_core.Domain_sched} hybrid
+    multicore × SIMD scheduler over sequential, at 1/2/4 domains and a
+    fixed block size, with the d4/d1 scaling ratio.  Not a figure of the
+    paper — it quantifies the §8 "integrate multicore parallelism"
+    direction on real OCaml domains with a deterministic schedule
+    model. *)

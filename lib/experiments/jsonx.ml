@@ -293,7 +293,16 @@ let type_name = function
   | List _ -> "list"
   | Obj _ -> "object"
 
-let fail_on what v = failwith (Printf.sprintf "Jsonx: expected %s, got %s" what (type_name v))
+(* Type mismatches raise a dedicated exception rather than [Failure]: a
+   malformed persisted file is an expected input condition, and decoders
+   must be able to catch it precisely — catching [Failure] would also
+   swallow genuine programming errors (and a raw [Failure] escaping a
+   decoder has killed whole sweeps). *)
+exception Decode of string
+
+let decode_error fmt = Printf.ksprintf (fun m -> raise (Decode m)) fmt
+
+let fail_on what v = decode_error "Jsonx: expected %s, got %s" what (type_name v)
 
 let to_int = function Int i -> i | v -> fail_on "int" v
 let to_float = function Float f -> f | Int i -> float_of_int i | v -> fail_on "float" v

@@ -33,6 +33,16 @@ val parse : ?max_depth:int -> string -> (t, string) result
     nested deeper than [max_depth] (default {!default_max_depth}) yield
     [Error "... nesting too deep"] instead of a stack overflow. *)
 
+exception Decode of string
+(** Raised by the typed accessors below on a type mismatch, and by
+    decoders built on them ({!Run_cache}, {!Baseline}) for structural
+    problems.  Distinct from [Failure] so callers can contain malformed
+    persisted data — warn and skip the entry — without masking genuine
+    programming errors. *)
+
+val decode_error : ('a, unit, string, 'b) format4 -> 'a
+(** [decode_error fmt ...] raises {!Decode} with the formatted message. *)
+
 val member : string -> t -> t
 (** Field lookup on an [Obj]; [Null] when absent or not an object. *)
 
@@ -44,4 +54,4 @@ val to_bool : t -> bool
 val to_str : t -> string
 val to_list : t -> t list
 val obj_fields : t -> (string * t) list
-(** All raise [Failure] on a type mismatch. *)
+(** All raise {!Decode} on a type mismatch. *)

@@ -10,6 +10,28 @@ let is_budget_exn = function
   | Vc_core.Vc_error.Error e -> Vc_core.Vc_error.is_budget e
   | _ -> false
 
+(* Which budget violations abort a whole queue?  Time-like budgets
+   (modeled or wall deadlines, the live-frame cap): they exist to stop a
+   sweep from burning capped time, and every remaining task shares them.
+   Per-run resource exhaustion (task budget, modeled memory) only says
+   this POINT is too big — the rest of the sweep is unaffected, so
+   [run_collect] contains it like any other per-task failure. *)
+let is_fatal_budget_exn = function
+  | Vc_core.Vc_error.Error
+      {
+        kind =
+          Vc_core.Vc_error.Budget_exceeded
+            {
+              resource =
+                ( Vc_core.Vc_error.Deadline_cycles | Vc_core.Vc_error.Deadline_wall
+                | Vc_core.Vc_error.Live_frames );
+              _;
+            };
+        _;
+      } ->
+      true
+  | _ -> false
+
 (* Run one task, retrying transient failures with exponential backoff.
    Budget violations are deterministic — the same deadline fires again on
    every retry — so they are never retried; they re-raise immediately.
@@ -75,9 +97,9 @@ let run_collect ?(retries = 0) ?(backoff = 0.0) ~jobs tasks =
   let failures = ref [] in
   let fatal : exn option Atomic.t = Atomic.make None in
   let contain i exn attempts =
-    if is_budget_exn exn then
-      (* budgets abort the queue — containing them would let a sweep keep
-         burning time the user explicitly capped *)
+    if is_fatal_budget_exn exn then
+      (* deadline-like budgets abort the queue — containing them would let
+         a sweep keep burning time the user explicitly capped *)
       ignore (Atomic.compare_and_set fatal None (Some exn))
     else begin
       let error = Vc_core.Vc_error.of_exn ~phase:Vc_core.Vc_error.Execute exn in

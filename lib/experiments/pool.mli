@@ -8,10 +8,10 @@
     shared state (the sweep memo table is mutex-guarded).
 
     Both entry points support supervised execution: failed tasks retry
-    with exponential backoff, and budget violations (typed
-    [Budget_exceeded] {!Vc_core.Vc_error.Error}s) are deterministic, so
-    they are never retried or contained — they abort the queue and
-    re-raise in the caller. *)
+    with exponential backoff.  Budget violations (typed [Budget_exceeded]
+    {!Vc_core.Vc_error.Error}s) are deterministic, so they are never
+    retried; whether one aborts the queue depends on its resource — see
+    {!run_collect}. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
@@ -38,4 +38,9 @@ val run_collect :
     task that still fails after its retries is recorded (worker-death
     containment — the rest of the queue keeps draining) and the failures
     are returned sorted by task index, [[]] when everything succeeded.
-    Budget violations are still fatal and re-raise in the caller. *)
+    Deadline-like budget violations ([Deadline_cycles], [Deadline_wall],
+    [Live_frames]) are still fatal and re-raise in the caller: every
+    remaining task shares those caps.  Per-run resource exhaustion
+    ([Task_budget], [Memory]) is contained like any other failure — one
+    oversized point must not kill the sweep — though, being
+    deterministic, it is never retried. *)

@@ -64,12 +64,9 @@ let json_of_report (r : Vc_core.Report.t) : Jsonx.t =
       ("occupancy_hist", List (Array.to_list r.occupancy_hist |> List.map (fun n -> Jsonx.Int n)));
     ]
 
-(* Decoding failures travel on a result channel, not [failwith]: a corrupt
-   entry must never look like a programming error to the caller, and load's
-   salvage loop needs the message to report what it skipped. *)
-exception Decode of string
-
-let decode_error fmt = Printf.ksprintf (fun m -> raise (Decode m)) fmt
+(* Decoding failures travel on a result channel via {!Jsonx.Decode}: a
+   corrupt entry must never look like a programming error to the caller,
+   and load's salvage loop needs the message to report what it skipped. *)
 
 let report_of_json (j : Jsonx.t) : (Vc_core.Report.t, string) result =
   let open Jsonx in
@@ -116,9 +113,7 @@ let report_of_json (j : Jsonx.t) : (Vc_core.Report.t, string) result =
         occupancy_hist = Array.of_list (List.map to_int (to_list (m "occupancy_hist")));
         wall_seconds = 0.0;
       }
-  with
-  | Decode msg -> Error msg
-  | Failure msg -> Error msg (* Jsonx accessor type mismatch *)
+  with Jsonx.Decode msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
 

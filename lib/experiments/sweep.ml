@@ -200,6 +200,31 @@ let hybrid ctx entry (machine : Vc_mem.Machine.t) ~reexpand ~block =
         ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand })
         ())
 
+(* The hybrid multicore × SIMD scheduler point.  Note [domains = 1] is
+   NOT the plain {!hybrid} run: it executes the same fixed chunk set in
+   one domain, so the d1/d2/d4 family shares everything but the schedule
+   model and the speedup column reads as pure scaling.  The strategy key
+   carries the domain count — modeled cycles depend on it. *)
+let hybrid_domains ctx entry (machine : Vc_mem.Machine.t) ~block ~domains =
+  let key =
+    {
+      bench = entry.Registry.name;
+      machine = machine.Vc_mem.Machine.name;
+      strategy = Printf.sprintf "reexp+d%d" domains;
+      block;
+      compact = resolved_compact ctx entry machine;
+    }
+  in
+  cached ctx key (fun () ->
+      let faults, deadline, wall_deadline, max_live_frames = engine_args ctx in
+      let result =
+        Vc_core.Domain_sched.run ~faults ?deadline ?wall_deadline
+          ?max_live_frames ~spec:(spec_of ctx entry) ~machine
+          ~strategy:(Vc_core.Policy.Hybrid { max_block = block; reexpand = true })
+          ~domains ()
+      in
+      result.Vc_core.Domain_sched.report)
+
 let with_compaction ctx entry (machine : Vc_mem.Machine.t) ~compact ~block =
   let key =
     {

@@ -100,6 +100,20 @@ val hybrid :
   block:int ->
   Vc_core.Report.t
 
+val hybrid_domains :
+  ctx ->
+  Vc_bench.Registry.entry ->
+  Vc_mem.Machine.t ->
+  block:int ->
+  domains:int ->
+  Vc_core.Report.t
+(** The {!Vc_core.Domain_sched} hybrid multicore × SIMD point
+    (re-expansion strategy, strategy key ["reexp+dN"]).  [domains = 1]
+    executes the same fixed chunk set in one domain — deliberately NOT a
+    {!hybrid} cache hit — so a d1/d2/d4 column reads as pure scaling of
+    an identical workload.  Raises on a budget violation like the other
+    engine points (pools contain it). *)
+
 val with_compaction :
   ctx ->
   Vc_bench.Registry.entry ->

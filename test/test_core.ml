@@ -522,6 +522,35 @@ let test_multicore_errors () =
     (Invalid_argument "Multicore.run: workers must be positive") (fun () ->
       ignore (Multicore.run ~spec ~machine:e5 ~workers:0 ()))
 
+let test_multicore_oom_budget () =
+  (* a per-job engine OOM surfaces as a typed [Memory] budget error (exit
+     code 2) so pools contain it as a per-run failure, not as a bare
+     [Failure] that kills the whole sweep *)
+  let tiny = { e5 with Vc_mem.Machine.name = "tiny"; max_live_threads = 512 } in
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 18 } in
+  match Multicore.run ~spec ~machine:tiny ~workers:2 () with
+  | _ -> Alcotest.fail "tiny machine should run out of modeled memory"
+  | exception Vc_error.Error e ->
+      (match e.Vc_error.kind with
+      | Vc_error.Budget_exceeded { resource = Vc_error.Memory; _ } -> ()
+      | _ -> Alcotest.failf "wrong error kind: %s" (Vc_error.to_string e));
+      check_int "exit code 2" 2 (Vc_error.exit_code e)
+
+let test_strawman_task_budget () =
+  (* exceeding the task limit is a typed [Task_budget] error carrying the
+     limit and the count reached, not a [Failure] *)
+  let spec = Vc_bench.Fib.spec { Vc_bench.Fib.n = 14 } in
+  match Strawman.run ~max_tasks:100 ~spec ~machine:e5 () with
+  | _ -> Alcotest.fail "task budget should trip"
+  | exception Vc_error.Error e -> (
+      check_int "exit code 2" 2 (Vc_error.exit_code e);
+      match e.Vc_error.kind with
+      | Vc_error.Budget_exceeded { resource = Vc_error.Task_budget; limit; actual }
+        ->
+          check_bool "limit recorded" true (limit = 100.0);
+          check_bool "count reached the limit" true (actual >= limit)
+      | _ -> Alcotest.failf "wrong error kind: %s" (Vc_error.to_string e))
+
 (* ------------------------------------------------------------------ *)
 (* Opportunity analysis                                                *)
 
@@ -1160,12 +1189,16 @@ let () =
           Alcotest.test_case "warm cache" `Quick test_engine_warm_cache;
           Alcotest.test_case "trace timeline" `Quick test_engine_trace;
           Alcotest.test_case "strawman" `Quick test_strawman;
+          Alcotest.test_case "strawman task limit is a typed budget" `Quick
+            test_strawman_task_budget;
         ] );
       ( "multicore",
         [
           Alcotest.test_case "exact results" `Quick test_multicore_exact_results;
           Alcotest.test_case "scaling" `Quick test_multicore_scales;
           Alcotest.test_case "errors" `Quick test_multicore_errors;
+          Alcotest.test_case "job OOM is a typed memory budget" `Quick
+            test_multicore_oom_budget;
           Alcotest.test_case "ws-sim single worker" `Quick test_ws_sim_single_worker;
           Alcotest.test_case "ws-sim balances" `Quick test_ws_sim_balances;
           Alcotest.test_case "ws-sim deterministic" `Quick test_ws_sim_deterministic;

@@ -179,6 +179,131 @@ let check_fault_recovery () =
   if !faults_seen = 0 then Alcotest.fail "fault matrix injected nothing";
   if !fallbacks = 0 then Alcotest.fail "fault matrix never took the scalar fallback"
 
+(* Domains matrix: the hybrid multicore × SIMD scheduler must be
+   bit-equal to the single-context engine on reducers and task counts at
+   every domain count, and its merged reports must be identical across
+   domain counts except for the documented schedule-model fields
+   (strategy, cycles, cpi, space_peak, wall_seconds).  Small chunk/block
+   parameters exercise dealing, stealing and merge on shallow random
+   trees. *)
+let domain_counts = [ 1; 2; 4 ]
+
+let scrub (r : Report.t) =
+  {
+    r with
+    Report.strategy = "";
+    cycles = 0.0;
+    cpi = 0.0;
+    space_peak = 0;
+    wall_seconds = 0.0;
+  }
+
+let check_domains_matrix () =
+  let strategy = Policy.Hybrid { max_block = 8; reexpand = true } in
+  let checked = ref 0 in
+  List.iter
+    (fun (i, p, args) ->
+      let spec = Compile.spec_of_program p ~args in
+      let reference = Engine.run ~spec ~machine:e5 ~strategy () in
+      if not reference.Report.oom then begin
+        let results =
+          List.map
+            (fun domains ->
+              ( domains,
+                Domain_sched.run ~chunks:4 ~spec ~machine:e5 ~strategy ~domains
+                  () ))
+            domain_counts
+        in
+        List.iter
+          (fun (domains, (d : Domain_sched.result)) ->
+            let r = d.Domain_sched.report in
+            if
+              r.Report.reducers <> reference.Report.reducers
+              || r.Report.tasks <> reference.Report.tasks
+              || r.Report.base_tasks <> reference.Report.base_tasks
+              || r.Report.levels <> reference.Report.levels
+            then
+              Alcotest.failf
+                "domains=%d diverges from the single-context engine on %s:\n\
+                 got %s / %d tasks, want %s / %d tasks"
+                domains (describe i p args)
+                (String.concat ","
+                   (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+                      r.Report.reducers))
+                r.Report.tasks
+                (String.concat ","
+                   (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+                      reference.Report.reducers))
+                reference.Report.tasks;
+            if r.Report.strategy <> Printf.sprintf "reexp+d%d" domains then
+              Alcotest.failf "domains=%d strategy name is %S" domains
+                r.Report.strategy;
+            incr checked)
+          results;
+        (* merged reports bit-equal across domain counts, modulo the
+           documented schedule-model fields *)
+        match results with
+        | (_, first) :: rest ->
+            let want = scrub first.Domain_sched.report in
+            List.iter
+              (fun (domains, (d : Domain_sched.result)) ->
+                if not (Report.equal want (scrub d.Domain_sched.report)) then
+                  Alcotest.failf
+                    "domains=%d merged report differs from domains=%d beyond \
+                     the schedule-model fields on %s"
+                    domains
+                    (List.hd domain_counts)
+                    (describe i p args);
+                (* same chunk set => same modeled steal-free quantities *)
+                if d.Domain_sched.chunks <> first.Domain_sched.chunks then
+                  Alcotest.failf "domains=%d chunk count drifted on %s" domains
+                    (describe i p args))
+              rest
+        | [] -> ()
+      end)
+    (List.filteri (fun i _ -> i < 15) cases);
+  if !checked < 15 then
+    Alcotest.failf "only %d domain checks ran (expected >= 15)" !checked
+
+(* Fault-armed domains: per-chunk fault plans (Fault.split) must still
+   recover to the fault-free single-context results via per-domain scalar
+   fallback. *)
+let check_domains_fault_recovery () =
+  let strategy = Policy.Hybrid { max_block = 8; reexpand = true } in
+  let faults_seen = ref 0 in
+  List.iter
+    (fun (i, p, args) ->
+      let spec = Compile.spec_of_program p ~args in
+      let reference = Engine.run ~spec ~machine:e5 ~strategy () in
+      if not reference.Report.oom then
+        List.iter
+          (fun fault_seed ->
+            let plan =
+              Fault.make ~rate:0.25 ~seed:fault_seed
+                ~sites:[ Fault.Compact; Fault.Alloc ] ()
+            in
+            match
+              Supervisor.run_domains ~chunks:4 ~faults:plan ~spec ~machine:e5
+                ~strategy ~domains:2 ()
+            with
+            | Error e ->
+                Alcotest.failf "domains=2 seed %d did not recover (%s) on %s"
+                  fault_seed (Vc_error.to_string e) (describe i p args)
+            | Ok d ->
+                faults_seen := !faults_seen + d.Domain_sched.faults_seen;
+                let r = d.Domain_sched.report in
+                if
+                  r.Report.reducers <> reference.Report.reducers
+                  || r.Report.tasks <> reference.Report.tasks
+                  || r.Report.base_tasks <> reference.Report.base_tasks
+                then
+                  Alcotest.failf
+                    "domains=2 scalar fallback diverges under seed %d on %s"
+                    fault_seed (describe i p args))
+          [ 1; 2; 3 ])
+    (List.filteri (fun i _ -> i < 10) cases);
+  if !faults_seen = 0 then Alcotest.fail "domains fault matrix injected nothing"
+
 let () =
   Alcotest.run "vc_differential"
     [
@@ -192,5 +317,9 @@ let () =
             check_compaction_engines;
           Alcotest.test_case "fault injection recovers to exact results" `Quick
             check_fault_recovery;
+          Alcotest.test_case "domains matrix bit-equal to engine" `Quick
+            check_domains_matrix;
+          Alcotest.test_case "fault-armed domains recover per chunk" `Quick
+            check_domains_fault_recovery;
         ] );
     ]

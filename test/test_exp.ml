@@ -314,6 +314,59 @@ let test_pool_run_collect () =
   | exception Vc_core.Vc_error.Error e ->
       check_bool "budget error" true (Vc_core.Vc_error.is_budget e)
 
+let test_pool_contains_exhaustion () =
+  (* per-run exhaustion (Memory, Task_budget) is contained by run_collect
+     as a recorded per-run failure — never retried, never aborting the
+     queue — unlike the deadline budgets checked above *)
+  List.iter
+    (fun resource ->
+      let attempts = Atomic.make 0 in
+      let exhaust () =
+        Atomic.incr attempts;
+        Vc_core.Vc_error.budget ~phase:Vc_core.Vc_error.Execute resource
+          ~limit:512.0 ~actual:513.0 ()
+      in
+      let ran = ref false in
+      match
+        Vc_exp.Pool.run_collect ~retries:2 ~jobs:1
+          [ exhaust; (fun () -> ran := true) ]
+      with
+      | [ f ] ->
+          check_int "failed index" 0 f.Vc_exp.Pool.index;
+          check_bool "typed budget" true
+            (Vc_core.Vc_error.is_budget f.Vc_exp.Pool.error);
+          check_bool "rest of the queue still ran" true !ran;
+          check_int "exhaustion is never retried" 1 (Atomic.get attempts)
+      | fs ->
+          Alcotest.failf "expected one contained failure, got %d"
+            (List.length fs))
+    [ Vc_core.Vc_error.Memory; Vc_core.Vc_error.Task_budget ]
+
+let test_jsonx_typed_decode () =
+  let open Vc_exp.Jsonx in
+  (* accessors raise the typed [Decode] exception, not [Failure] *)
+  let rejects what f =
+    match f () with
+    | exception Decode _ -> ()
+    | exception e ->
+        Alcotest.failf "%s escaped as %s instead of Jsonx.Decode" what
+          (Printexc.to_string e)
+    | _ -> Alcotest.failf "%s should not decode" what
+  in
+  rejects "int of string" (fun () -> to_int (String "x"));
+  rejects "float of list" (fun () -> to_float (List []));
+  rejects "bool of null" (fun () -> to_bool Null);
+  rejects "str of int" (fun () -> to_str (Int 1));
+  rejects "list of obj" (fun () -> to_list (Obj []));
+  rejects "fields of int" (fun () -> obj_fields (Int 1));
+  (* member is total by design: Null when absent or not an object *)
+  check_bool "member of non-obj is Null" true (member "k" (Int 1) = Null);
+  (* and the decoders built on them turn Decode into (Error _) rather
+     than letting it escape *)
+  match Vc_exp.Baseline.entry_of_json (Obj [ ("label", Int 3) ]) with
+  | exception Decode _ -> ()
+  | _ -> Alcotest.fail "malformed baseline entry should raise Decode"
+
 let test_jsonx_bad_escapes () =
   let open Vc_exp.Jsonx in
   let rejects what s =
@@ -402,6 +455,7 @@ let sample_metrics () =
   {
     Vc_exp.Baseline.cycles = 131072.0;
     speedup = 3.5;
+    domains_speedup = 5.0;
     lane_occupancy = 0.82;
     compaction_passes = 40;
     space_peak = 750;
@@ -463,7 +517,7 @@ let test_baseline_check_verdicts () =
   in
   (* identical entries: every check passes, 6 metrics per benchmark *)
   let verdicts = check_ok (Vc_exp.Baseline.check ~baseline:base ~current:base ()) in
-  check_int "six checks per benchmark" 12 (List.length verdicts);
+  check_int "seven checks per benchmark" 14 (List.length verdicts);
   check_int "identical entries never regress" 0
     (List.length (Vc_exp.Baseline.regressions verdicts));
   (* cycles +5% > 2% threshold: regression on exactly that metric *)
@@ -649,6 +703,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
           Alcotest.test_case "pretty roundtrip" `Quick test_jsonx_pretty_roundtrip;
           Alcotest.test_case "bad escapes are errors" `Quick test_jsonx_bad_escapes;
+          Alcotest.test_case "accessors raise typed Decode" `Quick
+            test_jsonx_typed_decode;
           Alcotest.test_case "nesting depth is bounded" `Quick
             test_jsonx_depth_limit;
         ] );
@@ -679,6 +735,8 @@ let () =
           Alcotest.test_case "retry with backoff" `Quick test_pool_retry;
           Alcotest.test_case "run_collect contains failures" `Quick
             test_pool_run_collect;
+          Alcotest.test_case "exhaustion budgets are contained, not fatal"
+            `Quick test_pool_contains_exhaustion;
         ] );
       ( "csv",
         [

@@ -80,6 +80,7 @@ let artifacts =
     ("figure10", Vc_exp.Figures.figure10);
     ("figure15", Vc_exp.Figures.figure15);
     ("figure16", Vc_exp.Figures.figure16);
+    ("figure17", Vc_exp.Figures.figure17);
   ]
 
 let () =
