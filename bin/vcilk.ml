@@ -38,6 +38,14 @@
    --max-tasks N); an exceeded budget terminates with a typed error and
    exit code 2 (0 ok, 1 failure).
 
+   Execution engines: run, bench, verify, and chaos take
+   --engine engine|blocked|compiled.  "engine" (the default) is the
+   cost-model simulator; "blocked" and "compiled" are the wall-clock
+   backends over the blocked IR (Backend) — bit-equal reducers and task
+   counts, measured throughput instead of modeled cycles.  bench
+   --compiled-json FILE writes an interpreted-vs-compiled throughput
+   comparison.
+
    Intra-run parallelism: run and chaos take --domains N.  N = 1 (the
    default) is the single-context engine; N > 1 splits the run across
    real OCaml domains via the hybrid multicore x SIMD scheduler
@@ -129,6 +137,47 @@ let max_tasks_flag =
              "Task budget per engine context (default 200M). Exceeding it \
               terminates with a typed error and exit code 2.")
 
+(* --engine selects the execution-engine family.  "engine" is the
+   cost-model simulator (modeled cycles); "blocked" and "compiled" are the
+   wall-clock backends over the blocked IR — same Fig. 6 schedule, no cost
+   model, real time. *)
+let engine_flag =
+  Arg.(value
+       & opt
+           (enum
+              [ ("engine", `Engine); ("blocked", `Blocked); ("compiled", `Compiled) ])
+           `Engine
+       & info [ "e"; "engine" ] ~docv:"ENGINE"
+           ~doc:
+             "Execution engine: $(b,engine) (the cost-model simulator, \
+              modeled cycles; the default), $(b,blocked) (wall-clock \
+              closure-interpreter backend), or $(b,compiled) (wall-clock \
+              compiled SoA backend). The wall-clock engines report measured \
+              throughput and ignore the modeled-cycle $(b,--deadline).")
+
+let engine_name = function
+  | `Engine -> "engine"
+  | `Blocked -> "blocked"
+  | `Compiled -> "compiled"
+
+let backend_of = function
+  | `Blocked -> Vc_core.Backend.interp
+  | `Compiled -> Vc_core.Backend.compiled
+  | `Engine -> invalid_arg "backend_of: the cost model is not a backend"
+
+(* The blocked interpreter has no domains mode over IR sources; catch the
+   combination up front instead of surfacing Backend's Invalid_argument. *)
+let reject_blocked_ir_domains engine domains source =
+  match (engine, source) with
+  | `Blocked, Vc_core.Backend.Ir _ when domains > 1 ->
+      Format.eprintf
+        "vcilk: --engine blocked has no --domains mode on DSL benchmarks; \
+         use --engine compiled@.";
+      exit 1
+  | _ -> ()
+
+let wall_rate tasks wall = float_of_int tasks /. Float.max wall 1e-9
+
 (* Uniform exit-code convention: 0 ok, 1 failure, 2 budget exceeded,
    3 perf regression (bench --check-baseline). *)
 let die (e : Vc_core.Vc_error.t) : 'a =
@@ -191,7 +240,7 @@ let run_cmd =
          & info [ "b"; "block" ] ~doc:"Hybrid max block size / re-expansion threshold.")
   in
   let run quick jobs no_cache deadline wall_deadline max_live_frames domains
-      max_tasks (entry : Vc_bench.Registry.entry) machine strategy block =
+      max_tasks engine (entry : Vc_bench.Registry.entry) machine strategy block =
     or_die @@ fun () ->
     if domains < 1 then begin
       Format.eprintf "vcilk: --domains must be positive@.";
@@ -201,9 +250,56 @@ let run_cmd =
       Format.eprintf "vcilk: --domains applies to the engine strategies (bfs|noreexp|reexp)@.";
       exit 1
     end;
+    if engine <> `Engine && (strategy = `Seq || strategy = `Strawman) then begin
+      Format.eprintf
+        "vcilk: --engine %s runs the blocked scheduler (bfs|noreexp|reexp)@."
+        (engine_name engine);
+      exit 1
+    end;
     let ctx = ctx_of quick jobs no_cache in
-    let spec = Vc_exp.Sweep.spec_of ctx entry in
     let budgets = { Vc_core.Supervisor.deadline; wall_deadline; max_live_frames } in
+    if engine <> `Engine then begin
+      (* Wall-clock backend path: no machine model, no modeled cycles. *)
+      if deadline <> None then
+        Format.eprintf
+          "vcilk: note: --deadline is modeled cycles; --engine %s ignores it \
+           (use --wall-deadline)@."
+          (engine_name engine);
+      let policy =
+        match strategy with
+        | `Bfs -> Vc_core.Policy.Bfs_only
+        | `Noreexp -> Vc_core.Policy.Hybrid { max_block = block; reexpand = false }
+        | _ -> Vc_core.Policy.Hybrid { max_block = block; reexpand = true }
+      in
+      let source, roots = Vc_exp.Sweep.backend_source ctx entry in
+      reject_blocked_ir_domains engine domains source;
+      match
+        Vc_core.Supervisor.run_backend ~strategy:policy ?max_tasks
+          ~faults:(Vc_core.Fault.of_env ()) ~budgets
+          ?domains:(if domains = 1 then None else Some domains)
+          (backend_of engine) source ~roots
+      with
+      | Error e -> die e
+      | Ok o ->
+          let r = o.Vc_core.Supervisor.result in
+          if o.Vc_core.Supervisor.b_faults_seen > 0 then
+            Format.eprintf "[supervisor] %d faults contained, %d scalar fallbacks@."
+              o.Vc_core.Supervisor.b_faults_seen o.Vc_core.Supervisor.b_fallbacks;
+          List.iter
+            (fun (n, v) -> Format.printf "%s = %d@." n v)
+            r.Vc_core.Backend.reducers;
+          Format.printf
+            "%d tasks (%d base), max depth %d, %d switches, %d re-expansions@."
+            r.Vc_core.Backend.tasks r.Vc_core.Backend.base_tasks
+            r.Vc_core.Backend.max_depth r.Vc_core.Backend.switches
+            r.Vc_core.Backend.reexpansions;
+          Format.printf "engine %s: wall %.6f s, %.3f M tasks/s@."
+            (engine_name engine) r.Vc_core.Backend.wall_seconds
+            (wall_rate r.Vc_core.Backend.tasks r.Vc_core.Backend.wall_seconds
+            /. 1e6);
+          exit 0
+    end;
+    let spec = Vc_exp.Sweep.spec_of ctx entry in
     let supervised strategy =
       if domains = 1 then
         match
@@ -262,7 +358,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one benchmark under one execution strategy.")
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ deadline_flag
           $ wall_deadline_flag $ max_live_frames_flag $ domains_flag
-          $ max_tasks_flag $ bench $ machine $ strategy $ block)
+          $ max_tasks_flag $ engine_flag $ bench $ machine $ strategy $ block)
 
 let transform_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -596,20 +692,128 @@ let bench_cmd =
          & info [ "tolerance" ] ~docv:"T"
              ~doc:"Scale every regression threshold by T (default 1.0).")
   in
-  let run quick jobs no_cache block history check_baseline write_baseline tolerance =
+  let compiled_json =
+    Arg.(value & opt (some string) None
+         & info [ "compiled-json" ] ~docv:"FILE"
+             ~doc:
+               "Also run every benchmark on both wall-clock engines \
+                (blocked and compiled) and write the throughput comparison \
+                as JSON to FILE ($(b,-) = stdout). Wall numbers are \
+                host-local and informational.")
+  in
+  (* One wall-clock backend point per benchmark at the bench block size. *)
+  let backend_table ctx ~engine ~block =
+    Format.printf "%-12s %12s %12s %7s %6s %6s %10s %10s@." "BENCH" "TASKS"
+      "BASE" "DEPTH" "SW" "RE" "WALL_S" "MTASK/S";
+    List.iter
+      (fun (e : Vc_bench.Registry.entry) ->
+        let r = Vc_exp.Sweep.backend_run ctx e ~engine ~block in
+        Format.printf "%-12s %12d %12d %7d %6d %6d %10.6f %10.2f@."
+          e.Vc_bench.Registry.name r.Vc_core.Backend.tasks
+          r.Vc_core.Backend.base_tasks r.Vc_core.Backend.max_depth
+          r.Vc_core.Backend.switches r.Vc_core.Backend.reexpansions
+          r.Vc_core.Backend.wall_seconds
+          (wall_rate r.Vc_core.Backend.tasks r.Vc_core.Backend.wall_seconds
+          /. 1e6))
+      Vc_bench.Registry.all
+  in
+  let write_comparison ctx ~block path =
+    (* Best-of-3 per engine: the comparison is a measurement artifact, so
+       it must not inherit the sweep memo's single (possibly cold) run —
+       one GC-unlucky shot would record a bogus ratio. *)
+    let measure e ~engine =
+      let source, roots = Vc_exp.Sweep.backend_source ctx e in
+      let backend =
+        match Vc_core.Backend.find engine with
+        | Some b -> b
+        | None -> assert false
+      in
+      let opts =
+        {
+          Vc_core.Backend.default_opts with
+          strategy = Vc_core.Policy.Hybrid { max_block = block; reexpand = true };
+        }
+      in
+      let best = ref None in
+      for _ = 1 to 3 do
+        let r = Vc_core.Backend.timed_run ~opts backend source ~roots in
+        match !best with
+        | Some (b : Vc_core.Backend.result)
+          when b.Vc_core.Backend.wall_seconds <= r.Vc_core.Backend.wall_seconds
+          -> ()
+        | _ -> best := Some r
+      done;
+      Option.get !best
+    in
+    let benches =
+      List.map
+        (fun (e : Vc_bench.Registry.entry) ->
+          let i = measure e ~engine:"blocked" in
+          let c = measure e ~engine:"compiled" in
+          let i_rate = wall_rate i.Vc_core.Backend.tasks i.Vc_core.Backend.wall_seconds in
+          let c_rate = wall_rate c.Vc_core.Backend.tasks c.Vc_core.Backend.wall_seconds in
+          Vc_exp.Jsonx.Obj
+            [
+              ("bench", String e.Vc_bench.Registry.name);
+              ("tasks", Int i.Vc_core.Backend.tasks);
+              ("blocked_wall_seconds", Float i.Vc_core.Backend.wall_seconds);
+              ("blocked_tasks_per_sec", Float i_rate);
+              ("compiled_wall_seconds", Float c.Vc_core.Backend.wall_seconds);
+              ("compiled_tasks_per_sec", Float c_rate);
+              ("compiled_speedup", Float (c_rate /. Float.max i_rate 1e-9));
+            ])
+        Vc_bench.Registry.all
+    in
+    let j =
+      Vc_exp.Jsonx.Obj
+        [
+          ("block", Int block);
+          ("quick", Bool (Vc_exp.Sweep.quick ctx));
+          ("benchmarks", List benches);
+        ]
+    in
+    let text = Vc_exp.Jsonx.to_pretty_string j ^ "\n" in
+    match path with
+    | "-" -> print_string text
+    | path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc text);
+        Format.eprintf "[bench] wrote %s@." path
+  in
+  let run quick jobs no_cache block history check_baseline write_baseline
+      tolerance engine compiled_json =
     or_die @@ fun () ->
+    if engine <> `Engine then begin
+      (* Wall-clock engines carry no modeled metrics: the baseline gate,
+         history, and --write-baseline apply to the cost model only. *)
+      if check_baseline <> None || write_baseline <> None then begin
+        Format.eprintf
+          "vcilk: --check-baseline/--write-baseline gate modeled metrics; \
+           they do not apply to --engine %s@."
+          (engine_name engine);
+        exit 1
+      end;
+      let ctx = ctx_of quick jobs no_cache in
+      backend_table ctx ~engine:(engine_name engine) ~block;
+      Option.iter (write_comparison ctx ~block) compiled_json;
+      exit 0
+    end;
     let ctx = ctx_of quick jobs no_cache in
     let current = Vc_exp.Baseline.collect ~block ctx in
-    Format.printf "%-24s %14s %8s %8s %6s %6s %10s@." "BENCH/MACHINE" "CYCLES"
-      "SPEEDUP" "DSPEED" "OCC" "CPASS" "SPACE";
+    Format.printf "%-24s %14s %8s %8s %6s %6s %10s %10s@." "BENCH/MACHINE"
+      "CYCLES" "SPEEDUP" "DSPEED" "OCC" "CPASS" "SPACE" "MTASK/S";
     List.iter
       (fun (key, (m : Vc_exp.Baseline.metrics)) ->
-        Format.printf "%-24s %14.0f %8.2f %8.2f %6.2f %6d %10d@." key
+        Format.printf "%-24s %14.0f %8.2f %8.2f %6.2f %6d %10d %10.2f@." key
           m.Vc_exp.Baseline.cycles m.Vc_exp.Baseline.speedup
           m.Vc_exp.Baseline.domains_speedup
           m.Vc_exp.Baseline.lane_occupancy m.Vc_exp.Baseline.compaction_passes
-          m.Vc_exp.Baseline.space_peak)
+          m.Vc_exp.Baseline.space_peak
+          (m.Vc_exp.Baseline.wall_tasks_per_sec /. 1e6))
       current.Vc_exp.Baseline.benchmarks;
+    Option.iter (write_comparison ctx ~block) compiled_json;
     finish ctx;
     let faults_armed = Vc_core.Fault.armed (Vc_core.Fault.of_env ()) in
     match check_baseline with
@@ -661,7 +865,8 @@ let bench_cmd =
           history, and optionally gate against a recorded baseline \
           (exit 3 on regression).")
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ block $ history
-          $ check_baseline $ write_baseline $ tolerance)
+          $ check_baseline $ write_baseline $ tolerance $ engine_flag
+          $ compiled_json)
 
 let version_cmd =
   let run () =
@@ -762,12 +967,19 @@ let export_cmd =
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ dir)
 
 let verify_cmd =
-  let run quick jobs no_cache deadline wall_deadline max_live_frames =
+  let run quick jobs no_cache deadline wall_deadline max_live_frames engine =
     or_die @@ fun () ->
     let budgets = { Vc_core.Supervisor.deadline; wall_deadline; max_live_frames } in
     let ctx = ctx_of ~budgets quick jobs no_cache in
     Vc_exp.Sweep.prewarm ctx;
     let verdicts = Vc_exp.Claims.all ctx in
+    (* --engine blocked|compiled appends the wall-clock backend's
+       equivalence claims to the standard set. *)
+    let verdicts =
+      match engine with
+      | `Engine -> verdicts
+      | e -> verdicts @ Vc_exp.Claims.backend ctx ~engine:(engine_name e)
+    in
     Vc_exp.Claims.pp Format.std_formatter verdicts;
     finish ctx;
     exit (if Vc_exp.Claims.failures verdicts = 0 then 0 else 1)
@@ -776,7 +988,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Check the paper's qualitative claims against fresh measurements.")
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ deadline_flag
-          $ wall_deadline_flag $ max_live_frames_flag)
+          $ wall_deadline_flag $ max_live_frames_flag $ engine_flag)
 
 let chaos_cmd =
   let sites_conv =
@@ -814,19 +1026,78 @@ let chaos_cmd =
          & opt machine_conv Vc_mem.Machine.xeon_e5
          & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
   in
-  let run quick jobs seed sites rate block machine domains =
+  let run quick jobs seed sites rate block machine domains engine =
     or_die @@ fun () ->
     (* Chaos runs are recovered-but-degraded, so they never touch the
        persistent cache; every reference and faulted run is fresh. *)
     let ctx = Vc_exp.Sweep.create ~quick ~jobs ~cache_dir:None () in
     let strategy = Vc_core.Policy.Hybrid { max_block = block; reexpand = true } in
     Format.printf
-      "chaos: seed %d, rate %.2f, sites %s, block %d, %d domain%s, %s workloads@."
-      seed rate
+      "chaos: engine %s, seed %d, rate %.2f, sites %s, block %d, %d domain%s, \
+       %s workloads@."
+      (engine_name engine) seed rate
       (String.concat "," (List.map Vc_core.Fault.site_name sites))
       block domains
       (if domains = 1 then "" else "s")
       (if Vc_exp.Sweep.quick ctx then "quick" else "full");
+    if engine <> `Engine then begin
+      (* Backend campaign: a fault-armed wall-clock run (levels quarantined
+         at the alloc site, re-run on the scalar path) must reproduce the
+         fault-free backend's reducers and task counts exactly. *)
+      let backend = backend_of engine in
+      let dom_opt = if domains = 1 then None else Some domains in
+      let entries = Array.of_list Vc_bench.Registry.all in
+      let results = Array.make (Array.length entries) None in
+      let check_bench (entry : Vc_bench.Registry.entry) =
+        let name = entry.Vc_bench.Registry.name in
+        let source, roots = Vc_exp.Sweep.backend_source ctx entry in
+        reject_blocked_ir_domains engine domains source;
+        let opts =
+          { Vc_core.Backend.default_opts with
+            strategy; domains = dom_opt }
+        in
+        let reference = Vc_core.Backend.run ~opts backend source ~roots in
+        let plan = Vc_core.Fault.make ~rate ~seed ~sites () in
+        match
+          Vc_core.Supervisor.run_backend ~strategy ~faults:plan ?domains:dom_opt
+            backend source ~roots
+        with
+        | Error e -> (name, false, Vc_core.Vc_error.to_string e, 0, 0)
+        | Ok o ->
+            let r = o.Vc_core.Supervisor.result in
+            let ok =
+              r.Vc_core.Backend.reducers = reference.Vc_core.Backend.reducers
+              && r.Vc_core.Backend.tasks = reference.Vc_core.Backend.tasks
+              && r.Vc_core.Backend.base_tasks
+                 = reference.Vc_core.Backend.base_tasks
+            in
+            let detail =
+              Printf.sprintf "%d faults, %d fallbacks"
+                o.Vc_core.Supervisor.b_faults_seen
+                o.Vc_core.Supervisor.b_fallbacks
+            in
+            (name, ok, detail, o.Vc_core.Supervisor.b_faults_seen,
+             o.Vc_core.Supervisor.b_fallbacks)
+      in
+      Vc_exp.Pool.run ~jobs:(Vc_exp.Sweep.jobs ctx)
+        (Array.to_list
+           (Array.mapi (fun i e () -> results.(i) <- Some (check_bench e)) entries));
+      let failures = ref 0 in
+      let total_faults = ref 0 in
+      Array.iter
+        (function
+          | None -> ()
+          | Some (name, ok, detail, faults, _) ->
+              total_faults := !total_faults + faults;
+              if not ok then incr failures;
+              Format.printf "  %-10s %-4s %s@." name
+                (if ok then "ok" else "FAIL")
+                detail)
+        results;
+      Format.printf "chaos: %d checks, %d failed, %d faults injected@."
+        (Array.length entries) !failures !total_faults;
+      exit (if !failures = 0 then 0 else 1)
+    end;
     (* Engine campaign: for every benchmark, a supervised run under the
        fault plan must reproduce the fault-free reducers and task counts
        exactly — scalar fallback is a correctness-preserving degradation.
@@ -968,7 +1239,7 @@ let chaos_cmd =
           an armed fault plan and must recover to exact fault-free results \
           via scalar fallback.")
     Term.(const run $ quick_flag $ jobs_flag $ seed $ sites $ rate $ block
-          $ machine $ domains_flag)
+          $ machine $ domains_flag $ engine_flag)
 
 let all_cmd =
   let run quick jobs no_cache =

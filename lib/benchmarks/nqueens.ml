@@ -74,3 +74,34 @@ let spec { n } =
         inductive_insns = 2;
         spawn_insns = 2 + (3 * (n / 2)); scalar_insns = 3 };
   }
+
+(* DSL version: the classic bitmask formulation — [cols] has a bit per
+   occupied column, [d1]/[d2] carry the diagonal attack masks shifted one
+   row per level.  One conditional spawn site per column, in column
+   order, so the task tree (and the per-site block partition the blocked
+   scheduler sees) is identical to [spec]'s: both spawn exactly the
+   non-attacked columns of each placement, in the same order. *)
+let dsl_source { n } =
+  let full = (1 lsl n) - 1 in
+  let spawns =
+    List.init n (fun k ->
+        let bit = 1 lsl k in
+        Printf.sprintf
+          "    if (free & %d) != 0 then {\n\
+          \      spawn queens(cols | %d, ((d1 | %d) << 1), ((d2 | %d) >> 1));\n\
+          \    }\n"
+          bit bit bit bit)
+  in
+  Printf.sprintf
+    "reducer sum solutions;\n\n\
+     def queens(cols, d1, d2) =\n\
+    \  if cols == %d then {\n\
+    \    reduce(solutions, 1);\n\
+    \  } else {\n\
+    \    free := ((cols | d1 | d2) ^ %d) & %d;\n\
+     %s\
+    \  }\n"
+    full full full
+    (String.concat "" spawns)
+
+let dsl p = (Vc_lang.Parser.parse_string (dsl_source p), [ 0; 0; 0 ])

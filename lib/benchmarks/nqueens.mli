@@ -23,3 +23,11 @@ val known_solutions : int array
 (** [known_solutions.(n)] for n = 0..13 — classic values for tests. *)
 
 val spec : params -> Vc_core.Spec.t
+
+val dsl_source : params -> string
+(** The bitmask formulation generated for [n]: one conditional spawn site
+    per column, producing exactly [spec]'s task tree (same children, same
+    per-site order). *)
+
+val dsl : params -> Vc_lang.Ast.program * int list
+(** The parsed program and its root arguments [cols = d1 = d2 = 0]. *)

@@ -3,7 +3,7 @@ type entry = {
   description : string;
   spec : unit -> Vc_core.Spec.t;
   expected : unit -> (string * int) list;
-  dsl : (unit -> Vc_lang.Ast.program * int list) option;
+  dsl : (quick:bool -> Vc_lang.Ast.program * int array list) option;
   sweep_blocks : int list;
 }
 
@@ -24,7 +24,13 @@ let all =
       description = "doubly-recursive Fibonacci";
       spec = (fun () -> Fib.spec Fib.default);
       expected = (fun () -> [ ("result", Fib.reference Fib.default) ]);
-      dsl = Some (fun () -> Fib.dsl Fib.default);
+      dsl =
+        Some
+          (fun ~quick ->
+            let prog, args =
+              Fib.dsl (if quick then { Fib.n = 20 } else Fib.default)
+            in
+            (prog, [ Array.of_list args ]));
       sweep_blocks = pows 2 18;
     };
     {
@@ -33,7 +39,14 @@ let all =
       spec = (fun () -> Parentheses.spec Parentheses.default);
       expected =
         (fun () -> [ ("result", Parentheses.reference Parentheses.default) ]);
-      dsl = Some (fun () -> Parentheses.dsl Parentheses.default);
+      dsl =
+        Some
+          (fun ~quick ->
+            let prog, args =
+              Parentheses.dsl
+                (if quick then { Parentheses.pairs = 9 } else Parentheses.default)
+            in
+            (prog, [ Array.of_list args ]));
       sweep_blocks = pows 2 19;
     };
     {
@@ -41,7 +54,13 @@ let all =
       description = "n-queens solution count";
       spec = (fun () -> Nqueens.spec Nqueens.default);
       expected = (fun () -> [ ("solutions", Nqueens.reference Nqueens.default) ]);
-      dsl = None;
+      dsl =
+        Some
+          (fun ~quick ->
+            let prog, args =
+              Nqueens.dsl (if quick then { Nqueens.n = 9 } else Nqueens.default)
+            in
+            (prog, [ Array.of_list args ]));
       sweep_blocks = pows 2 14;
     };
     {
@@ -58,7 +77,12 @@ let all =
       description = "unbalanced tree search (binomial)";
       spec = (fun () -> Uts.spec Uts.default);
       expected = (fun () -> [ ("leaves", Uts.reference Uts.default) ]);
-      dsl = None;
+      dsl =
+        Some
+          (fun ~quick ->
+            Uts.dsl
+              (if quick then { Uts.b0 = 64; m = 4; q = 0.24; seed = 5 }
+               else Uts.default));
       sweep_blocks = pows 1 12;
     };
     {
@@ -66,7 +90,14 @@ let all =
       description = "binomial coefficient by Pascal recursion";
       spec = (fun () -> Binomial.spec Binomial.default);
       expected = (fun () -> [ ("result", Binomial.reference Binomial.default) ]);
-      dsl = Some (fun () -> Binomial.dsl Binomial.default);
+      dsl =
+        Some
+          (fun ~quick ->
+            let prog, args =
+              Binomial.dsl
+                (if quick then { Binomial.n = 16; k = 7 } else Binomial.default)
+            in
+            (prog, [ Array.of_list args ]));
       sweep_blocks = pows 2 18;
     };
     {

@@ -8,9 +8,12 @@ type entry = {
   spec : unit -> Vc_core.Spec.t;  (** scaled default parameters *)
   expected : unit -> (string * int) list;
       (** reducer name → expected value, from the native reference *)
-  dsl : (unit -> Vc_lang.Ast.program * int list) option;
+  dsl : (quick:bool -> Vc_lang.Ast.program * int array list) option;
       (** programs whose whole source fits Fig. 2 (fib, binomial,
-          parentheses) *)
+          parentheses, nqueens, uts), as the parsed program plus its root
+          frames (uts seeds many).  [quick:true] uses the reduced
+          parameters of [Sweep.quick_spec] so DSL and native quick runs
+          describe the same tree. *)
   sweep_blocks : int list;
       (** block sizes (powers of two) swept in the figures *)
 }

@@ -1,14 +1,8 @@
-let mask32 = 0xFFFFFFFF
-
-(* murmur3-style 32-bit finalizer over (state, site). *)
-let mix32 state site =
-  let h = ref ((state lxor (site * 0x9E3779B9)) land mask32) in
-  h := (!h lxor (!h lsr 16)) land mask32;
-  h := !h * 0x85EBCA6B land mask32;
-  h := (!h lxor (!h lsr 13)) land mask32;
-  h := !h * 0xC2B2AE35 land mask32;
-  h := (!h lxor (!h lsr 16)) land mask32;
-  !h land 0x7FFFFFFF
+(* murmur3-style 32-bit finalizer over (state, site).  The implementation
+   lives in Vc_lang.Builtins (as the "mix32" builtin) so DSL programs —
+   notably the uts benchmark's blocked/compiled forms — hash exactly like
+   the native spec. *)
+let mix32 = Vc_lang.Builtins.mix32
 
 let to_unit h = float_of_int (h land 0x7FFFFFFF) /. 2147483648.0
 

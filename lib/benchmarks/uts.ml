@@ -57,3 +57,29 @@ let spec { b0; m; q; seed } =
         true);
     insns = { check_insns = 6; base_insns = 2; inductive_insns = 2; spawn_insns = 8; scalar_insns = 8 };
   }
+
+(* DSL version: the same tree via the [mix32] builtin (the shared
+   splitmix finalizer {!Vc_lang.Builtins.mix32}, which [Rng.mix32]
+   aliases), so the program hashes identically to the native spec.  The
+   threshold and branching factor are baked into the generated source;
+   the [b0] host-computed roots arrive as root frames. *)
+let dsl_source { m; q; _ } =
+  let t = threshold_of q in
+  let spawns =
+    List.init m (fun i ->
+        Printf.sprintf "    spawn uts(mix32(state, %d));\n" (i + 1))
+  in
+  Printf.sprintf
+    "reducer sum leaves;\n\n\
+     def uts(state) =\n\
+    \  if mix32(state, 0) >= %d then {\n\
+    \    reduce(leaves, 1);\n\
+    \  } else {\n\
+     %s\
+    \  }\n"
+    t
+    (String.concat "" spawns)
+
+let dsl ({ b0; seed; _ } as p) =
+  ( Vc_lang.Parser.parse_string (dsl_source p),
+    List.init b0 (fun i -> [| child_state (seed land 0x7FFFFFFF) i |]) )

@@ -30,3 +30,13 @@ val reference_nodes : params -> int
 (** Total node count of the same tree. *)
 
 val spec : params -> Vc_core.Spec.t
+
+val dsl_source : params -> string
+(** DSL form using the [mix32] builtin (the same finalizer the native
+    spec hashes with), with the threshold for [q] and the [m] spawn sites
+    baked into the generated source. *)
+
+val dsl : params -> Vc_lang.Ast.program * int array list
+(** The parsed program plus the [b0] host-computed root frames (the root
+    itself is the driver's job, as in [spec]) — run it with multi-root
+    execution; the expected task count is [reference_nodes - 1]. *)

@@ -14,7 +14,7 @@ type result = {
 exception Continue_thread
 
 let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
-    ?(max_tasks = 20_000_000) ?telemetry ?wall_deadline ?max_live_frames
+    ?(max_tasks = 20_000_000) ?telemetry ?wall_deadline ?max_live_frames ?roots
     (t : Blocked_ast.t) args =
   let tel = match telemetry with Some tel -> tel | None -> Telemetry.create () in
   let wall_start = Unix.gettimeofday () in
@@ -46,9 +46,26 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
   let program = t.Blocked_ast.source in
   let layout = Codegen.layout_of program in
   let nparams = Array.length (Codegen.params layout) in
-  if List.length args <> nparams then
-    invalid_arg
-      (Printf.sprintf "Blocked_interp.run: %d arguments expected" nparams);
+  let root_frames =
+    match roots with
+    | Some fs ->
+        if fs = [] then invalid_arg "Blocked_interp.run: empty roots";
+        List.map
+          (fun f ->
+            if Array.length f <> nparams then
+              invalid_arg
+                (Printf.sprintf "Blocked_interp.run: root frame has %d fields, %d expected"
+                   (Array.length f) nparams);
+            (* copy: the interpreter assumes exclusive ownership of every
+               enqueued frame (it aliases them into the codegen rt) *)
+            Array.copy f)
+          fs
+    | None ->
+        if List.length args <> nparams then
+          invalid_arg
+            (Printf.sprintf "Blocked_interp.run: %d arguments expected" nparams);
+        [ Array.of_list args ]
+  in
   let reducer_set =
     Reducer.make_set
       (List.map (fun r -> (r.Ast.red_name, r.Ast.red_op)) program.Ast.reducers)
@@ -59,9 +76,13 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
     | Policy.Bfs_only -> (max_int, false)
     | Policy.Hybrid { max_block; reexpand } -> (max_block, reexpand)
   in
-  (* Enqueue sinks write through these cells, set per level. *)
+  (* Enqueue sinks write through these cells, set per level.  Sizes are
+     tracked alongside the lists so the scheduler never walks a level
+     just to count it (List.length is O(n) per decision otherwise). *)
   let next : int array list ref = ref [] in
+  let next_n = ref 0 in
   let nexts : int array list array = Array.make (max e 1) [] in
+  let nexts_n = Array.make (max e 1) 0 in
   let reduce name v = Reducer.reduce reducer_set name v in
   let compile_b (flavor : Blocked_ast.flavor) (bs : Blocked_ast.bstmt) :
       Codegen.rt -> unit =
@@ -96,10 +117,14 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
           fun rt -> reduce name (f rt)
       | Blocked_ast.NextAdd exprs ->
           let fs = Array.of_list (List.map (Codegen.compile_expr layout) exprs) in
-          fun rt -> next := Array.map (fun f -> f rt) fs :: !next
+          fun rt ->
+            next := Array.map (fun f -> f rt) fs :: !next;
+            incr next_n
       | Blocked_ast.NextsAdd (site, exprs) ->
           let fs = Array.of_list (List.map (Codegen.compile_expr layout) exprs) in
-          fun rt -> nexts.(site) <- Array.map (fun f -> f rt) fs :: nexts.(site)
+          fun rt ->
+            nexts.(site) <- Array.map (fun f -> f rt) fs :: nexts.(site);
+            nexts_n.(site) <- nexts_n.(site) + 1
     in
     ignore flavor;
     let f = go bs in
@@ -119,7 +144,12 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
   let run_thread ~fbase ~find frame =
     incr tasks;
     if !tasks > max_tasks then raise (Task_limit_exceeded max_tasks);
-    Array.blit frame 0 rt.Codegen.frame 0 nparams;
+    (* Frames are enqueued once and consumed once, so the rt can alias the
+       frame array directly instead of blitting it into a scratch copy —
+       this removes the dominant per-thread churn (one blit per task).
+       Param assignments write through the alias, which is fine: nothing
+       reads a frame after its thread ran. *)
+    Codegen.set_frame rt frame;
     Codegen.reset_locals rt;
     if is_base rt <> 0 then begin
       incr base_tasks;
@@ -144,66 +174,66 @@ let run ?(strategy = Policy.Hybrid { max_block = 256; reexpand = true })
     end
     else f ()
   in
-  (* f_bfs of Fig. 7. *)
-  let rec bfs tb depth =
+  (* f_bfs of Fig. 7.  [tb_n] is [List.length tb], threaded through so the
+     scheduler's switch/reexpand decisions are O(1). *)
+  let rec bfs tb tb_n depth =
     budget_check ();
     if depth > !max_depth then max_depth := depth;
-    let level =
+    let level, level_n =
       with_span "expand" @@ fun () ->
       next := [];
+      next_n := 0;
       let base0 = !base_tasks in
       List.iter (run_thread ~fbase:bfs_base ~find:bfs_ind) tb;
-      emit_level ~phase:Trace.Bfs ~depth ~size:(List.length tb) ~base0;
-      List.rev !next
+      emit_level ~phase:Trace.Bfs ~depth ~size:tb_n ~base0;
+      (List.rev !next, !next_n)
     in
-    live := !live + List.length level - List.length tb;
+    live := !live + level_n - tb_n;
     if level <> [] then
-      if List.length level < max_block then bfs level (depth + 1)
+      if level_n < max_block then bfs level level_n (depth + 1)
       else begin
         incr switches;
-        Telemetry.emit tel
-          (Telemetry.Switch { depth = depth + 1; size = List.length level });
-        blocked level (depth + 1)
+        Telemetry.emit tel (Telemetry.Switch { depth = depth + 1; size = level_n });
+        blocked level level_n (depth + 1)
       end
   (* f_blocked of Fig. 7. *)
-  and blocked tb depth =
+  and blocked tb tb_n depth =
     budget_check ();
     if depth > !max_depth then max_depth := depth;
-    let site_blocks =
+    let site_blocks, site_ns =
       with_span "blocked" @@ fun () ->
       Array.fill nexts 0 (Array.length nexts) [];
+      Array.fill nexts_n 0 (Array.length nexts_n) 0;
       let base0 = !base_tasks in
       List.iter (run_thread ~fbase:blk_base ~find:blk_ind) tb;
-      emit_level ~phase:Trace.Blocked ~depth ~size:(List.length tb) ~base0;
-      Array.map List.rev nexts
+      emit_level ~phase:Trace.Blocked ~depth ~size:tb_n ~base0;
+      (Array.map List.rev nexts, Array.copy nexts_n)
     in
-    live :=
-      !live
-      + Array.fold_left (fun acc blk -> acc + List.length blk) 0 site_blocks
-      - List.length tb;
+    live := !live + Array.fold_left ( + ) 0 site_ns - tb_n;
     (* [nexts] is reused by deeper recursion; copy out first. *)
-    Array.iter
-      (fun blk ->
+    Array.iteri
+      (fun i blk ->
+        let blk_n = site_ns.(i) in
         if blk <> [] then
-          if List.length blk >= max_block || not reexpand then blocked blk (depth + 1)
+          if blk_n >= max_block || not reexpand then blocked blk blk_n (depth + 1)
           else begin
             incr reexpansions;
-            let size = List.length blk in
             Telemetry.emit tel
               (Telemetry.Reexpand
                  {
                    depth = depth + 1;
-                   size;
-                   shrink = float_of_int size /. float_of_int (max 1 max_block);
+                   size = blk_n;
+                   shrink = float_of_int blk_n /. float_of_int (max 1 max_block);
                  });
-            bfs blk (depth + 1)
+            bfs blk blk_n (depth + 1)
           end)
       site_blocks
   in
-  live := 1;
+  let nroots = List.length root_frames in
+  live := nroots;
   let root_frame = program.Ast.mth.Ast.name in
   Telemetry.emit tel (Telemetry.Span_open { frame = root_frame });
-  bfs [ Array.of_list args ] 0;
+  bfs root_frames nroots 0;
   Telemetry.emit tel (Telemetry.Span_close { frame = root_frame });
   {
     reducers = Reducer.values reducer_set;

@@ -28,6 +28,7 @@ val run :
   ?telemetry:Telemetry.t ->
   ?wall_deadline:float ->
   ?max_live_frames:int ->
+  ?roots:int array list ->
   Blocked_ast.t ->
   int list ->
   result
@@ -35,6 +36,11 @@ val run :
     Default [max_tasks]: 20M.  [telemetry] receives [Level], [Switch] and
     [Reexpand] events (timestamps are sequence numbers — this interpreter
     has no cost model).
+
+    [roots] overrides the initial thread block with multiple root frames
+    (copied; each must have one slot per program parameter) — benchmarks
+    like uts seed the computation with many host-computed roots.  When
+    given, [args] is ignored.
 
     [wall_deadline] (seconds) and [max_live_frames] are cooperative
     budgets checked at every level boundary; exceeding one raises a

@@ -14,7 +14,7 @@ let layout_of (program : Ast.program) =
 let params l = l.params
 let locals l = l.locals
 
-type rt = { frame : int array; locals : int array }
+type rt = { mutable frame : int array; locals : int array }
 
 let make_rt l =
   { frame = Array.make (Array.length l.params) 0; locals = Array.make (max 1 (Array.length l.locals)) 0 }
@@ -98,10 +98,12 @@ and compile_binop l op a b =
   | Ast.Band -> fun rt -> fa rt land fb rt
   | Ast.Bor -> fun rt -> fa rt lor fb rt
   | Ast.Bxor -> fun rt -> fa rt lxor fb rt
-  | Ast.Shl -> fun rt -> fa rt lsl (fb rt land 62)
-  | Ast.Shr -> fun rt -> fa rt asr (fb rt land 62)
+  | Ast.Shl -> fun rt -> Vc_lang.Builtins.shl (fa rt) (fb rt)
+  | Ast.Shr -> fun rt -> Vc_lang.Builtins.shr (fa rt) (fb rt)
 
 exception Returned
+
+let set_frame rt frame = rt.frame <- frame
 
 let compile_stmt l ~reduce ~spawn stmt =
   let rec compile (stmt : Ast.stmt) : rt -> unit =
@@ -140,3 +142,651 @@ let compile_stmt l ~reduce ~spawn stmt =
   in
   let f = compile stmt in
   fun rt -> try f rt with Returned -> ()
+
+(* ------------------------------------------------------------------ *)
+(* SoA compiled backend (ROADMAP item 1).
+
+   [Soa.instantiate] specializes a blocked program once into step kernels
+   that execute a whole level over unboxed structure-of-arrays frames:
+   expressions compile to [unit -> int] closures reading columns through a
+   single mutable cursor, spawn sites write evaluated arguments column-wise
+   into destination buffers, and the only per-row work is a locals reset
+   plus the compiled body — no per-thread [rt] allocation, no frame
+   blitting, no list churn.  The instance also carries a classic scalar
+   executor over the same reducer set for fault-quarantine fallback.
+
+   An instance owns mutable scratch (cursor, sink cells, scalar rt), so it
+   is single-domain: parallel schedulers instantiate once per domain. *)
+
+module Soa = struct
+  type buf = {
+    nfields : int;
+    mutable cols : int array array;
+    mutable n : int;
+    mutable cap : int;
+  }
+
+  let make_buf ~nfields cap =
+    let cap = max cap 1 in
+    {
+      nfields;
+      cols = Array.init (max 1 nfields) (fun _ -> Array.make cap 0);
+      n = 0;
+      cap;
+    }
+
+  let size b = b.n
+  let clear b = b.n <- 0
+
+  let reserve b extra =
+    let need = b.n + extra in
+    if need > b.cap then begin
+      let cap = max need (2 * b.cap) in
+      b.cols <-
+        Array.map
+          (fun col ->
+            let c = Array.make cap 0 in
+            Array.blit col 0 c 0 b.n;
+            c)
+          b.cols;
+      b.cap <- cap
+    end
+
+  let push b frame =
+    reserve b 1;
+    let n = b.n in
+    for f = 0 to b.nfields - 1 do
+      b.cols.(f).(n) <- frame.(f)
+    done;
+    b.n <- n + 1
+
+  let frame b row = Array.init b.nfields (fun f -> b.cols.(f).(row))
+  let frames b = List.init b.n (frame b)
+
+  let of_frames ~nfields fs =
+    let b = make_buf ~nfields (max 1 (List.length fs)) in
+    List.iter (push b) fs;
+    b
+
+  type cursor = {
+    mutable cur : int array array;
+    mutable row : int;
+    locals : int array;
+  }
+
+  (* Shape of a compiled subexpression: known constant, direct column or
+     local read, or residual closure.  Operators specialize on these so a
+     hot expression like [n - 1] or [free & 8] is one closure, not a tree
+     of them. *)
+  type varg =
+    | VConst of int
+    | VCol of int
+    | VLoc of int
+    | VFun of (unit -> int)
+
+  type inst = {
+    nparams : int;
+    num_spawns : int;
+    new_buf : int -> buf;
+    step : src:buf -> blocked:bool -> next:buf -> sites:buf array -> int;
+    scalar :
+      on_task:(depth:int -> base:bool -> unit) -> depth:int -> int array -> unit;
+  }
+
+  exception Continue_row
+
+  let rec has_continue (bs : Blocked_ast.bstmt) =
+    match bs with
+    | Blocked_ast.Continue -> true
+    | Blocked_ast.BSeq (a, b) | Blocked_ast.BIf (_, a, b) ->
+        has_continue a || has_continue b
+    | Blocked_ast.BWhile (_, body) -> has_continue body
+    | Blocked_ast.BSkip | Blocked_ast.BAssign _ | Blocked_ast.BReduce _
+    | Blocked_ast.NextAdd _ | Blocked_ast.NextsAdd _ ->
+        false
+
+  let instantiate (t : Blocked_ast.t) ~(reducers : Reducer.set) : inst =
+    let program = t.Blocked_ast.source in
+    let layout = layout_of program in
+    let nparams = Array.length layout.params in
+    let nlocals = Array.length layout.locals in
+    let cur = { cur = [||]; row = 0; locals = Array.make (max 1 nlocals) 0 } in
+    (* Sink cells: kernels are compiled once per instance, [step] points
+       them at the per-call destination buffers before the row loop. *)
+    let dummy = make_buf ~nfields:nparams 1 in
+    let sink_next = ref dummy in
+    let sink_sites = ref ([||] : buf array) in
+    (* Value-shaped compilation: every subexpression classifies as a
+       constant, a direct column/local load, or a residual closure, and
+       each operator specializes on its operands' shapes.  Without this
+       (no flambda here), every AST leaf costs an indirect call per row —
+       exactly the dispatch this backend exists to remove.  Comparisons
+       and commutative operators normalize the constant to the right so
+       one specialization row per operator covers both argument orders. *)
+    let rec cv (e : Ast.expr) : varg =
+      match e with
+      | Ast.Int n -> VConst n
+      | Ast.Bool b -> VConst (of_bool b)
+      | Ast.Var name -> (
+          match slot_exn layout name with
+          | Param i -> VCol i
+          | Local i -> VLoc i)
+      | Ast.Unop (Ast.Neg, e) -> (
+          match cv e with
+          | VConst n -> VConst (-n)
+          | VCol i ->
+              VFun
+                (fun () ->
+                  -Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row)
+          | v ->
+              let f = force v in
+              VFun (fun () -> -f ()))
+      | Ast.Unop (Ast.Not, e) -> (
+          match cv e with
+          | VConst n -> VConst (of_bool (n = 0))
+          | v ->
+              let f = force v in
+              VFun (fun () -> of_bool (f () = 0)))
+      | Ast.Binop (op, a, b) -> cbin op (cv a) (cv b)
+      | Ast.Call (name, args) -> (
+          match Builtins.find name with
+          | None ->
+              raise (Runtime_error (Printf.sprintf "unknown builtin %s" name))
+          | Some fn ->
+              let compiled = Array.of_list (List.map (fun a -> force (cv a)) args) in
+              if Array.length compiled <> fn.Builtins.arity then
+                raise
+                  (Runtime_error (Printf.sprintf "bad arity for builtin %s" name));
+              let buf = Array.make (Array.length compiled) 0 in
+              VFun
+                (fun () ->
+                  Array.iteri (fun i f -> buf.(i) <- f ()) compiled;
+                  fn.Builtins.apply buf))
+    and force (v : varg) : unit -> int =
+      match v with
+      | VConst n -> fun () -> n
+      | VCol i ->
+          fun () -> Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row
+      | VLoc i -> fun () -> Array.unsafe_get cur.locals i
+      | VFun f -> f
+    and cbin op a b =
+      match ((op : Ast.binop), a, b) with
+      (* ---- constant normalization (commutative / mirrored ops) ---- *)
+      | (Ast.Add | Ast.Mul | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Eq | Ast.Ne),
+        VConst _, (VCol _ | VLoc _ | VFun _) ->
+          cbin op b a
+      | Ast.Lt, VConst _, (VCol _ | VLoc _ | VFun _) -> cbin Ast.Gt b a
+      | Ast.Le, VConst _, (VCol _ | VLoc _ | VFun _) -> cbin Ast.Ge b a
+      | Ast.Gt, VConst _, (VCol _ | VLoc _ | VFun _) -> cbin Ast.Lt b a
+      | Ast.Ge, VConst _, (VCol _ | VLoc _ | VFun _) -> cbin Ast.Le b a
+      (* ---- add / sub ---- *)
+      | Ast.Add, VConst x, VConst y -> VConst (x + y)
+      | Ast.Add, VCol i, VConst k ->
+          VFun
+            (fun () -> Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row + k)
+      | Ast.Add, VLoc i, VConst k ->
+          VFun (fun () -> Array.unsafe_get cur.locals i + k)
+      | Ast.Add, VCol i, VCol j ->
+          VFun
+            (fun () ->
+              Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row
+              + Array.unsafe_get (Array.unsafe_get cur.cur j) cur.row)
+      | Ast.Add, VFun f, VConst k -> VFun (fun () -> f () + k)
+      | Ast.Add, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> fa () + fb ())
+      | Ast.Sub, VConst x, VConst y -> VConst (x - y)
+      | Ast.Sub, VCol i, VConst k ->
+          VFun
+            (fun () -> Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row - k)
+      | Ast.Sub, VLoc i, VConst k ->
+          VFun (fun () -> Array.unsafe_get cur.locals i - k)
+      | Ast.Sub, VCol i, VCol j ->
+          VFun
+            (fun () ->
+              Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row
+              - Array.unsafe_get (Array.unsafe_get cur.cur j) cur.row)
+      | Ast.Sub, VFun f, VConst k -> VFun (fun () -> f () - k)
+      | Ast.Sub, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> fa () - fb ())
+      (* ---- mul ---- *)
+      | Ast.Mul, VConst x, VConst y -> VConst (x * y)
+      | Ast.Mul, VCol i, VConst k ->
+          VFun
+            (fun () -> Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row * k)
+      | Ast.Mul, VCol i, VCol j ->
+          VFun
+            (fun () ->
+              Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row
+              * Array.unsafe_get (Array.unsafe_get cur.cur j) cur.row)
+      | Ast.Mul, VFun f, VConst k -> VFun (fun () -> f () * k)
+      | Ast.Mul, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> fa () * fb ())
+      (* ---- div / mod (checked; a constant divisor checks at compile) ---- *)
+      | Ast.Div, VConst x, VConst y when y <> 0 -> VConst (x / y)
+      | Ast.Div, a, VConst k when k <> 0 ->
+          let fa = force a in
+          VFun (fun () -> fa () / k)
+      | Ast.Div, a, b ->
+          let fa = force a and fb = force b in
+          VFun
+            (fun () ->
+              let d = fb () in
+              if d = 0 then raise (Runtime_error "division by zero");
+              fa () / d)
+      | Ast.Mod, VConst x, VConst y when y <> 0 -> VConst (x mod y)
+      | Ast.Mod, a, VConst k when k <> 0 ->
+          let fa = force a in
+          VFun (fun () -> fa () mod k)
+      | Ast.Mod, a, b ->
+          let fa = force a and fb = force b in
+          VFun
+            (fun () ->
+              let d = fb () in
+              if d = 0 then raise (Runtime_error "modulo by zero");
+              fa () mod d)
+      (* ---- comparisons (constants normalized right above) ---- *)
+      | Ast.Lt, VConst x, VConst y -> VConst (of_bool (x < y))
+      | Ast.Lt, VCol i, VConst k ->
+          VFun
+            (fun () ->
+              of_bool (Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row < k))
+      | Ast.Lt, VLoc i, VConst k ->
+          VFun (fun () -> of_bool (Array.unsafe_get cur.locals i < k))
+      | Ast.Lt, VCol i, VCol j ->
+          VFun
+            (fun () ->
+              of_bool
+                (Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row
+                < Array.unsafe_get (Array.unsafe_get cur.cur j) cur.row))
+      | Ast.Lt, VFun f, VConst k -> VFun (fun () -> of_bool (f () < k))
+      | Ast.Lt, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> of_bool (fa () < fb ()))
+      | Ast.Le, VConst x, VConst y -> VConst (of_bool (x <= y))
+      | Ast.Le, VCol i, VConst k ->
+          VFun
+            (fun () ->
+              of_bool
+                (Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row <= k))
+      | Ast.Le, VLoc i, VConst k ->
+          VFun (fun () -> of_bool (Array.unsafe_get cur.locals i <= k))
+      | Ast.Le, VFun f, VConst k -> VFun (fun () -> of_bool (f () <= k))
+      | Ast.Le, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> of_bool (fa () <= fb ()))
+      | Ast.Gt, VConst x, VConst y -> VConst (of_bool (x > y))
+      | Ast.Gt, VCol i, VConst k ->
+          VFun
+            (fun () ->
+              of_bool (Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row > k))
+      | Ast.Gt, VLoc i, VConst k ->
+          VFun (fun () -> of_bool (Array.unsafe_get cur.locals i > k))
+      | Ast.Gt, VFun f, VConst k -> VFun (fun () -> of_bool (f () > k))
+      | Ast.Gt, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> of_bool (fa () > fb ()))
+      | Ast.Ge, VConst x, VConst y -> VConst (of_bool (x >= y))
+      | Ast.Ge, VCol i, VConst k ->
+          VFun
+            (fun () ->
+              of_bool
+                (Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row >= k))
+      | Ast.Ge, VLoc i, VConst k ->
+          VFun (fun () -> of_bool (Array.unsafe_get cur.locals i >= k))
+      | Ast.Ge, VFun f, VConst k -> VFun (fun () -> of_bool (f () >= k))
+      | Ast.Ge, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> of_bool (fa () >= fb ()))
+      | Ast.Eq, VConst x, VConst y -> VConst (of_bool (x = y))
+      | Ast.Eq, VCol i, VConst k ->
+          VFun
+            (fun () ->
+              of_bool (Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row = k))
+      | Ast.Eq, VLoc i, VConst k ->
+          VFun (fun () -> of_bool (Array.unsafe_get cur.locals i = k))
+      | Ast.Eq, VCol i, VCol j ->
+          VFun
+            (fun () ->
+              of_bool
+                (Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row
+                = Array.unsafe_get (Array.unsafe_get cur.cur j) cur.row))
+      | Ast.Eq, VFun f, VConst k -> VFun (fun () -> of_bool (f () = k))
+      | Ast.Eq, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> of_bool (fa () = fb ()))
+      | Ast.Ne, VConst x, VConst y -> VConst (of_bool (x <> y))
+      | Ast.Ne, VCol i, VConst k ->
+          VFun
+            (fun () ->
+              of_bool
+                (Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row <> k))
+      | Ast.Ne, VLoc i, VConst k ->
+          VFun (fun () -> of_bool (Array.unsafe_get cur.locals i <> k))
+      | Ast.Ne, VFun f, VConst k -> VFun (fun () -> of_bool (f () <> k))
+      | Ast.Ne, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> of_bool (fa () <> fb ()))
+      (* ---- short-circuit and/or (same semantics as the interpreter) ---- *)
+      | Ast.And, VConst 0, _ -> VConst 0
+      | Ast.And, VConst _, b -> b
+      | Ast.And, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> if fa () <> 0 then fb () else 0)
+      | Ast.Or, VConst 0, b -> b
+      | Ast.Or, VConst _, _ -> VConst 1
+      | Ast.Or, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> if fa () <> 0 then 1 else fb ())
+      (* ---- bitwise ---- *)
+      | Ast.Band, VConst x, VConst y -> VConst (x land y)
+      | Ast.Band, VCol i, VConst k ->
+          VFun
+            (fun () ->
+              Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row land k)
+      | Ast.Band, VLoc i, VConst k ->
+          VFun (fun () -> Array.unsafe_get cur.locals i land k)
+      | Ast.Band, VCol i, VCol j ->
+          VFun
+            (fun () ->
+              Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row
+              land Array.unsafe_get (Array.unsafe_get cur.cur j) cur.row)
+      | Ast.Band, VFun f, VConst k -> VFun (fun () -> f () land k)
+      | Ast.Band, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> fa () land fb ())
+      | Ast.Bor, VConst x, VConst y -> VConst (x lor y)
+      | Ast.Bor, VCol i, VConst k ->
+          VFun
+            (fun () ->
+              Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row lor k)
+      | Ast.Bor, VLoc i, VConst k ->
+          VFun (fun () -> Array.unsafe_get cur.locals i lor k)
+      | Ast.Bor, VCol i, VCol j ->
+          VFun
+            (fun () ->
+              Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row
+              lor Array.unsafe_get (Array.unsafe_get cur.cur j) cur.row)
+      | Ast.Bor, VFun f, VConst k -> VFun (fun () -> f () lor k)
+      | Ast.Bor, VFun f, VCol j ->
+          VFun
+            (fun () ->
+              f () lor Array.unsafe_get (Array.unsafe_get cur.cur j) cur.row)
+      | Ast.Bor, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> fa () lor fb ())
+      | Ast.Bxor, VConst x, VConst y -> VConst (x lxor y)
+      | Ast.Bxor, VCol i, VConst k ->
+          VFun
+            (fun () ->
+              Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row lxor k)
+      | Ast.Bxor, VFun f, VConst k -> VFun (fun () -> f () lxor k)
+      | Ast.Bxor, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> fa () lxor fb ())
+      (* ---- shifts: a constant count compiles to a bare lsl/asr ---- *)
+      | Ast.Shl, VConst x, VConst y -> VConst (Vc_lang.Builtins.shl x y)
+      | Ast.Shl, a, VConst k ->
+          let s = k land 63 in
+          if s > 62 then VConst 0
+          else
+            let fa = force a in
+            VFun (fun () -> fa () lsl s)
+      | Ast.Shl, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> Vc_lang.Builtins.shl (fa ()) (fb ()))
+      | Ast.Shr, VConst x, VConst y -> VConst (Vc_lang.Builtins.shr x y)
+      | Ast.Shr, a, VConst k ->
+          let s = k land 63 in
+          let s = if s > 62 then 62 else s in
+          let fa = force a in
+          VFun (fun () -> fa () asr s)
+      | Ast.Shr, a, b ->
+          let fa = force a and fb = force b in
+          VFun (fun () -> Vc_lang.Builtins.shr (fa ()) (fb ()))
+    in
+    let ce e = force (cv e) in
+    (* Spawn pushes specialize on arity: the capacity check inlines, and
+       1–3-field frames (every benchmark here) skip the field loop. *)
+    let make_push exprs =
+      let fs = Array.of_list (List.map ce exprs) in
+      match fs with
+      | [| f0 |] ->
+          fun (b : buf) ->
+            if b.n = b.cap then reserve b 1;
+            let n = b.n in
+            Array.unsafe_set (Array.unsafe_get b.cols 0) n (f0 ());
+            b.n <- n + 1
+      | [| f0; f1 |] ->
+          fun (b : buf) ->
+            if b.n = b.cap then reserve b 1;
+            let n = b.n in
+            Array.unsafe_set (Array.unsafe_get b.cols 0) n (f0 ());
+            Array.unsafe_set (Array.unsafe_get b.cols 1) n (f1 ());
+            b.n <- n + 1
+      | [| f0; f1; f2 |] ->
+          fun (b : buf) ->
+            if b.n = b.cap then reserve b 1;
+            let n = b.n in
+            Array.unsafe_set (Array.unsafe_get b.cols 0) n (f0 ());
+            Array.unsafe_set (Array.unsafe_get b.cols 1) n (f1 ());
+            Array.unsafe_set (Array.unsafe_get b.cols 2) n (f2 ());
+            b.n <- n + 1
+      | fs ->
+          let nf = Array.length fs in
+          fun (b : buf) ->
+            if b.n = b.cap then reserve b 1;
+            let n = b.n in
+            let cols = b.cols in
+            for f = 0 to nf - 1 do
+              Array.unsafe_set (Array.unsafe_get cols f) n
+                ((Array.unsafe_get fs f) ())
+            done;
+            b.n <- n + 1
+    in
+    let rec cb (bs : Blocked_ast.bstmt) : unit -> unit =
+      match bs with
+      | Blocked_ast.BSkip -> fun () -> ()
+      | Blocked_ast.Continue -> fun () -> raise Continue_row
+      | Blocked_ast.BSeq (a, b) ->
+          let fa = cb a and fb = cb b in
+          fun () ->
+            fa ();
+            fb ()
+      | Blocked_ast.BAssign (name, e) -> (
+          match (slot_exn layout name, cv e) with
+          | Local i, VConst k -> fun () -> Array.unsafe_set cur.locals i k
+          | Local i, v ->
+              let f = force v in
+              fun () -> Array.unsafe_set cur.locals i (f ())
+          | Param i, v ->
+              (* a param assignment writes the thread's own row in place;
+                 each row is visited exactly once per level, so this is the
+                 SoA image of mutating a private frame *)
+              let f = force v in
+              fun () ->
+                Array.unsafe_set (Array.unsafe_get cur.cur i) cur.row (f ()))
+      | Blocked_ast.BIf (c, a, b) -> (
+          match cv c with
+          | VConst 0 -> cb b
+          | VConst _ -> cb a
+          | v ->
+              let fc = force v in
+              let fa = cb a and fb = cb b in
+              fun () -> if fc () <> 0 then fa () else fb ())
+      | Blocked_ast.BWhile (c, body) ->
+          let fc = ce c in
+          let fbody = cb body in
+          fun () ->
+            while fc () <> 0 do
+              fbody ()
+            done
+      | Blocked_ast.BReduce (name, e) -> (
+          (* the cell is resolved here, once, instead of per call, and the
+             argument stays shaped so a column/local feeds the reducer
+             without an intermediate closure *)
+          let cell = Reducer.find reducers name in
+          match cv e with
+          | VConst k -> fun () -> Reducer.update cell k
+          | VCol i ->
+              fun () ->
+                Reducer.update cell
+                  (Array.unsafe_get (Array.unsafe_get cur.cur i) cur.row)
+          | VLoc i ->
+              fun () -> Reducer.update cell (Array.unsafe_get cur.locals i)
+          | VFun f -> fun () -> Reducer.update cell (f ()))
+      | Blocked_ast.NextAdd exprs -> (
+          (* the push body is inlined into the statement closure: a spawn
+             is one indirect call per field, not an extra hop through a
+             shared push closure *)
+          match Array.of_list (List.map ce exprs) with
+          | [| f0 |] ->
+              fun () ->
+                let b = !sink_next in
+                if b.n = b.cap then reserve b 1;
+                let n = b.n in
+                Array.unsafe_set (Array.unsafe_get b.cols 0) n (f0 ());
+                b.n <- n + 1
+          | [| f0; f1 |] ->
+              fun () ->
+                let b = !sink_next in
+                if b.n = b.cap then reserve b 1;
+                let n = b.n in
+                Array.unsafe_set (Array.unsafe_get b.cols 0) n (f0 ());
+                Array.unsafe_set (Array.unsafe_get b.cols 1) n (f1 ());
+                b.n <- n + 1
+          | [| f0; f1; f2 |] ->
+              fun () ->
+                let b = !sink_next in
+                if b.n = b.cap then reserve b 1;
+                let n = b.n in
+                Array.unsafe_set (Array.unsafe_get b.cols 0) n (f0 ());
+                Array.unsafe_set (Array.unsafe_get b.cols 1) n (f1 ());
+                Array.unsafe_set (Array.unsafe_get b.cols 2) n (f2 ());
+                b.n <- n + 1
+          | _ ->
+              let push = make_push exprs in
+              fun () -> push !sink_next)
+      | Blocked_ast.NextsAdd (site, exprs) -> (
+          match Array.of_list (List.map ce exprs) with
+          | [| f0 |] ->
+              fun () ->
+                let b = Array.unsafe_get !sink_sites site in
+                if b.n = b.cap then reserve b 1;
+                let n = b.n in
+                Array.unsafe_set (Array.unsafe_get b.cols 0) n (f0 ());
+                b.n <- n + 1
+          | [| f0; f1 |] ->
+              fun () ->
+                let b = Array.unsafe_get !sink_sites site in
+                if b.n = b.cap then reserve b 1;
+                let n = b.n in
+                Array.unsafe_set (Array.unsafe_get b.cols 0) n (f0 ());
+                Array.unsafe_set (Array.unsafe_get b.cols 1) n (f1 ());
+                b.n <- n + 1
+          | [| f0; f1; f2 |] ->
+              fun () ->
+                let b = Array.unsafe_get !sink_sites site in
+                if b.n = b.cap then reserve b 1;
+                let n = b.n in
+                Array.unsafe_set (Array.unsafe_get b.cols 0) n (f0 ());
+                Array.unsafe_set (Array.unsafe_get b.cols 1) n (f1 ());
+                Array.unsafe_set (Array.unsafe_get b.cols 2) n (f2 ());
+                b.n <- n + 1
+          | _ ->
+              let push = make_push exprs in
+              fun () -> push (Array.unsafe_get !sink_sites site))
+    in
+    let kernel bs =
+      let k = cb bs in
+      if has_continue bs then fun () -> (try k () with Continue_row -> ())
+      else k
+    in
+    let bfsm = t.Blocked_ast.bfs_method in
+    let blkm = t.Blocked_ast.blocked_method in
+    let is_base_k = ce bfsm.Blocked_ast.is_base in
+    let bfs_base = kernel bfsm.Blocked_ast.base in
+    let bfs_ind = kernel bfsm.Blocked_ast.inductive in
+    let blk_base = kernel blkm.Blocked_ast.base in
+    let blk_ind = kernel blkm.Blocked_ast.inductive in
+    let step ~src ~blocked ~next ~sites =
+      sink_next := next;
+      sink_sites := sites;
+      cur.cur <- src.cols;
+      let base_k = if blocked then blk_base else bfs_base in
+      let ind_k = if blocked then blk_ind else bfs_ind in
+      let n = src.n in
+      let nbase = ref 0 in
+      if nlocals = 0 then
+        for r = 0 to n - 1 do
+          cur.row <- r;
+          if is_base_k () <> 0 then begin
+            incr nbase;
+            base_k ()
+          end
+          else ind_k ()
+        done
+      else
+        for r = 0 to n - 1 do
+          cur.row <- r;
+          Array.fill cur.locals 0 nlocals 0;
+          if is_base_k () <> 0 then begin
+            incr nbase;
+            base_k ()
+          end
+          else ind_k ()
+        done;
+      sink_next := dummy;
+      sink_sites := [||];
+      !nbase
+    in
+    (* Scalar fallback: classic per-thread codegen over the source program,
+       driven by an explicit stack — used to re-execute quarantined levels
+       after a fault with exact reducer values and task counts. *)
+    let m = program.Ast.mth in
+    let rt = make_rt layout in
+    let sc_children : int array list ref = ref [] in
+    let sc_is_base = compile_expr layout m.Ast.is_base in
+    let sc_reduce name v = Reducer.reduce reducers name v in
+    let sc_base =
+      compile_stmt layout ~reduce:sc_reduce ~spawn:(fun ~site:_ _ -> ()) m.Ast.base
+    in
+    let sc_ind =
+      compile_stmt layout ~reduce:sc_reduce
+        ~spawn:(fun ~site:_ args -> sc_children := args :: !sc_children)
+        m.Ast.inductive
+    in
+    let scalar ~on_task ~depth frame =
+      let stack = ref [ (frame, depth) ] in
+      let running = ref true in
+      while !running do
+        match !stack with
+        | [] -> running := false
+        | (fr, d) :: rest ->
+            stack := rest;
+            (* frames on the stack are single-owner, so aliasing instead of
+               blitting is safe (same contract as Blocked_interp) *)
+            set_frame rt fr;
+            reset_locals rt;
+            if sc_is_base rt <> 0 then begin
+              on_task ~depth:d ~base:true;
+              sc_base rt
+            end
+            else begin
+              on_task ~depth:d ~base:false;
+              sc_children := [];
+              sc_ind rt;
+              List.iter (fun ch -> stack := (ch, d + 1) :: !stack) !sc_children
+            end
+      done
+    in
+    {
+      nparams;
+      num_spawns = t.Blocked_ast.num_spawns;
+      new_buf = (fun cap -> make_buf ~nfields:nparams cap);
+      step;
+      scalar;
+    }
+end

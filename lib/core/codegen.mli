@@ -19,15 +19,23 @@ val layout_of : Vc_lang.Ast.program -> layout
 val params : layout -> string array
 val locals : layout -> string array
 
-type rt = { frame : int array; locals : int array }
+type rt = { mutable frame : int array; locals : int array }
 (** Runtime state of one thread: [frame] holds the parameters (length =
-    number of params), [locals] is scratch (length = number of locals). *)
+    number of params), [locals] is scratch (length = number of locals).
+    [frame] is mutable so executors can alias a single-owner frame array
+    ({!set_frame}) instead of blitting it — the blocked interpreter's
+    per-thread hot path. *)
 
 val make_rt : layout -> rt
 (** Fresh runtime state with zeroed slots (reusable across threads by
     overwriting [frame] contents and calling {!reset_locals}). *)
 
 val reset_locals : rt -> unit
+
+val set_frame : rt -> int array -> unit
+(** Alias [rt.frame] to the given array (no copy).  Only safe when the
+    executor owns the array exclusively: compiled code may write params
+    through it ([Assign] to a parameter). *)
 
 val compile_expr : layout -> Vc_lang.Ast.expr -> rt -> int
 (** Booleans evaluate to 0/1.  Short-circuits [&&] and [||]. *)
@@ -41,3 +49,54 @@ val compile_stmt :
   unit
 (** [spawn] receives the site id and the evaluated child arguments.
     [return] statements abort the rest of the compiled statement. *)
+
+(** SoA compiled backend: a blocked program specialized once into step
+    kernels that execute a whole level over unboxed structure-of-arrays
+    frames — no per-instruction dispatch, no per-thread {!rt} allocation,
+    no frame blitting.  {!Backend.compiled} drives these kernels with the
+    Fig. 6 scheduling; see that module for the engine-level contract. *)
+module Soa : sig
+  type buf
+  (** A growable SoA level: one int-array column per frame field. *)
+
+  val make_buf : nfields:int -> int -> buf
+  (** [make_buf ~nfields cap]: an empty buffer with initial capacity
+      [cap] (clamped to ≥ 1). *)
+
+  val size : buf -> int
+  val clear : buf -> unit
+
+  val push : buf -> int array -> unit
+  (** Append one frame (length ≥ [nfields]); grows geometrically. *)
+
+  val frame : buf -> int -> int array
+  (** Copy row [i] out as a fresh frame array. *)
+
+  val frames : buf -> int array list
+  (** All rows, in order, as fresh frame arrays (quarantine extraction). *)
+
+  val of_frames : nfields:int -> int array list -> buf
+
+  type inst = {
+    nparams : int;
+    num_spawns : int;
+    new_buf : int -> buf;  (** fresh buffer with the program's fields *)
+    step : src:buf -> blocked:bool -> next:buf -> sites:buf array -> int;
+        (** Execute one whole level: base rows run their base kernel,
+            inductive rows push children into [next] (bfs flavor) or
+            [sites] (blocked flavor, one buffer per spawn site).  Returns
+            the number of base rows.  [sites] must have [num_spawns]
+            entries when [blocked]. *)
+    scalar :
+      on_task:(depth:int -> base:bool -> unit) -> depth:int -> int array -> unit;
+        (** Execute one frame's whole subtree on the classic per-thread
+            scalar path (fault-quarantine fallback), calling [on_task]
+            once per node. *)
+  }
+
+  val instantiate : Blocked_ast.t -> reducers:Vc_lang.Reducer.set -> inst
+  (** Compile the blocked program against a concrete reducer set (cells
+      are resolved at compile time).  The instance owns mutable scratch —
+      use it from one domain at a time; parallel schedulers instantiate
+      once per domain. *)
+end

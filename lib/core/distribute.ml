@@ -223,8 +223,8 @@ and eval_binop env thread op a b =
   | Ast.Band -> int ( land )
   | Ast.Bor -> int ( lor )
   | Ast.Bxor -> int ( lxor )
-  | Ast.Shl -> int (fun x y -> x lsl (y land 62))
-  | Ast.Shr -> int (fun x y -> x asr (y land 62))
+  | Ast.Shl -> int Vc_lang.Builtins.shl
+  | Ast.Shr -> int Vc_lang.Builtins.shr
 
 let mask_holds env thread mask =
   env.alive.(thread)

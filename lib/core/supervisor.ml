@@ -97,6 +97,46 @@ let run_domains ?compact ?max_tasks ?cutoff ?chunks ?steal_cost ?seed
         ?max_live_frames:budgets.max_live_frames ~spec ~machine ~strategy
         ~domains ())
 
+type backend_outcome = {
+  result : Backend.result;
+  b_fallbacks : int;
+  b_faults_seen : int;
+  b_deadline_events : int;
+}
+
+let run_backend ?strategy ?max_tasks ?telemetry ?(faults = Fault.none)
+    ?(recover = true) ?(budgets = no_budgets) ?domains backend source ~roots =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  let sink, faults_seen, fallbacks, deadlines = counting_sink () in
+  Telemetry.attach tel sink;
+  let opts =
+    {
+      Backend.default_opts with
+      telemetry = Some tel;
+      faults;
+      recover;
+      wall_deadline = budgets.wall_deadline;
+      max_live_frames = budgets.max_live_frames;
+      domains;
+    }
+  in
+  let opts =
+    match strategy with Some s -> { opts with Backend.strategy = s } | None -> opts
+  in
+  let opts =
+    match max_tasks with
+    | Some n -> { opts with Backend.max_tasks = n }
+    | None -> opts
+  in
+  supervise ~phase:Vc_error.Execute (fun () ->
+      let result = Backend.timed_run ~opts backend source ~roots in
+      {
+        result;
+        b_fallbacks = !fallbacks;
+        b_faults_seen = !faults_seen;
+        b_deadline_events = !deadlines;
+      })
+
 let run_blocked ?strategy ?max_tasks ?telemetry ?(budgets = no_budgets) t args =
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let sink, _faults, _fallbacks, _deadlines = counting_sink () in

@@ -77,6 +77,31 @@ val run_domains :
     returned {!Domain_sched.result} carries its own cross-context
     fault/fallback totals, so no counting sink is attached here. *)
 
+type backend_outcome = {
+  result : Backend.result;
+  b_fallbacks : int;  (** quarantined levels re-run on the scalar path *)
+  b_faults_seen : int;
+  b_deadline_events : int;
+}
+
+val run_backend :
+  ?strategy:Policy.strategy ->
+  ?max_tasks:int ->
+  ?telemetry:Telemetry.t ->
+  ?faults:Fault.plan ->
+  ?recover:bool ->
+  ?budgets:budgets ->
+  ?domains:int ->
+  Backend.t ->
+  Backend.source ->
+  roots:int array list ->
+  (backend_outcome, Vc_error.t) result
+(** Supervised {!Backend.timed_run}: wall-clock backends ({!Backend.interp},
+    {!Backend.compiled}) under the same typed-error and recovery contract
+    as {!run}.  Backends have no cost model, so [budgets.deadline] is
+    ignored; with [recover:true] (default) injected level faults degrade
+    to scalar re-execution with bit-equal reducers and task counts. *)
+
 val run_blocked :
   ?strategy:Policy.strategy ->
   ?max_tasks:int ->

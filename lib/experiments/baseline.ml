@@ -1,8 +1,11 @@
 (* 1: initial schema (per-benchmark summary metrics keyed bench/machine).
    2: adds [domains_speedup] — the hybrid multicore × SIMD scheduler's
       modeled speedup over sequential at 2 domains — so multicore scaling
-      is gated alongside the single-core metrics. *)
-let version = 2
+      is gated alongside the single-core metrics.
+   3: adds [wall_tasks_per_sec] — host wall-clock throughput of the
+      hybrid run, informational only (host-dependent, so deliberately
+      absent from [checks]; 0.0 when the run came from the disk cache). *)
+let version = 3
 
 let log_src = Logs.Src.create "vc.baseline" ~doc:"Bench baseline history"
 
@@ -16,6 +19,7 @@ type metrics = {
   compaction_passes : int;
   space_peak : int;
   occupancy_hist : int array;
+  wall_tasks_per_sec : float;
 }
 
 type entry = {
@@ -47,6 +51,12 @@ let collect ?(block = default_block) ctx =
                 compaction_passes = r.Vc_core.Report.compaction_passes;
                 space_peak = r.Vc_core.Report.space_peak;
                 occupancy_hist = Array.copy r.Vc_core.Report.occupancy_hist;
+                wall_tasks_per_sec =
+                  (* disk-cache hits carry no wall clock (0.0 marks them) *)
+                  (if r.Vc_core.Report.wall_seconds > 0.0 then
+                     float_of_int r.Vc_core.Report.tasks
+                     /. r.Vc_core.Report.wall_seconds
+                   else 0.0);
               }
             in
             (e.Vc_bench.Registry.name ^ "/" ^ m.Vc_mem.Machine.name, metrics))
@@ -73,6 +83,7 @@ let json_of_metrics (m : metrics) : Jsonx.t =
       ("compaction_passes", Int m.compaction_passes);
       ("space_peak", Int m.space_peak);
       ("occupancy_hist", List (Array.to_list m.occupancy_hist |> List.map (fun n -> Jsonx.Int n)));
+      ("wall_tasks_per_sec", Float m.wall_tasks_per_sec);
     ]
 
 let json_of_entry (e : entry) : Jsonx.t =
@@ -95,6 +106,7 @@ let metrics_of_json j : metrics =
     compaction_passes = to_int (m "compaction_passes");
     space_peak = to_int (m "space_peak");
     occupancy_hist = Array.of_list (List.map to_int (to_list (m "occupancy_hist")));
+    wall_tasks_per_sec = to_float (m "wall_tasks_per_sec");
   }
 
 let entry_of_json j : entry =
@@ -170,7 +182,9 @@ type verdict = {
    cost-model adjustments, not measurement noise.  Counters with small
    magnitudes (compaction passes) get a coarser threshold and a floored
    denominator so 3 -> 4 passes is not a 33% "regression" panic but
-   3 -> 7 still trips. *)
+   3 -> 7 still trips.  [wall_tasks_per_sec] is deliberately NOT listed:
+   wall-clock throughput depends on the host, so it is recorded for
+   transparency but never gated. *)
 let checks =
   [
     (* name, worse-when-higher, threshold *)

@@ -26,6 +26,12 @@ type metrics = {
   compaction_passes : int;
   space_peak : int;  (** peak live frames *)
   occupancy_hist : int array;  (** 10 deciles of per-op lane occupancy *)
+  wall_tasks_per_sec : float;
+      (** host wall-clock throughput of the hybrid run (tasks /
+          {!Vc_core.Report.wall_seconds}); informational only — it is
+          host-dependent, so {!check} never gates on it (schema
+          version 3).  [0.0] when the run was served from the disk
+          cache, which stores no wall clock. *)
 }
 
 type entry = {

@@ -188,6 +188,89 @@ let results_exact ctx =
     (offenders = [])
     (if offenders = [] then "all reducer values exact" else String.concat "; " offenders)
 
+(* ------------------------------------------------------------------ *)
+(* Wall-clock backend equivalence (vcilk verify --engine blocked|compiled).
+
+   The backends have no cost model, so the claim is purely about results:
+   whatever the cost-model engine computes, the backend must compute too. *)
+
+let backend_block = 256
+
+let sorted_reducers rs = List.sort compare rs
+
+let backend_matches_engine ctx ~engine =
+  let offenders =
+    List.filter_map
+      (fun (entry : Registry.entry) ->
+        let eng = Sweep.hybrid ctx entry e5 ~reexpand:true ~block:backend_block in
+        if eng.Vc_core.Report.oom then None
+        else
+          let b = Sweep.backend_run ctx entry ~engine ~block:backend_block in
+          if
+            sorted_reducers b.Vc_core.Backend.reducers
+            = sorted_reducers eng.Vc_core.Report.reducers
+            && b.Vc_core.Backend.tasks = eng.Vc_core.Report.tasks
+            && b.Vc_core.Backend.base_tasks = eng.Vc_core.Report.base_tasks
+          then None
+          else
+            Some
+              (Printf.sprintf "%s (backend %d/%d tasks vs engine %d/%d)"
+                 entry.Registry.name b.Vc_core.Backend.tasks
+                 b.Vc_core.Backend.base_tasks eng.Vc_core.Report.tasks
+                 eng.Vc_core.Report.base_tasks))
+      Registry.all
+  in
+  check
+    (Printf.sprintf
+       "the %s backend reproduces the engine's reducers and task counts" engine)
+    (offenders = [])
+    (if offenders = [] then "bit-equal on all benchmarks"
+     else String.concat "; " offenders)
+
+let compiled_matches_interpreter ctx =
+  (* On DSL sources — the only ones where compiled dispatch differs from
+     the blocked interpreter — every field of the result must agree,
+     scheduler counters included. *)
+  let offenders =
+    List.filter_map
+      (fun (entry : Registry.entry) ->
+        match entry.Registry.dsl with
+        | None -> None
+        | Some _ ->
+            let c =
+              Sweep.backend_run ctx entry ~engine:"compiled" ~block:backend_block
+            in
+            let i =
+              Sweep.backend_run ctx entry ~engine:"blocked" ~block:backend_block
+            in
+            if
+              c.Vc_core.Backend.reducers = i.Vc_core.Backend.reducers
+              && c.Vc_core.Backend.tasks = i.Vc_core.Backend.tasks
+              && c.Vc_core.Backend.base_tasks = i.Vc_core.Backend.base_tasks
+              && c.Vc_core.Backend.max_depth = i.Vc_core.Backend.max_depth
+              && c.Vc_core.Backend.switches = i.Vc_core.Backend.switches
+              && c.Vc_core.Backend.reexpansions = i.Vc_core.Backend.reexpansions
+            then None
+            else
+              Some
+                (Printf.sprintf "%s (compiled %d tasks sw %d re %d vs %d/%d/%d)"
+                   entry.Registry.name c.Vc_core.Backend.tasks
+                   c.Vc_core.Backend.switches c.Vc_core.Backend.reexpansions
+                   i.Vc_core.Backend.tasks i.Vc_core.Backend.switches
+                   i.Vc_core.Backend.reexpansions))
+      Registry.all
+  in
+  check
+    "the compiled backend matches the blocked interpreter on every result \
+     field (DSL benchmarks)"
+    (offenders = [])
+    (if offenders = [] then "all six fields equal on every DSL benchmark"
+     else String.concat "; " offenders)
+
+let backend ctx ~engine =
+  backend_matches_engine ctx ~engine
+  :: (if engine = "compiled" then [ compiled_matches_interpreter ctx ] else [])
+
 let all ctx =
   [
     results_exact ctx;

@@ -20,6 +20,14 @@ val all : Sweep.ctx -> verdict list
     nqueens; the strawman never beats the blocked transformation; every
     strategy returns the sequential run's exact reducer values. *)
 
+val backend : Sweep.ctx -> engine:string -> verdict list
+(** Wall-clock backend equivalence checks ([vcilk verify --engine ...]):
+    the named backend ("blocked" | "compiled") reproduces the cost-model
+    engine's reducer values and task counts on every benchmark at the
+    default block, and — for ["compiled"] — matches the blocked
+    interpreter on {e every} result field (scheduler counters included)
+    on the DSL benchmarks, where compiled dispatch actually differs. *)
+
 val pp : Format.formatter -> verdict list -> unit
 
 val failures : verdict list -> int

@@ -6,6 +6,7 @@ type key = {
   strategy : string;
   block : int;
   compact : string;
+  engine : string;
 }
 
 type ctx = {
@@ -16,6 +17,7 @@ type ctx = {
   retries : int;
   specs : (string, Vc_core.Spec.t) Hashtbl.t;
   runs : (key, Vc_core.Report.t) Hashtbl.t;
+  backend_runs : (string * string * int, Vc_core.Backend.result) Hashtbl.t;
   lock : Mutex.t;
   disk : Run_cache.t option;
   mutable simulated : int;
@@ -42,6 +44,7 @@ let create ?quick ?(jobs = 1) ?(cache_dir = None)
     retries;
     specs = Hashtbl.create 16;
     runs = Hashtbl.create 256;
+    backend_runs = Hashtbl.create 32;
     lock = Mutex.create ();
     disk = Option.map (fun dir -> Run_cache.load ~faults ~dir ()) cache_dir;
     simulated = 0;
@@ -56,9 +59,9 @@ let cache_hits ctx = Mutex.protect ctx.lock (fun () -> ctx.disk_hits)
 let failures ctx = Mutex.protect ctx.lock (fun () -> List.rev ctx.failed)
 
 let key_string ctx key =
-  Printf.sprintf "%s|%s|%s|%s|%d|%s"
+  Printf.sprintf "%s|%s|%s|%s|%d|%s|%s"
     (if ctx.quick then "quick" else "full")
-    key.bench key.machine key.strategy key.block key.compact
+    key.bench key.machine key.strategy key.block key.compact key.engine
 
 let persist ctx = Option.iter (Run_cache.persist ~faults:ctx.faults) ctx.disk
 
@@ -164,6 +167,7 @@ let seq ctx entry (machine : Vc_mem.Machine.t) =
       strategy = "seq";
       block = 0;
       compact = "";
+      engine = "engine";
     }
   in
   cached ctx key (fun () -> Vc_core.Seq_exec.run ~spec:(spec_of ctx entry) ~machine ())
@@ -176,6 +180,7 @@ let bfs_only ctx entry (machine : Vc_mem.Machine.t) =
       strategy = "bfs";
       block = 0;
       compact = resolved_compact ctx entry machine;
+      engine = "engine";
     }
   in
   cached ctx key (fun () ->
@@ -191,6 +196,7 @@ let hybrid ctx entry (machine : Vc_mem.Machine.t) ~reexpand ~block =
       strategy = (if reexpand then "reexp" else "noreexp");
       block;
       compact = resolved_compact ctx entry machine;
+      engine = "engine";
     }
   in
   cached ctx key (fun () ->
@@ -213,6 +219,7 @@ let hybrid_domains ctx entry (machine : Vc_mem.Machine.t) ~block ~domains =
       strategy = Printf.sprintf "reexp+d%d" domains;
       block;
       compact = resolved_compact ctx entry machine;
+      engine = "engine";
     }
   in
   cached ctx key (fun () ->
@@ -233,6 +240,7 @@ let with_compaction ctx entry (machine : Vc_mem.Machine.t) ~compact ~block =
       strategy = "reexp";
       block;
       compact = Vc_simd.Compact.name compact;
+      engine = "engine";
     }
   in
   cached ctx key (fun () ->
@@ -250,12 +258,62 @@ let strawman ctx entry (machine : Vc_mem.Machine.t) =
       strategy = "strawman";
       block = 0;
       compact = "";
+      engine = "engine";
     }
   in
   cached ctx key (fun () -> Vc_core.Strawman.run ~spec:(spec_of ctx entry) ~machine ())
 
 let speedup ctx entry machine report =
   Vc_core.Report.speedup ~baseline:(seq ctx entry machine) report
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock backend points ({!Vc_core.Backend}).  These are memoized
+   in-memory only: their [wall_seconds] is a property of the host the
+   process runs on, so persisting them through the disk cache would
+   serve one machine's timings as another's measurements. *)
+
+let backend_source ctx (entry : Registry.entry) =
+  match entry.Registry.dsl with
+  | Some dsl ->
+      (* DSL benchmarks run as blocked IR — the pair where interpreted
+         vs compiled dispatch actually differs *)
+      let program, roots = dsl ~quick:ctx.quick in
+      (Vc_core.Backend.Ir (Vc_core.Transform.transform program), roots)
+  | None ->
+      let spec = spec_of ctx entry in
+      (Vc_core.Backend.Native spec, spec.Vc_core.Spec.roots)
+
+let backend_of_name engine =
+  match Vc_core.Backend.find engine with
+  | Some b -> b
+  | None -> invalid_arg ("Sweep.backend_run: unknown engine " ^ engine)
+
+let backend_run ?domains ctx (entry : Registry.entry) ~engine ~block =
+  let memo_key = (entry.Registry.name, engine, block) in
+  match
+    Mutex.protect ctx.lock (fun () -> Hashtbl.find_opt ctx.backend_runs memo_key)
+  with
+  | Some r -> r
+  | None ->
+      let backend = backend_of_name engine in
+      let source, roots = backend_source ctx entry in
+      let opts =
+        {
+          Vc_core.Backend.default_opts with
+          strategy = Vc_core.Policy.Hybrid { max_block = block; reexpand = true };
+          faults = ctx.faults;
+          wall_deadline = ctx.budgets.Vc_core.Supervisor.wall_deadline;
+          max_live_frames = ctx.budgets.Vc_core.Supervisor.max_live_frames;
+          domains;
+        }
+      in
+      let r = Vc_core.Backend.timed_run ~opts backend source ~roots in
+      Mutex.protect ctx.lock (fun () ->
+          match Hashtbl.find_opt ctx.backend_runs memo_key with
+          | Some r -> r
+          | None ->
+              Hashtbl.add ctx.backend_runs memo_key r;
+              r)
 
 let best ctx entry machine ~reexpand =
   let candidates =

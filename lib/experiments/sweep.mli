@@ -23,6 +23,11 @@ type key = {
           noreexp / reexp), so an explicit request for the machine's
           default engine shares the plain hybrid run's key; [""] for
           seq / strawman runs, which do not compact *)
+  engine : string;
+      (** execution-engine family — ["engine"] for every cost-model point
+          (the cost simulator is the only family the disk cache stores);
+          the field keeps the key space partitioned from any future
+          persisted backend family *)
 }
 
 type ctx
@@ -130,6 +135,27 @@ val strawman : ctx -> Vc_bench.Registry.entry -> Vc_mem.Machine.t -> Vc_core.Rep
 val speedup : ctx -> Vc_bench.Registry.entry -> Vc_mem.Machine.t -> Vc_core.Report.t -> float
 (** Modeled speedup over the same benchmark's sequential run on the same
     machine. *)
+
+val backend_source :
+  ctx -> Vc_bench.Registry.entry -> Vc_core.Backend.source * int array list
+(** The entry as a wall-clock backend source at this context's scale:
+    blocked IR plus root frames when the entry has a DSL form (where
+    interpreted vs compiled dispatch actually differs), its native spec
+    otherwise. *)
+
+val backend_run :
+  ?domains:int ->
+  ctx ->
+  Vc_bench.Registry.entry ->
+  engine:string ->
+  block:int ->
+  Vc_core.Backend.result
+(** One wall-clock backend point ([engine] = "blocked" | "compiled",
+    re-expansion strategy at [block]), under the context's faults and
+    wall/live budgets.  Memoized {e in-memory only} — wall-clock numbers
+    are host-local and never touch the disk cache.  Raises
+    [Invalid_argument] on an unknown engine name and {!Vc_core.Vc_error}
+    errors like the engine points. *)
 
 val best :
   ctx ->

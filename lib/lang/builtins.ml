@@ -1,5 +1,34 @@
 type fn = { arity : int; apply : int array -> int }
 
+let mask32 = 0xFFFFFFFF
+
+(* murmur3-style 32-bit finalizer over (state, site); result in [0, 2^31).
+   This is the hash UTS derives child states from (Rng.mix32 aliases it),
+   exposed as a builtin so the uts benchmark is expressible in the DSL. *)
+let mix32 state site =
+  let h = ref ((state lxor (site * 0x9E3779B9)) land mask32) in
+  h := (!h lxor (!h lsr 16)) land mask32;
+  h := !h * 0x85EBCA6B land mask32;
+  h := (!h lxor (!h lsr 13)) land mask32;
+  h := !h * 0xC2B2AE35 land mask32;
+  h := (!h lxor (!h lsr 16)) land mask32;
+  !h land 0x7FFFFFFF
+
+(* DSL shift semantics, shared by the tree interpreter, the closure and
+   SoA compilers, and the constant folder (they must agree or folding
+   changes program meaning): the count is taken modulo 64, and counts
+   beyond the 62 OCaml guarantees saturate — [shl] overflows to 0, [shr]
+   to the sign.  (A previous version masked the count with 62 instead of
+   63, silently zeroing the low bit: every odd shift count — including
+   the ubiquitous [<< 1] — became a no-op.) *)
+let shl a b =
+  let s = b land 63 in
+  if s > 62 then 0 else a lsl s
+
+let shr a b =
+  let s = b land 63 in
+  if s > 62 then a asr 62 else a asr s
+
 let table =
   [
     ("abs", { arity = 1; apply = (fun a -> abs a.(0)) });
@@ -15,6 +44,7 @@ let table =
      });
     ("bit", { arity = 2; apply = (fun a -> (a.(0) lsr a.(1)) land 1) });
     ("sq", { arity = 1; apply = (fun a -> a.(0) * a.(0)) });
+    ("mix32", { arity = 2; apply = (fun a -> mix32 a.(0) a.(1)) });
   ]
 
 let find name = List.assoc_opt name table

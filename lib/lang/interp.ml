@@ -53,8 +53,8 @@ let eval_binop op a b =
   | Band -> VInt (as_int a land as_int b)
   | Bor -> VInt (as_int a lor as_int b)
   | Bxor -> VInt (as_int a lxor as_int b)
-  | Shl -> VInt (as_int a lsl (as_int b land 62))
-  | Shr -> VInt (as_int a asr (as_int b land 62))
+  | Shl -> VInt (Builtins.shl (as_int a) (as_int b))
+  | Shr -> VInt (Builtins.shr (as_int a) (as_int b))
 
 let rec eval env e =
   Profile.kernel_ops env.profile 1;

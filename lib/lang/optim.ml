@@ -36,8 +36,8 @@ and fold_binop op a b =
   | Band, Int x, Int y -> Int (x land y)
   | Bor, Int x, Int y -> Int (x lor y)
   | Bxor, Int x, Int y -> Int (x lxor y)
-  | Shl, Int x, Int y -> Int (x lsl (y land 62))
-  | Shr, Int x, Int y -> Int (x asr (y land 62))
+  | Shl, Int x, Int y -> Int (Builtins.shl x y)
+  | Shr, Int x, Int y -> Int (Builtins.shr x y)
   (* constant comparisons *)
   | Lt, Int x, Int y -> Bool (x < y)
   | Le, Int x, Int y -> Bool (x <= y)

@@ -287,11 +287,17 @@ let test_registry_dsl_entries () =
       match e.Registry.dsl with
       | None -> ()
       | Some dsl ->
-          let program, _ = dsl () in
-          (match Vc_lang.Validate.check program with
-          | Ok _ -> ()
-          | Error es ->
-              Alcotest.failf "%s dsl: %s" e.Registry.name (String.concat "; " es)))
+          List.iter
+            (fun quick ->
+              let program, roots = dsl ~quick in
+              if roots = [] then
+                Alcotest.failf "%s dsl (quick=%b): no roots" e.Registry.name quick;
+              match Vc_lang.Validate.check program with
+              | Ok _ -> ()
+              | Error es ->
+                  Alcotest.failf "%s dsl (quick=%b): %s" e.Registry.name quick
+                    (String.concat "; " es))
+            [ true; false ])
     Registry.all
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests

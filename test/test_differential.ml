@@ -265,6 +265,117 @@ let check_domains_matrix () =
   if !checked < 15 then
     Alcotest.failf "only %d domain checks ran (expected >= 15)" !checked
 
+(* Compiled backend: the per-spawn-site SoA step kernels must reproduce
+   the interpreter's reducers and task counts on every random program,
+   across the same strategy grid as the other engines — and must match
+   the blocked-interpreter backend on every result field (scheduler
+   counters included), since both claim to run the identical Fig. 6
+   schedule. *)
+let scrub_backend (r : Backend.result) = { r with Backend.wall_seconds = 0.0 }
+
+let check_compiled_backend () =
+  let checked = ref 0 in
+  List.iter
+    (fun (i, p, args) ->
+      let out = Vc_lang.Interp.run ~max_tasks:100_000 p args in
+      let expected = out.Vc_lang.Interp.reducers in
+      let expected_tasks = Vc_lang.Profile.tasks out.Vc_lang.Interp.profile in
+      let source = Backend.Ir (Transform.transform p) in
+      let roots = [ Array.of_list args ] in
+      List.iter
+        (fun (strategy, sname) ->
+          let opts =
+            { Backend.default_opts with strategy; max_tasks = 200_000 }
+          in
+          match Backend.run ~opts Backend.compiled source ~roots with
+          | exception Vc_error.Error _ -> () (* task budget: skip, as OOM *)
+          | r ->
+              if
+                r.Backend.reducers <> expected
+                || r.Backend.tasks <> expected_tasks
+              then
+                Alcotest.failf
+                  "compiled backend [%s] disagrees with the interpreter on %s:\n\
+                   got %s / %d tasks, want %s / %d tasks"
+                  sname (describe i p args)
+                  (String.concat ","
+                     (List.map
+                        (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+                        r.Backend.reducers))
+                  r.Backend.tasks
+                  (String.concat ","
+                     (List.map
+                        (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+                        expected))
+                  expected_tasks;
+              (match Backend.run ~opts Backend.interp source ~roots with
+              | exception Vc_error.Error _ -> ()
+              | b ->
+                  if scrub_backend r <> scrub_backend b then
+                    Alcotest.failf
+                      "compiled backend [%s] diverges from the blocked \
+                       interpreter beyond wall clock on %s:\n\
+                       compiled %d/%d tasks depth %d sw %d re %d, interp \
+                       %d/%d tasks depth %d sw %d re %d"
+                      sname (describe i p args) r.Backend.tasks
+                      r.Backend.base_tasks r.Backend.max_depth
+                      r.Backend.switches r.Backend.reexpansions
+                      b.Backend.tasks b.Backend.base_tasks b.Backend.max_depth
+                      b.Backend.switches b.Backend.reexpansions);
+              incr checked)
+        strategies)
+    cases;
+  if !checked < count * 4 then
+    Alcotest.failf "only %d compiled-backend checks ran (expected >= %d)"
+      !checked (count * 4)
+
+(* Fault-armed compiled backend: an [Alloc]-site fault plan under the
+   supervisor must recover — level quarantine + scalar re-execution — to
+   the fault-free compiled results, bit-equal on reducers and task
+   counts. *)
+let check_compiled_fault_recovery () =
+  let strategy = Policy.Hybrid { max_block = 8; reexpand = true } in
+  let fallbacks = ref 0 in
+  let faults_seen = ref 0 in
+  List.iter
+    (fun (i, p, args) ->
+      let source = Backend.Ir (Transform.transform p) in
+      let roots = [ Array.of_list args ] in
+      let opts = { Backend.default_opts with strategy; max_tasks = 200_000 } in
+      match Backend.run ~opts Backend.compiled source ~roots with
+      | exception Vc_error.Error _ -> ()
+      | reference ->
+          List.iter
+            (fun fault_seed ->
+              let plan =
+                Fault.make ~rate:0.25 ~seed:fault_seed ~sites:[ Fault.Alloc ] ()
+              in
+              match
+                Supervisor.run_backend ~strategy ~max_tasks:200_000 ~faults:plan
+                  Backend.compiled source ~roots
+              with
+              | Error e ->
+                  Alcotest.failf
+                    "compiled backend seed %d did not recover (%s) on %s"
+                    fault_seed (Vc_error.to_string e) (describe i p args)
+              | Ok o ->
+                  fallbacks := !fallbacks + o.Supervisor.b_fallbacks;
+                  faults_seen := !faults_seen + o.Supervisor.b_faults_seen;
+                  let r = o.Supervisor.result in
+                  if
+                    r.Backend.reducers <> reference.Backend.reducers
+                    || r.Backend.tasks <> reference.Backend.tasks
+                    || r.Backend.base_tasks <> reference.Backend.base_tasks
+                  then
+                    Alcotest.failf
+                      "compiled scalar fallback diverges under seed %d on %s"
+                      fault_seed (describe i p args))
+            [ 1; 2; 3 ])
+    (List.filteri (fun i _ -> i < 10) cases);
+  if !faults_seen = 0 then Alcotest.fail "compiled fault matrix injected nothing";
+  if !fallbacks = 0 then
+    Alcotest.fail "compiled fault matrix never took the scalar fallback"
+
 (* Fault-armed domains: per-chunk fault plans (Fault.split) must still
    recover to the fault-free single-context results via per-domain scalar
    fallback. *)
@@ -317,6 +428,10 @@ let () =
             check_compaction_engines;
           Alcotest.test_case "fault injection recovers to exact results" `Quick
             check_fault_recovery;
+          Alcotest.test_case "compiled backend = interpreter and blocked interp"
+            `Quick check_compiled_backend;
+          Alcotest.test_case "fault-armed compiled backend recovers" `Quick
+            check_compiled_fault_recovery;
           Alcotest.test_case "domains matrix bit-equal to engine" `Quick
             check_domains_matrix;
           Alcotest.test_case "fault-armed domains recover per chunk" `Quick

@@ -460,6 +460,7 @@ let sample_metrics () =
     compaction_passes = 40;
     space_peak = 750;
     occupancy_hist = [| 0; 0; 1; 2; 4; 8; 16; 32; 64; 128 |];
+    wall_tasks_per_sec = 2.0e6;
   }
 
 let sample_entry () =
@@ -602,7 +603,11 @@ let test_baseline_collect_and_gate () =
   List.iter
     (fun (key, (m : Vc_exp.Baseline.metrics)) ->
       check_bool (key ^ " cycles positive") true (m.Vc_exp.Baseline.cycles > 0.0);
-      check_bool (key ^ " speedup positive") true (m.Vc_exp.Baseline.speedup > 0.0))
+      check_bool (key ^ " speedup positive") true (m.Vc_exp.Baseline.speedup > 0.0);
+      (* informational, never gated — but a fresh (uncached) collection
+         must measure a real wall clock *)
+      check_bool (key ^ " wall throughput positive") true
+        (m.Vc_exp.Baseline.wall_tasks_per_sec > 0.0))
     current.Vc_exp.Baseline.benchmarks;
   let dir = temp_dir "vc-baseline" in
   let path = Filename.concat dir "baseline.json" in
