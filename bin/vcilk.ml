@@ -67,20 +67,20 @@ let machine_conv =
   let print fmt (m : Vc_mem.Machine.t) = Format.pp_print_string fmt m.Vc_mem.Machine.name in
   Arg.conv (parse, print)
 
-let bench_conv =
-  let parse s =
-    match Vc_bench.Registry.find s with
-    | e -> Ok e
-    | exception Not_found ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown benchmark %S (%s)" s
-               (String.concat "|" Vc_bench.Registry.names)))
-  in
-  let print fmt (e : Vc_bench.Registry.entry) =
-    Format.pp_print_string fmt e.Vc_bench.Registry.name
-  in
-  Arg.conv (parse, print)
+(* Benchmarks are names, resolved late (after flag parsing) so the
+   --workloads directories participate: built-in registry first, then a
+   literal .rtp path, then NAME.rtp under the workload directories. *)
+let bench_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
+
+let workloads_flag =
+  Arg.(value & opt_all string []
+       & info [ "workloads" ] ~docv:"DIR"
+           ~doc:
+             "Extra directory of $(b,.rtp) workload files (repeatable). \
+              $(b,examples/dsl) and $(b,test/corpus) are always searched \
+              when resolving a benchmark name.")
+
+let default_workload_dirs = [ "examples/dsl"; "test/corpus" ]
 
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use scaled-down workloads.")
@@ -186,6 +186,25 @@ let die (e : Vc_core.Vc_error.t) : 'a =
 
 let or_die f = try f () with Vc_core.Vc_error.Error e -> die e
 
+let resolve_bench ~workloads name =
+  match
+    Vc_bench.Registry.resolve ~dirs:(workloads @ default_workload_dirs) name
+  with
+  | Ok e -> e
+  | Error e -> die e
+
+(* Every workload in the given directories, loaded; a directory that does
+   not exist contributes nothing, a directory with a bad file is fatal. *)
+let loaded_workloads dirs =
+  List.concat_map
+    (fun dir ->
+      if Sys.file_exists dir && Sys.is_directory dir then
+        match Vc_bench.Registry.load_dir dir with
+        | Ok ls -> ls
+        | Error e -> die e
+      else [])
+    dirs
+
 let ctx_of ?(budgets = Vc_core.Supervisor.no_budgets) quick jobs no_cache =
   (* VC_FAULT_SEED arms fault injection in every sweep point; the sweep
      then refuses to write recovered (degraded-cost) runs to disk. *)
@@ -204,21 +223,33 @@ let finish ctx =
     (Vc_exp.Sweep.cache_hits ctx) (Vc_exp.Sweep.jobs ctx)
 
 let list_cmd =
-  let run () =
+  let run workloads =
     Format.printf "@[<v>Benchmarks:@,";
     List.iter
       (fun (e : Vc_bench.Registry.entry) ->
         Format.printf "  %-12s %s@," e.Vc_bench.Registry.name
           e.Vc_bench.Registry.description)
       Vc_bench.Registry.all;
+    (match loaded_workloads (workloads @ default_workload_dirs) with
+    | [] -> ()
+    | loaded ->
+        Format.printf "@,Workloads (.rtp):@,";
+        List.iter
+          (fun (l : Vc_bench.Registry.loaded) ->
+            Format.printf "  %-12s %s (%s)@,"
+              l.Vc_bench.Registry.entry.Vc_bench.Registry.name
+              l.Vc_bench.Registry.entry.Vc_bench.Registry.description
+              l.Vc_bench.Registry.path)
+          loaded);
     Format.printf "@,Machines:@,";
     List.iter (fun m -> Format.printf "  %a@," Vc_mem.Machine.pp m) Vc_mem.Machine.all;
     Format.printf "@]@."
   in
-  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and machines.") Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "list" ~doc:"List benchmarks, runtime-loaded workloads, and machines.")
+    Term.(const run $ workloads_flag)
 
 let run_cmd =
-  let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
   let machine =
     Arg.(value
          & opt machine_conv Vc_mem.Machine.xeon_e5
@@ -240,8 +271,9 @@ let run_cmd =
          & info [ "b"; "block" ] ~doc:"Hybrid max block size / re-expansion threshold.")
   in
   let run quick jobs no_cache deadline wall_deadline max_live_frames domains
-      max_tasks engine (entry : Vc_bench.Registry.entry) machine strategy block =
+      max_tasks engine workloads bench machine strategy block =
     or_die @@ fun () ->
+    let entry = resolve_bench ~workloads bench in
     if domains < 1 then begin
       Format.eprintf "vcilk: --domains must be positive@.";
       exit 1
@@ -358,7 +390,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one benchmark under one execution strategy.")
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ deadline_flag
           $ wall_deadline_flag $ max_live_frames_flag $ domains_flag
-          $ max_tasks_flag $ engine_flag $ bench $ machine $ strategy $ block)
+          $ max_tasks_flag $ engine_flag $ workloads_flag $ bench_arg $ machine
+          $ strategy $ block)
 
 let transform_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -472,7 +505,6 @@ let figure_cmd =
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ n)
 
 let trace_cmd =
-  let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
   let machine =
     Arg.(value
          & opt machine_conv Vc_mem.Machine.xeon_e5
@@ -498,9 +530,10 @@ let trace_cmd =
          & info [ "jsonl" ] ~docv:"FILE"
              ~doc:"Also stream every telemetry event as one JSON object per line into FILE.")
   in
-  let run quick (entry : Vc_bench.Registry.entry) machine block limit chrome jsonl =
+  let run quick workloads bench machine block limit chrome jsonl =
     (* traced runs are never cached: the trace is a side effect of the
        simulation, so this command always simulates fresh *)
+    let entry = resolve_bench ~workloads bench in
     let ctx = Vc_exp.Sweep.create ~quick ~cache_dir:None () in
     let spec = Vc_exp.Sweep.spec_of ctx entry in
     let trace = Vc_core.Trace.create () in
@@ -587,10 +620,10 @@ let trace_cmd =
        ~doc:
          "Trace one run: per-level scheduler timeline, ASCII lane-occupancy \
           plot, and Chrome trace-event JSON export.")
-    Term.(const run $ quick_flag $ bench $ machine $ block $ limit $ chrome $ jsonl)
+    Term.(const run $ quick_flag $ workloads_flag $ bench_arg $ machine $ block
+          $ limit $ chrome $ jsonl)
 
 let profile_cmd =
-  let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
   let machine =
     Arg.(value
          & opt machine_conv Vc_mem.Machine.xeon_e5
@@ -620,9 +653,10 @@ let profile_cmd =
                "Write the attribution frames as one JSON object to FILE \
                 ($(b,-) = stdout).")
   in
-  let run quick (entry : Vc_bench.Registry.entry) machine block top folded json =
+  let run quick workloads bench machine block top folded json =
     (* Profiled runs always simulate fresh: attribution is a side effect
        of the simulation, exactly like trace. *)
+    let entry = resolve_bench ~workloads bench in
     let ctx = Vc_exp.Sweep.create ~quick ~cache_dir:None () in
     let spec = Vc_exp.Sweep.spec_of ctx entry in
     let tel = Vc_core.Telemetry.create () in
@@ -657,7 +691,8 @@ let profile_cmd =
          "Attribute one run's modeled cycles to benchmark / phase / \
           spawn-site frames: hotspot table, folded stacks, JSON. The \
           attribution reconciles exactly with the report's cycle total.")
-    Term.(const run $ quick_flag $ bench $ machine $ block $ top $ folded $ json)
+    Term.(const run $ quick_flag $ workloads_flag $ bench_arg $ machine $ block
+          $ top $ folded $ json)
 
 let bench_cmd =
   let block =
@@ -702,7 +737,7 @@ let bench_cmd =
                 host-local and informational.")
   in
   (* One wall-clock backend point per benchmark at the bench block size. *)
-  let backend_table ctx ~engine ~block =
+  let backend_table ctx ~entries ~engine ~block =
     Format.printf "%-12s %12s %12s %7s %6s %6s %10s %10s@." "BENCH" "TASKS"
       "BASE" "DEPTH" "SW" "RE" "WALL_S" "MTASK/S";
     List.iter
@@ -715,9 +750,9 @@ let bench_cmd =
           r.Vc_core.Backend.wall_seconds
           (wall_rate r.Vc_core.Backend.tasks r.Vc_core.Backend.wall_seconds
           /. 1e6))
-      Vc_bench.Registry.all
+      entries
   in
-  let write_comparison ctx ~block path =
+  let write_comparison ctx ~entries ~block path =
     (* Best-of-3 per engine: the comparison is a measurement artifact, so
        it must not inherit the sweep memo's single (possibly cold) run —
        one GC-unlucky shot would record a bogus ratio. *)
@@ -762,7 +797,7 @@ let bench_cmd =
               ("compiled_tasks_per_sec", Float c_rate);
               ("compiled_speedup", Float (c_rate /. Float.max i_rate 1e-9));
             ])
-        Vc_bench.Registry.all
+        entries
     in
     let j =
       Vc_exp.Jsonx.Obj
@@ -782,9 +817,18 @@ let bench_cmd =
           (fun () -> output_string oc text);
         Format.eprintf "[bench] wrote %s@." path
   in
-  let run quick jobs no_cache block history check_baseline write_baseline
-      tolerance engine compiled_json =
+  let run quick jobs no_cache workloads block history check_baseline
+      write_baseline tolerance engine compiled_json =
     or_die @@ fun () ->
+    (* --workloads entries join the wall-clock backend table and the
+       comparison JSON; the modeled baseline history keeps its built-in
+       schema. *)
+    let entries =
+      Vc_bench.Registry.all
+      @ List.map
+          (fun (l : Vc_bench.Registry.loaded) -> l.Vc_bench.Registry.entry)
+          (loaded_workloads (workloads @ default_workload_dirs))
+    in
     if engine <> `Engine then begin
       (* Wall-clock engines carry no modeled metrics: the baseline gate,
          history, and --write-baseline apply to the cost model only. *)
@@ -796,8 +840,8 @@ let bench_cmd =
         exit 1
       end;
       let ctx = ctx_of quick jobs no_cache in
-      backend_table ctx ~engine:(engine_name engine) ~block;
-      Option.iter (write_comparison ctx ~block) compiled_json;
+      backend_table ctx ~entries ~engine:(engine_name engine) ~block;
+      Option.iter (write_comparison ctx ~entries ~block) compiled_json;
       exit 0
     end;
     let ctx = ctx_of quick jobs no_cache in
@@ -813,7 +857,7 @@ let bench_cmd =
           m.Vc_exp.Baseline.space_peak
           (m.Vc_exp.Baseline.wall_tasks_per_sec /. 1e6))
       current.Vc_exp.Baseline.benchmarks;
-    Option.iter (write_comparison ctx ~block) compiled_json;
+    Option.iter (write_comparison ctx ~entries ~block) compiled_json;
     finish ctx;
     let faults_armed = Vc_core.Fault.armed (Vc_core.Fault.of_env ()) in
     match check_baseline with
@@ -864,9 +908,9 @@ let bench_cmd =
           occupancy, compaction, space), append them to the baseline \
           history, and optionally gate against a recorded baseline \
           (exit 3 on regression).")
-    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ block $ history
-          $ check_baseline $ write_baseline $ tolerance $ engine_flag
-          $ compiled_json)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ workloads_flag
+          $ block $ history $ check_baseline $ write_baseline $ tolerance
+          $ engine_flag $ compiled_json)
 
 let version_cmd =
   let run () =
@@ -897,7 +941,6 @@ let version_cmd =
     Term.(const run $ const ())
 
 let plot_cmd =
-  let bench = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH") in
   let machine =
     Arg.(value
          & opt machine_conv Vc_mem.Machine.xeon_e5
@@ -913,7 +956,8 @@ let plot_cmd =
              `Speedup
          & info [ "w"; "what" ] ~doc:"speedup|utilization|miss.")
   in
-  let run quick jobs no_cache (entry : Vc_bench.Registry.entry) machine what =
+  let run quick jobs no_cache workloads bench machine what =
+    let entry = resolve_bench ~workloads bench in
     let ctx = ctx_of quick jobs no_cache in
     let log2 b = log (float_of_int b) /. log 2.0 in
     let value (r : Vc_core.Report.t) =
@@ -950,7 +994,8 @@ let plot_cmd =
   in
   Cmd.v
     (Cmd.info "plot" ~doc:"ASCII plot of a block-size sweep (Figs. 10-14).")
-    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ bench $ machine $ what)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ workloads_flag
+          $ bench_arg $ machine $ what)
 
 let export_cmd =
   let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
@@ -967,7 +1012,8 @@ let export_cmd =
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ dir)
 
 let verify_cmd =
-  let run quick jobs no_cache deadline wall_deadline max_live_frames engine =
+  let run quick jobs no_cache workloads deadline wall_deadline max_live_frames
+      engine =
     or_die @@ fun () ->
     let budgets = { Vc_core.Supervisor.deadline; wall_deadline; max_live_frames } in
     let ctx = ctx_of ~budgets quick jobs no_cache in
@@ -980,6 +1026,25 @@ let verify_cmd =
       | `Engine -> verdicts
       | e -> verdicts @ Vc_exp.Claims.backend ctx ~engine:(engine_name e)
     in
+    (* --workloads appends one differential-replay verdict per loaded
+       .rtp workload: oracle, engine, and both wall-clock backends agree
+       with the spec block's pinned values. *)
+    let verdicts =
+      verdicts
+      @ List.map
+          (fun (l : Vc_bench.Registry.loaded) ->
+            let name = l.Vc_bench.Registry.entry.Vc_bench.Registry.name in
+            let claim =
+              Printf.sprintf
+                "workload %s replays identically across all backends" name
+            in
+            match Vc_fuzz.Corpus.replay ~quick:(Vc_exp.Sweep.quick ctx) l with
+            | Ok checks ->
+                { Vc_exp.Claims.claim; holds = true;
+                  evidence = Printf.sprintf "%d comparisons" checks }
+            | Error msg -> { Vc_exp.Claims.claim; holds = false; evidence = msg })
+          (loaded_workloads (workloads @ default_workload_dirs))
+    in
     Vc_exp.Claims.pp Format.std_formatter verdicts;
     finish ctx;
     exit (if Vc_exp.Claims.failures verdicts = 0 then 0 else 1)
@@ -987,8 +1052,9 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check the paper's qualitative claims against fresh measurements.")
-    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ deadline_flag
-          $ wall_deadline_flag $ max_live_frames_flag $ engine_flag)
+    Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ workloads_flag
+          $ deadline_flag $ wall_deadline_flag $ max_live_frames_flag
+          $ engine_flag)
 
 let chaos_cmd =
   let sites_conv =
@@ -1026,8 +1092,15 @@ let chaos_cmd =
          & opt machine_conv Vc_mem.Machine.xeon_e5
          & info [ "m"; "machine" ] ~doc:"Target machine (e5|phi).")
   in
-  let run quick jobs seed sites rate block machine domains engine =
+  let run quick jobs workloads seed sites rate block machine domains engine =
     or_die @@ fun () ->
+    (* --workloads entries join both chaos campaigns like built-ins *)
+    let all_entries =
+      Vc_bench.Registry.all
+      @ List.map
+          (fun (l : Vc_bench.Registry.loaded) -> l.Vc_bench.Registry.entry)
+          (loaded_workloads (workloads @ default_workload_dirs))
+    in
     (* Chaos runs are recovered-but-degraded, so they never touch the
        persistent cache; every reference and faulted run is fresh. *)
     let ctx = Vc_exp.Sweep.create ~quick ~jobs ~cache_dir:None () in
@@ -1046,7 +1119,7 @@ let chaos_cmd =
          fault-free backend's reducers and task counts exactly. *)
       let backend = backend_of engine in
       let dom_opt = if domains = 1 then None else Some domains in
-      let entries = Array.of_list Vc_bench.Registry.all in
+      let entries = Array.of_list all_entries in
       let results = Array.make (Array.length entries) None in
       let check_bench (entry : Vc_bench.Registry.entry) =
         let name = entry.Vc_bench.Registry.name in
@@ -1103,7 +1176,7 @@ let chaos_cmd =
        exactly — scalar fallback is a correctness-preserving degradation.
        With --domains > 1 the same property must hold across the hybrid
        domain scheduler (fault plans are split per chunk). *)
-    let entries = Array.of_list Vc_bench.Registry.all in
+    let entries = Array.of_list all_entries in
     let results = Array.make (Array.length entries) None in
     let check_bench (entry : Vc_bench.Registry.entry) =
       let name = entry.Vc_bench.Registry.name in
@@ -1238,8 +1311,136 @@ let chaos_cmd =
          "Deterministic fault-injection campaign: every benchmark runs under \
           an armed fault plan and must recover to exact fault-free results \
           via scalar fallback.")
-    Term.(const run $ quick_flag $ jobs_flag $ seed $ sites $ rate $ block
-          $ machine $ domains_flag $ engine_flag)
+    Term.(const run $ quick_flag $ jobs_flag $ workloads_flag $ seed $ sites
+          $ rate $ block $ machine $ domains_flag $ engine_flag)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Generator stream seed.")
+  in
+  let count =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~docv:"K" ~doc:"Cases to generate and check.")
+  in
+  let minutes =
+    Arg.(value & opt (some float) None
+         & info [ "minutes" ] ~docv:"M"
+             ~doc:"Stop generating after M minutes even if --count is not reached.")
+  in
+  let out =
+    Arg.(value & opt string "test/corpus"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory the shrunk reproducer .rtp is written into.")
+  in
+  let plant =
+    let plant_conv =
+      let parse s =
+        match Vc_fuzz.Diff.plant_of_string s with
+        | Some p -> Ok p
+        | None -> Error (`Msg (Printf.sprintf "unknown plant %S (shl-trunc|spawn-skew)" s))
+      in
+      let print fmt p = Format.pp_print_string fmt (Vc_fuzz.Diff.plant_name p) in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt (some plant_conv) None
+         & info [ "plant" ] ~docv:"BUG"
+             ~doc:
+               "Arm a deliberate codegen bug in the compiled backend \
+                ($(b,shl-trunc)|$(b,spawn-skew)): the mutation smoke test. \
+                The run must then diverge, shrink, and exit 1.")
+  in
+  let replay =
+    Arg.(value & flag
+         & info [ "replay" ]
+             ~doc:
+               "Instead of generating, replay every committed .rtp workload \
+                (test/corpus, examples/dsl, and any --workloads directory) \
+                through oracle, engine, and both wall-clock backends.")
+  in
+  let run quick workloads seed count minutes out plant replay =
+    or_die @@ fun () ->
+    if replay then begin
+      let loaded = loaded_workloads (workloads @ default_workload_dirs) in
+      let failures = ref 0 in
+      List.iter
+        (fun (l : Vc_bench.Registry.loaded) ->
+          let name = l.Vc_bench.Registry.entry.Vc_bench.Registry.name in
+          match Vc_fuzz.Corpus.replay ~quick l with
+          | Ok checks -> Format.printf "  %-24s ok (%d comparisons)@." name checks
+          | Error msg ->
+              incr failures;
+              Format.printf "  %-24s FAIL %s@." name msg)
+        loaded;
+      Format.printf "replay: %d workloads, %d failed@." (List.length loaded)
+        !failures;
+      exit (if !failures = 0 then 0 else 1)
+    end;
+    let deadline =
+      Option.map (fun m -> Unix.gettimeofday () +. (m *. 60.0)) minutes
+    in
+    let expired () =
+      match deadline with
+      | Some t -> Unix.gettimeofday () > t
+      | None -> false
+    in
+    let checks = ref 0 in
+    let skipped = ref 0 in
+    let rec loop i =
+      if i >= count || expired () then None
+      else
+        let p, args = Vc_fuzz.Gen.case ~seed ~index:i () in
+        match Vc_fuzz.Diff.check ?plant p args with
+        | Vc_fuzz.Diff.Agree { checks = c } ->
+            checks := !checks + c;
+            loop (i + 1)
+        | Vc_fuzz.Diff.Skip _ ->
+            incr skipped;
+            loop (i + 1)
+        | Vc_fuzz.Diff.Diverge { stage; detail } -> Some (i, p, args, stage, detail)
+    in
+    match loop 0 with
+    | None ->
+        Format.printf
+          "fuzz: seed %d, %d cases (%d skipped), %d comparisons, no divergence@."
+          seed count !skipped !checks;
+        exit 0
+    | Some (index, p, args, stage, detail) ->
+        Format.eprintf "fuzz: seed %d case %d diverged at %s: %s@." seed index
+          stage detail;
+        let keep = Vc_fuzz.Diff.failing ?plant in
+        let p', args' = Vc_fuzz.Shrink.minimize ~keep p args in
+        Format.eprintf "fuzz: shrunk %d -> %d AST nodes@." (Vc_fuzz.Gen.size p)
+          (Vc_fuzz.Gen.size p');
+        let name = Printf.sprintf "fuzz-s%d-%d" seed index in
+        let provenance =
+          [
+            Printf.sprintf "fuzz reproducer: seed %d, case %d" seed index;
+            Printf.sprintf "diverged at %s: %s" stage detail;
+          ]
+          @
+          match plant with
+          | None -> []
+          | Some pl ->
+              [ Printf.sprintf "planted bug: %s (mutation smoke test)"
+                  (Vc_fuzz.Diff.plant_name pl) ]
+        in
+        (match Vc_fuzz.Corpus.write ~dir:out ~name ~provenance p' args' with
+        | Ok path -> Format.eprintf "fuzz: wrote reproducer %s@." path
+        | Error e ->
+            Format.eprintf "fuzz: could not write reproducer: %s@."
+              (Vc_core.Vc_error.to_string e));
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate seeded well-typed terminating DSL \
+          programs, run each through interpreter, cost-model engine, blocked \
+          and compiled backends, the domain scheduler, and fault-armed \
+          recovery, and on any divergence shrink to a minimal committed \
+          reproducer (exit 1).")
+    Term.(const run $ quick_flag $ workloads_flag $ seed $ count $ minutes
+          $ out $ plant $ replay)
 
 let all_cmd =
   let run quick jobs no_cache =
@@ -1306,5 +1507,6 @@ let () =
             version_cmd;
             verify_cmd;
             chaos_cmd;
+            fuzz_cmd;
             all_cmd;
           ]))

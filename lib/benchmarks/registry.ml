@@ -123,3 +123,259 @@ let find name =
   | None -> raise Not_found
 
 let names = List.map (fun e -> e.name) all
+
+(* ---- Runtime-loaded workloads: .rtp source + spec block -> entry ---- *)
+
+type loaded = {
+  entry : entry;
+  quick_expected : (string * int) list;
+  path : string;
+}
+
+let of_program ~name ~description ~program ~roots ~quick_roots ~expected
+    ~sweep_blocks =
+  let spec () =
+    let args =
+      match roots with
+      | r :: _ -> Array.to_list r
+      | [] -> invalid_arg "Registry.of_program: no roots"
+    in
+    let s = Vc_core.Compile.spec_of_program ~name program ~args in
+    { s with Vc_core.Spec.roots }
+  in
+  {
+    name;
+    description;
+    spec;
+    expected = (fun () -> expected);
+    dsl = Some (fun ~quick -> (program, if quick then quick_roots else roots));
+    sweep_blocks;
+  }
+
+(* Load failures are data errors, not crashes: every rejection is a typed
+   Vc_error in the Load phase so the CLI maps it to exit code 1 and sweeps
+   survive a bad workload directory. *)
+let load_error fmt =
+  Printf.ksprintf
+    (fun detail ->
+      Error
+        {
+          Vc_core.Vc_error.kind =
+            Vc_core.Vc_error.Fault
+              { site = Vc_core.Vc_error.Decode; hint = Vc_core.Vc_error.Abort };
+          phase = Vc_core.Vc_error.Load;
+          detail;
+        })
+    fmt
+
+let ( let* ) = Result.bind
+
+let read_file path =
+  if not (Sys.file_exists path) then
+    load_error "workload %s: no such file" path
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | source -> Ok source
+    | exception Sys_error msg -> load_error "workload %s: %s" path msg
+
+let parse_source path source =
+  match Vc_lang.Parser.parse_string source with
+  | program -> Ok program
+  | exception Vc_lang.Lexer.Error (msg, line, col) ->
+      load_error "workload %s:%d:%d: lexical error: %s" path line col msg
+  | exception Vc_lang.Parser.Error (msg, line, col) ->
+      load_error "workload %s:%d:%d: parse error: %s" path line col msg
+
+let check_expectations path program what pairs =
+  let declared =
+    List.map (fun r -> r.Vc_lang.Ast.red_name) program.Vc_lang.Ast.reducers
+  in
+  let rec go seen = function
+    | [] -> Ok ()
+    | (name, _) :: rest ->
+        if not (List.mem name declared) then
+          load_error
+            "workload %s: %s names reducer %S, but the program declares %s" path
+            what name
+            (String.concat ", " declared)
+        else if List.mem name seen then
+          load_error "workload %s: duplicate %s for reducer %S" path what name
+        else go (name :: seen) rest
+  in
+  go [] pairs
+
+let check_roots path what ~arity roots =
+  let rec go i = function
+    | [] -> Ok ()
+    | (root : int list) :: rest ->
+        if List.length root <> arity then
+          load_error
+            "workload %s: %s root %d has %d values, but the method takes %d \
+             parameters"
+            path what (i + 1) (List.length root) arity
+        else go (i + 1) rest
+  in
+  go 0 roots
+
+let load_file path =
+  let* source = read_file path in
+  let* sb =
+    match Vc_lang.Spec_block.parse source with
+    | Ok sb -> Ok sb
+    | Error errs ->
+        load_error "workload %s: malformed spec block: %s" path
+          (String.concat "; " errs)
+  in
+  let* program = parse_source path source in
+  let* _info =
+    match Vc_lang.Validate.check program with
+    | Ok info -> Ok info
+    | Error errs ->
+        load_error "workload %s: invalid program: %s" path
+          (String.concat "; " errs)
+  in
+  let name =
+    match sb.Vc_lang.Spec_block.name with
+    | Some n -> n
+    | None -> Filename.remove_extension (Filename.basename path)
+  in
+  let* () =
+    if name = "" || String.contains name '/' then
+      load_error "workload %s: invalid workload name %S" path name
+    else if List.mem name names then
+      load_error "workload %s: name %S collides with a built-in benchmark" path
+        name
+    else Ok ()
+  in
+  let arity = List.length program.Vc_lang.Ast.mth.Vc_lang.Ast.params in
+  let* () =
+    if sb.Vc_lang.Spec_block.inputs = [] then
+      load_error
+        "workload %s: spec block declares no roots (add \"//! input N ...\")"
+        path
+    else Ok ()
+  in
+  let* () = check_roots path "input" ~arity sb.Vc_lang.Spec_block.inputs in
+  let* () = check_roots path "quick" ~arity sb.Vc_lang.Spec_block.quick_inputs in
+  let* () =
+    if sb.Vc_lang.Spec_block.expect = [] then
+      load_error
+        "workload %s: spec block pins no reducer values (add \"//! expect \
+         NAME V\")"
+        path
+    else Ok ()
+  in
+  let* () =
+    check_expectations path program "expect" sb.Vc_lang.Spec_block.expect
+  in
+  let* () =
+    check_expectations path program "quick-expect"
+      sb.Vc_lang.Spec_block.quick_expect
+  in
+  let* () =
+    if
+      sb.Vc_lang.Spec_block.quick_inputs <> []
+      && sb.Vc_lang.Spec_block.quick_expect = []
+    then
+      load_error
+        "workload %s: quick roots need pinned values (add \"//! quick-expect \
+         NAME V\")"
+        path
+    else Ok ()
+  in
+  let* sweep_blocks =
+    match sb.Vc_lang.Spec_block.blocks with
+    | None -> Ok (pows 2 12)
+    | Some (lo, hi) ->
+        if hi > 24 then
+          load_error "workload %s: blocks %d..%d exceeds the 2^24 sweep cap"
+            path lo hi
+        else Ok (pows lo hi)
+  in
+  let roots = List.map Array.of_list sb.Vc_lang.Spec_block.inputs in
+  let quick_roots, quick_expected =
+    match sb.Vc_lang.Spec_block.quick_inputs with
+    | [] -> (roots, sb.Vc_lang.Spec_block.expect)
+    | qs -> (List.map Array.of_list qs, sb.Vc_lang.Spec_block.quick_expect)
+  in
+  let description =
+    match sb.Vc_lang.Spec_block.description with
+    | Some d -> d
+    | None -> Printf.sprintf "DSL workload (%s)" path
+  in
+  let entry =
+    of_program ~name ~description ~program ~roots ~quick_roots
+      ~expected:sb.Vc_lang.Spec_block.expect ~sweep_blocks
+  in
+  Ok { entry; quick_expected; path }
+
+let load_dir dir =
+  let* files =
+    match Sys.readdir dir with
+    | files -> Ok files
+    | exception Sys_error msg -> load_error "workload dir %s: %s" dir msg
+  in
+  let rtp =
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".rtp")
+    |> List.sort String.compare
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest ->
+        let* l = load_file (Filename.concat dir f) in
+        if List.exists (fun l' -> l'.entry.name = l.entry.name) acc then
+          load_error "workload dir %s: duplicate workload name %S (%s and %s)"
+            dir l.entry.name
+            (List.find (fun l' -> l'.entry.name = l.entry.name) acc).path
+            l.path
+        else go (l :: acc) rest
+  in
+  go [] rtp
+
+let resolve ~dirs name =
+  match find name with
+  | e -> Ok e
+  | exception Not_found ->
+      if Filename.check_suffix name ".rtp" then
+        let* l = load_file name in
+        Ok l.entry
+      else
+        let candidate =
+          List.find_map
+            (fun dir ->
+              let path = Filename.concat dir (name ^ ".rtp") in
+              if Sys.file_exists path then Some path else None)
+            dirs
+        in
+        (match candidate with
+        | Some path ->
+            let* l = load_file path in
+            Ok l.entry
+        | None -> (
+            (* a spec block may rename the workload away from its
+               filename: scan the directories and match by loaded name
+               (files that do not load are skipped, not fatal) *)
+            let by_name =
+              List.find_map
+                (fun dir ->
+                  match Sys.readdir dir with
+                  | exception Sys_error _ -> None
+                  | files ->
+                      Array.to_list files
+                      |> List.filter (fun f -> Filename.check_suffix f ".rtp")
+                      |> List.sort String.compare
+                      |> List.find_map (fun f ->
+                             match load_file (Filename.concat dir f) with
+                             | Ok l when l.entry.name = name -> Some l.entry
+                             | Ok _ | Error _ -> None))
+                dirs
+            in
+            match by_name with
+            | Some entry -> Ok entry
+            | None ->
+                load_error "unknown benchmark %S (built-ins: %s%s)" name
+                  (String.concat "|" names)
+                  (if dirs = [] then ""
+                   else
+                     Printf.sprintf "; searched %s" (String.concat ", " dirs))))

@@ -25,3 +25,49 @@ val find : string -> entry
 (** Raises [Not_found]. *)
 
 val names : string list
+
+(** {1 Runtime-loaded workloads}
+
+    Benchmarks as data: a [.rtp] source file (the Fig. 2 DSL) carrying a
+    {!Vc_lang.Spec_block} — inputs, expected reducer values, scaling
+    knobs — loads into a full {!entry} at runtime, so a new workload (or
+    a fuzzer-shrunk regression program) joins run/bench/verify/chaos with
+    no recompile.  All load failures are typed {!Vc_core.Vc_error.t}
+    values (phase [Load]), never [failwith]. *)
+
+type loaded = {
+  entry : entry;
+  quick_expected : (string * int) list;
+      (** expected reducer values at the [--quick] scale *)
+  path : string;  (** the source file the entry was loaded from *)
+}
+
+val of_program :
+  name:string ->
+  description:string ->
+  program:Vc_lang.Ast.program ->
+  roots:int array list ->
+  quick_roots:int array list ->
+  expected:(string * int) list ->
+  sweep_blocks:int list ->
+  entry
+(** Package a validated DSL program as a registry entry.  The spec is
+    compiled once per call to [entry.spec] via {!Vc_core.Compile} with
+    the full-scale roots; [entry.dsl] returns the program plus the
+    scale-appropriate roots. *)
+
+val load_file : string -> (loaded, Vc_core.Vc_error.t) result
+(** Load one [.rtp] file.  Typed errors cover: unreadable/missing file,
+    lexer/parser/validator rejections, malformed spec blocks, no [input]
+    directive, root arity mismatches, [expect] naming an undeclared
+    reducer, and a name colliding with a built-in benchmark. *)
+
+val load_dir : string -> (loaded list, Vc_core.Vc_error.t) result
+(** Load every [*.rtp] in a directory (sorted by filename).  Fails on the
+    first file-level error and on duplicate workload names within the
+    directory. *)
+
+val resolve :
+  dirs:string list -> string -> (entry, Vc_core.Vc_error.t) result
+(** Resolve a benchmark name for the CLI: built-ins first, then a literal
+    [.rtp] path, then [NAME.rtp] under each workload directory. *)

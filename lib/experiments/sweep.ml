@@ -104,7 +104,24 @@ let spec_of ctx (entry : Registry.entry) =
       (* built outside the lock (construction may be expensive); a racing
          domain at worst builds the same deterministic spec twice and the
          first insertion wins *)
-      let spec = if ctx.quick then quick_spec name else entry.Registry.spec () in
+      let spec =
+        if ctx.quick then
+          match quick_spec name with
+          | spec -> spec
+          | exception Invalid_argument _ -> (
+              (* runtime-loaded workload: its reduced scale comes from the
+                 spec block's quick inputs, via the attached DSL *)
+              match entry.Registry.dsl with
+              | Some dsl ->
+                  let p, roots = dsl ~quick:true in
+                  let args =
+                    match roots with r :: _ -> Array.to_list r | [] -> []
+                  in
+                  let s = Vc_core.Compile.spec_of_program ~name p ~args in
+                  { s with Vc_core.Spec.roots = roots }
+              | None -> entry.Registry.spec ())
+        else entry.Registry.spec ()
+      in
       Mutex.protect ctx.lock (fun () ->
           match Hashtbl.find_opt ctx.specs name with
           | Some spec -> spec

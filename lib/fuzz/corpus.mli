@@ -1,0 +1,45 @@
+(** Committed reproducers: shrunk divergent cases as [.rtp] workloads.
+
+    A reproducer file is ordinary registry input — provenance comments, a
+    {!Vc_lang.Spec_block} pinning the inputs and the oracle's reducer
+    values, then the program source — so replaying the corpus is just
+    {!Vc_bench.Registry.load_dir} plus the differential driver.  The same
+    format seeds [test/corpus/] with hand-picked regression programs. *)
+
+val oracle :
+  Vc_lang.Ast.program ->
+  int list list ->
+  ((string * int) list * int, string) result
+(** Reference result over a root set: per-reducer combination (by each
+    reducer's own operator) of the per-root interpreter runs, plus the
+    summed task count.  [Error] carries the interpreter failure. *)
+
+val reproducer_source :
+  name:string ->
+  provenance:string list ->
+  Vc_lang.Ast.program ->
+  int list ->
+  (string * int) list ->
+  string
+(** Render a complete [.rtp] file: [provenance] lines as comments, the
+    spec block ([input] + [expect] at both scales, since a shrunk case is
+    already minimal), and the pretty-printed program. *)
+
+val write :
+  dir:string ->
+  name:string ->
+  provenance:string list ->
+  Vc_lang.Ast.program ->
+  int list ->
+  (string, Vc_core.Vc_error.t) result
+(** Compute the oracle expectation, render, and write [dir/name.rtp]
+    (creating [dir] if needed).  Returns the path.  The written file must
+    itself load — {!Vc_bench.Registry.load_file} is re-run on it as a
+    self-check before reporting success. *)
+
+val replay :
+  quick:bool -> Vc_bench.Registry.loaded -> (int, string) result
+(** Replay one loaded workload at the given scale: oracle vs the spec
+    block's pinned values, then cost-model engine, blocked backend, and
+    compiled backend against the oracle (six-field equality between the
+    two wall-clock backends).  Returns the number of comparisons made. *)

@@ -1,0 +1,59 @@
+(** Seeded generator of well-typed, provably-terminating DSL programs.
+
+    Every generated program passes {!Vc_lang.Validate.check} and gets a
+    {!Vc_lang.Termination.Terminates} certificate by construction: the
+    first parameter is the ranking parameter — the base condition always
+    carries an [a < cutoff] disjunct, and every spawn site passes
+    [a - c] (c >= 1) in its position — so all execution strategies
+    terminate with tree depth bounded by the root argument.
+
+    The generator is a plain [Random.State.t -> 'a] function (the same
+    shape as [QCheck.Gen.t]), so property tests wrap it directly and the
+    CLI fuzzer seeds one state per case for reproducibility.
+
+    Shape knobs widen the space beyond the old two-parameter generator:
+    method arity, spawn fan-out, reducer kinds, guard nesting around
+    spawn sites, and shift/division edge operands (counts at and past
+    the 63-bit saturation point, guarded divisions by in-scope
+    variables that may be zero). *)
+
+type knobs = {
+  max_arity : int;  (** method parameters, 1..3; the first is ranking *)
+  max_fanout : int;  (** spawn sites per inductive case, 1..3 *)
+  reducer_ops : Vc_lang.Reducer.op list;  (** drawn per reducer decl *)
+  max_reducers : int;  (** declared reducers, 1..2 *)
+  max_guard_depth : int;  (** nested conditionals around spawn sites *)
+  max_base_depth : int;  (** statement nesting in the base case *)
+  edge_operands : bool;
+      (** emit shift counts {0,1,2,3,31,62,63,64,100}, variable shift
+          counts, and short-circuit-guarded divisions by variables *)
+  max_cutoff : int;  (** base threshold in [a < cutoff], >= 1 *)
+  max_root : int;  (** ranking root argument range 0..max_root *)
+}
+
+val default : knobs
+(** arity/fan-out up to 3, two reducers over sum/min/max, guard depth 2,
+    base depth 3, edge operands on, cutoff up to 2, roots up to 6. *)
+
+val program : ?knobs:knobs -> Random.State.t -> Vc_lang.Ast.program
+val args : ?knobs:knobs -> Vc_lang.Ast.program -> Random.State.t -> int list
+
+val program_and_args :
+  ?knobs:knobs -> Random.State.t -> Vc_lang.Ast.program * int list
+
+val case :
+  ?knobs:knobs -> seed:int -> index:int -> unit -> Vc_lang.Ast.program * int list
+(** The [index]-th case of stream [seed]: each case owns an independent
+    [Random.State], so a reproducer needs only (seed, index). *)
+
+val normalize : Vc_lang.Ast.stmt -> Vc_lang.Ast.stmt
+(** Canonicalize to the parser's right-nested, [Skip]-free [Seq] form so
+    the print/parse round trip is exact. *)
+
+val renumber : Vc_lang.Ast.stmt -> Vc_lang.Ast.stmt
+(** Reassign spawn ids consecutively in syntactic order (the validator's
+    invariant) — required after any structural edit. *)
+
+val size : Vc_lang.Ast.program -> int
+(** AST node count of the method (base condition + both cases): the
+    shrinker's primary measure. *)

@@ -150,6 +150,29 @@ let dead_locals (m : mth) =
   let run body = fst (dce params StringSet.empty body) in
   { m with base = run m.base; inductive = run m.inductive }
 
+(* Branch folding can delete spawn sites (a constant guard around a
+   spawn).  Ids are syntactic positions — the validator requires them
+   consecutive — so the surviving sites are renumbered in order. *)
+let renumber_spawns s =
+  let next = ref 0 in
+  let rec go = function
+    | (Skip | Return | Assign _ | Reduce _) as s -> s
+    | Seq (a, b) ->
+        let a = go a in
+        let b = go b in
+        Seq (a, b)
+    | If (c, a, b) ->
+        let a = go a in
+        let b = go b in
+        If (c, a, b)
+    | While (c, body) -> While (c, go body)
+    | Spawn sp ->
+        let id = !next in
+        incr next;
+        Spawn { sp with spawn_id = id }
+  in
+  go s
+
 let program (p : program) =
   let step (p : program) =
     let m = p.mth in
@@ -167,4 +190,6 @@ let program (p : program) =
     let p' = step p in
     if budget = 0 || p' = p then p' else fixpoint (budget - 1) p'
   in
-  fixpoint 10 p
+  let p = fixpoint 10 p in
+  let m = p.mth in
+  { p with mth = { m with inductive = renumber_spawns m.inductive } }

@@ -1,0 +1,144 @@
+type t = {
+  name : string option;
+  description : string option;
+  inputs : int list list;
+  quick_inputs : int list list;
+  expect : (string * int) list;
+  quick_expect : (string * int) list;
+  blocks : (int * int) option;
+}
+
+let empty =
+  {
+    name = None;
+    description = None;
+    inputs = [];
+    quick_inputs = [];
+    expect = [];
+    quick_expect = [];
+    blocks = None;
+  }
+
+(* A directive line is optional whitespace, "//!", then the directive.
+   Returns the payload without the marker, or None for ordinary lines. *)
+let directive_of_line line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done;
+  if !i + 3 <= n && line.[!i] = '/' && line.[!i + 1] = '/' && line.[!i + 2] = '!'
+  then Some (String.trim (String.sub line (!i + 3) (n - !i - 3)))
+  else None
+
+let lines_of source = String.split_on_char '\n' source
+
+let has_directives source =
+  List.exists (fun l -> directive_of_line l <> None) (lines_of source)
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let int_of w = int_of_string_opt w
+
+let all_ints ws =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | w :: rest -> (
+        match int_of w with Some v -> go (v :: acc) rest | None -> None)
+  in
+  go [] ws
+
+let parse_blocks_range s =
+  match String.index_opt s '.' with
+  | Some i
+    when i + 1 < String.length s
+         && s.[i + 1] = '.'
+         && i > 0
+         && i + 2 < String.length s -> (
+      let lo = String.sub s 0 i in
+      let hi = String.sub s (i + 2) (String.length s - i - 2) in
+      match (int_of lo, int_of hi) with
+      | Some lo, Some hi when lo >= 0 && hi >= lo -> Some (lo, hi)
+      | _ -> None)
+  | _ -> None
+
+let parse source =
+  let errors = ref [] in
+  let err lineno fmt =
+    Printf.ksprintf
+      (fun msg -> errors := Printf.sprintf "line %d: %s" lineno msg :: !errors)
+      fmt
+  in
+  let t = ref empty in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      match directive_of_line line with
+      | None -> ()
+      | Some "" -> err lineno "empty //! directive"
+      | Some payload -> (
+          match words payload with
+          | [] -> err lineno "empty //! directive"
+          | cmd :: rest -> (
+              match (cmd, rest) with
+              | "name", [ n ] ->
+                  if !t.name <> None then err lineno "duplicate name directive"
+                  else t := { !t with name = Some n }
+              | "name", _ -> err lineno "name takes exactly one identifier"
+              | "desc", (_ :: _ as ws) ->
+                  t := { !t with description = Some (String.concat " " ws) }
+              | "desc", [] -> err lineno "desc takes free text"
+              | "input", (_ :: _ as ws) -> (
+                  match all_ints ws with
+                  | Some vals -> t := { !t with inputs = !t.inputs @ [ vals ] }
+                  | None -> err lineno "input takes integers (one root frame)")
+              | "input", [] -> err lineno "input takes integers (one root frame)"
+              | "quick", (_ :: _ as ws) -> (
+                  match all_ints ws with
+                  | Some vals ->
+                      t := { !t with quick_inputs = !t.quick_inputs @ [ vals ] }
+                  | None -> err lineno "quick takes integers (one root frame)")
+              | "quick", [] -> err lineno "quick takes integers (one root frame)"
+              | "expect", [ name; v ] -> (
+                  match int_of v with
+                  | Some v -> t := { !t with expect = !t.expect @ [ (name, v) ] }
+                  | None -> err lineno "expect takes a reducer name and an integer")
+              | "expect", _ ->
+                  err lineno "expect takes a reducer name and an integer"
+              | "quick-expect", [ name; v ] -> (
+                  match int_of v with
+                  | Some v ->
+                      t := { !t with quick_expect = !t.quick_expect @ [ (name, v) ] }
+                  | None ->
+                      err lineno "quick-expect takes a reducer name and an integer")
+              | "quick-expect", _ ->
+                  err lineno "quick-expect takes a reducer name and an integer"
+              | "blocks", [ r ] -> (
+                  match parse_blocks_range r with
+                  | Some range -> t := { !t with blocks = Some range }
+                  | None -> err lineno "blocks takes a range LO..HI (0 <= LO <= HI)")
+              | "blocks", _ -> err lineno "blocks takes a range LO..HI"
+              | cmd, _ ->
+                  err lineno
+                    "unknown directive %S (name|desc|input|quick|expect|quick-expect|blocks)"
+                    cmd)))
+    (lines_of source);
+  if !errors = [] then Ok !t else Error (List.rev !errors)
+
+let to_lines t =
+  let ints vals = String.concat " " (List.map string_of_int vals) in
+  List.concat
+    [
+      (match t.name with Some n -> [ Printf.sprintf "//! name %s" n ] | None -> []);
+      (match t.description with
+      | Some d -> [ Printf.sprintf "//! desc %s" d ]
+      | None -> []);
+      List.map (fun root -> Printf.sprintf "//! input %s" (ints root)) t.inputs;
+      List.map (fun root -> Printf.sprintf "//! quick %s" (ints root)) t.quick_inputs;
+      List.map (fun (n, v) -> Printf.sprintf "//! expect %s %d" n v) t.expect;
+      List.map
+        (fun (n, v) -> Printf.sprintf "//! quick-expect %s %d" n v)
+        t.quick_expect;
+      (match t.blocks with
+      | Some (lo, hi) -> [ Printf.sprintf "//! blocks %d..%d" lo hi ]
+      | None -> []);
+    ]

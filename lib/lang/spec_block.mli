@@ -1,0 +1,48 @@
+(** Spec blocks: declarative workload metadata embedded in [.rtp] sources.
+
+    A spec block is a run of [//!] comment directives (the lexer already
+    skips [//] comments, so annotated files stay plain DSL programs):
+
+    {v
+    //! name shift-saturation
+    //! desc shift counts at and past the 63-bit saturation point
+    //! input 6 3
+    //! quick 4 1
+    //! expect acc 1234
+    //! quick-expect acc 56
+    //! blocks 2..12
+    v}
+
+    [input] (repeatable) gives the root frames — one line per root, one
+    integer per method parameter; multi-root workloads (uts-style seeded
+    frontiers) repeat it.  [quick] (repeatable) gives the reduced-scale
+    roots used under [--quick]; it defaults to the full-scale roots.
+    [expect] / [quick-expect] pin reducer values at each scale, and
+    [blocks lo..hi] names the power-of-two block-size sweep range.
+
+    Parsing is pure text scanning: it never touches the DSL parser, and a
+    file with no [//!] lines yields {!empty}. *)
+
+type t = {
+  name : string option;
+  description : string option;
+  inputs : int list list;  (** full-scale roots, declaration order *)
+  quick_inputs : int list list;  (** reduced-scale roots; [] = same *)
+  expect : (string * int) list;  (** reducer name -> full-scale value *)
+  quick_expect : (string * int) list;
+  blocks : (int * int) option;  (** power-of-two sweep exponents lo..hi *)
+}
+
+val empty : t
+
+val parse : string -> (t, string list) result
+(** [parse source] scans the whole file text for [//!] directive lines.
+    All malformed directives are reported, not just the first. *)
+
+val has_directives : string -> bool
+(** Does the source contain any [//!] line at all? *)
+
+val to_lines : t -> string list
+(** Render back as [//!] directive lines (used by the fuzzer when it
+    commits a shrunk reproducer). [parse (String.concat "\n" (to_lines t))]
+    reproduces [t]. *)

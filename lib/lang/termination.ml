@@ -15,17 +15,28 @@ let decrease_of ~param arg =
    [param < k] (any orientation), so the inductive case implies
    [param >= k]. *)
 let rec lower_bound_of ~param cond =
-  match Optim.fold_expr cond with
-  | Binop (Lt, Var q, Int k) when q = param -> Some k
-  | Binop (Le, Var q, Int k) when q = param -> Some (k + 1)
-  | Binop (Gt, Int k, Var q) when q = param -> Some k
-  | Binop (Ge, Int k, Var q) when q = param -> Some (k + 1)
+  match cond with
+  (* Split disjunctions before constant folding: folding collapses
+     [c || true] to [true], hiding a ranking disjunct next to an
+     always-true one.  base ⊇ each disjunct, so ¬base ⊆ ¬disjunct:
+     either side yields a sound bound. *)
   | Binop (Or, a, b) -> (
-      (* base ⊇ each disjunct, so ¬base ⊆ ¬disjunct: either side works *)
       match lower_bound_of ~param a with
       | Some k -> Some k
       | None -> lower_bound_of ~param b)
-  | _ -> None
+  | _ -> (
+      match Optim.fold_expr cond with
+      | Binop (Lt, Var q, Int k) when q = param -> Some k
+      | Binop (Le, Var q, Int k) when q = param -> Some (k + 1)
+      | Binop (Gt, Int k, Var q) when q = param -> Some k
+      | Binop (Ge, Int k, Var q) when q = param -> Some (k + 1)
+      | Binop (Or, a, b) -> (
+          (* folding can surface a disjunction (e.g. under a double
+             negation); recurse the same way *)
+          match lower_bound_of ~param a with
+          | Some k -> Some k
+          | None -> lower_bound_of ~param b)
+      | _ -> None)
 
 let check program =
   match Validate.check program with

@@ -1,0 +1,12 @@
+(* QCheck wrapper over the Vc_fuzz generator — the single source of
+   random well-typed, provably-terminating DSL programs for the whole
+   test suite (the old two-parameter test/gen_programs.ml grew into
+   lib/fuzz/gen.ml; see its knobs for the widened shape space). *)
+
+let print_case (p, args) =
+  Vc_lang.Pp.program_to_string p
+  ^ "\n// args: "
+  ^ String.concat " " (List.map string_of_int args)
+
+let arbitrary_program_and_args =
+  QCheck.make ~print:print_case Vc_fuzz.Gen.program_and_args

@@ -216,7 +216,7 @@ let test_blocked_interp_task_limit () =
 
 let blocked_interp_equiv_random =
   QCheck.Test.make ~name:"transformed program = sequential semantics (random)"
-    ~count:120 Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+    ~count:120 Qgen.arbitrary_program_and_args (fun (p, args) ->
       let expected = interp_reducers p args in
       let t = Transform.transform p in
       List.for_all
@@ -249,7 +249,7 @@ let test_compile_fib_spec () =
 
 let compile_equiv_random =
   QCheck.Test.make ~name:"compiled spec = sequential semantics (random)" ~count:60
-    Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+    Qgen.arbitrary_program_and_args (fun (p, args) ->
       let expected = interp_reducers p args in
       let spec = Compile.spec_of_program p ~args in
       let seq = Seq_exec.run ~spec ~machine:e5 () in

@@ -1,0 +1,181 @@
+(* The committed corpus and the runtime registry loader: every seeded
+   regression .rtp replays bit-equal across the three backends, and
+   every malformed workload is a typed Vc_error (exit code 1), never a
+   failwith. *)
+
+let corpus_dir = "corpus"
+let examples_dir = Filename.concat ".." (Filename.concat "examples" "dsl")
+
+let load_dir_ok dir =
+  match Vc_bench.Registry.load_dir dir with
+  | Ok ls -> ls
+  | Error e -> Alcotest.failf "load_dir %s: %s" dir (Vc_core.Vc_error.to_string e)
+
+let check_corpus_loads () =
+  let loaded = load_dir_ok corpus_dir in
+  if List.length loaded < 5 then
+    Alcotest.failf "corpus has %d workloads, expected >= 5"
+      (List.length loaded);
+  List.iter
+    (fun (l : Vc_bench.Registry.loaded) ->
+      let e = l.Vc_bench.Registry.entry in
+      if e.Vc_bench.Registry.dsl = None then
+        Alcotest.failf "%s has no DSL program" e.Vc_bench.Registry.name)
+    loaded
+
+(* The seeded regressions: interpreter oracle, cost-model engine, blocked
+   and compiled wall-clock backends, all bit-equal, spec pins honored. *)
+let check_corpus_replays () =
+  List.iter
+    (fun (l : Vc_bench.Registry.loaded) ->
+      match Vc_fuzz.Corpus.replay ~quick:true l with
+      | Ok checks ->
+          if checks < 3 then
+            Alcotest.failf "%s: only %d comparisons ran"
+              l.Vc_bench.Registry.entry.Vc_bench.Registry.name checks
+      | Error msg -> Alcotest.fail msg)
+    (load_dir_ok corpus_dir)
+
+let check_examples_load_and_replay () =
+  let loaded = load_dir_ok examples_dir in
+  if List.length loaded < 4 then
+    Alcotest.failf "examples/dsl has %d workloads, expected >= 4"
+      (List.length loaded);
+  List.iter
+    (fun (l : Vc_bench.Registry.loaded) ->
+      match Vc_fuzz.Corpus.replay ~quick:true l with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg)
+    loaded
+
+(* ---- typed load errors ---- *)
+
+let write_tmp name content =
+  let dir = Filename.get_temp_dir_name () in
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc content);
+  path
+
+let valid_body =
+  "reducer sum acc;\n\
+   def m(a) =\n\
+   \  if a < 1 then {\n\
+   \    reduce(acc, 1);\n\
+   \  } else {\n\
+   \    spawn m(a - 1);\n\
+   \  }\n"
+
+let expect_load_error what result =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: load unexpectedly succeeded" what
+  | Error (e : Vc_core.Vc_error.t) ->
+      if e.Vc_core.Vc_error.phase <> Vc_core.Vc_error.Load then
+        Alcotest.failf "%s: error not in Load phase: %s" what
+          (Vc_core.Vc_error.to_string e);
+      (* load failures are plain failures (exit 1), never budget (2) *)
+      if Vc_core.Vc_error.exit_code e <> 1 then
+        Alcotest.failf "%s: exit code %d, want 1" what
+          (Vc_core.Vc_error.exit_code e)
+
+let check_malformed_spec_block () =
+  let path =
+    write_tmp "vc-malformed.rtp"
+      ("//! input one two\n//! expect\n//! blocks 4..x\n" ^ valid_body)
+  in
+  expect_load_error "malformed spec block" (Vc_bench.Registry.load_file path);
+  Sys.remove path
+
+let check_missing_file () =
+  expect_load_error "missing file"
+    (Vc_bench.Registry.load_file "no-such-workload.rtp")
+
+let check_missing_inputs () =
+  let path = write_tmp "vc-noinput.rtp" ("//! expect acc 1\n" ^ valid_body) in
+  expect_load_error "no input directive" (Vc_bench.Registry.load_file path);
+  Sys.remove path
+
+let check_reducer_mismatch () =
+  let path =
+    write_tmp "vc-mismatch.rtp"
+      ("//! input 3\n//! expect nosuch 1\n" ^ valid_body)
+  in
+  expect_load_error "expect names undeclared reducer"
+    (Vc_bench.Registry.load_file path);
+  Sys.remove path
+
+let check_builtin_collision () =
+  let path =
+    write_tmp "vc-collide.rtp"
+      ("//! name fib\n//! input 3\n//! expect acc 1\n" ^ valid_body)
+  in
+  expect_load_error "name collides with built-in"
+    (Vc_bench.Registry.load_file path);
+  Sys.remove path
+
+let check_duplicate_names () =
+  let dir = Filename.temp_file "vc-dup" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let write name =
+    let oc = open_out (Filename.concat dir name) in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc ("//! name same\n//! input 3\n//! expect acc 1\n" ^ valid_body))
+  in
+  write "one.rtp";
+  write "two.rtp";
+  expect_load_error "duplicate workload name" (Vc_bench.Registry.load_dir dir);
+  Sys.remove (Filename.concat dir "one.rtp");
+  Sys.remove (Filename.concat dir "two.rtp");
+  Sys.rmdir dir
+
+let check_arity_mismatch () =
+  let path =
+    write_tmp "vc-arity.rtp" ("//! input 3 4\n//! expect acc 1\n" ^ valid_body)
+  in
+  expect_load_error "root arity mismatch" (Vc_bench.Registry.load_file path);
+  Sys.remove path
+
+(* resolve: built-ins win, then workload files; unknown names are typed *)
+let check_resolve () =
+  (match Vc_bench.Registry.resolve ~dirs:[ corpus_dir ] "fib" with
+  | Ok e ->
+      Alcotest.(check string) "builtin" "fib" e.Vc_bench.Registry.name
+  | Error e -> Alcotest.failf "fib: %s" (Vc_core.Vc_error.to_string e));
+  (match Vc_bench.Registry.resolve ~dirs:[ corpus_dir ] "multi-root" with
+  | Ok e ->
+      Alcotest.(check string) "loaded" "multi-root" e.Vc_bench.Registry.name
+  | Error e -> Alcotest.failf "multi-root: %s" (Vc_core.Vc_error.to_string e));
+  expect_load_error "unknown name"
+    (Vc_bench.Registry.resolve ~dirs:[ corpus_dir ] "no-such-bench")
+
+let () =
+  Alcotest.run "vc_corpus"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "corpus loads (>= 5 workloads)" `Quick
+            check_corpus_loads;
+          Alcotest.test_case "corpus replays across all three backends" `Quick
+            check_corpus_replays;
+          Alcotest.test_case "examples/dsl load and replay" `Quick
+            check_examples_load_and_replay;
+        ] );
+      ( "typed-errors",
+        [
+          Alcotest.test_case "malformed spec block" `Quick
+            check_malformed_spec_block;
+          Alcotest.test_case "missing file" `Quick check_missing_file;
+          Alcotest.test_case "no input directive" `Quick check_missing_inputs;
+          Alcotest.test_case "expect names undeclared reducer" `Quick
+            check_reducer_mismatch;
+          Alcotest.test_case "builtin name collision" `Quick
+            check_builtin_collision;
+          Alcotest.test_case "duplicate names in a directory" `Quick
+            check_duplicate_names;
+          Alcotest.test_case "root arity mismatch" `Quick check_arity_mismatch;
+          Alcotest.test_case "resolve order and typed unknown" `Quick
+            check_resolve;
+        ] );
+    ]

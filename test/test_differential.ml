@@ -31,8 +31,8 @@ let count =
 let cases =
   let st = Random.State.make [| seed |] in
   List.init count (fun i ->
-      let p = Gen_programs.gen_program st in
-      let args = Gen_programs.gen_args st in
+      let p = Vc_fuzz.Gen.program st in
+      let args = Vc_fuzz.Gen.args p st in
       (i, p, args))
 
 let strategies =

@@ -1,0 +1,175 @@
+(* The fuzz harness tested on itself: generator contracts, shrinker
+   determinism and minimality, and the planted-bug (mutation smoke)
+   guarantees that back the CI fuzz job. *)
+
+open Vc_lang
+
+let seed =
+  match Sys.getenv_opt "VC_PROP_SEED" with
+  | Some s -> (try int_of_string s with _ -> 42)
+  | None -> 42
+
+let count =
+  match Sys.getenv_opt "VC_PROP_COUNT" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 60)
+  | None -> 60
+
+let describe i p args =
+  Printf.sprintf "case %d (seed %d)\n%s\nargs: %s" i seed
+    (Pp.program_to_string p)
+    (String.concat ", " (List.map string_of_int args))
+
+(* Every generated program is valid, terminating, spawning — the
+   generator's whole contract, checked via the shrinker's own notion of
+   validity so the two stay in sync. *)
+let check_generator_validity () =
+  for i = 0 to (2 * count) - 1 do
+    let p, args = Vc_fuzz.Gen.case ~seed ~index:i () in
+    if not (Vc_fuzz.Shrink.valid p) then
+      Alcotest.failf "generated program invalid: %s" (describe i p args);
+    let arity = List.length p.Ast.mth.Ast.params in
+    if List.length args <> arity then
+      Alcotest.failf "argument arity mismatch: %s" (describe i p args)
+  done
+
+(* (seed, index) fully determines a case: the reproducer contract. *)
+let check_generator_determinism () =
+  for i = 0 to count - 1 do
+    let a = Vc_fuzz.Gen.case ~seed ~index:i () in
+    let b = Vc_fuzz.Gen.case ~seed ~index:i () in
+    if a <> b then Alcotest.failf "case %d not deterministic for seed %d" i seed
+  done;
+  let a = Vc_fuzz.Gen.case ~seed:1 ~index:0 () in
+  let b = Vc_fuzz.Gen.case ~seed:2 ~index:0 () in
+  if a = b then Alcotest.fail "different seeds produced identical case 0"
+
+(* Generated programs survive the print/parse round trip exactly —
+   that is what makes a committed .rtp reproducer faithful. *)
+let check_round_trip () =
+  for i = 0 to count - 1 do
+    let p, args = Vc_fuzz.Gen.case ~seed ~index:i () in
+    let p' = Parser.parse_string (Pp.program_to_string p) in
+    if p' <> p then Alcotest.failf "round trip changed: %s" (describe i p args)
+  done
+
+(* The unplanted differential driver never diverges: the live-fuzzing
+   invariant at test scale. *)
+let check_no_divergence () =
+  let agreed = ref 0 in
+  for i = 0 to (count / 2) - 1 do
+    let p, args = Vc_fuzz.Gen.case ~seed ~index:i () in
+    match Vc_fuzz.Diff.check ~domains:[ 2 ] p args with
+    | Vc_fuzz.Diff.Agree { checks } ->
+        if checks = 0 then
+          Alcotest.failf "no comparisons ran: %s" (describe i p args);
+        incr agreed
+    | Vc_fuzz.Diff.Skip _ -> ()
+    | Vc_fuzz.Diff.Diverge { stage; detail } ->
+        Alcotest.failf "divergence at %s (%s): %s" stage detail
+          (describe i p args)
+  done;
+  if !agreed = 0 then Alcotest.fail "every differential case was skipped"
+
+(* A canonical tree program both plants bite on: shifts in the base case,
+   a two-deep spawn tree. *)
+let planted_program =
+  Parser.parse_string
+    "reducer sum acc;\n\
+     def m(a, b) =\n\
+     \  if a < 1 then {\n\
+     \    reduce(acc, (b << 1) + (1 << 63));\n\
+     \  } else {\n\
+     \    spawn m(a - 1, b + 1);\n\
+     \    spawn m(a - 2, b);\n\
+     \  }"
+
+let planted_args = [ 3; 1 ]
+
+let check_plants_detected () =
+  List.iter
+    (fun plant ->
+      if not (Vc_fuzz.Diff.failing ~plant planted_program planted_args) then
+        Alcotest.failf "plant %s not detected on the canonical program"
+          (Vc_fuzz.Diff.plant_name plant);
+      (* the planted mutation stays a valid, terminating program — it is
+         a semantic bug, not a crash *)
+      if not (Vc_fuzz.Shrink.valid (Vc_fuzz.Diff.mutate plant planted_program))
+      then
+        Alcotest.failf "plant %s broke program validity"
+          (Vc_fuzz.Diff.plant_name plant))
+    [ Vc_fuzz.Diff.Shl_trunc; Vc_fuzz.Diff.Spawn_skew ];
+  if Vc_fuzz.Diff.failing planted_program planted_args then
+    Alcotest.fail "unplanted canonical program diverged"
+
+(* Shrinking is pure: same input, same predicate, same minimum. *)
+let check_shrinker_determinism () =
+  let keep = Vc_fuzz.Diff.failing ~plant:Vc_fuzz.Diff.Spawn_skew in
+  let a = Vc_fuzz.Shrink.minimize ~keep planted_program planted_args in
+  let b = Vc_fuzz.Shrink.minimize ~keep planted_program planted_args in
+  if a <> b then Alcotest.fail "shrinker not deterministic"
+
+(* The shrunk case is still valid, still failing, and spawn-skew reaches
+   its <= 10 node minimal reproducer. *)
+let check_shrinker_minimizes () =
+  let keep = Vc_fuzz.Diff.failing ~plant:Vc_fuzz.Diff.Spawn_skew in
+  let p', args' = Vc_fuzz.Shrink.minimize ~keep planted_program planted_args in
+  if not (Vc_fuzz.Shrink.valid p') then
+    Alcotest.failf "shrunk program invalid:\n%s" (Pp.program_to_string p');
+  if not (keep p' args') then
+    Alcotest.failf "shrunk program no longer fails:\n%s"
+      (Pp.program_to_string p');
+  let nodes = Vc_fuzz.Gen.size p' in
+  if nodes > 10 then
+    Alcotest.failf "spawn-skew reproducer has %d AST nodes (> 10):\n%s" nodes
+      (Pp.program_to_string p');
+  (* shl-trunc shrinks too (its floor is above 10 nodes: the shift and
+     the odd count must survive) *)
+  let keep = Vc_fuzz.Diff.failing ~plant:Vc_fuzz.Diff.Shl_trunc in
+  let p'', _ = Vc_fuzz.Shrink.minimize ~keep planted_program planted_args in
+  if Vc_fuzz.Gen.size p'' > Vc_fuzz.Gen.size planted_program then
+    Alcotest.fail "shl-trunc shrink grew the program"
+
+(* A written reproducer is a loadable workload that replays clean. *)
+let check_reproducer_round_trip () =
+  let dir = Filename.temp_file "vc-corpus" "" in
+  Sys.remove dir;
+  let keep = Vc_fuzz.Diff.failing ~plant:Vc_fuzz.Diff.Spawn_skew in
+  let p', args' = Vc_fuzz.Shrink.minimize ~keep planted_program planted_args in
+  match
+    Vc_fuzz.Corpus.write ~dir ~name:"fuzz-test-0"
+      ~provenance:[ "unit-test reproducer" ] p' args'
+  with
+  | Error e -> Alcotest.failf "write failed: %s" (Vc_core.Vc_error.to_string e)
+  | Ok path -> (
+      match Vc_bench.Registry.load_file path with
+      | Error e ->
+          Alcotest.failf "reproducer does not load: %s"
+            (Vc_core.Vc_error.to_string e)
+      | Ok loaded -> (
+          match Vc_fuzz.Corpus.replay ~quick:true loaded with
+          | Ok _ -> Sys.remove path
+          | Error msg -> Alcotest.failf "reproducer replay failed: %s" msg))
+
+let () =
+  Alcotest.run "vc_fuzz"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "generated programs are valid and terminating"
+            `Quick check_generator_validity;
+          Alcotest.test_case "(seed, index) determines the case" `Quick
+            check_generator_determinism;
+          Alcotest.test_case "print/parse round trip is exact" `Quick
+            check_round_trip;
+          Alcotest.test_case "differential driver finds no divergence" `Slow
+            check_no_divergence;
+          Alcotest.test_case "planted bugs are detected, unplanted is clean"
+            `Quick check_plants_detected;
+          Alcotest.test_case "shrinker is deterministic" `Quick
+            check_shrinker_determinism;
+          Alcotest.test_case "spawn-skew shrinks to <= 10 AST nodes" `Quick
+            check_shrinker_minimizes;
+          Alcotest.test_case "reproducer writes, loads, and replays" `Quick
+            check_reproducer_round_trip;
+        ] );
+    ]

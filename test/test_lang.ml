@@ -100,7 +100,7 @@ let test_pp_roundtrip_fixed () =
 
 let pp_roundtrip_random =
   QCheck.Test.make ~name:"pp/parse roundtrip on random programs" ~count:300
-    Gen_programs.arbitrary_program_and_args (fun (p, _) ->
+    Qgen.arbitrary_program_and_args (fun (p, _) ->
       let printed = Pp.program_to_string p in
       Parser.parse_string printed = p)
 
@@ -185,7 +185,7 @@ let test_validate_if_assignment_intersection () =
 
 let random_programs_validate =
   QCheck.Test.make ~name:"generated programs validate" ~count:300
-    Gen_programs.arbitrary_program_and_args (fun (p, _) ->
+    Qgen.arbitrary_program_and_args (fun (p, _) ->
       match Validate.check p with Ok _ -> true | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
@@ -329,7 +329,7 @@ let test_interp_arity () =
 
 let interp_deterministic =
   QCheck.Test.make ~name:"interpreter deterministic on random programs" ~count:150
-    Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+    Qgen.arbitrary_program_and_args (fun (p, args) ->
       let a = Interp.run ~max_tasks:100_000 p args in
       let b = Interp.run ~max_tasks:100_000 p args in
       a.Interp.reducers = b.Interp.reducers

@@ -96,7 +96,7 @@ let test_dead_local_trap_kept () =
 
 let optim_preserves_semantics =
   QCheck.Test.make ~name:"optimized program = original semantics" ~count:200
-    Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+    Qgen.arbitrary_program_and_args (fun (p, args) ->
       let optimized = Optim.program p in
       (match Validate.check optimized with Ok _ -> true | Error _ -> false)
       &&
@@ -112,7 +112,7 @@ let optim_preserves_semantics =
 
 let optim_never_grows =
   QCheck.Test.make ~name:"optimizer never grows the program" ~count:200
-    Gen_programs.arbitrary_program_and_args (fun (p, _) ->
+    Qgen.arbitrary_program_and_args (fun (p, _) ->
       let size prog =
         Ast.expr_size prog.Ast.mth.Ast.is_base
         + Ast.stmt_size prog.Ast.mth.Ast.base
@@ -122,7 +122,7 @@ let optim_never_grows =
 
 let optim_idempotent =
   QCheck.Test.make ~name:"optimizer is idempotent" ~count:200
-    Gen_programs.arbitrary_program_and_args (fun (p, _) ->
+    Qgen.arbitrary_program_and_args (fun (p, _) ->
       let once = Optim.program p in
       Optim.program once = once)
 
@@ -261,14 +261,14 @@ let test_distributed_fib () =
 let distributed_equiv_random =
   QCheck.Test.make
     ~name:"step-major (distributed) execution = sequential semantics" ~count:120
-    Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+    Qgen.arbitrary_program_and_args (fun (p, args) ->
       let expected = (Interp.run ~max_tasks:100_000 p args).Interp.reducers in
       let t = Vc_core.Transform.transform p in
       run_distributed t args = expected)
 
 let simplified_equiv_random =
   QCheck.Test.make ~name:"simplified distributed form = sequential semantics"
-    ~count:120 Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+    ~count:120 Qgen.arbitrary_program_and_args (fun (p, args) ->
       let expected = (Interp.run ~max_tasks:100_000 p args).Interp.reducers in
       let t = Vc_core.Transform.transform p in
       run_distributed ~simplify:true t args = expected)
@@ -316,7 +316,7 @@ let test_termination_unknown () =
 
 let termination_certifies_generated =
   QCheck.Test.make ~name:"generated programs are certified terminating" ~count:200
-    Gen_programs.arbitrary_program_and_args (fun (p, _) ->
+    Qgen.arbitrary_program_and_args (fun (p, _) ->
       match Termination.check p with
       | Termination.Terminates { param = "a"; _ } -> true
       | _ -> false)

@@ -36,7 +36,7 @@ let arbitrary_case =
         (String.concat ", " (List.map string_of_int args))
         machine.Vc_mem.Machine.name (Policy.describe strategy)
         (Vc_simd.Compact.name compact) cutoff)
-    QCheck.Gen.(pair (QCheck.gen Gen_programs.arbitrary_program_and_args) gen_config)
+    QCheck.Gen.(pair (QCheck.gen Qgen.arbitrary_program_and_args) gen_config)
 
 let engine_agrees_with_interpreter =
   QCheck.Test.make
@@ -76,7 +76,7 @@ let report_invariants =
 
 let trace_conserves_tasks =
   QCheck.Test.make ~name:"trace events partition the executed tasks" ~count:80
-    Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+    Qgen.arbitrary_program_and_args (fun (p, args) ->
       let spec = Compile.spec_of_program p ~args in
       let trace = Trace.create () in
       let r =
@@ -92,7 +92,7 @@ let trace_conserves_tasks =
 let multicore_agrees =
   QCheck.Test.make ~name:"multicore hybrid = interpreter on random programs"
     ~count:60
-    QCheck.(pair Gen_programs.arbitrary_program_and_args (int_range 1 6))
+    QCheck.(pair Qgen.arbitrary_program_and_args (int_range 1 6))
     (fun ((p, args), workers) ->
       let expected = (Vc_lang.Interp.run ~max_tasks:100_000 p args).Vc_lang.Interp.reducers in
       let spec = Compile.spec_of_program p ~args in
@@ -102,7 +102,7 @@ let multicore_agrees =
 let optimized_specs_agree =
   QCheck.Test.make
     ~name:"optimizer + compile + engine = interpreter on random programs"
-    ~count:80 Gen_programs.arbitrary_program_and_args (fun (p, args) ->
+    ~count:80 Qgen.arbitrary_program_and_args (fun (p, args) ->
       match Vc_lang.Interp.run ~max_tasks:100_000 p args with
       | exception Vc_lang.Interp.Runtime_error _ -> true
       | out ->
