@@ -26,7 +26,17 @@
      chaos                       - fault-injection campaign: every
                                    benchmark must recover to exact
                                    results via scalar fallback
+     serve                       - fault-contained job daemon: JSON
+                                   requests over Unix/TCP sockets with
+                                   admission control, backpressure,
+                                   per-request budgets, graceful drain
+     loadgen                     - replay a weighted mix against serve
+                                   and assert bit-equality vs batch
      all                         - every table, figure, and ablation
+
+   Exit codes (defined once in Vc_error, listed in --help): 0 ok,
+   1 detected failure, 2 budget exceeded, 3 perf regression; 124 usage,
+   125 crash, 130/143 interrupted (after flushing partial artifacts).
 
    Sweep-driven subcommands (table, figure, plot, export, verify, all)
    take --jobs N (parallel worker domains, default: the recommended
@@ -213,6 +223,25 @@ let ctx_of ?(budgets = Vc_core.Supervisor.no_budgets) quick jobs no_cache =
     ~budgets
     ~faults:(Vc_core.Fault.of_env ())
     ()
+
+(* Long-running subcommands (bench, chaos, fuzz, loadgen) install
+   SIGINT/SIGTERM handlers that flush partial artifacts — the persistent
+   run cache and any open telemetry sinks — before exiting with the shell
+   convention (130 = SIGINT, 143 = SIGTERM), so an interrupted campaign
+   keeps what it already computed.  Distinct from the detected-failure
+   exit taxonomy (0/1/2/3) and from serve, which installs its own
+   handlers to drain gracefully and exit 0. *)
+let install_signal_flush flush =
+  let handle code =
+    Sys.Signal_handle
+      (fun _ ->
+        (try flush () with _ -> ());
+        Format.pp_print_flush Format.std_formatter ();
+        Format.pp_print_flush Format.err_formatter ();
+        Stdlib.exit code)
+  in
+  (try Sys.set_signal Sys.sigint (handle 130) with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (handle 143) with Invalid_argument _ -> ())
 
 (* Flush the run cache and report what the sweep actually did; artifact
    text goes to stdout, so the stats line stays on stderr. *)
@@ -840,11 +869,13 @@ let bench_cmd =
         exit 1
       end;
       let ctx = ctx_of quick jobs no_cache in
+      install_signal_flush (fun () -> Vc_exp.Sweep.persist ctx);
       backend_table ctx ~entries ~engine:(engine_name engine) ~block;
       Option.iter (write_comparison ctx ~entries ~block) compiled_json;
       exit 0
     end;
     let ctx = ctx_of quick jobs no_cache in
+    install_signal_flush (fun () -> Vc_exp.Sweep.persist ctx);
     let current = Vc_exp.Baseline.collect ~block ctx in
     Format.printf "%-24s %14s %8s %8s %6s %6s %10s %10s@." "BENCH/MACHINE"
       "CYCLES" "SPEEDUP" "DSPEED" "OCC" "CPASS" "SPACE" "MTASK/S";
@@ -880,7 +911,9 @@ let bench_cmd =
                   baseline.Vc_exp.Baseline.label Vc_exp.Baseline.pp_verdicts
                   verdicts;
                 exit
-                  (if Vc_exp.Baseline.regressions verdicts = [] then 0 else 3)))
+                  (if Vc_exp.Baseline.regressions verdicts = [] then
+                     Vc_core.Vc_error.exit_ok
+                   else Vc_core.Vc_error.exit_regression)))
     | None -> (
         match write_baseline with
         | Some path ->
@@ -1047,7 +1080,9 @@ let verify_cmd =
     in
     Vc_exp.Claims.pp Format.std_formatter verdicts;
     finish ctx;
-    exit (if Vc_exp.Claims.failures verdicts = 0 then 0 else 1)
+    exit
+      (if Vc_exp.Claims.failures verdicts = 0 then Vc_core.Vc_error.exit_ok
+       else Vc_core.Vc_error.exit_failure)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -1104,6 +1139,9 @@ let chaos_cmd =
     (* Chaos runs are recovered-but-degraded, so they never touch the
        persistent cache; every reference and faulted run is fresh. *)
     let ctx = Vc_exp.Sweep.create ~quick ~jobs ~cache_dir:None () in
+    (* nothing persists from a chaos ctx; the handler still flushes the
+       partial campaign output before exiting 130/143 *)
+    install_signal_flush (fun () -> Vc_exp.Sweep.persist ctx);
     let strategy = Vc_core.Policy.Hybrid { max_block = block; reexpand = true } in
     Format.printf
       "chaos: engine %s, seed %d, rate %.2f, sites %s, block %d, %d domain%s, \
@@ -1169,7 +1207,9 @@ let chaos_cmd =
         results;
       Format.printf "chaos: %d checks, %d failed, %d faults injected@."
         (Array.length entries) !failures !total_faults;
-      exit (if !failures = 0 then 0 else 1)
+      exit
+      (if !failures = 0 then Vc_core.Vc_error.exit_ok
+       else Vc_core.Vc_error.exit_failure)
     end;
     (* Engine campaign: for every benchmark, a supervised run under the
        fault plan must reproduce the fault-free reducers and task counts
@@ -1303,7 +1343,9 @@ let chaos_cmd =
       + (if List.mem Vc_core.Fault.Convert sites then 1 else 0)
       + if List.mem Vc_core.Fault.Cache sites then 1 else 0)
       !failures !total_faults;
-    exit (if !failures = 0 then 0 else 1)
+    exit
+      (if !failures = 0 then Vc_core.Vc_error.exit_ok
+       else Vc_core.Vc_error.exit_failure)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1359,6 +1401,7 @@ let fuzz_cmd =
   in
   let run quick workloads seed count minutes out plant replay =
     or_die @@ fun () ->
+    install_signal_flush (fun () -> ());
     if replay then begin
       let loaded = loaded_workloads (workloads @ default_workload_dirs) in
       let failures = ref 0 in
@@ -1373,7 +1416,9 @@ let fuzz_cmd =
         loaded;
       Format.printf "replay: %d workloads, %d failed@." (List.length loaded)
         !failures;
-      exit (if !failures = 0 then 0 else 1)
+      exit
+      (if !failures = 0 then Vc_core.Vc_error.exit_ok
+       else Vc_core.Vc_error.exit_failure)
     end;
     let deadline =
       Option.map (fun m -> Unix.gettimeofday () +. (m *. 60.0)) minutes
@@ -1442,6 +1487,227 @@ let fuzz_cmd =
     Term.(const run $ quick_flag $ workloads_flag $ seed $ count $ minutes
           $ out $ plant $ replay)
 
+let serve_cmd =
+  let socket =
+    Arg.(value & opt string ".vcilk.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:
+               "Unix-domain listen socket (a stale socket file is replaced). \
+                Pass $(b,--socket -) to disable and listen on TCP only.")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:
+               "Also listen on loopback TCP. $(b,0) picks an ephemeral port; \
+                the bound port is printed on startup.")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Persistent worker domains executing admitted jobs.")
+  in
+  let max_queue =
+    Arg.(value & opt int 64
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:
+               "Admission-control bound: requests beyond N queued jobs are \
+                rejected with an $(b,overloaded) response instead of queued.")
+  in
+  let max_frame =
+    Arg.(value & opt int 65536
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:
+               "Request frame size limit; an oversized frame gets a \
+                $(b,bad_request) response and closes that connection.")
+  in
+  let read_timeout =
+    Arg.(value & opt float 30.0
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Idle connections are closed after this long without a frame.")
+  in
+  let jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:
+               "Stream per-request telemetry into FILE, one JSON object per \
+                line, each tagged with the request's trace id.")
+  in
+  let run quick no_cache workloads socket tcp workers max_queue max_frame
+      read_timeout deadline wall_deadline max_live_frames jsonl =
+    or_die @@ fun () ->
+    let socket_path = if socket = "-" then None else Some socket in
+    let telemetry = Option.map open_out jsonl in
+    let cfg =
+      {
+        Vc_serve.Server.default_config with
+        socket_path;
+        tcp_port = tcp;
+        workers;
+        max_queue;
+        max_frame;
+        read_timeout;
+        quick;
+        cache_dir = (if no_cache then None else Some ".vc-cache");
+        workload_dirs = workloads @ default_workload_dirs;
+        ceiling = { Vc_core.Supervisor.deadline; wall_deadline; max_live_frames };
+        faults = Vc_core.Fault.of_env ();
+        telemetry;
+      }
+    in
+    match Vc_serve.Server.start cfg with
+    | Error e -> die e
+    | Ok srv ->
+        Format.printf "[serve] listening on %s@."
+          (Vc_serve.Server.endpoints srv);
+        Format.pp_print_flush Format.std_formatter ();
+        (* SIGTERM/SIGINT request a graceful drain: stop accepting, finish
+           in-flight jobs, flush the run cache and telemetry, exit 0. *)
+        let stop_requested = Atomic.make false in
+        let request _ = Atomic.set stop_requested true in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle request);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle request);
+        while not (Atomic.get stop_requested) do
+          try Unix.sleepf 0.2
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        Format.eprintf "[serve] draining@.";
+        Vc_serve.Server.stop srv;
+        Option.iter close_out telemetry;
+        Format.eprintf "[serve] %s@." (Vc_serve.Server.stats_line srv);
+        exit Vc_core.Vc_error.exit_ok
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fault-contained job daemon: newline-delimited JSON \
+          requests over a Unix (and optionally loopback-TCP) socket, \
+          executed on persistent worker domains with a warm run cache. \
+          Bounded-queue admission control, per-request budget ceilings, \
+          typed protocol errors, per-request trace ids, and a graceful \
+          SIGTERM drain (exit 0). VC_FAULT_SEED arms chaos mode: injected \
+          faults recover to bit-equal results.")
+    Term.(const run $ quick_flag $ no_cache_flag $ workloads_flag $ socket
+          $ tcp $ workers $ max_queue $ max_frame $ read_timeout
+          $ deadline_flag $ wall_deadline_flag $ max_live_frames_flag $ jsonl)
+
+let loadgen_cmd =
+  let socket =
+    Arg.(value & opt string ".vcilk.sock"
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix socket to dial.")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Dial loopback TCP instead of the Unix socket.")
+  in
+  let rps =
+    Arg.(value & opt float 10.0
+         & info [ "rps" ] ~docv:"N"
+             ~doc:
+               "Open-loop request rate: request k is sent at k/N seconds \
+                regardless of responses, so rates past capacity build real \
+                queue depth.")
+  in
+  let duration =
+    Arg.(value & opt float 5.0
+         & info [ "duration" ] ~docv:"S" ~doc:"Send window, seconds.")
+  in
+  let mix =
+    Arg.(value & opt string "fib:4,uts:1"
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:
+               "Weighted benchmark mix, e.g. $(b,fib:4,uts:1) (weights \
+                default to 1).")
+  in
+  let deadline_frac =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-frac" ] ~docv:"F"
+             ~doc:
+               "Attach a modeled-cycle deadline of F x the benchmark's \
+                reference cycles to every engine request; F < 1 makes \
+                $(b,budget_exceeded) responses expected outcomes.")
+  in
+  let connections =
+    Arg.(value & opt int 4
+         & info [ "connections" ] ~docv:"N" ~doc:"Concurrent client sockets.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"Mix-selection stream seed.")
+  in
+  let delay_ms =
+    Arg.(value & opt int 0
+         & info [ "delay-ms" ] ~docv:"MS"
+             ~doc:
+               "Ask the daemon to sleep MS per request before executing \
+                (server-side think time: the backpressure lever).")
+  in
+  let block =
+    Arg.(value & opt int 4096
+         & info [ "b"; "block" ] ~doc:"Hybrid block size for every request.")
+  in
+  let grace =
+    Arg.(value & opt float 30.0
+         & info [ "grace" ] ~docv:"S"
+             ~doc:
+               "After the send window closes, wait this long for outstanding \
+                replies before counting them lost.")
+  in
+  let run quick workloads socket tcp rps duration mix engine deadline_frac
+      connections seed delay_ms block grace =
+    or_die @@ fun () ->
+    install_signal_flush (fun () -> ());
+    let mix =
+      match Vc_serve.Loadgen.parse_mix mix with
+      | Ok m -> m
+      | Error msg ->
+          Format.eprintf "vcilk: bad --mix: %s@." msg;
+          exit Vc_core.Vc_error.exit_failure
+    in
+    let connect () =
+      match tcp with
+      | Some port ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          fd
+      | None ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          fd
+    in
+    match
+      Vc_serve.Loadgen.run ~connect ~rps ~duration ~mix
+        ~engine:(engine_name engine) ~block ?deadline_frac ~delay_ms
+        ~connections ~seed ~grace
+        ~workload_dirs:(workloads @ default_workload_dirs) ~quick ()
+    with
+    | Error e -> die e
+    | Ok s ->
+        Format.printf "%a@." Vc_serve.Loadgen.pp_summary s;
+        (match s.Vc_serve.Loadgen.stats_line with
+        | Some line -> Format.printf "%s@." line
+        | None -> Format.printf "stats unavailable@.");
+        List.iteri
+          (fun i (id, detail) ->
+            if i < 10 then Format.eprintf "  divergence %s: %s@." id detail)
+          s.Vc_serve.Loadgen.divergences;
+        exit
+          (if Vc_serve.Loadgen.passed s then Vc_core.Vc_error.exit_ok
+           else Vc_core.Vc_error.exit_failure)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay a weighted benchmark mix against a running vcilk serve \
+          daemon at a fixed request rate, then assert every ok response is \
+          bit-equal to the batch reference (exit 1 on divergence or lost \
+          replies; overload and budget rejections are expected outcomes \
+          under deliberate pressure).")
+    Term.(const run $ quick_flag $ workloads_flag $ socket $ tcp $ rps
+          $ duration $ mix $ engine_flag $ deadline_frac $ connections $ seed
+          $ delay_ms $ block $ grace)
+
 let all_cmd =
   let run quick jobs no_cache =
     let ctx = ctx_of quick jobs no_cache in
@@ -1486,7 +1752,43 @@ let () =
     "Vectorized execution of recursive task-parallel programs (PLDI 2015 \
      reproduction)."
   in
-  let info = Cmd.info "vcilk" ~version:(Vc_core.Version.describe ()) ~doc in
+  (* The exit-code taxonomy, defined once in Vc_error and documented
+     here: a nonzero exit from chaos/fuzz/loadgen always means "the tool
+     detected something", never "the tool fell over" (crashes are 125,
+     usage errors 124, both from cmdliner). *)
+  let exits =
+    [
+      Cmd.Exit.info Vc_core.Vc_error.exit_ok
+        ~doc:
+          "on success (chaos/fuzz/loadgen: every check passed or \
+           recovered; serve: graceful drain completed).";
+      Cmd.Exit.info Vc_core.Vc_error.exit_failure
+        ~doc:
+          "on a detected failure: a verification or chaos check failed, \
+           fuzz diverged (reproducer written), loadgen saw a divergence \
+           or lost replies, an unrecovered fault, or a load error.";
+      Cmd.Exit.info Vc_core.Vc_error.exit_budget
+        ~doc:
+          "when a --deadline, --wall-deadline, --max-live-frames or \
+           --max-tasks budget was exceeded.";
+      Cmd.Exit.info Vc_core.Vc_error.exit_regression
+        ~doc:"when the bench --check-baseline performance gate tripped.";
+      Cmd.Exit.info 124 ~doc:"on command-line parsing errors.";
+      Cmd.Exit.info 125
+        ~doc:"on an unexpected internal crash (never a detected failure).";
+      Cmd.Exit.info 130
+        ~doc:
+          "on SIGINT in long-running subcommands, after flushing partial \
+           artifacts (serve instead drains gracefully and exits 0).";
+      Cmd.Exit.info 143
+        ~doc:
+          "on SIGTERM in long-running subcommands, after flushing partial \
+           artifacts (serve instead drains gracefully and exits 0).";
+    ]
+  in
+  let info =
+    Cmd.info "vcilk" ~version:(Vc_core.Version.describe ()) ~doc ~exits
+  in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -1508,5 +1810,7 @@ let () =
             verify_cmd;
             chaos_cmd;
             fuzz_cmd;
+            serve_cmd;
+            loadgen_cmd;
             all_cmd;
           ]))

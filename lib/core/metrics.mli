@@ -61,3 +61,31 @@ val occupancy_hist : t -> int array
 (** The 10-bucket occupancy histogram: bucket [i] counts levels whose
     occupancy fell in [[i/10, (i+1)/10)] (occupancy 1.0 lands in the last
     bucket). *)
+
+(** Bounded sliding-window sample reservoir with quantile reads.
+
+    Backs the serve daemon's latency statistics (p50/p99 request wall
+    time): writers {!Reservoir.add} from worker domains (mutex-guarded),
+    readers take a snapshot and sort it, so a [/stats] request never
+    blocks the hot path for long.  The window is the most recent
+    [capacity] samples — a long-running daemon reports {e current}
+    latency, not lifetime latency. *)
+module Reservoir : sig
+  type t
+
+  val create : capacity:int -> t
+  (** Raises [Invalid_argument] when [capacity < 1]. *)
+
+  val add : t -> float -> unit
+  (** Record one sample (domain-safe). *)
+
+  val count : t -> int
+  (** Samples ever added (not just retained). *)
+
+  val quantile : t -> float -> float
+  (** Nearest-rank quantile over the retained window, [q] clamped to
+      [0,1]; [0.0] when no samples have been added. *)
+
+  val max_value : t -> float
+  (** Largest sample ever added; [0.0] when empty. *)
+end

@@ -9,6 +9,21 @@ let no_budgets = { deadline = None; wall_deadline = None; max_live_frames = None
 let budgets ?deadline ?wall_deadline ?max_live_frames () =
   { deadline; wall_deadline; max_live_frames }
 
+(* Tightest-wins merge: a serving process carries operator-set ceilings,
+   each request carries its own budgets, and a request must never be able
+   to RELAX a ceiling — only tighten it. *)
+let clamp_budgets ~ceiling b =
+  let min_opt a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (min x y)
+  in
+  {
+    deadline = min_opt ceiling.deadline b.deadline;
+    wall_deadline = min_opt ceiling.wall_deadline b.wall_deadline;
+    max_live_frames = min_opt ceiling.max_live_frames b.max_live_frames;
+  }
+
 type outcome = {
   report : Report.t;
   fallbacks : int;

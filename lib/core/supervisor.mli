@@ -25,6 +25,13 @@ val no_budgets : budgets
 val budgets :
   ?deadline:float -> ?wall_deadline:float -> ?max_live_frames:int -> unit -> budgets
 
+val clamp_budgets : ceiling:budgets -> budgets -> budgets
+(** Tightest-wins merge of per-request budgets against an operator
+    ceiling: each field is the minimum of the two when both are set, the
+    set one otherwise.  The serve daemon applies its [--wall-deadline]
+    etc. ceilings this way, so a request can tighten but never relax
+    them. *)
+
 type outcome = {
   report : Report.t;
   fallbacks : int;  (** quarantined blocks re-run on the scalar path *)

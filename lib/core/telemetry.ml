@@ -154,9 +154,17 @@ let args_json ev =
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) (args_fields ev))
   ^ "}"
 
-let jsonl_of_event { seq; ts; dur; ev } =
-  Printf.sprintf "{\"seq\":%d,\"ts\":%s,\"dur\":%s,\"name\":\"%s\",\"args\":%s}"
-    seq (num ts) (num dur)
+(* [trace] tags the line with a request/trace id — the serve daemon
+   threads one per request, so a shared JSONL stream can be filtered back
+   into per-request event sequences. *)
+let jsonl_of_event ?trace { seq; ts; dur; ev } =
+  let trace_field =
+    match trace with
+    | None -> ""
+    | Some id -> Printf.sprintf "\"trace\":\"%s\"," (escape id)
+  in
+  Printf.sprintf "{%s\"seq\":%d,\"ts\":%s,\"dur\":%s,\"name\":\"%s\",\"args\":%s}"
+    trace_field seq (num ts) (num dur)
     (escape (event_name ev))
     (args_json ev)
 
@@ -187,12 +195,12 @@ let chrome_of_event { ts; dur; ev; _ } =
         "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"s\":\"t\",\"pid\":1,\"tid\":1,\"args\":%s}"
         name (num ts) (args_json ev)
 
-let jsonl_sink oc =
+let jsonl_sink ?trace oc =
   Stream
     {
       write =
         (fun st ->
-          output_string oc (jsonl_of_event st);
+          output_string oc (jsonl_of_event ?trace st);
           output_char oc '\n');
       stream_flush = (fun () -> flush oc);
       stream_clear = (fun () -> ());

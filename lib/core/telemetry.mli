@@ -74,8 +74,10 @@ val ring_events : sink -> stamped list
 (** Buffered events of a {!ring} sink, oldest first ([[]] for other
     sinks). *)
 
-val jsonl_sink : out_channel -> sink
-(** Streams one JSON object per line as events arrive. *)
+val jsonl_sink : ?trace:string -> out_channel -> sink
+(** Streams one JSON object per line as events arrive.  [trace] tags
+    every line with a [{"trace":id}] field — the serve daemon attaches
+    one sink per request so a shared stream demultiplexes by request. *)
 
 val chrome_sink : out_channel -> sink
 (** Buffers events and writes a Chrome trace-event JSON array on
@@ -139,8 +141,9 @@ val flush : t -> unit
 
 (** {1 Rendering & derived views} *)
 
-val jsonl_of_event : stamped -> string
-(** One-line JSON rendering (as written by {!jsonl_sink}). *)
+val jsonl_of_event : ?trace:string -> stamped -> string
+(** One-line JSON rendering (as written by {!jsonl_sink}); [trace] adds
+    the leading [{"trace":id}] field. *)
 
 val chrome_of_event : stamped -> string
 (** One Chrome trace-event object (as buffered by {!chrome_sink}). *)

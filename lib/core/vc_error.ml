@@ -6,12 +6,19 @@ type site =
   | Scheduler
   | Decode
   | Telemetry
+  | Protocol
 
 type phase = Setup | Expand | Execute | Recover | Persist | Load
 
 type hint = Retry | Fallback_scalar | Discard_entry | Abort
 
-type resource = Deadline_cycles | Deadline_wall | Live_frames | Task_budget | Memory
+type resource =
+  | Deadline_cycles
+  | Deadline_wall
+  | Live_frames
+  | Task_budget
+  | Memory
+  | Queue_depth
 
 type kind =
   | Fault of { site : site; hint : hint }
@@ -29,6 +36,7 @@ let site_name = function
   | Scheduler -> "scheduler"
   | Decode -> "decode"
   | Telemetry -> "telemetry"
+  | Protocol -> "protocol"
 
 let phase_name = function
   | Setup -> "setup"
@@ -50,6 +58,7 @@ let resource_name = function
   | Live_frames -> "live-frames"
   | Task_budget -> "task-budget"
   | Memory -> "memory"
+  | Queue_depth -> "queue-depth"
 
 let site_of t = match t.kind with Fault { site; _ } -> Some site | _ -> None
 
@@ -57,9 +66,16 @@ let hint_of t = match t.kind with Fault { hint; _ } -> Some hint | _ -> None
 
 let is_budget t = match t.kind with Budget_exceeded _ -> true | Fault _ -> false
 
-(* CLI convention: 0 ok, 1 verification/fault failure, 2 budget/deadline
-   exceeded. *)
-let exit_code t = if is_budget t then 2 else 1
+(* The process-level exit-code taxonomy shared by every vcilk subcommand:
+   0 ok, 1 detected failure, 2 budget/deadline exceeded, 3 perf
+   regression.  Crashes are distinct: cmdliner maps uncaught exceptions
+   to 125 and usage errors to 124. *)
+let exit_ok = 0
+let exit_failure = 1
+let exit_budget = 2
+let exit_regression = 3
+
+let exit_code t = if is_budget t then exit_budget else exit_failure
 
 let to_string t =
   match t.kind with

@@ -16,6 +16,7 @@ type site =
   | Scheduler  (** engine / interpreter scheduling *)
   | Decode  (** JSON / report decoding *)
   | Telemetry  (** telemetry sink I/O (closed or full channel) *)
+  | Protocol  (** serve wire protocol: framing, parse, read timeouts *)
 
 type phase = Setup | Expand | Execute | Recover | Persist | Load
 
@@ -34,6 +35,10 @@ type resource =
       (** a run exceeded the machine's live-thread capacity inside a
           scheduler that treats it as a per-job failure (the plain engine
           reports OOM via {!Report.t} instead) *)
+  | Queue_depth
+      (** admission control: the serve daemon's bounded job queue was
+          full, so the request was rejected instead of queued (the
+          [overloaded] response status) *)
 
 type kind =
   | Fault of { site : site; hint : hint }
@@ -56,8 +61,34 @@ val hint_of : t -> hint option
 
 val is_budget : t -> bool
 
+(** {1 Exit-code taxonomy}
+
+    The process-level convention shared by every [vcilk] subcommand —
+    defined once here so the CLI, the serve daemon, tests, and CI assert
+    against the same constants:
+
+    - {!exit_ok} [= 0]: success (chaos/fuzz: every check recovered /
+      no divergence);
+    - {!exit_failure} [= 1]: detected failure — verification or chaos
+      check failed, fuzz divergence (reproducer written), unrecovered
+      fault, load error;
+    - {!exit_budget} [= 2]: a budget or deadline was exceeded
+      ([Budget_exceeded]);
+    - {!exit_regression} [= 3]: the perf gate tripped
+      ([bench --check-baseline]).
+
+    A {e crash} (uncaught exception) is distinct from all of these:
+    cmdliner maps it to 125 (and CLI usage errors to 124), so a nonzero
+    exit from chaos/fuzz always means "the tool detected something", never
+    "the tool fell over". *)
+
+val exit_ok : int
+val exit_failure : int
+val exit_budget : int
+val exit_regression : int
+
 val exit_code : t -> int
-(** [2] for budget violations, [1] otherwise. *)
+(** {!exit_budget} for budget violations, {!exit_failure} otherwise. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -32,12 +32,37 @@ let is_fatal_budget_exn = function
       true
   | _ -> false
 
-(* Run one task, retrying transient failures with exponential backoff.
-   Budget violations are deterministic — the same deadline fires again on
-   every retry — so they are never retried; they re-raise immediately.
-   Injected faults, by contrast, CAN succeed on retry: the fault plan's
-   call counters have advanced, so the replay sees a different pattern. *)
-let try_task ~retries ~backoff index f : (unit, exn * int) result =
+(* Deterministic per-task uniform stream for the retry jitter: xorshift64*
+   seeded from (jitter_seed, task index), so reruns of the same queue
+   replay the same sleep pattern while different tasks stay decorrelated. *)
+let jitter_stream ~seed ~index =
+  let state =
+    ref
+      (Int64.logor
+         (Int64.of_int (((seed * 0x9e3779b9) lxor (index * 0x85ebca6b)) land max_int))
+         1L)
+  in
+  fun () ->
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_float (Int64.shift_right_logical x 11) /. 9007199254740992.0
+
+(* Decorrelated-jitter retry sleeps: attempt n sleeps uniform(base,
+   min(cap, 3 * previous sleep)) instead of the old deterministic
+   base * 2^(n-1).  Deterministic backoff synchronized retries across
+   pool workers under chaos — every worker that faulted on the same
+   injected pattern woke at the same instant and collided again; jitter
+   spreads the herd while the seed keeps tests reproducible. *)
+let backoff_cap_factor = 16.0
+
+let try_task ?(jitter_seed = 0) ~retries ~backoff index f :
+    (unit, exn * int) result =
+  let next_u = jitter_stream ~seed:jitter_seed ~index in
+  let cap = backoff *. backoff_cap_factor in
+  let prev_sleep = ref backoff in
   let rec go attempt =
     match f () with
     | () -> Ok ()
@@ -47,20 +72,24 @@ let try_task ~retries ~backoff index f : (unit, exn * int) result =
           Log.info (fun m ->
               m "task %d failed (%s); retry %d/%d" index (Printexc.to_string exn)
                 attempt retries);
-          if backoff > 0.0 then
-            Unix.sleepf (backoff *. (2.0 ** float_of_int (attempt - 1)));
+          if backoff > 0.0 then begin
+            let hi = Float.min cap (Float.max backoff (!prev_sleep *. 3.0)) in
+            let sleep = backoff +. ((hi -. backoff) *. next_u ()) in
+            prev_sleep := sleep;
+            Unix.sleepf sleep
+          end;
           go (attempt + 1)
         end
         else Error (exn, attempt)
   in
   go 1
 
-let run ?(retries = 0) ?(backoff = 0.0) ~jobs tasks =
+let run ?(retries = 0) ?(backoff = 0.0) ?jitter_seed ~jobs tasks =
   let n = List.length tasks in
   if jobs <= 1 || n < 2 then
     List.iteri
       (fun i f ->
-        match try_task ~retries ~backoff i f with
+        match try_task ?jitter_seed ~retries ~backoff i f with
         | Ok () -> ()
         | Error (exn, _) -> raise exn)
       tasks
@@ -74,7 +103,7 @@ let run ?(retries = 0) ?(backoff = 0.0) ~jobs tasks =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Atomic.get failure <> None then continue := false
         else
-          match try_task ~retries ~backoff i tasks.(i) with
+          match try_task ?jitter_seed ~retries ~backoff i tasks.(i) with
           | Ok () -> ()
           | Error (exn, _) ->
               (* keep the first failure; losing later ones is fine — the
@@ -91,7 +120,7 @@ let run ?(retries = 0) ?(backoff = 0.0) ~jobs tasks =
     match Atomic.get failure with Some e -> raise e | None -> ()
   end
 
-let run_collect ?(retries = 0) ?(backoff = 0.0) ~jobs tasks =
+let run_collect ?(retries = 0) ?(backoff = 0.0) ?jitter_seed ~jobs tasks =
   let n = List.length tasks in
   let lock = Mutex.create () in
   let failures = ref [] in
@@ -112,7 +141,7 @@ let run_collect ?(retries = 0) ?(backoff = 0.0) ~jobs tasks =
     end
   in
   let exec i f =
-    match try_task ~retries ~backoff i f with
+    match try_task ?jitter_seed ~retries ~backoff i f with
     | Ok () -> ()
     | Error (exn, attempts) -> contain i exn attempts
     | exception exn -> contain i exn 1
@@ -137,3 +166,103 @@ let run_collect ?(retries = 0) ?(backoff = 0.0) ~jobs tasks =
   match Atomic.get fatal with
   | Some e -> raise e
   | None -> List.sort (fun a b -> compare a.index b.index) !failures
+
+(* ------------------------------------------------------------------ *)
+(* Persistent worker pool (the serve daemon's execution substrate).
+
+   Unlike [run]/[run_collect] — which spawn domains per call and join
+   them before returning — a [worker_pool] keeps its domains alive across
+   an unbounded stream of independently submitted jobs, so per-request
+   state that is expensive to warm (shuffle/prefix tables, the sweep
+   memo, the run cache) stays hot between requests.
+
+   Containment contract: a job that raises NEVER kills its worker domain;
+   the exception is logged and the domain moves on to the next job.
+   Callers that need the error (the daemon does) must catch inside the
+   job closure — by the time a job runs there is no submitter to
+   re-raise into. *)
+
+type worker_pool = {
+  wp_lock : Mutex.t;
+  wp_nonempty : Condition.t;  (* signaled on submit and on drain *)
+  wp_idle : Condition.t;  (* signaled when the pool goes quiescent *)
+  wp_queue : (unit -> unit) Queue.t;
+  mutable wp_pending : int;  (* submitted, not yet started *)
+  mutable wp_active : int;  (* currently executing *)
+  mutable wp_draining : bool;
+  mutable wp_domains : unit Domain.t list;
+}
+
+let pool_worker wp () =
+  let running = ref true in
+  while !running do
+    Mutex.lock wp.wp_lock;
+    while Queue.is_empty wp.wp_queue && not wp.wp_draining do
+      Condition.wait wp.wp_nonempty wp.wp_lock
+    done;
+    if Queue.is_empty wp.wp_queue then begin
+      (* draining and nothing left: exit the domain *)
+      running := false;
+      Mutex.unlock wp.wp_lock
+    end
+    else begin
+      let job = Queue.pop wp.wp_queue in
+      wp.wp_pending <- wp.wp_pending - 1;
+      wp.wp_active <- wp.wp_active + 1;
+      Mutex.unlock wp.wp_lock;
+      (try job ()
+       with exn ->
+         (* worker-death containment: the job dies, the domain survives *)
+         Log.warn (fun m ->
+             m "pool job died (contained): %s" (Printexc.to_string exn)));
+      Mutex.lock wp.wp_lock;
+      wp.wp_active <- wp.wp_active - 1;
+      if wp.wp_active = 0 && Queue.is_empty wp.wp_queue then
+        Condition.broadcast wp.wp_idle;
+      Mutex.unlock wp.wp_lock
+    end
+  done
+
+let start_pool ~workers () =
+  let wp =
+    {
+      wp_lock = Mutex.create ();
+      wp_nonempty = Condition.create ();
+      wp_idle = Condition.create ();
+      wp_queue = Queue.create ();
+      wp_pending = 0;
+      wp_active = 0;
+      wp_draining = false;
+      wp_domains = [];
+    }
+  in
+  wp.wp_domains <-
+    List.init (max 1 workers) (fun _ -> Domain.spawn (pool_worker wp));
+  wp
+
+let submit wp job =
+  Mutex.protect wp.wp_lock (fun () ->
+      if wp.wp_draining then `Draining
+      else begin
+        Queue.push job wp.wp_queue;
+        wp.wp_pending <- wp.wp_pending + 1;
+        Condition.signal wp.wp_nonempty;
+        `Queued
+      end)
+
+let pool_pending wp = Mutex.protect wp.wp_lock (fun () -> wp.wp_pending)
+let pool_active wp = Mutex.protect wp.wp_lock (fun () -> wp.wp_active)
+
+let pool_quiesce wp =
+  Mutex.lock wp.wp_lock;
+  while wp.wp_pending > 0 || wp.wp_active > 0 do
+    Condition.wait wp.wp_idle wp.wp_lock
+  done;
+  Mutex.unlock wp.wp_lock
+
+let drain_pool wp =
+  Mutex.protect wp.wp_lock (fun () ->
+      wp.wp_draining <- true;
+      Condition.broadcast wp.wp_nonempty);
+  List.iter Domain.join wp.wp_domains;
+  wp.wp_domains <- []

@@ -8,10 +8,15 @@
     shared state (the sweep memo table is mutex-guarded).
 
     Both entry points support supervised execution: failed tasks retry
-    with exponential backoff.  Budget violations (typed [Budget_exceeded]
-    {!Vc_core.Vc_error.Error}s) are deterministic, so they are never
-    retried; whether one aborts the queue depends on its resource — see
-    {!run_collect}. *)
+    with decorrelated-jitter backoff.  Budget violations (typed
+    [Budget_exceeded] {!Vc_core.Vc_error.Error}s) are deterministic, so
+    they are never retried; whether one aborts the queue depends on its
+    resource — see {!run_collect}.
+
+    For a long-lived stream of independently submitted jobs (the serve
+    daemon), use the persistent {!worker_pool} instead: its domains stay
+    alive across jobs, and a raising job is contained rather than
+    propagated. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
@@ -22,18 +27,34 @@ type failure = {
   error : Vc_core.Vc_error.t;  (** classified final error *)
 }
 
-val run : ?retries:int -> ?backoff:float -> jobs:int -> (unit -> unit) list -> unit
+val run :
+  ?retries:int ->
+  ?backoff:float ->
+  ?jitter_seed:int ->
+  jobs:int ->
+  (unit -> unit) list ->
+  unit
 (** Execute every task.  With [jobs <= 1] (or fewer than two tasks) the
     tasks run in the calling domain, in order, spawning nothing — the
     [--jobs 1] reference schedule.  Otherwise [min jobs (length tasks)]
     domains drain the queue.  Each failing task is retried up to
-    [retries] times (default 0) with [backoff * 2^(attempt-1)] seconds of
-    sleep between attempts (default no sleep); the first exhausted
-    failure aborts the queue and is re-raised verbatim in the caller
-    after all domains have joined. *)
+    [retries] times (default 0); between attempts it sleeps a
+    decorrelated-jitter interval — uniform in [[backoff,
+    min(16 * backoff, 3 * previous sleep)]] seconds (no sleep when
+    [backoff] is 0) — so workers that hit the same fault pattern do not
+    wake in lock-step and collide again.  The jitter stream is a pure
+    function of [(jitter_seed, task index, attempt)] (seed default 0),
+    keeping retry schedules reproducible.  The first exhausted failure
+    aborts the queue and is re-raised verbatim in the caller after all
+    domains have joined. *)
 
 val run_collect :
-  ?retries:int -> ?backoff:float -> jobs:int -> (unit -> unit) list -> failure list
+  ?retries:int ->
+  ?backoff:float ->
+  ?jitter_seed:int ->
+  jobs:int ->
+  (unit -> unit) list ->
+  failure list
 (** Like {!run}, but contains per-task failures instead of aborting: a
     task that still fails after its retries is recorded (worker-death
     containment — the rest of the queue keeps draining) and the failures
@@ -44,3 +65,39 @@ val run_collect :
     ([Task_budget], [Memory]) is contained like any other failure — one
     oversized point must not kill the sweep — though, being
     deterministic, it is never retried. *)
+
+(** {1 Persistent worker pool}
+
+    The serve daemon's execution substrate: [workers] long-lived domains
+    draining an unbounded FIFO of submitted jobs, so state that is
+    expensive to warm (shuffle/prefix tables, the sweep memo, the run
+    cache) stays hot across requests.  Admission control (bounding the
+    queue) is the {e caller's} job — check {!pool_pending} before
+    {!submit} and reject with a typed [Queue_depth] error when over
+    budget; the pool itself never blocks a submitter. *)
+
+type worker_pool
+
+val start_pool : workers:int -> unit -> worker_pool
+(** Spawn [max 1 workers] domains, idle until jobs arrive. *)
+
+val submit : worker_pool -> (unit -> unit) -> [ `Queued | `Draining ]
+(** Enqueue one job ([`Draining] after {!drain_pool} started: the job was
+    NOT queued).  A job that raises is contained — logged, worker domain
+    survives — so jobs that need their error must catch it themselves. *)
+
+val pool_pending : worker_pool -> int
+(** Jobs submitted but not yet started. *)
+
+val pool_active : worker_pool -> int
+(** Jobs currently executing. *)
+
+val pool_quiesce : worker_pool -> unit
+(** Block until the pool is momentarily idle (no pending, no active).
+    The pool stays usable — this is the drain barrier without the
+    shutdown. *)
+
+val drain_pool : worker_pool -> unit
+(** Graceful shutdown: stop accepting, finish every queued and active
+    job, join the domains.  Idempotent-ish: a second call returns
+    immediately (no domains left to join). *)

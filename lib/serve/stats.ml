@@ -1,0 +1,84 @@
+module J = Vc_exp.Jsonx
+module Reservoir = Vc_core.Metrics.Reservoir
+
+type t = {
+  started : float;
+  connections : int Atomic.t;  (* currently open *)
+  conns_total : int Atomic.t;
+  accepted : int Atomic.t;
+  rejected_overload : int Atomic.t;
+  rejected_protocol : int Atomic.t;
+  rejected_draining : int Atomic.t;
+  completed_ok : int Atomic.t;
+  completed_err : int Atomic.t;
+  in_flight : int Atomic.t;
+  wall_ms : Reservoir.t;
+}
+
+let create ?(window = 1024) () =
+  {
+    started = Unix.gettimeofday ();
+    connections = Atomic.make 0;
+    conns_total = Atomic.make 0;
+    accepted = Atomic.make 0;
+    rejected_overload = Atomic.make 0;
+    rejected_protocol = Atomic.make 0;
+    rejected_draining = Atomic.make 0;
+    completed_ok = Atomic.make 0;
+    completed_err = Atomic.make 0;
+    in_flight = Atomic.make 0;
+    wall_ms = Reservoir.create ~capacity:window;
+  }
+
+let conn_opened t =
+  Atomic.incr t.connections;
+  Atomic.incr t.conns_total
+
+let conn_closed t = Atomic.decr t.connections
+let accepted t = Atomic.incr t.accepted
+let rejected_overload t = Atomic.incr t.rejected_overload
+let rejected_protocol t = Atomic.incr t.rejected_protocol
+let rejected_draining t = Atomic.incr t.rejected_draining
+let job_started t = Atomic.incr t.in_flight
+
+let job_finished t ~ok ~wall_ms =
+  Atomic.decr t.in_flight;
+  Reservoir.add t.wall_ms wall_ms;
+  if ok then Atomic.incr t.completed_ok else Atomic.incr t.completed_err
+
+let in_flight t = Atomic.get t.in_flight
+let completed t = Atomic.get t.completed_ok + Atomic.get t.completed_err
+
+type field = I of int | F of float
+
+let snapshot t ~queue_depth =
+  [
+    ("uptime_s", F (Unix.gettimeofday () -. t.started));
+    ("queue_depth", I queue_depth);
+    ("in_flight", I (Atomic.get t.in_flight));
+    ("accepted", I (Atomic.get t.accepted));
+    ("rejected_overload", I (Atomic.get t.rejected_overload));
+    ("rejected_protocol", I (Atomic.get t.rejected_protocol));
+    ("rejected_draining", I (Atomic.get t.rejected_draining));
+    ("completed_ok", I (Atomic.get t.completed_ok));
+    ("completed_err", I (Atomic.get t.completed_err));
+    ("connections", I (Atomic.get t.connections));
+    ("connections_total", I (Atomic.get t.conns_total));
+    ("p50_wall_ms", F (Reservoir.quantile t.wall_ms 0.5));
+    ("p99_wall_ms", F (Reservoir.quantile t.wall_ms 0.99));
+    ("max_wall_ms", F (Reservoir.max_value t.wall_ms));
+  ]
+
+let to_line t ~queue_depth =
+  let field (k, v) =
+    match v with
+    | I i -> Printf.sprintf "%s=%d" k i
+    | F f -> Printf.sprintf "%s=%.3f" k f
+  in
+  "stats " ^ String.concat " " (List.map field (snapshot t ~queue_depth))
+
+let to_json t ~queue_depth =
+  J.Obj
+    (List.map
+       (fun (k, v) -> (k, match v with I i -> J.Int i | F f -> J.Float f))
+       (snapshot t ~queue_depth))

@@ -1,0 +1,44 @@
+(** Serve-daemon operational counters and the [/stats] line protocol.
+
+    One instance per daemon, shared by every connection thread and pool
+    worker (atomic counters; wall-latency samples go through a
+    mutex-guarded {!Vc_core.Metrics.Reservoir}).  Rendered two ways: a
+    one-line [key=value] text form (greppable from [nc] and CI logs) and
+    a JSON object (the [op:"stats"] response body). *)
+
+type t
+
+val create : ?window:int -> unit -> t
+(** [window] (default 1024) bounds the latency reservoir: quantiles
+    reflect the most recent [window] completed requests. *)
+
+(** {1 Recording} *)
+
+val conn_opened : t -> unit
+val conn_closed : t -> unit
+val accepted : t -> unit
+val rejected_overload : t -> unit
+val rejected_protocol : t -> unit
+(** Malformed frames, oversized frames, read timeouts. *)
+
+val rejected_draining : t -> unit
+val job_started : t -> unit
+
+val job_finished : t -> ok:bool -> wall_ms:float -> unit
+(** [ok:false] counts a typed error response (budget, fault, internal);
+    [wall_ms] is recorded either way. *)
+
+(** {1 Reading} *)
+
+val in_flight : t -> int
+val completed : t -> int
+
+val to_line : t -> queue_depth:int -> string
+(** ["stats uptime_s=... queue_depth=... in_flight=... accepted=...
+    rejected_overload=... rejected_protocol=... rejected_draining=...
+    completed_ok=... completed_err=... connections=... p50_wall_ms=...
+    p99_wall_ms=... max_wall_ms=..."] *)
+
+val to_json : t -> queue_depth:int -> Vc_exp.Jsonx.t
+(** The same snapshot as a JSON object (same field names, minus the
+    leading [stats] token). *)
