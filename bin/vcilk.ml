@@ -765,6 +765,16 @@ let bench_cmd =
                 as JSON to FILE ($(b,-) = stdout). Wall numbers are \
                 host-local and informational.")
   in
+  let serve_latency =
+    Arg.(value & opt (some string) None
+         & info [ "serve-latency" ] ~docv:"FILE"
+             ~doc:
+               "Merge the serving-latency columns (p50/p99 under the \
+                recorded loadgen profile) from a $(b,vcilk loadgen \
+                --latency-json) artifact into the collected entry, so \
+                $(b,--check-baseline)/$(b,--write-baseline) gate them \
+                (baseline schema v4).")
+  in
   (* One wall-clock backend point per benchmark at the bench block size. *)
   let backend_table ctx ~entries ~engine ~block =
     Format.printf "%-12s %12s %12s %7s %6s %6s %10s %10s@." "BENCH" "TASKS"
@@ -847,7 +857,7 @@ let bench_cmd =
         Format.eprintf "[bench] wrote %s@." path
   in
   let run quick jobs no_cache workloads block history check_baseline
-      write_baseline tolerance engine compiled_json =
+      write_baseline tolerance engine compiled_json serve_latency =
     or_die @@ fun () ->
     (* --workloads entries join the wall-clock backend table and the
        comparison JSON; the modeled baseline history keeps its built-in
@@ -877,6 +887,37 @@ let bench_cmd =
     let ctx = ctx_of quick jobs no_cache in
     install_signal_flush (fun () -> Vc_exp.Sweep.persist ctx);
     let current = Vc_exp.Baseline.collect ~block ctx in
+    let current =
+      match serve_latency with
+      | None -> current
+      | Some path -> (
+          let body =
+            try
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            with Sys_error msg ->
+              Format.eprintf "vcilk: %s@." msg;
+              exit 1
+          in
+          match Vc_exp.Jsonx.parse body with
+          | Error msg ->
+              Format.eprintf "vcilk: %s: unparseable artifact (%s)@." path msg;
+              exit 1
+          | Ok j -> (
+              match Vc_exp.Baseline.serve_of_artifact j with
+              | serve -> Vc_exp.Baseline.with_serve current ~serve
+              | exception Vc_exp.Jsonx.Decode msg ->
+                  Format.eprintf "vcilk: %s: %s@." path msg;
+                  exit 1))
+    in
+    (match current.Vc_exp.Baseline.serve with
+    | Some s ->
+        Format.printf "serve latency (%s): p50=%.3fms p99=%.3fms@."
+          s.Vc_exp.Baseline.profile s.Vc_exp.Baseline.serve_p50_ms
+          s.Vc_exp.Baseline.serve_p99_ms
+    | None -> ());
     Format.printf "%-24s %14s %8s %8s %6s %6s %10s %10s@." "BENCH/MACHINE"
       "CYCLES" "SPEEDUP" "DSPEED" "OCC" "CPASS" "SPACE" "MTASK/S";
     List.iter
@@ -943,7 +984,7 @@ let bench_cmd =
           (exit 3 on regression).")
     Term.(const run $ quick_flag $ jobs_flag $ no_cache_flag $ workloads_flag
           $ block $ history $ check_baseline $ write_baseline $ tolerance
-          $ engine_flag $ compiled_json)
+          $ engine_flag $ compiled_json $ serve_latency)
 
 let version_cmd =
   let run () =
@@ -1533,8 +1574,15 @@ let serve_cmd =
                "Stream per-request telemetry into FILE, one JSON object per \
                 line, each tagged with the request's trace id.")
   in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:
+               "Log any request whose wall time reaches MS milliseconds, \
+                with its full queue_wait/exec/serialize phase breakdown.")
+  in
   let run quick no_cache workloads socket tcp workers max_queue max_frame
-      read_timeout deadline wall_deadline max_live_frames jsonl =
+      read_timeout deadline wall_deadline max_live_frames jsonl slow_ms =
     or_die @@ fun () ->
     let socket_path = if socket = "-" then None else Some socket in
     let telemetry = Option.map open_out jsonl in
@@ -1547,6 +1595,7 @@ let serve_cmd =
         max_queue;
         max_frame;
         read_timeout;
+        slow_ms;
         quick;
         cache_dir = (if no_cache then None else Some ".vc-cache");
         workload_dirs = workloads @ default_workload_dirs;
@@ -1555,6 +1604,12 @@ let serve_cmd =
         telemetry;
       }
     in
+    (* the daemon's warnings (slow requests, crashed jobs) must reach
+       stderr even when VCILK_LOG is unset; batch commands stay silent *)
+    if Sys.getenv_opt "VCILK_LOG" = None then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Warning)
+    end;
     match Vc_serve.Server.start cfg with
     | Error e -> die e
     | Ok srv ->
@@ -1589,7 +1644,8 @@ let serve_cmd =
           faults recover to bit-equal results.")
     Term.(const run $ quick_flag $ no_cache_flag $ workloads_flag $ socket
           $ tcp $ workers $ max_queue $ max_frame $ read_timeout
-          $ deadline_flag $ wall_deadline_flag $ max_live_frames_flag $ jsonl)
+          $ deadline_flag $ wall_deadline_flag $ max_live_frames_flag $ jsonl
+          $ slow_ms)
 
 let loadgen_cmd =
   let socket =
@@ -1654,12 +1710,44 @@ let loadgen_cmd =
                "After the send window closes, wait this long for outstanding \
                 replies before counting them lost.")
   in
-  let run quick workloads socket tcp rps duration mix engine deadline_frac
-      connections seed delay_ms block grace =
+  let latency_json =
+    Arg.(value & opt (some string) None
+         & info [ "latency-json" ] ~docv:"FILE"
+             ~doc:
+               "Write the latency artifact (BENCH_serve.json shape: loadgen \
+                profile, p50/p99/p99.9/mean/max, full histogram) to FILE. \
+                On SIGINT/SIGTERM the partial artifact is flushed before \
+                exiting 130/143.")
+  in
+  let run quick workloads socket tcp rps duration mix_str engine deadline_frac
+      connections seed delay_ms block grace latency_json =
     or_die @@ fun () ->
-    install_signal_flush (fun () -> ());
+    let profile =
+      {
+        Vc_serve.Loadgen.pr_rps = rps;
+        pr_duration = duration;
+        pr_mix = mix_str;
+        pr_engine = engine_name engine;
+        pr_connections = connections;
+        pr_quick = quick;
+      }
+    in
+    let write_artifact s =
+      match latency_json with
+      | None -> ()
+      | Some path ->
+          Vc_exp.Run_cache.save_atomic ~path
+            (Vc_exp.Jsonx.to_pretty_string
+               (Vc_serve.Loadgen.latency_json ~profile s));
+          Format.eprintf "[loadgen] wrote %s@." path
+    in
+    (* parity with bench/chaos/fuzz: an interrupted run flushes the
+       partial artifact before exiting 130/143 *)
+    let snapshot = ref None in
+    install_signal_flush (fun () ->
+        match !snapshot with Some take -> write_artifact (take ()) | None -> ());
     let mix =
-      match Vc_serve.Loadgen.parse_mix mix with
+      match Vc_serve.Loadgen.parse_mix mix_str with
       | Ok m -> m
       | Error msg ->
           Format.eprintf "vcilk: bad --mix: %s@." msg;
@@ -1680,10 +1768,13 @@ let loadgen_cmd =
       Vc_serve.Loadgen.run ~connect ~rps ~duration ~mix
         ~engine:(engine_name engine) ~block ?deadline_frac ~delay_ms
         ~connections ~seed ~grace
-        ~workload_dirs:(workloads @ default_workload_dirs) ~quick ()
+        ~workload_dirs:(workloads @ default_workload_dirs)
+        ~on_snapshot:(fun take -> snapshot := Some take)
+        ~quick ()
     with
     | Error e -> die e
     | Ok s ->
+        write_artifact s;
         Format.printf "%a@." Vc_serve.Loadgen.pp_summary s;
         (match s.Vc_serve.Loadgen.stats_line with
         | Some line -> Format.printf "%s@." line
@@ -1706,7 +1797,229 @@ let loadgen_cmd =
           under deliberate pressure).")
     Term.(const run $ quick_flag $ workloads_flag $ socket $ tcp $ rps
           $ duration $ mix $ engine_flag $ deadline_frac $ connections $ seed
-          $ delay_ms $ block $ grace)
+          $ delay_ms $ block $ grace $ latency_json)
+
+(* ------------------------------------------------------------------ top *)
+
+(* A terminal dashboard over the daemon's own observability endpoints:
+   the key=value [/stats] line (windowed view) and the Prometheus
+   [/metrics] body (lifetime histograms and the breakdown counters).
+   Everything displayed is recomputed from the wire text — [top] has no
+   privileged view, so whatever it shows, a real scraper sees too. *)
+let top_cmd =
+  let socket =
+    Arg.(value & opt string ".vcilk.sock"
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix socket to dial.")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Dial loopback TCP instead of the Unix socket.")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"S" ~doc:"Seconds between polls.")
+  in
+  let count =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Stop after N refreshes (0 = until interrupted).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:
+               "Print a single snapshot without clearing the screen and \
+                exit (scriptable form of $(b,--count 1)).")
+  in
+  (* "stats k=v k=v ..." -> assoc *)
+  let parse_kv line =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+            Some
+              ( String.sub tok 0 i,
+                String.sub tok (i + 1) (String.length tok - i - 1) )
+        | None -> None)
+      (String.split_on_char ' ' (String.trim line))
+  in
+  (* One exposition sample line -> (metric, labels, value). *)
+  let parse_sample line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then None
+    else
+      match String.rindex_opt line ' ' with
+      | None -> None
+      | Some sp -> (
+          let head = String.sub line 0 sp in
+          match float_of_string_opt
+                  (String.sub line (sp + 1) (String.length line - sp - 1))
+          with
+          | None -> None
+          | Some v -> (
+              match String.index_opt head '{' with
+              | None -> Some (head, [], v)
+              | Some i when head.[String.length head - 1] = '}' ->
+                  let name = String.sub head 0 i in
+                  let inner =
+                    String.sub head (i + 1) (String.length head - i - 2)
+                  in
+                  let labels =
+                    List.filter_map
+                      (fun kv ->
+                        match String.index_opt kv '=' with
+                        | None -> None
+                        | Some j ->
+                            let k = String.sub kv 0 j in
+                            let v =
+                              String.sub kv (j + 1) (String.length kv - j - 1)
+                            in
+                            let v =
+                              (* strip the quotes *)
+                              if
+                                String.length v >= 2
+                                && v.[0] = '"'
+                                && v.[String.length v - 1] = '"'
+                              then String.sub v 1 (String.length v - 2)
+                              else v
+                            in
+                            Some (k, v))
+                      (String.split_on_char ',' inner)
+                  in
+                  Some (name, labels, v)
+              | Some _ -> None))
+  in
+  (* Cumulative-bucket nearest-rank quantile over the scraped
+     [vcilk_request_wall_ms_bucket] series — the same read a Prometheus
+     `histogram_quantile` does, minus interpolation. *)
+  let hist_quantile samples q =
+    let buckets =
+      List.filter_map
+        (fun (name, labels, v) ->
+          if name = "vcilk_request_wall_ms_bucket" then
+            match List.assoc_opt "le" labels with
+            | Some "+Inf" -> Some (infinity, int_of_float v)
+            | Some le -> (
+                match float_of_string_opt le with
+                | Some le -> Some (le, int_of_float v)
+                | None -> None)
+            | None -> None
+          else None)
+        samples
+      |> List.sort compare
+    in
+    match List.rev buckets with
+    | [] -> None
+    | (_, total) :: _ when total = 0 -> None
+    | (_, total) :: _ ->
+        let rank =
+          Stdlib.max 1 (int_of_float (ceil (q *. float_of_int total)))
+        in
+        List.find_opt (fun (_, c) -> c >= rank) buckets
+        |> Option.map (fun (le, _) -> le)
+  in
+  let engine_rows samples =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (name, labels, v) ->
+        if name = "vcilk_requests_total" then
+          match List.assoc_opt "engine" labels with
+          | Some engine ->
+              let status =
+                Option.value ~default:"?" (List.assoc_opt "status" labels)
+              in
+              let ok, err =
+                Option.value ~default:(0, 0) (Hashtbl.find_opt tbl engine)
+              in
+              let n = int_of_float v in
+              Hashtbl.replace tbl engine
+                (if status = "ok" then (ok + n, err) else (ok, err + n))
+          | None -> ())
+      samples;
+    Hashtbl.fold (fun e c acc -> (e, c) :: acc) tbl [] |> List.sort compare
+  in
+  let render ~endpoint stats_line metrics_body =
+    let kv = parse_kv (Option.value ~default:"" stats_line) in
+    let get k = Option.value ~default:"-" (List.assoc_opt k kv) in
+    let samples =
+      match metrics_body with
+      | None -> []
+      | Some body ->
+          List.filter_map parse_sample (String.split_on_char '\n' body)
+    in
+    let q p =
+      match hist_quantile samples p with
+      | Some ms when ms = infinity -> "inf"
+      | Some ms -> Printf.sprintf "%.2f" ms
+      | None -> "-"
+    in
+    Format.printf "vcilk top — %s — uptime %ss@." endpoint (get "uptime_s");
+    Format.printf
+      "rps(10s) %-8s in-flight %-5s queue %-5s conns %-5s rejected \
+       o/p/d %s/%s/%s@."
+      (get "rps_10s") (get "in_flight") (get "queue_depth")
+      (get "connections") (get "rejected_overload") (get "rejected_protocol")
+      (get "rejected_draining");
+    Format.printf
+      "latency ms (lifetime): p50 %s  p99 %s  p99.9 %s   windowed: p50 %s  \
+       p99 %s@."
+      (q 0.5) (q 0.99) (q 0.999) (get "p50_wall_ms") (get "p99_wall_ms");
+    (match engine_rows samples with
+    | [] -> ()
+    | rows ->
+        Format.printf "%-12s %10s %10s@." "ENGINE" "OK" "ERR";
+        List.iter
+          (fun (e, (ok, err)) -> Format.printf "%-12s %10d %10d@." e ok err)
+          rows);
+    Format.print_flush ()
+  in
+  let run socket tcp interval count once =
+    or_die @@ fun () ->
+    let endpoint =
+      match tcp with
+      | Some port -> Printf.sprintf "tcp:127.0.0.1:%d" port
+      | None -> Printf.sprintf "unix:%s" socket
+    in
+    let connect () =
+      match tcp with
+      | Some port ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          fd
+      | None ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          fd
+    in
+    let count = if once then 1 else count in
+    let rec loop i =
+      let stats_line = Vc_serve.Loadgen.fetch_stats ~connect in
+      let metrics_body = Vc_serve.Loadgen.fetch_metrics ~connect in
+      if stats_line = None && metrics_body = None then begin
+        Format.eprintf "vcilk: %s: daemon unreachable@." endpoint;
+        exit Vc_core.Vc_error.exit_failure
+      end;
+      if not once then Format.printf "\027[2J\027[H";
+      render ~endpoint stats_line metrics_body;
+      if count = 0 || i < count then begin
+        (try Unix.sleepf interval
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop (i + 1)
+      end
+    in
+    loop 1;
+    exit Vc_core.Vc_error.exit_ok
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard for a running vcilk serve daemon: polls \
+          /stats and /metrics and shows windowed rps, lifetime latency \
+          quantiles (p50/p99/p99.9 from the histogram), queue depth, \
+          in-flight jobs, and per-engine request rows. $(b,--once) prints \
+          a single snapshot for scripts.")
+    Term.(const run $ socket $ tcp $ interval $ count $ once)
 
 let all_cmd =
   let run quick jobs no_cache =
@@ -1812,5 +2125,6 @@ let () =
             fuzz_cmd;
             serve_cmd;
             loadgen_cmd;
+            top_cmd;
             all_cmd;
           ]))

@@ -181,3 +181,173 @@ module Reservoir = struct
   let max_value t =
     Mutex.protect t.lock (fun () -> if t.filled = 0 then 0.0 else t.max_seen)
 end
+
+(* Fixed-layout log-scaled latency histogram, sharded per domain so
+   worker-domain adds never contend on one lock.  Unlike the reservoir it
+   keeps exact lifetime counts: quantiles over hours of traffic cost one
+   O(shards * buckets) merge, and two histograms with the same layout merge
+   by bucket-wise addition (loadgen connection threads, multi-process
+   roll-ups). *)
+module Histogram = struct
+  type shard = {
+    lock : Mutex.t;
+    counts : int array;  (* length = buckets + 1; last = overflow (> hi) *)
+    mutable sum : float;
+    mutable max_seen : float;
+  }
+
+  type h = {
+    lo : float;  (* upper bound of bucket 0 *)
+    hi : float;  (* upper bound of the last finite bucket *)
+    buckets : int;  (* finite buckets; counts arrays are buckets + 1 *)
+    bounds : float array;  (* length buckets; bounds.(i) = lo * r^i *)
+    shards : shard array;
+  }
+
+  type t = h
+
+  let default_buckets = 64
+  let default_lo = 0.05 (* ms: 50 us *)
+  let default_hi = 60_000.0 (* ms: one minute *)
+
+  let create ?(shards = 8) ?(buckets = default_buckets) ?(lo = default_lo)
+      ?(hi = default_hi) () =
+    if shards < 1 then invalid_arg "Metrics.Histogram.create: shards < 1";
+    if buckets < 2 then invalid_arg "Metrics.Histogram.create: buckets < 2";
+    if not (lo > 0.0 && hi > lo) then
+      invalid_arg "Metrics.Histogram.create: need 0 < lo < hi";
+    let r = (hi /. lo) ** (1.0 /. float_of_int (buckets - 1)) in
+    let bounds = Array.init buckets (fun i -> lo *. (r ** float_of_int i)) in
+    bounds.(buckets - 1) <- hi;
+    (* exact, not lo * r^(n-1) rounded *)
+    let shard () =
+      {
+        lock = Mutex.create ();
+        counts = Array.make (buckets + 1) 0;
+        sum = 0.0;
+        max_seen = neg_infinity;
+      }
+    in
+    { lo; hi; buckets; bounds; shards = Array.init shards (fun _ -> shard ()) }
+
+  let same_layout a b = a.lo = b.lo && a.hi = b.hi && a.buckets = b.buckets
+
+  (* Smallest i with x <= bounds.(i); [buckets] (overflow) when x > hi. *)
+  let bucket_index t x =
+    if x > t.hi then t.buckets
+    else begin
+      let lo = ref 0 and hi = ref (t.buckets - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if x <= t.bounds.(mid) then hi := mid else lo := mid + 1
+      done;
+      !lo
+    end
+
+  let add t x =
+    let s =
+      t.shards.((Domain.self () :> int) mod Array.length t.shards)
+    in
+    let i = bucket_index t x in
+    Mutex.protect s.lock (fun () ->
+        s.counts.(i) <- s.counts.(i) + 1;
+        s.sum <- s.sum +. x;
+        if x > s.max_seen then s.max_seen <- x)
+
+  (* One coherent pass over the shards.  Each shard is internally
+     consistent (read under its lock); cross-shard skew of a few
+     in-flight adds is acceptable for monitoring reads. *)
+  let merged t =
+    let counts = Array.make (t.buckets + 1) 0 in
+    let sum = ref 0.0 and max_seen = ref neg_infinity in
+    Array.iter
+      (fun s ->
+        Mutex.protect s.lock (fun () ->
+            Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) s.counts;
+            sum := !sum +. s.sum;
+            if s.max_seen > !max_seen then max_seen := s.max_seen))
+      t.shards;
+    (counts, !sum, !max_seen)
+
+  let counts t =
+    let c, _, _ = merged t in
+    c
+
+  let count t = Array.fold_left ( + ) 0 (counts t)
+
+  let sum t =
+    let _, s, _ = merged t in
+    s
+
+  let max_value t =
+    let c, _, m = merged t in
+    if Array.fold_left ( + ) 0 c = 0 then 0.0 else m
+
+  let bounds t = Array.copy t.bounds
+
+  let cumulative t =
+    let c = counts t in
+    let acc = ref 0 in
+    Array.init (t.buckets + 1) (fun i ->
+        acc := !acc + c.(i);
+        let le = if i < t.buckets then t.bounds.(i) else infinity in
+        (le, !acc))
+
+  (* Nearest-rank quantile over cumulative buckets: the upper bound of
+     the first bucket whose cumulative count reaches ceil(q * total) —
+     an overestimate by at most one bucket's width (~12% at the default
+     layout).  Overflow-bucket hits return the exact maximum instead of
+     +inf. *)
+  let quantile t q =
+    let c, _, max_seen = merged t in
+    let total = Array.fold_left ( + ) 0 c in
+    if total = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+      let acc = ref 0 and i = ref 0 in
+      while !acc + c.(!i) < rank do
+        acc := !acc + c.(!i);
+        incr i
+      done;
+      if !i >= t.buckets then max_seen else t.bounds.(!i)
+    end
+
+  let merge a b =
+    if not (same_layout a b) then
+      invalid_arg "Metrics.Histogram.merge: layout mismatch";
+    let ca, sa, ma = merged a in
+    let cb, sb, mb = merged b in
+    let out = create ~shards:1 ~buckets:a.buckets ~lo:a.lo ~hi:a.hi () in
+    let s = out.shards.(0) in
+    Array.iteri (fun i c -> s.counts.(i) <- c + cb.(i)) ca;
+    s.sum <- sa +. sb;
+    s.max_seen <- Float.max ma mb;
+    out
+
+  (* Self-contained JSON rendering (vc_core sits below the Jsonx
+     library).  Floats print with 17 significant digits so they
+     round-trip; layout fields let a reader rebuild the histogram. *)
+  let to_json_string t =
+    let c, sum, max_seen = merged t in
+    let total = Array.fold_left ( + ) 0 c in
+    let fl x =
+      let s = Printf.sprintf "%.17g" x in
+      if
+        String.contains s '.' || String.contains s 'e'
+        || String.contains s 'n' || String.contains s 'i'
+      then s
+      else s ^ ".0"
+    in
+    let ints a =
+      "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+    in
+    let floats a =
+      "[" ^ String.concat "," (Array.to_list (Array.map fl a)) ^ "]"
+    in
+    Printf.sprintf
+      "{\"lo\":%s,\"hi\":%s,\"buckets\":%d,\"count\":%d,\"sum\":%s,\"max_ms\":%s,\"bounds_ms\":%s,\"counts\":%s}"
+      (fl t.lo) (fl t.hi) t.buckets total (fl sum)
+      (fl (if total = 0 then 0.0 else max_seen))
+      (floats t.bounds) (ints c)
+end

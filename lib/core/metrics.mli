@@ -89,3 +89,72 @@ module Reservoir : sig
   val max_value : t -> float
   (** Largest sample ever added; [0.0] when empty. *)
 end
+
+(** Fixed-layout, log-scaled latency histogram with per-domain shards.
+
+    The serve daemon's lifetime latency store (the {!Reservoir} keeps the
+    complementary windowed view): [buckets] geometrically spaced upper
+    bounds from [lo] to [hi] plus one overflow bucket, exact counts, and a
+    shard per writer domain merged at read time so worker adds never share
+    a lock.  Two histograms with the same layout {!Histogram.merge} by
+    bucket-wise addition, which is what lets loadgen connection threads
+    and multi-process roll-ups combine without losing tail resolution. *)
+module Histogram : sig
+  type t
+
+  val default_buckets : int
+  (** 64 finite buckets. *)
+
+  val default_lo : float
+  (** 0.05 ms — upper bound of the first bucket. *)
+
+  val default_hi : float
+  (** 60000 ms — upper bound of the last finite bucket. *)
+
+  val create :
+    ?shards:int -> ?buckets:int -> ?lo:float -> ?hi:float -> unit -> t
+  (** [create ()] uses 8 shards and the default layout.  Bucket [i]'s
+      upper bound is [lo * (hi/lo)^(i/(buckets-1))]; values above [hi]
+      land in the overflow bucket.  Raises [Invalid_argument] unless
+      [shards >= 1], [buckets >= 2] and [0 < lo < hi]. *)
+
+  val add : t -> float -> unit
+  (** Record one sample into the calling domain's shard (domain-safe). *)
+
+  val count : t -> int
+  (** Exact number of samples ever added. *)
+
+  val sum : t -> float
+  (** Exact sum of all samples (for mean / Prometheus [_sum]). *)
+
+  val max_value : t -> float
+  (** Largest sample ever added; [0.0] when empty. *)
+
+  val bucket_index : t -> float -> int
+  (** Index of the bucket a value lands in ([buckets] = overflow). *)
+
+  val bounds : t -> float array
+  (** The finite bucket upper bounds, ascending (length [buckets]). *)
+
+  val counts : t -> int array
+  (** Merged per-bucket counts (length [buckets + 1]; last = overflow). *)
+
+  val cumulative : t -> (float * int) array
+  (** [(le, cumulative_count)] pairs, ascending — the Prometheus
+      histogram series shape; the final entry is [(infinity, count t)]. *)
+
+  val quantile : t -> float -> float
+  (** Nearest-rank quantile over the cumulative buckets: the upper bound
+      of the first bucket reaching rank [ceil (q * count)], so at most
+      one bucket width above the exact value.  Hits in the overflow
+      bucket report the exact maximum.  [q] clamped to [0,1]; [0.0] when
+      empty. *)
+
+  val merge : t -> t -> t
+  (** Bucket-wise sum into a fresh histogram.  Raises [Invalid_argument]
+      on a layout mismatch ([lo], [hi] or [buckets] differ). *)
+
+  val to_json_string : t -> string
+  (** Compact JSON object: layout ([lo], [hi], [buckets]), [count],
+      [sum], [max_ms], [bounds_ms] array, [counts] array. *)
+end

@@ -4,8 +4,12 @@
       is gated alongside the single-core metrics.
    3: adds [wall_tasks_per_sec] — host wall-clock throughput of the
       hybrid run, informational only (host-dependent, so deliberately
-      absent from [checks]; 0.0 when the run came from the disk cache). *)
-let version = 3
+      absent from [checks]; 0.0 when the run came from the disk cache).
+   4: adds the optional entry-level [serve] block — serving-path latency
+      columns (p50/p99 wall under a fixed loadgen profile, from the
+      BENCH_serve.json artifact) gated with coarse thresholds when both
+      entries carry them under the same profile. *)
+let version = 4
 
 let log_src = Logs.Src.create "vc.baseline" ~doc:"Bench baseline history"
 
@@ -22,11 +26,18 @@ type metrics = {
   wall_tasks_per_sec : float;
 }
 
+type serve_latency = {
+  profile : string;
+  serve_p50_ms : float;
+  serve_p99_ms : float;
+}
+
 type entry = {
   label : string;
   quick : bool;
   block : int;
   benchmarks : (string * metrics) list;
+  serve : serve_latency option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -68,6 +79,35 @@ let collect ?(block = default_block) ctx =
     quick = Sweep.quick ctx;
     block;
     benchmarks = List.sort (fun (a, _) (b, _) -> compare a b) benchmarks;
+    serve = None;
+  }
+
+(* The serving-latency columns come from a loadgen artifact
+   (BENCH_serve.json), not from [collect]'s deterministic sweep — the
+   caller merges them in after the fact. *)
+let with_serve e ~serve = { e with serve = Some serve }
+
+(* Read the columns out of a BENCH_serve.json body.  The profile knobs
+   are folded into one comparison string: latency is only comparable
+   under the same load, so [check] refuses mismatched profiles the same
+   way it refuses quick-vs-full. *)
+let serve_of_artifact j =
+  let open Jsonx in
+  let p = member "profile" j in
+  if p = Null then decode_error "serve artifact: no \"profile\" object";
+  let profile =
+    Printf.sprintf "rps=%g dur=%g mix=%s engine=%s conns=%d quick=%b"
+      (to_float (member "rps" p))
+      (to_float (member "duration_s" p))
+      (to_str (member "mix" p))
+      (to_str (member "engine" p))
+      (to_int (member "connections" p))
+      (to_bool (member "quick" p))
+  in
+  {
+    profile;
+    serve_p50_ms = to_float (member "p50_ms" j);
+    serve_p99_ms = to_float (member "p99_ms" j);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -88,12 +128,26 @@ let json_of_metrics (m : metrics) : Jsonx.t =
 
 let json_of_entry (e : entry) : Jsonx.t =
   Jsonx.Obj
-    [
-      ("label", String e.label);
-      ("quick", Bool e.quick);
-      ("block", Int e.block);
-      ("benchmarks", Obj (List.map (fun (k, m) -> (k, json_of_metrics m)) e.benchmarks));
-    ]
+    ([
+       ("label", Jsonx.String e.label);
+       ("quick", Bool e.quick);
+       ("block", Int e.block);
+       ( "benchmarks",
+         Obj (List.map (fun (k, m) -> (k, json_of_metrics m)) e.benchmarks) );
+     ]
+    @
+    match e.serve with
+    | None -> []
+    | Some s ->
+        [
+          ( "serve",
+            Jsonx.Obj
+              [
+                ("profile", String s.profile);
+                ("p50_ms", Float s.serve_p50_ms);
+                ("p99_ms", Float s.serve_p99_ms);
+              ] );
+        ])
 
 let metrics_of_json j : metrics =
   let open Jsonx in
@@ -118,6 +172,16 @@ let entry_of_json j : entry =
         quick = to_bool (member "quick" j);
         block = to_int (member "block" j);
         benchmarks = List.map (fun (k, v) -> (k, metrics_of_json v)) fields;
+        serve =
+          (match member "serve" j with
+          | Null -> None
+          | s ->
+              Some
+                {
+                  profile = to_str (member "profile" s);
+                  serve_p50_ms = to_float (member "p50_ms" s);
+                  serve_p99_ms = to_float (member "p99_ms" s);
+                });
       }
   | v -> decode_error "benchmarks: expected an object, got %s" (Jsonx.to_string v)
 
@@ -226,6 +290,45 @@ let hist_l1 a b =
 
 let hist_threshold = 0.05
 
+(* Serving latency is host wall clock, so unlike the modeled metrics it
+   carries real measurement noise; the coarse thresholds (and the
+   1 ms denominator floor, for quick-scale runs whose p50 sits well
+   under a millisecond) catch structural regressions — a 2× tail blowup
+   — not jitter. *)
+let serve_checks = [ ("serve_p50_ms", 0.75); ("serve_p99_ms", 1.0) ]
+
+let serve_value_of name (s : serve_latency) =
+  match name with
+  | "serve_p50_ms" -> s.serve_p50_ms
+  | "serve_p99_ms" -> s.serve_p99_ms
+  | _ -> invalid_arg ("Baseline.serve_value_of: " ^ name)
+
+let serve_denom_floor = 1.0
+
+(* Latency columns gate only when both entries carry them (old histories
+   and serve-less collections stay comparable); mismatched loadgen
+   profiles are a harness misuse, reported via [Error] by [check]. *)
+let serve_verdicts ~tolerance ~(baseline : entry) ~(current : entry) =
+  match (baseline.serve, current.serve) with
+  | Some b, Some c ->
+      List.map
+        (fun (name, threshold) ->
+          let bv = serve_value_of name b and cv = serve_value_of name c in
+          let threshold = threshold *. tolerance in
+          let denom = Float.max (Float.abs bv) serve_denom_floor in
+          let delta = (cv -. bv) /. denom in
+          {
+            key = "serve";
+            metric = name;
+            baseline_v = bv;
+            current_v = cv;
+            delta;
+            threshold;
+            regressed = delta > threshold;
+          })
+        serve_checks
+  | _ -> []
+
 let check ?(tolerance = 1.0) ~baseline ~current () =
   if baseline.quick <> current.quick then
     Error
@@ -236,9 +339,20 @@ let check ?(tolerance = 1.0) ~baseline ~current () =
     Error
       (Printf.sprintf "block mismatch: baseline uses %d, current uses %d"
          baseline.block current.block)
+  else if
+    match (baseline.serve, current.serve) with
+    | Some b, Some c -> b.profile <> c.profile
+    | _ -> false
+  then
+    Error
+      (Printf.sprintf
+         "serve profile mismatch: baseline under %S, current under %S"
+         (match baseline.serve with Some b -> b.profile | None -> "")
+         (match current.serve with Some c -> c.profile | None -> ""))
   else
     Ok
-      (List.concat_map
+      (serve_verdicts ~tolerance ~baseline ~current
+      @ List.concat_map
          (fun (key, (b : metrics)) ->
            match List.assoc_opt key current.benchmarks with
            | None ->

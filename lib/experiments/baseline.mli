@@ -34,12 +34,27 @@ type metrics = {
           cache, which stores no wall clock. *)
 }
 
+type serve_latency = {
+  profile : string;
+      (** the loadgen profile the latencies were captured under
+          (rps/duration/mix/engine/connections/quick folded into one
+          comparison string) *)
+  serve_p50_ms : float;
+  serve_p99_ms : float;
+}
+(** Serving-path latency columns (schema version 4), captured by
+    [vcilk loadgen --latency-json] and merged into an entry with
+    {!with_serve}. *)
+
 type entry = {
   label : string;  (** build provenance ({!Vc_core.Version.describe}) *)
   quick : bool;  (** workload scale the metrics were collected at *)
   block : int;  (** hybrid block size used for every point *)
   benchmarks : (string * metrics) list;
       (** keyed ["bench/machine"], sorted by key *)
+  serve : serve_latency option;
+      (** serving latency under a fixed loadgen profile; [None] when the
+          entry was collected without a loadgen artifact *)
 }
 
 val default_block : int
@@ -48,7 +63,14 @@ val default_block : int
 val collect : ?block:int -> Sweep.ctx -> entry
 (** Run (or reuse from cache) the hybrid re-expansion point at [block]
     plus the sequential baseline for every registry benchmark on every
-    machine, and summarize them as one history entry. *)
+    machine, and summarize them as one history entry ([serve = None]). *)
+
+val with_serve : entry -> serve:serve_latency -> entry
+
+val serve_of_artifact : Jsonx.t -> serve_latency
+(** Extract the latency columns from a parsed [BENCH_serve.json] body
+    ({!Vc_serve.Loadgen.latency_json} shape).  Raises {!Jsonx.Decode} on
+    a malformed artifact. *)
 
 (** {2 History file} *)
 
@@ -79,7 +101,8 @@ type verdict = {
   key : string;  (** ["bench/machine"] *)
   metric : string;
       (** one of cycles / speedup / lane_occupancy / compaction_passes /
-          space_peak / occupancy_hist / present *)
+          space_peak / occupancy_hist / present, or (key ["serve"])
+          serve_p50_ms / serve_p99_ms *)
   baseline_v : float;
   current_v : float;
   delta : float;
@@ -99,8 +122,13 @@ val check :
     never regress.  A benchmark present in [baseline] but missing from
     [current] yields a single regressed ["present"] verdict.
     [tolerance] (default 1.0) scales every threshold.
-    [Error] when the entries are not comparable (quick/full or block-size
-    mismatch) — that is a harness misuse, not a perf regression. *)
+    When {e both} entries carry {!serve_latency} columns under the same
+    profile, serve_p50_ms/serve_p99_ms regress upward with coarse
+    thresholds (75%/100% — host wall clock is noisy; the gate catches
+    structural blowups, not jitter); a serve block on only one side is
+    skipped.  [Error] when the entries are not comparable (quick/full,
+    block-size, or loadgen-profile mismatch) — that is a harness misuse,
+    not a perf regression. *)
 
 val regressions : verdict list -> verdict list
 

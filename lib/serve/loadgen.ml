@@ -1,6 +1,7 @@
 module E = Vc_core.Vc_error
 module J = Vc_exp.Jsonx
 module Reservoir = Vc_core.Metrics.Reservoir
+module Histogram = Vc_core.Metrics.Histogram
 module Registry = Vc_bench.Registry
 module Sweep = Vc_exp.Sweep
 
@@ -42,7 +43,10 @@ type summary = {
   divergences : (string * string) list;
   p50_ms : float;
   p99_ms : float;
+  p999_ms : float;
+  mean_ms : float;
   max_ms : float;
+  latency : Histogram.t;
   stats_line : string option;
 }
 
@@ -51,10 +55,11 @@ let passed s = s.divergences = [] && s.lost = 0
 let pp_summary ppf s =
   Format.fprintf ppf
     "loadgen sent=%d ok=%d overloaded=%d budget_exceeded=%d rejected=%d \
-     lost=%d divergences=%d p50_ms=%.3f p99_ms=%.3f max_ms=%.3f"
+     lost=%d divergences=%d p50_ms=%.3f p99_ms=%.3f p999_ms=%.3f \
+     max_ms=%.3f"
     s.sent s.ok s.overloaded s.budget_exceeded s.rejected s.lost
     (List.length s.divergences)
-    s.p50_ms s.p99_ms s.max_ms
+    s.p50_ms s.p99_ms s.p999_ms s.max_ms
 
 (* Per-benchmark batch reference: what [vcilk run] produces.  Responses
    must be bit-equal on reducers and task counts; modeled cycles feed the
@@ -125,12 +130,14 @@ type agg = {
   mutable a_lost : int;
   mutable a_divergences : (string * string) list;
   latencies : Reservoir.t;
+  hist : Histogram.t;  (* exact lifetime counts behind --latency-json *)
 }
 
 let with_agg agg f = Mutex.protect agg.lock (fun () -> f agg)
 
 let check_reply agg (rep : Protocol.reply) (expected : reference) dt_ms =
   Reservoir.add agg.latencies dt_ms;
+  Histogram.add agg.hist dt_ms;
   match rep.r_status with
   | Protocol.Ok_ ->
       let got = sorted_reducers rep.r_reducers in
@@ -247,10 +254,113 @@ let fetch_stats ~connect =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       line
 
+(* [/metrics] replies are multi-line Prometheus text terminated by the
+   "# EOF" sentinel; read frames until it (or a timeout) arrives. *)
+let fetch_metrics ~connect =
+  match connect () with
+  | exception _ -> None
+  | fd ->
+      let body =
+        match Protocol.write_line fd "/metrics" with
+        | () ->
+            let reader = Protocol.reader fd in
+            let buf = Buffer.create 4096 in
+            let rec loop () =
+              match
+                Protocol.read_frame ~timeout:5.0 ~max_frame:reply_max_frame
+                  reader
+              with
+              | Protocol.Frame l when String.trim l = "# EOF" ->
+                  Buffer.add_string buf l;
+                  Some (Buffer.contents buf)
+              | Protocol.Frame l ->
+                  Buffer.add_string buf l;
+                  Buffer.add_char buf '\n';
+                  loop ()
+              | Protocol.Timeout_frame | Protocol.Eof | Protocol.Oversized ->
+                  if Buffer.length buf = 0 then None
+                  else Some (Buffer.contents buf)
+            in
+            loop ()
+        | exception (Unix.Unix_error _ | Sys_error _) -> None
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      body
+
+(* One summary shape for both the end-of-run path and the signal-flush
+   partial path, so an interrupted run's artifact has the same schema. *)
+let summarize agg ~stats_line =
+  let count = Histogram.count agg.hist in
+  {
+    sent = agg.a_sent;
+    ok = agg.a_ok;
+    overloaded = agg.a_overloaded;
+    budget_exceeded = agg.a_budget;
+    rejected = agg.a_rejected;
+    lost = agg.a_lost;
+    divergences = List.rev agg.a_divergences;
+    p50_ms = Reservoir.quantile agg.latencies 0.5;
+    p99_ms = Reservoir.quantile agg.latencies 0.99;
+    p999_ms = Histogram.quantile agg.hist 0.999;
+    mean_ms =
+      (if count = 0 then 0.0
+       else Histogram.sum agg.hist /. float_of_int count);
+    max_ms = Reservoir.max_value agg.latencies;
+    latency = agg.hist;
+    stats_line;
+  }
+
+type profile = {
+  pr_rps : float;
+  pr_duration : float;
+  pr_mix : string;
+  pr_engine : string;
+  pr_connections : int;
+  pr_quick : bool;
+}
+
+(* The BENCH_serve.json artifact: the loadgen profile (so a baseline
+   comparison can refuse apples-to-oranges), headline percentiles from
+   the client-side histogram, and the histogram itself. *)
+let latency_json ~(profile : profile) (s : summary) =
+  let hist =
+    match J.parse (Histogram.to_json_string s.latency) with
+    | Ok j -> j
+    | Error msg -> J.decode_error "loadgen histogram JSON: %s" msg
+  in
+  J.Obj
+    [
+      ("version", J.Int 1);
+      ( "profile",
+        J.Obj
+          [
+            ("rps", J.Float profile.pr_rps);
+            ("duration_s", J.Float profile.pr_duration);
+            ("mix", J.String profile.pr_mix);
+            ("engine", J.String profile.pr_engine);
+            ("connections", J.Int profile.pr_connections);
+            ("quick", J.Bool profile.pr_quick);
+          ] );
+      ("sent", J.Int s.sent);
+      ("ok", J.Int s.ok);
+      ("overloaded", J.Int s.overloaded);
+      ("budget_exceeded", J.Int s.budget_exceeded);
+      ("rejected", J.Int s.rejected);
+      ("lost", J.Int s.lost);
+      ("divergences", J.Int (List.length s.divergences));
+      ("p50_ms", J.Float s.p50_ms);
+      ("p99_ms", J.Float s.p99_ms);
+      ("p999_ms", J.Float s.p999_ms);
+      ("mean_ms", J.Float s.mean_ms);
+      ("max_ms", J.Float s.max_ms);
+      ("histogram", hist);
+    ]
+
 let run ~connect ~rps ~duration ~mix ?(engine = "engine")
     ?(strategy = "reexp") ?(block = 4096) ?deadline_frac ?(delay_ms = 0)
     ?(connections = 4) ?(seed = 1) ?(grace = 30.0)
-    ?(workload_dirs = [ "examples/dsl"; "test/corpus" ]) ~quick () =
+    ?(workload_dirs = [ "examples/dsl"; "test/corpus" ]) ?on_snapshot ~quick
+    () =
   if rps <= 0.0 then invalid_arg "Loadgen.run: rps must be positive";
   if duration <= 0.0 then invalid_arg "Loadgen.run: duration must be positive";
   let ctx = Sweep.create ~quick ~cache_dir:None () in
@@ -292,8 +402,14 @@ let run ~connect ~rps ~duration ~mix ?(engine = "engine")
           a_lost = 0;
           a_divergences = [];
           latencies = Reservoir.create ~capacity:8192;
+          hist = Histogram.create ();
         }
       in
+      (* hand the caller a live partial-summary thunk before any thread
+         starts, so a signal handler can flush whatever has completed *)
+      (match on_snapshot with
+      | Some register -> register (fun () -> summarize agg ~stats_line:None)
+      | None -> ());
       let t0 = Unix.gettimeofday () in
       let t_grace = t0 +. (float_of_int n /. rps) +. grace in
       let choose i k =
@@ -323,17 +439,4 @@ let run ~connect ~rps ~duration ~mix ?(engine = "engine")
       in
       List.iter Thread.join threads;
       let stats_line = fetch_stats ~connect in
-      Ok
-        {
-          sent = agg.a_sent;
-          ok = agg.a_ok;
-          overloaded = agg.a_overloaded;
-          budget_exceeded = agg.a_budget;
-          rejected = agg.a_rejected;
-          lost = agg.a_lost;
-          divergences = List.rev agg.a_divergences;
-          p50_ms = Reservoir.quantile agg.latencies 0.5;
-          p99_ms = Reservoir.quantile agg.latencies 0.99;
-          max_ms = Reservoir.max_value agg.latencies;
-          stats_line;
-        }
+      Ok (summarize agg ~stats_line)

@@ -18,6 +18,7 @@ type config = {
   max_frame : int;
   read_timeout : float;
   max_delay_ms : int;
+  slow_ms : float option;
   quick : bool;
   cache_dir : string option;
   workload_dirs : string list;
@@ -36,6 +37,7 @@ let default_config =
     max_frame = 65536;
     read_timeout = 30.0;
     max_delay_ms = 5000;
+    slow_ms = None;
     quick = false;
     cache_dir = None;
     workload_dirs = [ "examples/dsl"; "test/corpus" ];
@@ -259,8 +261,17 @@ let flush_request_telemetry t ~trace sink =
 (* The body of one admitted request, run on a pool worker domain.  Every
    path writes exactly one response and decrements the queue/outstanding
    counters exactly once — containment means the client always hears
-   back, even when the job crashes. *)
-let run_job t conn (req : Protocol.request) ~salt ~trace =
+   back, even when the job crashes.
+
+   Phase accounting: [admitted] is stamped where admission control let
+   the request in, so [queue_wait_ms] covers the whole pool-queue wait;
+   [exec_ms] covers the simulated think-time delay plus execution; and
+   [serialize_ms] is measured by rendering the reply once.  The reported
+   [wall_ms] is {e defined} as their sum (an ok reply is then re-rendered
+   with the phase fields spliced in), so the three phases telescope to
+   the wall time exactly — the same discipline as the profiler's
+   cycle-exact attribution frames. *)
+let run_job t conn (req : Protocol.request) ~salt ~trace ~admitted =
   Atomic.decr t.queue;
   Stats.job_started t.st;
   let telemetry = Telemetry.create () in
@@ -269,7 +280,8 @@ let run_job t conn (req : Protocol.request) ~salt ~trace =
     else Telemetry.ring ~capacity:4096
   in
   Telemetry.attach telemetry sink;
-  let t0 = Unix.gettimeofday () in
+  let t_start = Unix.gettimeofday () in
+  let queue_wait_ms = Float.max 0.0 ((t_start -. admitted) *. 1000.0) in
   let delay = min req.delay_ms t.cfg.max_delay_ms in
   if delay > 0 then Unix.sleepf (float_of_int delay /. 1000.0);
   let outcome =
@@ -277,32 +289,74 @@ let run_job t conn (req : Protocol.request) ~salt ~trace =
     | None -> `Unknown
     | Some entry -> `Ran (execute t req entry ~salt ~telemetry)
   in
-  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-  let line, ok =
+  let exec_ms = (Unix.gettimeofday () -. t_start) *. 1000.0 in
+  let t_ser = Unix.gettimeofday () in
+  let provisional, ok, status =
     match outcome with
     | `Unknown ->
         ( Protocol.error_line ~id:req.id ~trace Protocol.Unknown_bench
             ~detail:
               (Printf.sprintf "unknown benchmark or workload %S" req.bench),
-          false )
+          false,
+          Protocol.status_name Protocol.Unknown_bench )
     | `Ran (Fields fields) ->
         ( Protocol.ok_line ~id:req.id ~trace
-            (fields
-            @ [ ("engine", J.String req.engine); ("wall_ms", J.Float wall_ms) ]
-            ),
-          true )
-    | `Ran (Failed e) -> (Protocol.error_line_of ~id:req.id ~trace e, false)
+            (fields @ [ ("engine", J.String req.engine) ]),
+          true,
+          Protocol.status_name Protocol.Ok_ )
+    | `Ran (Failed e) ->
+        ( Protocol.error_line_of ~id:req.id ~trace e,
+          false,
+          Protocol.status_name (Protocol.status_of_error e) )
     | `Ran (Crashed msg) ->
         Log.err (fun m -> m "request %s (%s) crashed: %s" trace req.bench msg);
         ( Protocol.error_line ~id:req.id ~trace Protocol.Internal ~detail:msg,
-          false )
+          false,
+          Protocol.status_name Protocol.Internal )
   in
-  Stats.job_finished t.st ~ok ~wall_ms;
+  let serialize_ms = (Unix.gettimeofday () -. t_ser) *. 1000.0 in
+  let wall_ms = queue_wait_ms +. exec_ms +. serialize_ms in
+  let line =
+    match outcome with
+    | `Ran (Fields fields) ->
+        Protocol.ok_line ~id:req.id ~trace
+          (fields
+          @ [
+              ("engine", J.String req.engine);
+              ("wall_ms", J.Float wall_ms);
+              ("queue_wait_ms", J.Float queue_wait_ms);
+              ("exec_ms", J.Float exec_ms);
+              ("serialize_ms", J.Float serialize_ms);
+            ])
+    | _ -> provisional
+  in
+  Stats.job_finished t.st ~bench:req.bench ~engine:req.engine ~status ~ok
+    ~wall_ms ~queue_wait_ms ~exec_ms ~serialize_ms;
+  (* phase spans on the request's trace: ts is milliseconds since
+     admission, so `vcilk trace --chrome` renders each request as three
+     abutting B/E slices *)
+  let span frame ts0 ts1 =
+    Telemetry.emit telemetry ~ts:ts0 (Telemetry.Span_open { frame });
+    Telemetry.emit telemetry ~ts:ts1 ~dur:(ts1 -. ts0)
+      (Telemetry.Span_close { frame })
+  in
+  span "queue_wait" 0.0 queue_wait_ms;
+  span "exec" queue_wait_ms (queue_wait_ms +. exec_ms);
+  span "serialize" (queue_wait_ms +. exec_ms) wall_ms;
   (* even a plain request leaves a trace-tagged completion mark, so the
      operator can grep the stream by trace id regardless of path *)
-  Telemetry.emit telemetry ~dur:wall_ms
+  Telemetry.emit telemetry ~ts:wall_ms ~dur:wall_ms
     (Telemetry.Mark
        (Printf.sprintf "serve %s %s" req.bench (if ok then "ok" else "err")));
+  (match t.cfg.slow_ms with
+  | Some threshold when wall_ms >= threshold ->
+      Log.warn (fun m ->
+          m
+            "slow request %s: bench=%s engine=%s status=%s wall_ms=%.3f \
+             queue_wait_ms=%.3f exec_ms=%.3f serialize_ms=%.3f"
+            trace req.bench req.engine status wall_ms queue_wait_ms exec_ms
+            serialize_ms)
+  | _ -> ());
   flush_request_telemetry t ~trace sink;
   send conn line;
   job_done conn
@@ -320,6 +374,8 @@ let handle_run t conn (req : Protocol.request) =
     let depth = Atomic.get t.queue in
     if depth >= t.cfg.max_queue then begin
       Stats.rejected_overload t.st;
+      Stats.bump t.st ~bench:req.bench ~engine:req.engine
+        ~status:(Protocol.status_name Protocol.Overloaded);
       send conn
         (Protocol.error_line_of ~id:req.id
            (overload_error ~max_queue:t.cfg.max_queue ~depth:(depth + 1)))
@@ -329,12 +385,17 @@ let handle_run t conn (req : Protocol.request) =
       Mutex.protect conn.c_lock (fun () ->
           conn.c_outstanding <- conn.c_outstanding + 1);
       let salt, trace = next_trace t in
-      match Pool.submit t.pool (fun () -> run_job t conn req ~salt ~trace) with
+      let admitted = Unix.gettimeofday () in
+      match
+        Pool.submit t.pool (fun () -> run_job t conn req ~salt ~trace ~admitted)
+      with
       | `Queued -> Stats.accepted t.st
       | `Draining ->
           Atomic.decr t.queue;
           job_done conn;
           Stats.rejected_draining t.st;
+          Stats.bump t.st ~bench:req.bench ~engine:req.engine
+            ~status:(Protocol.status_name Protocol.Shutting_down);
           send conn
             (Protocol.error_line ~id:req.id Protocol.Shutting_down
                ~detail:"daemon is draining; no new work accepted")
@@ -344,6 +405,9 @@ let handle_frame t conn line =
   let trimmed = String.trim line in
   if trimmed = "" then ()
   else if trimmed = "/stats" then send conn (stats_line t)
+  else if trimmed = "/metrics" then
+    (* multi-line body; clients read until the "# EOF" line *)
+    send conn (Metrics_expo.render t.st ~queue_depth:(queue_depth t))
   else if trimmed = "/ping" then send conn "pong"
   else
     match Protocol.parse_request line with

@@ -32,6 +32,9 @@ type config = {
   max_frame : int;  (** request frame size limit, bytes *)
   read_timeout : float;  (** idle seconds before a connection is closed *)
   max_delay_ms : int;  (** clamp on the request [delay_ms] testing aid *)
+  slow_ms : float option;
+      (** log any request whose wall time reaches this threshold, with
+          its full queue_wait/exec/serialize phase breakdown *)
   quick : bool;  (** serve quick-scale workloads *)
   cache_dir : string option;  (** persistent run cache root *)
   workload_dirs : string list;  (** [.rtp] directories loaded at start *)
@@ -49,7 +52,8 @@ type config = {
 val default_config : config
 (** No listeners (callers must set [socket_path] and/or [tcp_port]),
     2 workers, [max_queue] 64, [max_frame] 65536, 30 s read timeout,
-    [max_delay_ms] 5000, full scale, no cache, default workload dirs
+    [max_delay_ms] 5000, no slow-request threshold, full scale, no
+    cache, default workload dirs
     ([examples/dsl], [test/corpus]), no ceiling, no faults, stats window
     1024. *)
 

@@ -1,5 +1,12 @@
 module J = Vc_exp.Jsonx
 module Reservoir = Vc_core.Metrics.Reservoir
+module Histogram = Vc_core.Metrics.Histogram
+
+(* Seconds of completed-request counts behind the windowed throughput
+   figure; two spare slots beyond the reported window absorb the current
+   (partial) second and wheel wrap-around. *)
+let rate_window = 10
+let rate_slots = rate_window + 2
 
 type t = {
   started : float;
@@ -12,7 +19,19 @@ type t = {
   completed_ok : int Atomic.t;
   completed_err : int Atomic.t;
   in_flight : int Atomic.t;
-  wall_ms : Reservoir.t;
+  wall_ms : Reservoir.t;  (* windowed view: most recent [window] requests *)
+  wall_hist : Histogram.t;  (* lifetime store: exact counts, tail quantiles *)
+  queue_hist : Histogram.t;
+  exec_hist : Histogram.t;
+  serialize_hist : Histogram.t;
+  (* Second wheel: slot [sec mod rate_slots] counts completions stamped
+     in unix second [sec]; a stale tag means the slot wrapped and is
+     reset before use.  One mutex — touched once per completion. *)
+  rate_lock : Mutex.t;
+  rate_sec : int array;
+  rate_count : int array;
+  breakdown_lock : Mutex.t;
+  breakdown : (string * string * string, int ref) Hashtbl.t;
 }
 
 let create ?(window = 1024) () =
@@ -28,6 +47,15 @@ let create ?(window = 1024) () =
     completed_err = Atomic.make 0;
     in_flight = Atomic.make 0;
     wall_ms = Reservoir.create ~capacity:window;
+    wall_hist = Histogram.create ();
+    queue_hist = Histogram.create ();
+    exec_hist = Histogram.create ();
+    serialize_hist = Histogram.create ();
+    rate_lock = Mutex.create ();
+    rate_sec = Array.make rate_slots (-1);
+    rate_count = Array.make rate_slots 0;
+    breakdown_lock = Mutex.create ();
+    breakdown = Hashtbl.create 16;
   }
 
 let conn_opened t =
@@ -41,19 +69,74 @@ let rejected_protocol t = Atomic.incr t.rejected_protocol
 let rejected_draining t = Atomic.incr t.rejected_draining
 let job_started t = Atomic.incr t.in_flight
 
-let job_finished t ~ok ~wall_ms =
+let bump t ~bench ~engine ~status =
+  Mutex.protect t.breakdown_lock (fun () ->
+      match Hashtbl.find_opt t.breakdown (bench, engine, status) with
+      | Some r -> incr r
+      | None -> Hashtbl.add t.breakdown (bench, engine, status) (ref 1))
+
+let breakdown t =
+  let rows =
+    Mutex.protect t.breakdown_lock (fun () ->
+        Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.breakdown [])
+  in
+  List.sort compare rows
+
+let tick_rate t =
+  let sec = int_of_float (Unix.gettimeofday ()) in
+  let slot = sec mod rate_slots in
+  Mutex.protect t.rate_lock (fun () ->
+      if t.rate_sec.(slot) <> sec then begin
+        t.rate_sec.(slot) <- sec;
+        t.rate_count.(slot) <- 0
+      end;
+      t.rate_count.(slot) <- t.rate_count.(slot) + 1)
+
+(* Completions per second over the last [rate_window] full seconds (the
+   current, partial second is excluded so a mid-second read does not
+   understate the rate).  Early in the daemon's life the divisor is the
+   full seconds actually elapsed, so short runs still report a rate. *)
+let rate t =
+  let now = Unix.gettimeofday () in
+  let sec = int_of_float now in
+  let span =
+    let elapsed = int_of_float (now -. t.started) in
+    max 1 (min rate_window elapsed)
+  in
+  let total = ref 0 in
+  Mutex.protect t.rate_lock (fun () ->
+      for back = 1 to span do
+        let s = sec - back in
+        let slot = s mod rate_slots in
+        if t.rate_sec.(slot) = s then total := !total + t.rate_count.(slot)
+      done);
+  float_of_int !total /. float_of_int span
+
+let job_finished t ~bench ~engine ~status ~ok ~wall_ms ~queue_wait_ms ~exec_ms
+    ~serialize_ms =
   Atomic.decr t.in_flight;
   Reservoir.add t.wall_ms wall_ms;
+  Histogram.add t.wall_hist wall_ms;
+  Histogram.add t.queue_hist queue_wait_ms;
+  Histogram.add t.exec_hist exec_ms;
+  Histogram.add t.serialize_hist serialize_ms;
+  tick_rate t;
+  bump t ~bench ~engine ~status;
   if ok then Atomic.incr t.completed_ok else Atomic.incr t.completed_err
 
 let in_flight t = Atomic.get t.in_flight
 let completed t = Atomic.get t.completed_ok + Atomic.get t.completed_err
+let wall_hist t = t.wall_hist
+let queue_hist t = t.queue_hist
+let exec_hist t = t.exec_hist
+let serialize_hist t = t.serialize_hist
+let uptime_s t = Unix.gettimeofday () -. t.started
 
 type field = I of int | F of float
 
 let snapshot t ~queue_depth =
   [
-    ("uptime_s", F (Unix.gettimeofday () -. t.started));
+    ("uptime_s", F (uptime_s t));
     ("queue_depth", I queue_depth);
     ("in_flight", I (Atomic.get t.in_flight));
     ("accepted", I (Atomic.get t.accepted));
@@ -62,10 +145,12 @@ let snapshot t ~queue_depth =
     ("rejected_draining", I (Atomic.get t.rejected_draining));
     ("completed_ok", I (Atomic.get t.completed_ok));
     ("completed_err", I (Atomic.get t.completed_err));
+    ("rps_10s", F (rate t));
     ("connections", I (Atomic.get t.connections));
     ("connections_total", I (Atomic.get t.conns_total));
     ("p50_wall_ms", F (Reservoir.quantile t.wall_ms 0.5));
     ("p99_wall_ms", F (Reservoir.quantile t.wall_ms 0.99));
+    ("p999_wall_ms", F (Histogram.quantile t.wall_hist 0.999));
     ("max_wall_ms", F (Reservoir.max_value t.wall_ms));
   ]
 

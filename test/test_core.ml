@@ -1142,6 +1142,145 @@ let test_blocked_interp_budget () =
   | Ok b -> check_int "fib 10" 55 (List.assoc "result" b.Blocked_interp.reducers)
   | Error e -> Alcotest.failf "unbudgeted run failed: %s" (Vc_error.to_string e)
 
+(* ------------------------------------------------------------------ *)
+(* Latency histogram                                                   *)
+
+module H = Metrics.Histogram
+
+let test_histogram_buckets () =
+  let h = H.create ~shards:1 ~buckets:4 ~lo:1.0 ~hi:1000.0 () in
+  check_int "below lo lands in bucket 0" 0 (H.bucket_index h 0.5);
+  check_int "lo lands in bucket 0" 0 (H.bucket_index h 1.0);
+  check_int "hi lands in the last finite bucket" 3 (H.bucket_index h 1000.0);
+  check_int "above hi overflows" 4 (H.bucket_index h 1000.1);
+  Alcotest.(check (float 1e-9)) "last finite bound is exactly hi" 1000.0
+    (H.bounds h).(3);
+  Alcotest.(check (float 0.0)) "empty quantile is 0" 0.0 (H.quantile h 0.5);
+  List.iter (H.add h) [ 0.2; 2.0; 30.0; 400.0; 5000.0 ];
+  check_int "exact count" 5 (H.count h);
+  Alcotest.(check (float 1e-9)) "exact sum" 5432.2 (H.sum h);
+  Alcotest.(check (float 0.0)) "exact max" 5000.0 (H.max_value h);
+  check_int "overflow counted" 1 (H.counts h).(4);
+  let le, cum = (H.cumulative h).(4) in
+  Alcotest.(check bool) "cumulative ends at +inf" true (le = infinity);
+  check_int "cumulative ends at total" 5 cum;
+  Alcotest.(check (float 0.0)) "overflow quantile is the exact max" 5000.0
+    (H.quantile h 1.0);
+  (* layout mismatches refuse to merge *)
+  let other = H.create ~shards:1 ~buckets:8 ~lo:1.0 ~hi:1000.0 () in
+  (match H.merge h other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "layout mismatch must not merge");
+  (* the JSON rendering carries the exact counts *)
+  let js = H.to_json_string h in
+  check_bool "json has count" true
+    (let needle = "\"count\":5" in
+     let nl = String.length needle and ll = String.length js in
+     let rec go i =
+       i + nl <= ll && (String.sub js i nl = needle || go (i + 1))
+     in
+     go 0)
+
+(* every sample list used by the properties: positive, spanning below lo
+   through past hi so the overflow path is exercised *)
+let arb_samples =
+  QCheck.(list_of_size Gen.(int_range 1 300) (float_range 0.01 90000.0))
+
+let hist_layout () = H.create ~shards:1 ~buckets:16 ~lo:0.05 ~hi:60000.0 ()
+
+let hist_of samples =
+  let h = hist_layout () in
+  List.iter (H.add h) samples;
+  h
+
+let quantile_oracle_agree_random =
+  QCheck.Test.make ~name:"histogram quantile = sorted oracle's bucket"
+    ~count:200 arb_samples (fun samples ->
+      let h = hist_of samples in
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      List.for_all
+        (fun q ->
+          let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+          let exact = List.nth sorted (rank - 1) in
+          H.bucket_index h (H.quantile h q) = H.bucket_index h exact)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
+let quantile_monotone_random =
+  QCheck.Test.make ~name:"histogram quantiles are monotone in q" ~count:200
+    arb_samples (fun samples ->
+      let h = hist_of samples in
+      let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 ] in
+      let vs = List.map (H.quantile h) qs in
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a <= b && ascending rest
+        | _ -> true
+      in
+      ascending vs)
+
+let merge_commutes_random =
+  QCheck.Test.make ~name:"histogram merge commutes" ~count:200
+    QCheck.(pair arb_samples arb_samples)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      let ab = H.merge a b and ba = H.merge b a in
+      H.counts ab = H.counts ba
+      && H.count ab = H.count ba
+      && abs_float (H.sum ab -. H.sum ba) < 1e-9
+      && H.max_value ab = H.max_value ba)
+
+let merge_associates_random =
+  QCheck.Test.make ~name:"histogram merge associates" ~count:200
+    QCheck.(triple arb_samples arb_samples arb_samples)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      let l = H.merge (H.merge a b) c and r = H.merge a (H.merge b c) in
+      H.counts l = H.counts r
+      && H.count l = H.count r
+      && abs_float (H.sum l -. H.sum r) < 1e-6
+      && H.max_value l = H.max_value r)
+
+(* concurrent adds from several domains must lose nothing: the whole
+   point of the per-domain shards (and the Reservoir's lock) *)
+let test_histogram_concurrent_adds () =
+  let h = H.create () in
+  let domains = 4 and per_domain = 5_000 in
+  let spawn i =
+    Domain.spawn (fun () ->
+        for k = 1 to per_domain do
+          H.add h (float_of_int ((i * per_domain) + k) /. 100.0)
+        done)
+  in
+  List.init domains spawn |> List.iter Domain.join;
+  check_int "no sample lost across domains" (domains * per_domain)
+    (H.count h);
+  let expected_sum =
+    let s = ref 0.0 in
+    for v = 1 to domains * per_domain do
+      s := !s +. (float_of_int v /. 100.0)
+    done;
+    !s
+  in
+  Alcotest.(check (float 1e-3)) "sum is exact across domains" expected_sum
+    (H.sum h);
+  check_int "counts table agrees with count" (domains * per_domain)
+    (Array.fold_left ( + ) 0 (H.counts h))
+
+let test_reservoir_concurrent_adds () =
+  let r = Metrics.Reservoir.create ~capacity:1024 in
+  let domains = 4 and per_domain = 2_000 in
+  List.init domains (fun _ ->
+      Domain.spawn (fun () ->
+          for k = 1 to per_domain do
+            Metrics.Reservoir.add r (float_of_int k)
+          done))
+  |> List.iter Domain.join;
+  check_int "lifetime count survives concurrent adds" (domains * per_domain)
+    (Metrics.Reservoir.count r);
+  Alcotest.(check (float 0.0)) "lifetime max survives concurrent adds"
+    (float_of_int per_domain)
+    (Metrics.Reservoir.max_value r)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1249,6 +1388,20 @@ let () =
             test_metrics_read_single_level;
           Alcotest.test_case "report speedup" `Quick test_report_speedup;
         ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket layout, counts, quantiles" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "concurrent adds lose nothing" `Quick
+            test_histogram_concurrent_adds;
+          Alcotest.test_case "reservoir concurrent adds lose nothing" `Quick
+            test_reservoir_concurrent_adds;
+        ]
+        @ qsuite
+            [
+              quantile_oracle_agree_random; quantile_monotone_random;
+              merge_commutes_random; merge_associates_random;
+            ] );
       ( "supervisor",
         [
           Alcotest.test_case "fault recovery is exact" `Quick

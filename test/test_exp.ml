@@ -469,6 +469,7 @@ let sample_entry () =
     quick = true;
     block = 256;
     benchmarks = [ ("fib/e5", sample_metrics ()); ("uts/phi", sample_metrics ()) ];
+    serve = None;
   }
 
 let check_ok = function

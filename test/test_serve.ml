@@ -456,7 +456,7 @@ let check_stats_and_ping () =
           Alcotest.(check bool) (key ^ " present") true (contains line key))
         [
           "queue_depth="; "in_flight="; "accepted="; "rejected_overload=";
-          "p50_wall_ms="; "p99_wall_ms=";
+          "p50_wall_ms="; "p99_wall_ms="; "p999_wall_ms="; "rps_10s=";
         ]
   | _ -> Alcotest.fail "no /stats line");
   Protocol.write_line fd "{\"id\":\"s\",\"op\":\"stats\"}";
@@ -513,7 +513,105 @@ let check_graceful_drain () =
   close_in ic;
   Sys.remove telemetry_path;
   Alcotest.(check bool) "telemetry stream carries the trace id" true
-    (contains contents "\"trace\":\"t-000000\"")
+    (contains contents "\"trace\":\"t-000000\"");
+  (* every completed request leaves its three phase spans in the stream *)
+  List.iter
+    (fun frame ->
+      Alcotest.(check bool) (frame ^ " span present") true
+        (contains contents ("\"name\":\"span:" ^ frame ^ "\"")))
+    [ "queue_wait"; "exec"; "serialize" ]
+
+(* ------------------------------------------------- observability tests *)
+
+(* the stats breakdown table: one exact counter per bench × engine ×
+   status cell, rows sorted by key *)
+let check_stats_breakdown () =
+  let st = Stats.create () in
+  Stats.bump st ~bench:"uts" ~engine:"compiled" ~status:"overloaded";
+  Stats.bump st ~bench:"fib" ~engine:"engine" ~status:"ok";
+  Stats.bump st ~bench:"fib" ~engine:"engine" ~status:"ok";
+  match Stats.breakdown st with
+  | [ (("fib", "engine", "ok"), 2); (("uts", "compiled", "overloaded"), 1) ] ->
+      ()
+  | rows ->
+      Alcotest.failf "unexpected breakdown (%d rows)" (List.length rows)
+
+(* phase accounting: every ok reply carries queue_wait/exec/serialize
+   and they account for the reported wall time (the acceptance bound is
+   5%; the server defines wall as the telescoped phase sum, so this is
+   exact up to float noise) *)
+let check_phase_accounting () =
+  with_server @@ fun path _srv ->
+  let fd = connect path in
+  let reader = Protocol.reader fd in
+  let r = run_fib ~id:"ph" ~delay_ms:20 fd reader in
+  Alcotest.check status "request ok" Protocol.Ok_ r.Protocol.r_status;
+  let f name = Vc_exp.Jsonx.(to_float (member name r.Protocol.r_raw)) in
+  let qw = f "queue_wait_ms" and ex = f "exec_ms" and se = f "serialize_ms" in
+  let wall = f "wall_ms" in
+  Alcotest.(check bool) "phases are non-negative" true
+    (qw >= 0.0 && ex >= 0.0 && se >= 0.0);
+  Alcotest.(check bool) "exec phase covers the synthetic delay" true
+    (ex >= 15.0);
+  Alcotest.(check bool) "phases account for wall within 5%" true
+    (abs_float ((qw +. ex +. se) -. wall) <= (0.05 *. wall) +. 1e-6);
+  Unix.close fd
+
+(* /metrics: Prometheus text shape — typed families, cumulative [le]
+   buckets that are monotone and end at +Inf = _count, "# EOF" framing *)
+let check_metrics_endpoint () =
+  with_server @@ fun path _srv ->
+  let fd = connect path in
+  let reader = Protocol.reader fd in
+  ignore (run_fib ~id:"m1" fd reader);
+  ignore (run_fib ~id:"m2" fd reader);
+  Unix.close fd;
+  let body =
+    match Loadgen.fetch_metrics ~connect:(fun () -> connect path) with
+    | Some b -> b
+    | None -> Alcotest.fail "no /metrics body"
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains body needle))
+    [
+      "# TYPE vcilk_request_wall_ms histogram";
+      "# TYPE vcilk_requests_total counter";
+      "vcilk_completed_total{status=\"ok\"} 2";
+      "vcilk_requests_total{bench=\"fib\",engine=\"engine\",status=\"ok\"} 2";
+      "vcilk_request_phase_ms_bucket{phase=\"exec\",le=\"+Inf\"}";
+      "# EOF";
+    ];
+  let lines = String.split_on_char '\n' body in
+  (match List.rev lines with
+  | last :: _ -> Alcotest.(check string) "EOF-terminated" "# EOF" last
+  | [] -> Alcotest.fail "empty body");
+  let value_of line =
+    let i = String.rindex line ' ' in
+    float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+  in
+  let buckets =
+    List.filter
+      (fun l -> contains l "vcilk_request_wall_ms_bucket{")
+      lines
+    |> List.map value_of
+  in
+  Alcotest.(check bool) "wall histogram has buckets" true (buckets <> []);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative buckets are monotone" true
+    (monotone buckets);
+  let count =
+    List.find (fun l -> contains l "vcilk_request_wall_ms_count")
+      lines
+    |> value_of
+  in
+  Alcotest.(check (float 0.0)) "+Inf bucket equals _count"
+    count
+    (List.nth buckets (List.length buckets - 1));
+  Alcotest.(check (float 0.0)) "two requests recorded" 2.0 count
 
 let check_loadgen_mix_parse () =
   (match Loadgen.parse_mix "fib:4,uts:1" with
@@ -545,7 +643,29 @@ let check_loadgen_bit_equality () =
         (List.length s.Loadgen.divergences);
       Alcotest.(check bool) "loadgen passes" true (Loadgen.passed s);
       Alcotest.(check bool) "stats captured" true
-        (s.Loadgen.stats_line <> None)
+        (s.Loadgen.stats_line <> None);
+      (* the client-side histogram saw every ok reply, and the artifact
+         body renders with profile + percentiles + histogram *)
+      Alcotest.(check int) "histogram count = ok count" s.Loadgen.ok
+        (Vc_core.Metrics.Histogram.count s.Loadgen.latency);
+      (* p50/p99 are exact (reservoir); p999 is a histogram bucket upper
+         bound, so it may sit up to one bucket above the exact max *)
+      Alcotest.(check bool) "percentiles are ordered" true
+        (s.Loadgen.p50_ms <= s.Loadgen.p99_ms
+        && s.Loadgen.p99_ms <= s.Loadgen.p999_ms);
+      let profile =
+        {
+          Loadgen.pr_rps = 40.0; pr_duration = 0.5; pr_mix = "fib:1";
+          pr_engine = "engine"; pr_connections = 2; pr_quick = true;
+        }
+      in
+      let j = Loadgen.latency_json ~profile s in
+      let open Vc_exp.Jsonx in
+      Alcotest.(check int) "artifact version" 1 (to_int (member "version" j));
+      Alcotest.(check string) "artifact profile mix" "fib:1"
+        (to_str (member "mix" (member "profile" j)));
+      Alcotest.(check int) "artifact histogram count" s.Loadgen.ok
+        (to_int (member "count" (member "histogram" j)))
 
 let () =
   Alcotest.run "serve"
@@ -596,6 +716,15 @@ let () =
             check_stats_and_ping;
           Alcotest.test_case "graceful drain finishes in-flight work"
             `Quick check_graceful_drain;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "bench x engine x status breakdown" `Quick
+            check_stats_breakdown;
+          Alcotest.test_case "phase spans account for wall time" `Quick
+            check_phase_accounting;
+          Alcotest.test_case "/metrics Prometheus exposition" `Quick
+            check_metrics_endpoint;
         ] );
       ( "loadgen",
         [
